@@ -1,0 +1,63 @@
+"""Fig. 14(a): accuracy of RPrism vs the LCS baseline over the injected
+bug suite.
+
+The paper's claim: RPRISM achieves >= 100% accuracy in all but 3 cases
+(those remain > 99%), because it makes semantically correct correlations
+(e.g. moved entries) the LCS inherently cannot.
+"""
+
+from __future__ import annotations
+
+from conftest import write_result
+
+from repro.core.stats import accuracy_histogram
+from repro.core.view_diff import view_diff
+from repro.workloads.minijs.bug_registry import MINIJS_BUGS
+from repro.workloads.minijs.scenario import trace_pair
+
+
+def render_fig14a(runs) -> str:
+    lines = ["=== Fig. 14(a): Accuracy (RPrism vs LCS) ==="]
+    values = []
+    for run in runs:
+        if run.accuracy is None:
+            lines.append(f"  {run.bug_id:18} [{run.category:16}] "
+                         f"entries={run.trace_entries:7} "
+                         f"accuracy=   (LCS failed: memory)")
+            continue
+        values.append(run.accuracy)
+        lines.append(f"  {run.bug_id:18} [{run.category:16}] "
+                     f"entries={run.trace_entries:7} "
+                     f"accuracy={run.accuracy * 100:7.2f}%")
+    hist = accuracy_histogram(values)
+    lines.append("")
+    lines.append(hist.render("accuracy histogram (bin = upper bound):"))
+    at_least_100 = sum(1 for v in values if v >= 1.0)
+    lines.append("")
+    lines.append(f"cases with accuracy >= 100%: {at_least_100}/{len(values)}"
+                 f" (paper: all but 3; sub-100% cases are where the exact"
+                 f" LCS blind-matches recurring VM values across loop"
+                 f" iterations — the semantic mismatch Sec. 3.2 describes)")
+    return "\n".join(lines)
+
+
+def test_fig14_accuracy(fig14_runs, benchmark):
+    text = render_fig14a(fig14_runs)
+    write_result("fig14a_accuracy.txt", text)
+
+    # Accuracy shape assertions (the paper's headline claims): most
+    # cases at or above 100%, at most 3 below (ours dip further than the
+    # paper's >99% because exact LCS blind-matches recurring VM values;
+    # see EXPERIMENTS.md).
+    measured = [r.accuracy for r in fig14_runs if r.accuracy is not None]
+    assert measured, "at least some cases must have a computable baseline"
+    assert all(value > 0.85 for value in measured)
+    assert sum(1 for value in measured if value >= 1.0) >= \
+        len(measured) - 3
+
+    # Benchmark the views-based differencing on a mid-size case.
+    spec = MINIJS_BUGS.get("MC-EQ-MIXED")
+    old, new = trace_pair(spec, 5)
+    result = benchmark.pedantic(lambda: view_diff(old, new), rounds=3,
+                                iterations=1)
+    assert result.num_diffs() > 0

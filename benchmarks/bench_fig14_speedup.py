@@ -1,0 +1,66 @@
+"""Fig. 14(b): compare-operation speedup of RPrism over the LCS baseline.
+
+The paper's claims: speedups beyond 100x on large traces, below 1x on
+two very small traces (the secondary-view exploration overhead), and the
+baseline failing outright (memory) beyond ~100K entries while RPRISM
+analyses traces into the millions.
+"""
+
+from __future__ import annotations
+
+from conftest import write_result
+
+from repro.core.lcs import OpCounter
+from repro.core.stats import speedup_histogram
+from repro.core.view_diff import view_diff
+from repro.workloads.minijs.bug_registry import MINIJS_BUGS
+from repro.workloads.minijs.scenario import trace_pair
+
+
+def render_fig14b(runs) -> str:
+    lines = ["=== Fig. 14(b): Speedup (RPrism vs LCS, compare ops) ==="]
+    values = []
+    failures = 0
+    for run in runs:
+        if run.lcs_failed:
+            failures += 1
+            lines.append(f"  {run.bug_id:18} entries={run.trace_entries:7} "
+                         f"LCS failed (memory); RPrism compares="
+                         f"{run.views_compares}")
+            continue
+        values.append(run.speedup)
+        lines.append(f"  {run.bug_id:18} entries={run.trace_entries:7} "
+                     f"lcs={run.lcs_compares:12} "
+                     f"rprism={run.views_compares:10} "
+                     f"speedup={run.speedup:9.2f}x")
+    hist = speedup_histogram(values)
+    lines.append("")
+    lines.append(hist.render("speedup histogram (bin = upper bound):"))
+    lines.append("")
+    lines.append(f"LCS memory failures: {failures} case(s); RPrism "
+                 f"analysed every trace")
+    return "\n".join(lines)
+
+
+def test_fig14_speedup(fig14_runs, benchmark):
+    text = render_fig14b(fig14_runs)
+    write_result("fig14b_speedup.txt", text)
+
+    values = [r.speedup for r in fig14_runs if r.speedup is not None]
+    # Shape: at least one case beyond 50x, and the baseline failed on
+    # some traces RPrism handled.
+    assert max(values) > 50
+    assert any(r.lcs_failed for r in fig14_runs)
+    assert all(r.views_num_diffs >= 0 for r in fig14_runs)
+
+    # Benchmark compare-op counting on a small pair.
+    spec = MINIJS_BUGS.get("CF-SHORTCIRCUIT")
+    old, new = trace_pair(spec, 3)
+
+    def run():
+        counter = OpCounter()
+        view_diff(old, new, counter=counter)
+        return counter.total
+
+    compares = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert compares > 0

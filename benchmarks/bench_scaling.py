@@ -1,0 +1,97 @@
+"""Sec. 3.3's complexity claim: the views-based differencing is O(n) in
+time and space, versus the LCS baseline's Theta(n^2).
+
+Sweeps trace length with a fixed difference density and reports compare
+operations for both semantics; the views-based counts must grow roughly
+linearly while the (modelled) quadratic baseline explodes.
+"""
+
+from __future__ import annotations
+
+from conftest import write_result
+
+from repro.core.lcs import OpCounter, trim_common
+from repro.core.traces import TraceBuilder
+from repro.core.values import prim
+from repro.core.view_diff import view_diff
+
+SIZES = (500, 1000, 2000, 4000, 8000)
+
+
+def synthetic_pair(n: int):
+    """Two traces of n field-set events with a sparse 1% modification
+    pattern plus one moved block."""
+
+    def build(variant: str, name: str):
+        builder = TraceBuilder(name=name)
+        tid = builder.main_tid
+        obj = builder.record_init(tid, "Cell", (), serialization="cell")
+        values = list(range(n))
+        if variant == "new":
+            for at in range(50, n, 100):
+                values[at] = -values[at]  # 1% modified
+            block = values[10:20]
+            del values[10:20]
+            values.extend(block)  # one moved block
+        for value in values:
+            builder.record_set(tid, obj, "v", prim(value))
+        builder.record_end(tid)
+        return builder.build()
+
+    return build("old", f"L{n}"), build("new", f"R{n}")
+
+
+def sweep() -> list[dict]:
+    rows = []
+    for n in SIZES:
+        old, new = synthetic_pair(n)
+        counter = OpCounter()
+        result = view_diff(old, new, counter=counter)
+        keys_l = [e.key() for e in old.entries]
+        keys_r = [e.key() for e in new.entries]
+        _prefix, mid_a, mid_b = trim_common(keys_l, keys_r)
+        rows.append({
+            "n": n,
+            "views_compares": counter.total,
+            "views_diffs": result.num_diffs(),
+            "lcs_cells": mid_a * mid_b,
+        })
+    return rows
+
+
+def render(rows) -> str:
+    lines = ["=== Scaling: views-based O(n) vs LCS Theta(n^2) ===",
+             f"{'entries':>8} {'views compares':>15} "
+             f"{'LCS DP cells':>14} {'ratio':>10}"]
+    for row in rows:
+        ratio = row["lcs_cells"] / max(row["views_compares"], 1)
+        lines.append(f"{row['n']:8} {row['views_compares']:15} "
+                     f"{row['lcs_cells']:14} {ratio:9.1f}x")
+    first, last = rows[0], rows[-1]
+    growth_n = last["n"] / first["n"]
+    growth_views = last["views_compares"] / max(first["views_compares"], 1)
+    growth_lcs = last["lcs_cells"] / max(first["lcs_cells"], 1)
+    lines.append("")
+    lines.append(f"trace growth {growth_n:.0f}x -> views compares grew "
+                 f"{growth_views:.1f}x (linear-ish), LCS cells grew "
+                 f"{growth_lcs:.1f}x (quadratic)")
+    return "\n".join(lines)
+
+
+def test_scaling(benchmark):
+    rows = sweep()
+    write_result("scaling.txt", render(rows))
+
+    first, last = rows[0], rows[-1]
+    growth_n = last["n"] / first["n"]
+    growth_views = last["views_compares"] / max(first["views_compares"], 1)
+    growth_lcs = last["lcs_cells"] / max(first["lcs_cells"], 1)
+    # Views-based growth stays well below quadratic; the baseline is
+    # quadratic by construction.
+    assert growth_views < growth_n ** 1.5
+    assert growth_lcs > growth_n ** 1.8
+
+    old, new = synthetic_pair(2000)
+    result = benchmark.pedantic(lambda: view_diff(old, new), rounds=3,
+                                iterations=1)
+    assert result.num_diffs() > 0

@@ -1,0 +1,57 @@
+"""Table 2: number of views and the regression-analysis set sizes.
+
+Per case study: total/thread/method/target-object view counts of the
+original version's regressing trace, and |A| (suspected), |B| (expected),
+|C| (regression), |D| (result) in difference sequences.
+"""
+
+from __future__ import annotations
+
+from conftest import write_result
+
+from repro.core.web import ViewWeb
+from repro.workloads.harness import (SCENARIOS,
+                                     capture_scenario_trace)
+
+
+def render_table2(results) -> str:
+    lines = ["=== Table 2: views and analysis set sizes ===",
+             f"{'benchmark':11} {'total':>6} {'thread':>7} {'method':>7} "
+             f"{'t-obj':>6}   {'A':>5} {'B':>5} {'C':>5} {'D':>4}"]
+    for result in results:
+        counts = result.view_counts
+        sizes = result.set_sizes
+        lines.append(
+            f"{result.name:11} {counts['total']:6} {counts['thread']:7} "
+            f"{counts['method']:7} {counts['target_object']:6}   "
+            f"{sizes.get('A', 0):5} {sizes.get('B', 0):5} "
+            f"{sizes.get('C', 0):5} {sizes.get('D', 0):4}")
+    return "\n".join(lines)
+
+
+def test_table2(scenario_results, benchmark):
+    text = render_table2(scenario_results)
+    write_result("table2.txt", text)
+
+    by_name = {r.name: r for r in scenario_results}
+    # Shape assertions.
+    for result in scenario_results:
+        counts = result.view_counts
+        assert counts["total"] == (counts["thread"] + counts["method"]
+                                   + counts["target_object"]
+                                   + counts["active_object"])
+        # The analysis always shrinks the suspected set.
+        assert result.set_sizes["D"] <= result.set_sizes["A"]
+    # Derby is the only multithreaded study (paper: 3 thread views there,
+    # 1 elsewhere); ours spawns one worker per query plus the daemon.
+    assert by_name["Derby-1633"].view_counts["thread"] > 1
+    for name in ("Daikon", "Xalan-1725", "Xalan-1802"):
+        assert by_name[name].view_counts["thread"] == 1
+
+    # Benchmark: building the view web of the Xalan-1725 trace.
+    spec = SCENARIOS["Xalan-1725"]
+    trace = capture_scenario_trace(spec, spec.run_old,
+                                   spec.regressing_input, "old")
+    web = benchmark.pedantic(lambda: ViewWeb(trace), rounds=3,
+                             iterations=1)
+    assert web.counts()["total"] > 0

@@ -1,0 +1,106 @@
+"""The formal model (Sec. 2): run a core-language program, inspect its
+trace, views, and a views-based diff between two program versions.
+
+Run with::
+
+    python examples/formal_semantics_demo.py
+"""
+
+from repro.analysis import render_trace_tree
+from repro.core.view_diff import view_diff
+from repro.core.web import ViewWeb
+from repro.lang import run_source
+
+PROGRAM = """
+class Logger extends Object {
+    Str name;
+    Unit addMsg(Str msg) {
+        this.name;
+        return unit;
+    }
+}
+
+class NumericEntityUtil extends Object {
+    Int minCharRange;
+    Int maxCharRange;
+    Bool needsConversion(Int c) {
+        var lo = this.minCharRange;
+        var hi = this.maxCharRange;
+        return c.lt(lo).or_(c.gt(hi));
+    }
+}
+
+class ServletProcessor extends Object {
+    Logger log;
+    NumericEntityUtil conv;
+    Unit setRequestType(Str kind) {
+        this.log.addMsg("Setting request type");
+        if (kind.equals("text/html")) {
+            this.conv = new NumericEntityUtil(%LO%, 127);
+        }
+        this.log.addMsg("Set request type");
+        return unit;
+    }
+    Int process(Int c) {
+        var util = this.conv;
+        if (util.needsConversion(c)) {
+            return 0.sub(c);
+        }
+        return c;
+    }
+}
+
+thread {
+    var log = new Logger("app");
+    var sp = new ServletProcessor(log, null);
+    sp.setRequestType("text/html");
+    sp.process(7);
+    sp.process(64);
+    spawn {
+        log.addMsg("from worker thread");
+    }
+}
+"""
+
+
+def main():
+    old_trace = run_source(PROGRAM.replace("%LO%", "32"), name="old")
+    new_trace = run_source(PROGRAM.replace("%LO%", "1"), name="new")
+
+    print(f"evaluation produced {len(old_trace)} trace entries "
+          f"on {len(old_trace.thread_ids())} threads")
+    print()
+    print("the execution trace as a call tree (first 18 entries):")
+    print(render_trace_tree(old_trace, limit=18))
+    print()
+
+    web = ViewWeb(old_trace)
+    counts = web.counts()
+    print(f"view web: {counts['total']} views "
+          f"({counts['thread']} TH / {counts['method']} CM / "
+          f"{counts['target_object']} TO / {counts['active_object']} AO)")
+    method_view = web.method_view("ServletProcessor.setRequestType")
+    print(f"CM view of ServletProcessor.setRequestType "
+          f"({len(method_view)} entries):")
+    for entry in list(method_view)[:5]:
+        print("   ", entry.brief())
+    print()
+
+    result = view_diff(old_trace, new_trace)
+    print(f"views-based diff old vs new: {result.num_diffs()} differences "
+          f"in {len(result.sequences)} sequences "
+          f"({len(result.anchor_pairs)} anchors via secondary views)")
+    for sequence in result.sequences[:3]:
+        print(sequence.brief(limit=3))
+
+    # Navigate a link: from a differing entry to all views containing it.
+    first_diff_eid = result.left_diff_eids()[0]
+    entry = old_trace.entries[first_diff_eid]
+    views = web.views_of_entry(entry)
+    names = ", ".join(f"{v.name.vtype.value}:{v.name.key}" for v in views)
+    print()
+    print(f"entry {first_diff_eid} belongs to views: {names}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""The paper's motivating example (Fig. 1 / Sec. 4.2), end to end.
+
+MYFACES-1130 pattern: the refactored servlet pipeline initialises the
+numeric-entity converter with the exempt range [1, 127] instead of
+[32, 127]; control characters stop being escaped, but only for text/html
+documents — the cause (a constructor argument) and the effect (wrong
+response bytes) are far apart in the execution.
+
+Run with::
+
+    python examples/myfaces_regression.py
+"""
+
+from repro.analysis import render_diff_report
+from repro.analysis.rprism import RPrism
+from repro.capture import TraceFilter
+from repro.core.regression import evaluate_against_truth
+from repro.core.views import ViewType
+from repro.workloads.myfaces.scenario import (CORRECT_REQUEST,
+                                              REGRESSING_REQUEST,
+                                              is_cause_entry,
+                                              run_new_version,
+                                              run_old_version)
+
+
+def main():
+    print("regressing input:", REGRESSING_REQUEST)
+    print("old output:", run_old_version(REGRESSING_REQUEST))
+    print("new output:", run_new_version(REGRESSING_REQUEST))
+    print()
+
+    tool = RPrism(filter=TraceFilter(
+        include_modules=("repro.workloads.myfaces",)))
+    outcome = tool.analyze_regression_scenario(
+        run_old_version, run_new_version,
+        regressing_input=REGRESSING_REQUEST,
+        correct_input=CORRECT_REQUEST)
+
+    sizes = outcome.report.set_sizes()
+    print(f"suspected differences (A): {sizes['A']} sequences")
+    print(f"expected differences  (B): {sizes['B']} sequences")
+    print(f"regression differences(C): {sizes['C']} sequences")
+    print(f"candidate causes      (D): {sizes['D']} sequences")
+    print()
+
+    evaluation = evaluate_against_truth(outcome.report, is_cause_entry)
+    print(f"{evaluation.true_positives} candidate(s) pinpoint the wrong "
+          f"[1..127] range, {evaluation.false_positives} are unrelated "
+          f"side effects, {evaluation.false_negatives} cause(s) missed")
+    print()
+
+    # Navigate the view web like Fig. 2: the converter object's
+    # target-object view collects its events across the whole run.
+    web = tool.web(outcome.traces["new/regressing"])
+    for location, info in web.objects.items():
+        if info.class_name == "NumericEntityUtil":
+            view = web.target_object_view(location)
+            print(f"target-object view of {info.class_name}-"
+                  f"{info.creation_seq} ({len(view)} entries):")
+            for entry in list(view)[:6]:
+                print("   ", entry.brief())
+            break
+    print()
+    print(render_diff_report(outcome.suspected, max_sequences=2))
+    print()
+    thread_views = web.views_of_type(ViewType.THREAD)
+    print(f"web: {web.counts()['total']} views total "
+          f"({len(thread_views)} thread / {web.counts()['method']} method "
+          f"/ {web.counts()['target_object']} target-object)")
+
+
+if __name__ == "__main__":
+    main()

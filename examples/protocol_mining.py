@@ -1,0 +1,66 @@
+"""Beyond diffing: protocol inference and impact analysis on the same
+view substrate (the further applications Sec. 4 envisions).
+
+Mines the observed usage protocol of the minidb lock objects from a
+traced session, diffs protocols across engine versions, and ranks the
+methods/classes a regression impacts.
+
+Run with::
+
+    python examples/protocol_mining.py
+"""
+
+from repro.analysis.impact import impact_of
+from repro.analysis.protocols import diff_protocols, infer_protocols
+from repro.capture import TraceFilter, trace_call
+from repro.core.view_diff import view_diff
+from repro.workloads.minidb.scenario import (REGRESSING_INPUT,
+                                             run_new_version,
+                                             run_old_version)
+
+FILTER = TraceFilter(include_modules=("repro.workloads.minidb",))
+
+
+def main():
+    old = trace_call(run_old_version, REGRESSING_INPUT, filter=FILTER,
+                     name="10.1.2.1").trace
+    new = trace_call(run_new_version, REGRESSING_INPUT, filter=FILTER,
+                     name="10.1.3.1").trace
+    print(f"traced sessions: {len(old)} / {len(new)} entries")
+    print()
+
+    # 1. Protocol inference: how are TableLock objects used?
+    old_protocols = infer_protocols(old)
+    lock_protocol = old_protocols.get("TableLock")
+    if lock_protocol is not None:
+        print(lock_protocol.render())
+        print()
+        print("protocol check: init/acquire/release is observed:",
+              lock_protocol.allows(
+                  ["TableLock.__init__",
+                   "TableLock.acquire_exclusive",
+                   "TableLock.release_exclusive"]))
+        print("protocol check: release-before-acquire is novel:",
+              not lock_protocol.allows(
+                  ["TableLock.__init__",
+                   "TableLock.release_exclusive"]))
+    print()
+
+    # 2. Protocol diff across versions: which usage transitions changed?
+    new_protocols = infer_protocols(new)
+    changes = diff_protocols(old_protocols, new_protocols)
+    print(f"protocol changes between versions: {len(changes)} class(es)")
+    for change in changes[:5]:
+        added = ", ".join(f"{a}->{b}" for a, b in change.added[:3])
+        removed = ", ".join(f"{a}->{b}" for a, b in change.removed[:3])
+        print(f"  {change.class_name}: +[{added}] -[{removed}]")
+    print()
+
+    # 3. Impact analysis: where does the behaviour change concentrate?
+    result = view_diff(old, new)
+    report = impact_of(result)
+    print(report.render(limit=6))
+
+
+if __name__ == "__main__":
+    main()

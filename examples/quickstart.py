@@ -1,0 +1,82 @@
+"""Quickstart: trace two versions of a program, diff them semantically,
+and localise the regression cause.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import RPrism
+from repro.analysis import render_diff_report
+from repro.capture import TraceFilter, traced
+from repro.core.regression import evaluate_against_truth
+
+
+# --- the program under study -------------------------------------------------
+
+@traced
+class PriceTable:
+    """Computes discounted prices; the discount threshold is dynamic
+    state fixed at construction."""
+
+    def __init__(self, threshold, discount):
+        self.threshold = threshold
+        self.discount = discount
+
+    def price_of(self, base):
+        if base >= self.threshold:
+            return base - self.discount
+        return base
+
+    def __repr__(self):
+        return f"PriceTable(>={self.threshold}: -{self.discount})"
+
+
+def old_version(basket):
+    """Original: discounts apply from 100 upward."""
+    table = PriceTable(100, 15)
+    return sum(table.price_of(item) for item in basket)
+
+
+def new_version(basket):
+    """Refactored: a config indirection was added — and initialised with
+    the wrong threshold (10 instead of 100)."""
+    config = {"threshold": 10, "discount": 15}  # BUG: 10 should be 100
+    table = PriceTable(config["threshold"], config["discount"])
+    return sum(table.price_of(item) for item in basket)
+
+
+# --- the analysis ---------------------------------------------------------------
+
+def main():
+    tool = RPrism(filter=TraceFilter(include_modules=("__main__",)))
+
+    # A regressing input (items between 10 and 100 now get discounted)
+    # and a similar correct one (all items above 100 behave the same).
+    regressing_basket = [40, 120, 60]
+    correct_basket = [120, 150]
+
+    print("old:", old_version(regressing_basket),
+          " new:", new_version(regressing_basket), "(regression!)")
+
+    outcome = tool.analyze_regression_scenario(
+        old_version, new_version,
+        regressing_input=regressing_basket,
+        correct_input=correct_basket)
+
+    print()
+    print(outcome.render())
+    print()
+    print(render_diff_report(outcome.suspected, max_sequences=3))
+
+    evaluation = evaluate_against_truth(
+        outcome.report,
+        lambda e: getattr(e.event, "value", None) is not None
+        and e.event.value.serialization == 10)
+    print()
+    print(f"ground truth: {evaluation.true_positives} candidate(s) touch "
+          f"the wrong threshold, {evaluation.false_positives} do not")
+
+
+if __name__ == "__main__":
+    main()

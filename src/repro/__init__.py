@@ -1,0 +1,41 @@
+"""rPRISM — semantics-aware trace analysis.
+
+A from-scratch reproduction of *Semantics-Aware Trace Analysis*
+(Hoffman, Eugster & Jagannathan, PLDI 2009): semantic views over execution
+traces, linear-time views-based trace differencing, and regression-cause
+analysis, together with a formal trace-emitting core language, a Python
+trace-capture substrate, and the evaluation workloads.
+
+Typical use::
+
+    from repro import RPrism
+
+    tool = RPrism()
+    old = tool.trace_call(old_version_entrypoint, name="old")
+    new = tool.trace_call(new_version_entrypoint, name="new")
+    result = tool.diff(old, new)
+    print(result.render())
+"""
+
+from repro.core import (DiffResult, DifferenceSequence, OpCounter,
+                        RegressionReport, Trace, TraceBuilder, TraceEntry,
+                        ValueRep, ViewDiffConfig, ViewType, ViewWeb,
+                        analyze_regression, lcs_diff, view_diff)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DiffResult", "DifferenceSequence", "OpCounter", "RegressionReport",
+    "RPrism", "Trace", "TraceBuilder", "TraceEntry", "ValueRep",
+    "ViewDiffConfig", "ViewType", "ViewWeb", "analyze_regression",
+    "lcs_diff", "view_diff", "__version__",
+]
+
+
+def __getattr__(name: str):
+    # RPrism pulls in the capture layer; import lazily so the core model
+    # stays importable in minimal environments.
+    if name == "RPrism":
+        from repro.analysis.rprism import RPrism
+        return RPrism
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

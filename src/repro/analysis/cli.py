@@ -1,0 +1,136 @@
+"""Command-line interface over serialised traces.
+
+RPRISM's workflow is offline: traces are captured (and segmented) to disk
+while the program runs, then analysed later.  This CLI covers that side::
+
+    python -m repro.analysis.cli info  trace.jsonl
+    python -m repro.analysis.cli views trace.jsonl
+    python -m repro.analysis.cli diff  old.jsonl new.jsonl [--algorithm views]
+    python -m repro.analysis.cli analyze --suspected-old old_bad.jsonl \\
+        --suspected-new new_bad.jsonl [--expected-old ... --expected-new ...]
+        [--regression-left ... --regression-right ...] [--mode intersect]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.report import render_diff_report, render_trace_tree
+from repro.analysis.serialize import load_trace
+from repro.core.lcs_diff import lcs_diff
+from repro.core.regression import (MODE_INTERSECT, MODE_SUBTRACT,
+                                   analyze_regression)
+from repro.core.view_diff import view_diff
+from repro.core.web import ViewWeb
+
+
+def _diff(left_path: str, right_path: str, algorithm: str):
+    left = load_trace(left_path)
+    right = load_trace(right_path)
+    if algorithm == "views":
+        return view_diff(left, right)
+    return lcs_diff(left, right, algorithm=algorithm)
+
+
+def cmd_info(args) -> int:
+    trace = load_trace(args.trace)
+    print(f"trace {trace.name or args.trace}: {len(trace)} entries, "
+          f"{len(trace.thread_ids())} thread(s)")
+    for kind, count in sorted(trace.event_kinds().items()):
+        print(f"  {kind:8} {count}")
+    if args.tree:
+        print(render_trace_tree(trace, limit=args.limit))
+    return 0
+
+
+def cmd_views(args) -> int:
+    trace = load_trace(args.trace)
+    web = ViewWeb(trace)
+    counts = web.counts()
+    print(f"{counts['total']} views: {counts['thread']} thread, "
+          f"{counts['method']} method, {counts['target_object']} "
+          f"target-object, {counts['active_object']} active-object")
+    for view in sorted(web.all_views(),
+                       key=lambda v: -len(v.indices))[:args.limit]:
+        print(f"  {view.name.vtype.value:3} {str(view.name.key):40} "
+              f"{len(view)} entries")
+    return 0
+
+
+def cmd_diff(args) -> int:
+    result = _diff(args.left, args.right, args.algorithm)
+    print(render_diff_report(result, max_sequences=args.limit))
+    return 0 if result.num_diffs() == 0 else 1
+
+
+def cmd_analyze(args) -> int:
+    suspected = _diff(args.suspected_old, args.suspected_new,
+                      args.algorithm)
+    expected = None
+    if args.expected_old and args.expected_new:
+        expected = _diff(args.expected_old, args.expected_new,
+                         args.algorithm)
+    regression = None
+    if args.regression_left and args.regression_right:
+        regression = _diff(args.regression_left, args.regression_right,
+                           args.algorithm)
+    report = analyze_regression(suspected, expected=expected,
+                                regression=regression, mode=args.mode)
+    print(report.render(limit=args.limit))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="rprism",
+        description="semantics-aware trace analysis (offline side)")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    info = commands.add_parser("info", help="summarise a trace file")
+    info.add_argument("trace")
+    info.add_argument("--tree", action="store_true",
+                      help="render the call tree")
+    info.add_argument("--limit", type=int, default=40)
+    info.set_defaults(func=cmd_info)
+
+    views = commands.add_parser("views", help="list a trace's views")
+    views.add_argument("trace")
+    views.add_argument("--limit", type=int, default=20)
+    views.set_defaults(func=cmd_views)
+
+    diff = commands.add_parser("diff", help="semantic diff of two traces")
+    diff.add_argument("left")
+    diff.add_argument("right")
+    diff.add_argument("--algorithm", default="views",
+                      choices=("views", "optimized", "dp", "hirschberg",
+                               "fast"))
+    diff.add_argument("--limit", type=int, default=10)
+    diff.set_defaults(func=cmd_diff)
+
+    analyze = commands.add_parser(
+        "analyze", help="regression-cause analysis over trace pairs")
+    analyze.add_argument("--suspected-old", required=True)
+    analyze.add_argument("--suspected-new", required=True)
+    analyze.add_argument("--expected-old")
+    analyze.add_argument("--expected-new")
+    analyze.add_argument("--regression-left")
+    analyze.add_argument("--regression-right")
+    analyze.add_argument("--mode", default=MODE_INTERSECT,
+                         choices=(MODE_INTERSECT, MODE_SUBTRACT))
+    analyze.add_argument("--algorithm", default="views",
+                         choices=("views", "optimized", "dp",
+                                  "hirschberg", "fast"))
+    analyze.add_argument("--limit", type=int, default=10)
+    analyze.set_defaults(func=cmd_analyze)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests
+    sys.exit(main())

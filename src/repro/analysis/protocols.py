@@ -1,0 +1,142 @@
+"""Object-protocol inference over target-object views.
+
+Sec. 4 lists protocol inference among the analyses the views abstraction
+enables ("we envision many types of dynamic analyses benefiting from our
+views trace abstraction ... including object protocol inference").  This
+module implements it: for each class, the call sequences observed in its
+instances' target-object views are folded into a small automaton whose
+states are "last method called"; the automaton is the class's observed
+usage protocol.
+
+Protocols support membership checks (would this call sequence be novel?)
+and diffing across program versions — a lightweight typestate check on
+top of the same trace substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.events import Call, Init
+from repro.core.traces import Trace
+from repro.core.views import ViewType
+from repro.core.web import ViewWeb
+
+#: Synthetic protocol states.
+START = "<start>"
+
+
+@dataclass(slots=True)
+class Protocol:
+    """Observed usage protocol of one class.
+
+    ``transitions`` maps a state (the previously called method, or
+    ``START`` right after construction) to the set of methods observed
+    next; ``support`` counts observations per transition.
+    """
+
+    class_name: str
+    transitions: dict[str, set[str]] = field(default_factory=dict)
+    support: dict[tuple[str, str], int] = field(default_factory=dict)
+    instances: int = 0
+
+    def observe(self, sequence: list[str]) -> None:
+        self.instances += 1
+        state = START
+        for method in sequence:
+            self.transitions.setdefault(state, set()).add(method)
+            key = (state, method)
+            self.support[key] = self.support.get(key, 0) + 1
+            state = method
+
+    def allows(self, sequence: list[str]) -> bool:
+        """True when every transition of the sequence was observed."""
+        state = START
+        for method in sequence:
+            if method not in self.transitions.get(state, set()):
+                return False
+            state = method
+        return True
+
+    def methods(self) -> set[str]:
+        observed: set[str] = set()
+        for targets in self.transitions.values():
+            observed |= targets
+        return observed
+
+    def transition_count(self) -> int:
+        return sum(len(targets) for targets in self.transitions.values())
+
+    def render(self) -> str:
+        lines = [f"protocol {self.class_name} "
+                 f"({self.instances} instance(s)):"]
+        for state in sorted(self.transitions):
+            for target in sorted(self.transitions[state]):
+                count = self.support.get((state, target), 0)
+                lines.append(f"  {state} -> {target}  (x{count})")
+        return "\n".join(lines)
+
+
+def call_sequence_of(view) -> list[str]:
+    """The method-call sequence of one target-object view (init and
+    calls only; field events are state, not protocol)."""
+    sequence = []
+    for entry in view:
+        if isinstance(entry.event, Call):
+            sequence.append(entry.event.method)
+    return sequence
+
+
+def infer_protocols(trace: Trace,
+                    web: ViewWeb | None = None) -> dict[str, Protocol]:
+    """Infer per-class protocols from all target-object views."""
+    if web is None:
+        web = ViewWeb(trace)
+    protocols: dict[str, Protocol] = {}
+    for name in web.view_names_of_type(ViewType.TARGET_OBJECT):
+        view = web.view(name)
+        info = web.objects.get(name.key)
+        if view is None or info is None:
+            continue
+        # Only objects whose construction we saw yield a full protocol.
+        has_init = any(isinstance(e.event, Init) for e in view)
+        if not has_init:
+            continue
+        protocol = protocols.setdefault(info.class_name,
+                                        Protocol(info.class_name))
+        protocol.observe(call_sequence_of(view))
+    return protocols
+
+
+@dataclass(slots=True)
+class ProtocolDiff:
+    """Transitions gained/lost between two versions' protocols."""
+
+    class_name: str
+    added: list[tuple[str, str]]
+    removed: list[tuple[str, str]]
+
+    def is_empty(self) -> bool:
+        return not self.added and not self.removed
+
+
+def diff_protocols(old: dict[str, Protocol],
+                   new: dict[str, Protocol]) -> list[ProtocolDiff]:
+    """Compare protocols across versions (classes matched by name)."""
+    diffs: list[ProtocolDiff] = []
+    for class_name in sorted(set(old) | set(new)):
+        old_edges = set()
+        for state, targets in old.get(
+                class_name, Protocol(class_name)).transitions.items():
+            old_edges |= {(state, t) for t in targets}
+        new_edges = set()
+        for state, targets in new.get(
+                class_name, Protocol(class_name)).transitions.items():
+            new_edges |= {(state, t) for t in targets}
+        diff = ProtocolDiff(
+            class_name=class_name,
+            added=sorted(new_edges - old_edges),
+            removed=sorted(old_edges - new_edges))
+        if not diff.is_empty():
+            diffs.append(diff)
+    return diffs

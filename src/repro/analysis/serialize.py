@@ -1,0 +1,188 @@
+"""Trace serialisation to/from JSON-lines files.
+
+RPRISM offloads trace segments to disk while the program runs and
+analyses them offline; this module provides the on-disk format.  One JSON
+object per line per trace entry; a header line carries the trace name and
+metadata.
+
+JSON has no tuples, so serialisations (which are nested tuples in memory,
+for hashability) are converted to lists on write and recursively back to
+tuples on read — round-tripping preserves ``=e`` keys exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.core.entries import TraceEntry
+from repro.core.events import (Call, End, Event, FieldGet, FieldSet, Fork,
+                               Init, Return, StackFrame)
+from repro.core.traces import Trace
+from repro.core.values import ValueRep
+
+FORMAT_VERSION = 1
+
+
+def _rep_to_json(rep: ValueRep | None):
+    if rep is None:
+        return None
+    return {"c": rep.class_name, "s": _plain(rep.serialization),
+            "l": rep.location, "q": rep.creation_seq}
+
+
+def _plain(value):
+    """Tuples -> lists (JSON-encodable), tagged so they round-trip."""
+    if isinstance(value, tuple):
+        return {"t": [_plain(v) for v in value]}
+    return value
+
+
+def _untuple(value):
+    if isinstance(value, dict) and set(value) == {"t"}:
+        return tuple(_untuple(v) for v in value["t"])
+    return value
+
+
+def _rep_from_json(data) -> ValueRep | None:
+    if data is None:
+        return None
+    return ValueRep(class_name=data["c"], serialization=_untuple(data["s"]),
+                    location=data["l"], creation_seq=data["q"])
+
+
+def _frame_to_json(frame: StackFrame):
+    return {"m": frame.method, "from": _rep_to_json(frame.caller),
+            "to": _rep_to_json(frame.callee)}
+
+
+def _frame_from_json(data) -> StackFrame:
+    return StackFrame(method=data["m"], caller=_rep_from_json(data["from"]),
+                      callee=_rep_from_json(data["to"]))
+
+
+def _ancestry_to_json(ancestry):
+    return [[_frame_to_json(f) for f in stack] for stack in ancestry]
+
+
+def _ancestry_from_json(data):
+    return tuple(tuple(_frame_from_json(f) for f in stack)
+                 for stack in data)
+
+
+def _event_to_json(event: Event) -> dict:
+    if isinstance(event, FieldGet):
+        return {"k": "get", "o": _rep_to_json(event.obj), "f": event.field,
+                "v": _rep_to_json(event.value)}
+    if isinstance(event, FieldSet):
+        return {"k": "set", "o": _rep_to_json(event.obj), "f": event.field,
+                "v": _rep_to_json(event.value)}
+    if isinstance(event, Call):
+        return {"k": "call", "o": _rep_to_json(event.obj), "m": event.method,
+                "a": [_rep_to_json(a) for a in event.args]}
+    if isinstance(event, Return):
+        return {"k": "return", "o": _rep_to_json(event.obj),
+                "m": event.method, "v": _rep_to_json(event.value)}
+    if isinstance(event, Init):
+        return {"k": "init", "c": event.class_name,
+                "a": [_rep_to_json(a) for a in event.args],
+                "o": _rep_to_json(event.obj)}
+    if isinstance(event, Fork):
+        return {"k": "fork", "tid": event.child_tid,
+                "s": _ancestry_to_json(event.ancestry)}
+    if isinstance(event, End):
+        return {"k": "end", "tid": event.tid,
+                "s": _ancestry_to_json(event.ancestry)}
+    raise TypeError(f"unserialisable event: {event!r}")
+
+
+def _event_from_json(data: dict) -> Event:
+    kind = data["k"]
+    if kind == "get":
+        return FieldGet(obj=_rep_from_json(data["o"]), field=data["f"],
+                        value=_rep_from_json(data["v"]))
+    if kind == "set":
+        return FieldSet(obj=_rep_from_json(data["o"]), field=data["f"],
+                        value=_rep_from_json(data["v"]))
+    if kind == "call":
+        return Call(obj=_rep_from_json(data["o"]), method=data["m"],
+                    args=tuple(_rep_from_json(a) for a in data["a"]))
+    if kind == "return":
+        return Return(obj=_rep_from_json(data["o"]), method=data["m"],
+                      value=_rep_from_json(data["v"]))
+    if kind == "init":
+        return Init(class_name=data["c"],
+                    args=tuple(_rep_from_json(a) for a in data["a"]),
+                    obj=_rep_from_json(data["o"]))
+    if kind == "fork":
+        return Fork(child_tid=data["tid"],
+                    ancestry=_ancestry_from_json(data["s"]))
+    if kind == "end":
+        return End(tid=data["tid"], ancestry=_ancestry_from_json(data["s"]))
+    raise ValueError(f"unknown event kind: {kind!r}")
+
+
+def entry_to_json(entry: TraceEntry) -> dict:
+    """One trace entry as a JSON-encodable dict."""
+    return {"eid": entry.eid, "tid": entry.tid, "m": entry.method,
+            "rho": _rep_to_json(entry.active),
+            "e": _event_to_json(entry.event)}
+
+
+def entry_from_json(data: dict) -> TraceEntry:
+    return TraceEntry(eid=data["eid"], tid=data["tid"], method=data["m"],
+                      active=_rep_from_json(data["rho"]),
+                      event=_event_from_json(data["e"]))
+
+
+def save_trace(trace: Trace, path: str | Path) -> None:
+    """Write a trace as JSON lines (header line + one line per entry)."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        header = {"format": FORMAT_VERSION, "name": trace.name,
+                  "entries": len(trace), "metadata": trace.metadata}
+        handle.write(json.dumps(header) + "\n")
+        for entry in trace.entries:
+            handle.write(json.dumps(entry_to_json(entry)) + "\n")
+
+
+def load_trace(path: str | Path) -> Trace:
+    """Read a trace written by :func:`save_trace`."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        header_line = handle.readline()
+        if not header_line:
+            raise ValueError(f"empty trace file: {path}")
+        header = json.loads(header_line)
+        if header.get("format") != FORMAT_VERSION:
+            raise ValueError(f"unsupported trace format: {header!r}")
+        entries = [entry_from_json(json.loads(line))
+                   for line in handle if line.strip()]
+    return Trace(entries, name=header.get("name", ""),
+                 metadata=header.get("metadata") or {})
+
+
+def iter_entries(path: str | Path) -> Iterator[TraceEntry]:
+    """Stream entries from a trace file without loading it whole."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        handle.readline()  # header
+        for line in handle:
+            if line.strip():
+                yield entry_from_json(json.loads(line))
+
+
+def save_entries(entries: Iterable[TraceEntry], path: str | Path,
+                 name: str = "", metadata: dict | None = None) -> int:
+    """Write bare entries (used by trace segmentation); returns count."""
+    path = Path(path)
+    count = 0
+    with path.open("w", encoding="utf-8") as handle:
+        header = {"format": FORMAT_VERSION, "name": name, "entries": -1,
+                  "metadata": metadata or {}}
+        handle.write(json.dumps(header) + "\n")
+        for entry in entries:
+            handle.write(json.dumps(entry_to_json(entry)) + "\n")
+            count += 1
+    return count

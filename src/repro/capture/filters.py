@@ -1,0 +1,58 @@
+"""Pointcut-style trace filters.
+
+RPRISM uses AspectJ pointcuts to select which parts of the program are
+woven into the trace ("trace size was optimized by leveraging AspectJ
+pointcuts to exclude the internal workings of unrelated code, such as
+libraries and data structures").  ``TraceFilter`` reproduces that control:
+modules are selected by prefix include/exclude lists, and individual
+methods can be excluded by qualified-name prefix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Modules whose internals are never traced (the tracing machinery itself
+#: and interpreter plumbing).
+ALWAYS_EXCLUDED_MODULES = (
+    "repro.capture", "repro.core", "repro.analysis", "threading",
+    "importlib", "_bootstrap", "contextlib", "typing", "abc",
+)
+
+
+@dataclass(slots=True)
+class TraceFilter:
+    """Decides which code joins the trace.
+
+    ``include_modules`` — module-name prefixes to trace; empty means
+    "trace everything not excluded".  ``exclude_modules`` adds further
+    exclusions on top of the built-in ones.  ``exclude_methods`` filters
+    qualified method names (``Class.method`` or ``module.function``).
+    """
+
+    include_modules: tuple[str, ...] = ()
+    exclude_modules: tuple[str, ...] = ()
+    exclude_methods: tuple[str, ...] = ()
+
+    _include: tuple[str, ...] = field(init=False, default=())
+
+    def __post_init__(self):
+        self._include = tuple(self.include_modules)
+
+    def admits_module(self, module_name: str | None) -> bool:
+        if not module_name:
+            return False
+        for prefix in ALWAYS_EXCLUDED_MODULES:
+            if module_name.startswith(prefix):
+                return False
+        for prefix in self.exclude_modules:
+            if module_name.startswith(prefix):
+                return False
+        if not self._include:
+            return True
+        return any(module_name.startswith(prefix)
+                   for prefix in self._include)
+
+    def admits_method(self, qualified_name: str) -> bool:
+        return not any(qualified_name.startswith(prefix)
+                       for prefix in self.exclude_methods)

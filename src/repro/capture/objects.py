@@ -1,0 +1,57 @@
+"""Object instrumentation: creation and field-access events.
+
+The :func:`traced` class decorator is the capture-layer counterpart of
+the formal rules CONS-E / FIELD-ACC-E / FIELD-ASS-E: instances of a
+decorated class record an ``init`` event at construction (via the
+tracer's ``__init__`` hook) and ``get``/``set`` events on attribute reads
+and writes while a tracer is active.
+
+Reads of callables (bound methods) and underscore-prefixed attributes
+are not recorded — the former are dispatch plumbing, the latter are the
+pointcut convention for internal state excluded from weaving (RPRISM
+uses AspectJ pointcuts the same way to keep traces focused).
+"""
+
+from __future__ import annotations
+
+from repro.capture.tracer import current_tracer
+
+
+def _should_record_attribute(name: str, value: object) -> bool:
+    if name.startswith("_"):
+        return False
+    if callable(value):
+        return False
+    return True
+
+
+def traced(cls: type) -> type:
+    """Class decorator: weave field get/set recording into ``cls``.
+
+    Idempotent; subclasses of a traced class inherit the weaving.
+    """
+    if getattr(cls, "__rprism_traced__", False):
+        return cls
+
+    original_setattr = cls.__setattr__
+    original_getattribute = cls.__getattribute__
+
+    def __setattr__(self, name: str, value) -> None:
+        tracer = current_tracer()
+        if tracer is not None and not name.startswith("_"):
+            tracer.record_field_set(self, name, value)
+        original_setattr(self, name, value)
+
+    def __getattribute__(self, name: str):
+        value = original_getattribute(self, name)
+        if name.startswith("_"):
+            return value
+        tracer = current_tracer()
+        if tracer is not None and _should_record_attribute(name, value):
+            tracer.record_field_get(self, name, value)
+        return value
+
+    cls.__setattr__ = __setattr__
+    cls.__getattribute__ = __getattribute__
+    cls.__rprism_traced__ = True
+    return cls

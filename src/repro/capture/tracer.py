@@ -1,0 +1,276 @@
+"""``sys.settrace``-based trace capture (the load-time weaver analogue).
+
+A :class:`Tracer` is a context manager; code executed inside it has its
+method calls and returns recorded into a :class:`TraceBuilder`, subject to
+the pointcut filter.  Classes decorated with
+:func:`repro.capture.objects.traced` additionally record object creation
+and field reads/writes.  Threads started inside the context are woven too
+(``threading.settrace``), and their fork events capture the full spawn
+ancestry just like the formal FORK-E rule.
+
+Usage::
+
+    with Tracer(name="old") as tracer:
+        run_the_program()
+    trace = tracer.trace()
+
+or the one-shot helper :func:`trace_call`.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+
+from repro.capture.filters import TraceFilter
+from repro.capture.values import LiveRegistry, live_value_rep
+from repro.core.traces import Trace, TraceBuilder
+from repro.core.values import UNIT, ValueRep
+
+#: The installed tracer, if any (module-level because the @traced class
+#: wrappers must find it without any reference plumbing).
+_ACTIVE: "Tracer | None" = None
+_ACTIVE_LOCK = threading.Lock()
+
+
+def current_tracer() -> "Tracer | None":
+    """The currently installed tracer, or None."""
+    return _ACTIVE
+
+
+class Tracer:
+    """Records an execution trace of the code run within the context."""
+
+    def __init__(self, name: str = "", filter: TraceFilter | None = None,
+                 record_fields: bool = True, trace_lines: bool = False):
+        self.builder = TraceBuilder(name=name)
+        self.registry = LiveRegistry()
+        self.filter = filter if filter is not None else TraceFilter()
+        self.record_fields = record_fields
+        self.trace_lines = trace_lines
+        self._lock = threading.Lock()
+        self._guard = threading.local()
+        self._tids: dict[int, int] = {}  # threading ident -> builder tid
+        self._finished: Trace | None = None
+        self._previous_trace = None
+        self._original_thread_start = None
+
+    # -- context management --------------------------------------------------
+
+    def __enter__(self) -> "Tracer":
+        global _ACTIVE
+        with _ACTIVE_LOCK:
+            if _ACTIVE is not None:
+                raise RuntimeError("another Tracer is already active")
+            _ACTIVE = self
+        self._tids[threading.get_ident()] = self.builder.main_tid
+        self._previous_trace = sys.gettrace()
+        self._original_thread_start = threading.Thread.start
+        threading.Thread.start = self._make_start_wrapper()
+        threading.settrace(self._trace)
+        sys.settrace(self._trace)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        global _ACTIVE
+        sys.settrace(self._previous_trace)
+        threading.settrace(None)  # type: ignore[arg-type]
+        threading.Thread.start = self._original_thread_start
+        with _ACTIVE_LOCK:
+            _ACTIVE = None
+        # Close any frames left open (e.g. after an exception) and end the
+        # main thread.
+        with self._lock:
+            main_tid = self.builder.main_tid
+            while self.builder.stack_depth(main_tid) > 0:
+                self.builder.record_return(main_tid, UNIT)
+            self.builder.record_end(main_tid)
+            self._finished = self.builder.build(
+                metadata={"capture": "settrace"})
+
+    def trace(self) -> Trace:
+        """The captured trace (available after the context exits)."""
+        if self._finished is None:
+            raise RuntimeError("trace() is available after the context ends")
+        return self._finished
+
+    # -- value representations -------------------------------------------------
+
+    def rep(self, value: object) -> ValueRep:
+        return live_value_rep(value, self.registry)
+
+    # -- thread management -------------------------------------------------------
+
+    def _tid(self) -> int:
+        ident = threading.get_ident()
+        tid = self._tids.get(ident)
+        if tid is None:
+            # A thread we did not see being started (pre-existing).
+            with self._lock:
+                tid = self.builder.register_thread()
+                self._tids[ident] = tid
+        return tid
+
+    def _make_start_wrapper(self):
+        tracer = self
+        original_start = self._original_thread_start
+
+        def start(thread: threading.Thread) -> None:
+            parent_tid = tracer._tid()
+            with tracer._lock:
+                child_tid = tracer.builder.record_fork(parent_tid)
+            original_run = thread.run
+
+            def run_wrapper():
+                tracer._tids[threading.get_ident()] = child_tid
+                try:
+                    original_run()
+                finally:
+                    with tracer._lock:
+                        while tracer.builder.stack_depth(child_tid) > 0:
+                            tracer.builder.record_return(child_tid, UNIT)
+                        tracer.builder.record_end(child_tid)
+
+            thread.run = run_wrapper
+            original_start(thread)
+
+        return start
+
+    # -- the sys.settrace callback ---------------------------------------------
+
+    def _trace(self, frame, event, arg):
+        if event != "call":
+            return None
+        if getattr(self._guard, "active", False):
+            return None
+        code = frame.f_code
+        module = frame.f_globals.get("__name__")
+        if not self.filter.admits_module(module):
+            return None
+        func_name = code.co_name
+        if func_name.startswith("<"):  # lambda, comprehension, module body
+            return None
+        receiver = frame.f_locals.get("self")
+        if receiver is not None:
+            qualified = f"{type(receiver).__name__}.{func_name}"
+        else:
+            short_module = module.rsplit(".", 1)[-1] if module else "?"
+            qualified = f"{short_module}.{func_name}"
+        if not self.filter.admits_method(qualified):
+            return None
+        self._record_call(frame, code, receiver, qualified)
+        tid = self._tid()
+
+        def local_trace(inner_frame, inner_event, inner_arg):
+            if inner_event == "return":
+                self._record_return(tid, inner_arg)
+                return None
+            return local_trace
+
+        try:
+            frame.f_trace_lines = self.trace_lines
+        except AttributeError:  # pragma: no cover - very old CPython
+            pass
+        return local_trace
+
+    def _record_call(self, frame, code, receiver, qualified: str) -> None:
+        self._guard.active = True
+        try:
+            tid = self._tid()
+            args: list[ValueRep] = []
+            names = code.co_varnames[:code.co_argcount]
+            for name in names:
+                if name == "self":
+                    continue
+                if name in frame.f_locals:
+                    args.append(self.rep(frame.f_locals[name]))
+            if receiver is not None:
+                obj_rep = self.rep(receiver)
+            else:
+                module = frame.f_globals.get("__name__") or "?"
+                obj_rep = ValueRep(class_name="<module>",
+                                   serialization=module)
+            with self._lock:
+                if code.co_name == "__init__" and receiver is not None:
+                    self.builder.record_init_event(
+                        tid, type(receiver).__name__, tuple(args), obj_rep)
+                self.builder.record_call(tid, obj_rep, qualified,
+                                         tuple(args))
+        finally:
+            self._guard.active = False
+
+    def _record_return(self, tid: int, value) -> None:
+        self._guard.active = True
+        try:
+            rep = self.rep(value)
+            with self._lock:
+                if self.builder.stack_depth(tid) > 0:
+                    self.builder.record_return(tid, rep)
+        finally:
+            self._guard.active = False
+
+    # -- field events (called by @traced wrappers) -------------------------------
+
+    def record_field_set(self, obj: object, name: str, value) -> None:
+        if not self.record_fields or getattr(self._guard, "active", False):
+            return
+        self._guard.active = True
+        try:
+            tid = self._tid()
+            obj_rep = self.registry.rep_of(obj)
+            value_rep = self.rep(value)
+            with self._lock:
+                self.builder.record_set(tid, obj_rep, name, value_rep)
+        finally:
+            self._guard.active = False
+
+    def record_field_get(self, obj: object, name: str, value) -> None:
+        if not self.record_fields or getattr(self._guard, "active", False):
+            return
+        self._guard.active = True
+        try:
+            tid = self._tid()
+            obj_rep = self.registry.rep_of(obj)
+            value_rep = self.rep(value)
+            with self._lock:
+                self.builder.record_get(tid, obj_rep, name, value_rep)
+        finally:
+            self._guard.active = False
+
+
+class CaptureResult:
+    """Outcome of :func:`trace_call`: the trace plus either the return
+    value or the exception the call raised (regressing runs may throw —
+    the paper's Derby case aborts during query compilation — and their
+    traces are exactly what the analysis needs)."""
+
+    __slots__ = ("trace", "result", "error")
+
+    def __init__(self, trace: Trace, result=None,
+                 error: BaseException | None = None):
+        self.trace = trace
+        self.result = result
+        self.error = error
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def trace_call(func, *args, name: str = "",
+               filter: TraceFilter | None = None,
+               record_fields: bool = True, **kwargs) -> CaptureResult:
+    """Run ``func(*args, **kwargs)`` under a fresh tracer.
+
+    Exceptions raised by the call are captured in the result rather than
+    propagated, so traces of failing (regressing) runs remain available.
+    """
+    tracer = Tracer(name=name, filter=filter, record_fields=record_fields)
+    error: BaseException | None = None
+    result = None
+    with tracer:
+        try:
+            result = func(*args, **kwargs)
+        except Exception as exc:  # noqa: BLE001 - capture, do not swallow silently
+            error = exc
+    return CaptureResult(tracer.trace(), result=result, error=error)

@@ -1,0 +1,96 @@
+"""Value representations for live Python objects.
+
+Mirrors RPRISM's approximation of the formal serialisations (Sec. 5):
+Java's ``hashCode``/``toString`` truncated to 128 characters become
+``repr`` truncated to 128 characters, and — exactly as RPRISM forces the
+representation to be empty for classes inheriting
+``java.lang.Object``'s defaults — objects whose class inherits
+``object.__repr__`` get an *empty* serialisation, because their printable
+form embeds a memory address that is meaningless across program versions.
+
+Object identity within one trace is tracked by a :class:`LiveRegistry`
+that assigns fresh locations (and per-class creation sequence numbers) to
+Python objects on first sighting; it holds strong references so CPython
+cannot recycle an ``id`` mid-trace.
+"""
+
+from __future__ import annotations
+
+from repro.core.values import (ObjectRegistry, REPR_TRUNCATION, UNIT,
+                               ValueRep, prim, truncate_repr)
+
+#: Types recorded as value objects (the formal ``D(d)`` domain).
+_PRIMITIVE_TYPES = (bool, int, float, str, bytes, type(None))
+
+#: Container types summarised by truncated repr, location-free.
+_CONTAINER_TYPES = (list, tuple, dict, set, frozenset)
+
+
+def has_custom_repr(obj: object) -> bool:
+    """True when the object's class (or an ancestor below ``object``)
+    defines ``__repr__`` — i.e. the printable form is meaningful."""
+    return type(obj).__repr__ is not object.__repr__
+
+
+def safe_repr(obj: object) -> str | None:
+    """Truncated ``repr``, or None if it fails (e.g. the object is still
+    half-constructed when first sighted inside ``__init__``)."""
+    try:
+        return truncate_repr(repr(obj))
+    except Exception:  # noqa: BLE001 - any user __repr__ failure
+        return None
+
+
+class LiveRegistry:
+    """Location assignment for live Python objects (one per trace)."""
+
+    def __init__(self):
+        self._core = ObjectRegistry()
+        self._locations: dict[int, int] = {}
+        self._pinned: list[object] = []
+        self._next_location = 1
+
+    def rep_of(self, obj: object) -> ValueRep:
+        """Representation of a (non-primitive) live object, registering it
+        on first sight."""
+        key = id(obj)
+        location = self._locations.get(key)
+        if location is not None:
+            return self._core.describe(location)
+        location = self._next_location
+        self._next_location += 1
+        self._locations[key] = location
+        self._pinned.append(obj)
+        serialization = None
+        if has_custom_repr(obj):
+            serialization = safe_repr(obj)
+        return self._core.register(location, type(obj).__name__,
+                                   serialization=serialization)
+
+    def location_of(self, obj: object) -> int | None:
+        return self._locations.get(id(obj))
+
+    def refresh(self, obj: object) -> ValueRep:
+        """Recompute a mutated object's serialisation (used after field
+        writes so later events carry a current value representation)."""
+        location = self._locations.get(id(obj))
+        if location is None:
+            return self.rep_of(obj)
+        serialization = None
+        if has_custom_repr(obj):
+            serialization = safe_repr(obj)
+        return self._core.update_serialization(location, serialization)
+
+
+def live_value_rep(value: object, registry: LiveRegistry) -> ValueRep:
+    """``E'#`` for live Python values."""
+    if value is None:
+        return UNIT
+    if isinstance(value, _PRIMITIVE_TYPES):
+        if isinstance(value, (str, bytes)) and len(value) > REPR_TRUNCATION:
+            value = value[:REPR_TRUNCATION]
+        return prim(value)
+    if isinstance(value, _CONTAINER_TYPES):
+        return ValueRep(class_name=type(value).__name__,
+                        serialization=truncate_repr(repr(value)))
+    return registry.rep_of(value)

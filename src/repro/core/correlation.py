@@ -1,0 +1,222 @@
+"""View correlation functions X_chi (Sec. 3.1).
+
+Correlation functions decide whether a view in the left trace semantically
+corresponds to a view in the right trace.  One function exists per view
+type:
+
+* ``X_TH`` — thread views: all thread pairs are scored by the similarity
+  of their spawn ancestry (the call stacks captured at each ancestor's
+  spawn point), and a best-match assignment is formed.  The main threads
+  (empty ancestry) always correlate.
+* ``X_CM`` — method views: two methods correlate iff their fully qualified
+  signatures are equal.
+* ``X_TO`` / ``X_AO`` — object views: two objects correlate iff their
+  value representations are equal, or their (class name, class-specific
+  creation sequence number) pairs are equal.
+
+The correlators work on *entries* rather than view names because the
+decision may be context-sensitive (value representations live on the
+entries).  ``correlate(entry_l, entry_r, vtype)`` returns the pair of view
+names, or ``None`` when the views do not correspond — mirroring the
+``<bottom, bottom>`` case of Fig. 9.
+
+The relaxed, distance-based correlation RPRISM adds on top (Sec. 5) is
+implemented in :mod:`repro.core.view_diff`, which knows the anchor points
+the relaxation is measured from.
+"""
+
+from __future__ import annotations
+
+from repro.core.entries import TraceEntry
+from repro.core.values import ValueRep
+from repro.core.views import ViewName, ViewType
+from repro.core.web import ObjectInfo, ThreadInfo, ViewWeb
+
+
+def ancestry_similarity(a: ThreadInfo, b: ThreadInfo) -> float:
+    """Similarity score between two threads' spawn ancestries.
+
+    Compares the per-ancestor spawn stacks outermost-first, scoring each
+    level by the longest common prefix of frame keys; levels beyond the
+    shorter ancestry score zero.  The result is normalised to [0, 1], with
+    1 meaning identical ancestry (including both being main threads).
+    """
+    if not a.ancestry and not b.ancestry:
+        return 1.0
+    if not a.ancestry or not b.ancestry:
+        return 0.0
+    levels = max(len(a.ancestry), len(b.ancestry))
+    total = 0.0
+    for depth in range(levels):
+        if depth >= len(a.ancestry) or depth >= len(b.ancestry):
+            continue
+        stack_a = a.ancestry[depth]
+        stack_b = b.ancestry[depth]
+        if not stack_a and not stack_b:
+            total += 1.0
+            continue
+        frames = max(len(stack_a), len(stack_b))
+        common = 0
+        for fa, fb in zip(stack_a, stack_b):
+            if fa.key() == fb.key():
+                common += 1
+            else:
+                break
+        total += common / frames if frames else 1.0
+    return total / levels
+
+
+class ViewCorrelator:
+    """Pairwise view correlation between a left and a right trace web."""
+
+    def __init__(self, left: ViewWeb, right: ViewWeb):
+        self.left = left
+        self.right = right
+        self._thread_map = self._correlate_threads()
+        self._object_map = self._correlate_objects()
+
+    # -- thread correlation (X_TH) ------------------------------------------
+
+    def _correlate_threads(self) -> dict[int, int]:
+        """Best-match assignment over all thread pairs by ancestry score."""
+        left_threads = list(self.left.threads.values())
+        right_threads = list(self.right.threads.values())
+        scored: list[tuple[float, int, int]] = []
+        for lt in left_threads:
+            for rt in right_threads:
+                score = ancestry_similarity(lt, rt)
+                if score > 0.0:
+                    scored.append((score, lt.tid, rt.tid))
+        # Greedy assignment, highest score first; ties broken by tid order
+        # so the mapping is deterministic.
+        scored.sort(key=lambda item: (-item[0], item[1], item[2]))
+        mapping: dict[int, int] = {}
+        used_right: set[int] = set()
+        for _score, ltid, rtid in scored:
+            if ltid in mapping or rtid in used_right:
+                continue
+            mapping[ltid] = rtid
+            used_right.add(rtid)
+        return mapping
+
+    def thread_pairs(self) -> list[tuple[int, int]]:
+        """All correlated (left tid, right tid) pairs."""
+        return sorted(self._thread_map.items())
+
+    def correlated_thread(self, ltid: int) -> int | None:
+        return self._thread_map.get(ltid)
+
+    # -- object correlation (X_TO / X_AO) -----------------------------------
+
+    def _correlate_objects(self) -> dict[int, int]:
+        """Map left object locations to right object locations.
+
+        Priority 1: equal non-empty value representations (class name +
+        serialisation).  Priority 2: equal (class name, creation sequence
+        number).  Each right object is used at most once.
+        """
+        by_rep: dict[tuple, list[int]] = {}
+        by_seq: dict[tuple, int] = {}
+        for info in self.right.objects.values():
+            if info.serialization is not None:
+                rep_key = (info.class_name, info.serialization)
+                by_rep.setdefault(rep_key, []).append(info.location)
+            if info.creation_seq is not None:
+                by_seq[(info.class_name, info.creation_seq)] = info.location
+        mapping: dict[int, int] = {}
+        used_right: set[int] = set()
+        # Deterministic order: by left location.
+        for location in sorted(self.left.objects):
+            info = self.left.objects[location]
+            chosen: int | None = None
+            if info.serialization is not None:
+                for candidate in by_rep.get(
+                        (info.class_name, info.serialization), ()):
+                    if candidate not in used_right:
+                        chosen = candidate
+                        break
+            if chosen is None and info.creation_seq is not None:
+                candidate = by_seq.get((info.class_name, info.creation_seq))
+                if candidate is not None and candidate not in used_right:
+                    chosen = candidate
+            if chosen is not None:
+                mapping[location] = chosen
+                used_right.add(chosen)
+        return mapping
+
+    def correlated_object(self, left_location: int) -> int | None:
+        return self._object_map.get(left_location)
+
+    def object_pairs(self) -> list[tuple[int, int]]:
+        return sorted(self._object_map.items())
+
+    # -- the generic X_chi entry point ---------------------------------------
+
+    def correlate(self, entry_l: TraceEntry, entry_r: TraceEntry,
+                  vtype: ViewType) -> tuple[ViewName, ViewName] | None:
+        """``X_chi(tau_l, tau_r)``: the correlated view-name pair of type
+        ``vtype`` containing the two entries, or ``None``."""
+        if vtype is ViewType.THREAD:
+            if self._thread_map.get(entry_l.tid) == entry_r.tid:
+                return (ViewName(vtype, entry_l.tid),
+                        ViewName(vtype, entry_r.tid))
+            return None
+        if vtype is ViewType.METHOD:
+            if entry_l.method == entry_r.method:
+                return (ViewName(vtype, entry_l.method),
+                        ViewName(vtype, entry_r.method))
+            return None
+        if vtype is ViewType.TARGET_OBJECT:
+            left_obj = entry_l.event.target()
+            right_obj = entry_r.event.target()
+            return self._object_view_pair(left_obj, right_obj, vtype)
+        if vtype is ViewType.ACTIVE_OBJECT:
+            return self._object_view_pair(entry_l.active, entry_r.active,
+                                          vtype)
+        raise ValueError(f"unknown view type: {vtype}")
+
+    def _object_view_pair(self, left_obj: ValueRep | None,
+                          right_obj: ValueRep | None,
+                          vtype: ViewType) -> tuple[ViewName, ViewName] | None:
+        if (left_obj is None or right_obj is None
+                or left_obj.location is None or right_obj.location is None):
+            return None
+        if self._object_map.get(left_obj.location) == right_obj.location:
+            return (ViewName(vtype, left_obj.location),
+                    ViewName(vtype, right_obj.location))
+        return None
+
+    # -- bulk correlated view pairs ------------------------------------------
+
+    def correlated_view_pairs(self, vtype: ViewType) -> list[
+            tuple[ViewName, ViewName]]:
+        """All correlated view-name pairs of the given type that exist as
+        materialised views in both webs."""
+        pairs: list[tuple[ViewName, ViewName]] = []
+        if vtype is ViewType.THREAD:
+            for ltid, rtid in self.thread_pairs():
+                ln = ViewName(vtype, ltid)
+                rn = ViewName(vtype, rtid)
+                if self.left.view(ln) and self.right.view(rn):
+                    pairs.append((ln, rn))
+        elif vtype is ViewType.METHOD:
+            left_names = set(self.left.view_names_of_type(vtype))
+            for rn in self.right.view_names_of_type(vtype):
+                ln = ViewName(vtype, rn.key)
+                if ln in left_names:
+                    pairs.append((ln, rn))
+            pairs.sort(key=lambda p: str(p[0].key))
+        else:
+            for lloc, rloc in self.object_pairs():
+                ln = ViewName(vtype, lloc)
+                rn = ViewName(vtype, rloc)
+                if self.left.view(ln) and self.right.view(rn):
+                    pairs.append((ln, rn))
+        return pairs
+
+
+def object_identity_key(info: ObjectInfo) -> tuple:
+    """Cross-version identity heuristic used in tests and reports."""
+    if info.serialization is not None:
+        return ("rep", info.class_name, info.serialization)
+    return ("seq", info.class_name, info.creation_seq)

@@ -1,0 +1,196 @@
+"""Differencing results: the similarity set sigma, difference runs, and
+difference sequences.
+
+Both differencing semantics (Figs. 11 and 12) produce a set ``sigma`` of
+entries considered *similar* between the left and right traces; the set of
+differences is derived from ``sigma`` by set subtraction against the
+original traces.  RPRISM then organises contiguous runs of differences
+into *difference sequences* — "each representing one higher-level semantic
+difference that manifests as a contiguous set of differences" — which are
+the units reported to developers and consumed by the regression-cause
+analysis of Sec. 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.entries import TraceEntry
+from repro.core.lcs import OpCounter
+from repro.core.traces import Trace
+
+
+@dataclass(slots=True)
+class DifferenceSequence:
+    """One contiguous semantic difference between the two traces.
+
+    ``kind`` is ``"delete"`` (entries only in the left/original trace),
+    ``"insert"`` (only in the right/new trace) or ``"modify"`` (both).
+    """
+
+    kind: str
+    left_entries: list[TraceEntry]
+    right_entries: list[TraceEntry]
+
+    def size(self) -> int:
+        """Number of raw differences in this sequence (both sides)."""
+        return len(self.left_entries) + len(self.right_entries)
+
+    def left_keys(self) -> frozenset:
+        return frozenset(e.key() for e in self.left_entries)
+
+    def right_keys(self) -> frozenset:
+        return frozenset(e.key() for e in self.right_entries)
+
+    def all_keys(self) -> frozenset:
+        return self.left_keys() | self.right_keys()
+
+    def methods(self) -> frozenset[str]:
+        """Method views this sequence touches (used in signatures and
+        reports)."""
+        return frozenset(e.method for e in self.left_entries) | frozenset(
+            e.method for e in self.right_entries)
+
+    def signature(self) -> tuple:
+        """Cross-trace-pair identity for the set algebra of Sec. 4."""
+        return (self.kind, self.left_keys(), self.right_keys())
+
+    def span(self) -> tuple[int | None, int | None]:
+        """(first left eid, first right eid) for ordering and reports."""
+        left = self.left_entries[0].eid if self.left_entries else None
+        right = self.right_entries[0].eid if self.right_entries else None
+        return (left, right)
+
+    def brief(self, limit: int = 6) -> str:
+        lines = [f"~ {self.kind} ({len(self.left_entries)} old / "
+                 f"{len(self.right_entries)} new entries)"]
+        for entry in self.left_entries[:limit]:
+            lines.append(f"  - {entry.brief()}")
+        if len(self.left_entries) > limit:
+            lines.append(f"  - ... ({len(self.left_entries) - limit} more)")
+        for entry in self.right_entries[:limit]:
+            lines.append(f"  + {entry.brief()}")
+        if len(self.right_entries) > limit:
+            lines.append(f"  + ... ({len(self.right_entries) - limit} more)")
+        return "\n".join(lines)
+
+
+@dataclass(slots=True)
+class DiffResult:
+    """Outcome of differencing a (left, right) trace pair."""
+
+    left: Trace
+    right: Trace
+    #: eids of left/right entries in the similarity set ``sigma``.
+    similar_left: set[int]
+    similar_right: set[int]
+    #: Monotonic correspondence pairs (left eid, right eid) from lock-step
+    #: matching / the LCS; used to segment difference sequences.
+    match_pairs: list[tuple[int, int]]
+    #: Entries marked similar through secondary-view exploration
+    #: (the "anchors" of Fig. 13); subset of the similarity sets.
+    anchor_pairs: list[tuple[int, int]] = field(default_factory=list)
+    sequences: list[DifferenceSequence] = field(default_factory=list)
+    counter: OpCounter = field(default_factory=OpCounter)
+    algorithm: str = ""
+    seconds: float = 0.0
+    peak_cells: int = 0
+
+    # -- difference accessors ------------------------------------------------
+
+    def left_diff_eids(self) -> list[int]:
+        return [e.eid for e in self.left.entries
+                if e.eid not in self.similar_left]
+
+    def right_diff_eids(self) -> list[int]:
+        return [e.eid for e in self.right.entries
+                if e.eid not in self.similar_right]
+
+    def num_diffs(self) -> int:
+        """Total number of raw differences (both sides) — the paper's
+        "Num Diffs." column."""
+        left = len(self.left) - len(self.similar_left)
+        right = len(self.right) - len(self.similar_right)
+        return left + right
+
+    def num_similar(self) -> int:
+        return len(self.similar_left) + len(self.similar_right)
+
+    def total_entries(self) -> int:
+        return len(self.left) + len(self.right)
+
+    def num_sequences(self) -> int:
+        return len(self.sequences)
+
+    def compares(self) -> int:
+        return self.counter.total
+
+    def mean_sequence_size(self) -> float:
+        if not self.sequences:
+            return 0.0
+        return sum(s.size() for s in self.sequences) / len(self.sequences)
+
+    def render(self, limit: int = 20) -> str:
+        lines = [
+            f"diff {self.left.name or 'left'} vs {self.right.name or 'right'}"
+            f" [{self.algorithm}]: {self.num_diffs()} differences in "
+            f"{len(self.sequences)} sequences",
+        ]
+        for seq in self.sequences[:limit]:
+            lines.append(seq.brief())
+        if len(self.sequences) > limit:
+            lines.append(f"... ({len(self.sequences) - limit} more sequences)")
+        return "\n".join(lines)
+
+
+def build_sequences(left: Trace, right: Trace,
+                    match_pairs: list[tuple[int, int]],
+                    similar_left: set[int], similar_right: set[int],
+                    left_eids: list[int] | None = None,
+                    right_eids: list[int] | None = None,
+                    ) -> list[DifferenceSequence]:
+    """Group raw differences into difference sequences.
+
+    Walks the (monotonic) correspondence mapping; the differing entries
+    between consecutive matched pairs form one sequence.  ``left_eids`` /
+    ``right_eids`` restrict the walk to a sub-sequence of each trace (a
+    thread view), defaulting to the whole trace.
+    """
+    if left_eids is None:
+        left_eids = [e.eid for e in left.entries]
+    if right_eids is None:
+        right_eids = [e.eid for e in right.entries]
+    by_eid_l = {e.eid: e for e in left.entries}
+    by_eid_r = {e.eid: e for e in right.entries}
+
+    sequences: list[DifferenceSequence] = []
+    # Positions of matched pairs within the restricted eid lists.
+    pos_l = {eid: i for i, eid in enumerate(left_eids)}
+    pos_r = {eid: i for i, eid in enumerate(right_eids)}
+    boundaries = [(-1, -1)]
+    for l_eid, r_eid in match_pairs:
+        if l_eid in pos_l and r_eid in pos_r:
+            boundaries.append((pos_l[l_eid], pos_r[r_eid]))
+    boundaries.append((len(left_eids), len(right_eids)))
+
+    def gap_entries(eids: list[int], lo: int, hi: int, similar: set[int],
+                    table: dict[int, TraceEntry]) -> list[TraceEntry]:
+        return [table[eid] for eid in eids[lo + 1:hi]
+                if eid not in similar]
+
+    for (prev_l, prev_r), (next_l, next_r) in zip(boundaries, boundaries[1:]):
+        left_gap = gap_entries(left_eids, prev_l, next_l, similar_left,
+                               by_eid_l)
+        right_gap = gap_entries(right_eids, prev_r, next_r, similar_right,
+                                by_eid_r)
+        if not left_gap and not right_gap:
+            continue
+        if left_gap and right_gap:
+            kind = "modify"
+        elif left_gap:
+            kind = "delete"
+        else:
+            kind = "insert"
+        sequences.append(DifferenceSequence(
+            kind=kind, left_entries=left_gap, right_entries=right_gap))
+    return sequences

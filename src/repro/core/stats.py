@@ -1,0 +1,106 @@
+"""Measurements of Sec. 5.1: accuracy, speedup, and their histograms.
+
+Accuracy measures how many semantic correlations RPRISM identifies versus
+the LCS comparison::
+
+    Accuracy = ((totalEntries - rprismNumDiffs) / totalEntries)
+             / ((totalEntries - lcsNumDiffs)   / totalEntries)
+
+Values above 100% mean the views-based differ found *more* correlations
+than the LCS (it can match reordered operations the LCS inherently
+cannot).  Speedup is the ratio of trace-entry compare operations performed
+by the LCS comparison to those performed by RPRISM.
+
+The histogram bin edges replicate Fig. 14's x-axes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Fig. 14(a) bin upper bounds (accuracy, as ratios).
+ACCURACY_BINS = (0.99, 1.00, 1.05, 1.10, 1.25, 1.50, 2.00)
+#: Fig. 14(b) bin upper bounds (speedup, as factors).
+SPEEDUP_BINS = (0.5, 1, 5, 10, 50, 100, 500, 1000, 2500, 5000)
+
+
+def accuracy(total_entries: int, rprism_num_diffs: int,
+             lcs_num_diffs: int) -> float:
+    """The paper's accuracy ratio (1.0 == "same as LCS")."""
+    if total_entries <= 0:
+        raise ValueError("total_entries must be positive")
+    rprism_score = (total_entries - rprism_num_diffs) / total_entries
+    lcs_score = (total_entries - lcs_num_diffs) / total_entries
+    if lcs_score <= 0:
+        return float("inf") if rprism_score > 0 else 1.0
+    return rprism_score / lcs_score
+
+
+def speedup(lcs_compares: int, rprism_compares: int) -> float:
+    """Compare-operation speedup of RPRISM over the LCS baseline."""
+    if rprism_compares <= 0:
+        return float("inf")
+    return lcs_compares / rprism_compares
+
+
+def bin_index(value: float, bins: tuple[float, ...]) -> int:
+    """Index of the first bin whose upper bound is >= value (the paper's
+    histograms label bins by upper bound); values beyond the last bound
+    land in the last bin."""
+    for index, bound in enumerate(bins):
+        if value <= bound:
+            return index
+    return len(bins) - 1
+
+
+@dataclass(slots=True)
+class Histogram:
+    """A labelled histogram matching the paper's figure axes."""
+
+    labels: tuple[str, ...]
+    counts: list[int]
+
+    def add(self, index: int) -> None:
+        self.counts[index] += 1
+
+    def total(self) -> int:
+        return sum(self.counts)
+
+    def render(self, title: str = "") -> str:
+        lines = []
+        if title:
+            lines.append(title)
+        peak = max(self.counts) if self.counts else 0
+        for label, count in zip(self.labels, self.counts):
+            bar = "#" * count
+            lines.append(f"  {label:>7} | {bar:<{max(peak, 1)}} ({count})")
+        return "\n".join(lines)
+
+
+def accuracy_histogram(values: list[float]) -> Histogram:
+    """Bin accuracy ratios into Fig. 14(a)'s buckets."""
+    labels = tuple(f"{int(round(b * 100))}%" for b in ACCURACY_BINS)
+    hist = Histogram(labels=labels, counts=[0] * len(ACCURACY_BINS))
+    for value in values:
+        hist.add(bin_index(value, ACCURACY_BINS))
+    return hist
+
+
+def speedup_histogram(values: list[float]) -> Histogram:
+    """Bin speedup factors into Fig. 14(b)'s buckets."""
+    labels = tuple(
+        f"{b:g}x" for b in SPEEDUP_BINS)
+    hist = Histogram(labels=labels, counts=[0] * len(SPEEDUP_BINS))
+    for value in values:
+        hist.add(bin_index(value, SPEEDUP_BINS))
+    return hist
+
+
+def dynamic_slicing_percentage(candidate_entries: int,
+                               executed_entries: int) -> float:
+    """The Sec. 6 comparison metric: reported differences as a percentage
+    of executed statements (0.1%-1% is considered excellent for dynamic
+    slicing; RPRISM reports 0.001%-0.02%)."""
+    if executed_entries <= 0:
+        raise ValueError("executed_entries must be positive")
+    return 100.0 * candidate_entries / executed_entries

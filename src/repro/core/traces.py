@@ -1,0 +1,237 @@
+"""Trace containers.
+
+A trace ``gamma = tau_1 . ... . tau_n`` is a sequence of trace entries;
+``len(trace)`` is ``|gamma|``.  Traces are identified by a ``name``
+(the paper's superscript, e.g. ``gamma^L`` / ``gamma^R``).
+
+``TraceBuilder`` is the write-side used by the interpreter and the capture
+layer: it assigns entry identifiers, tracks per-thread call stacks, and owns
+the per-trace :class:`~repro.core.values.ObjectRegistry`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.core.entries import TraceEntry
+from repro.core.events import (Call, End, Event, FieldGet, FieldSet, Fork,
+                               Init, Return, StackFrame)
+from repro.core.values import UNIT, ObjectRegistry, ValueRep
+
+
+class Trace:
+    """An immutable-by-convention sequence of trace entries."""
+
+    __slots__ = ("name", "entries", "metadata")
+
+    def __init__(self, entries: Iterable[TraceEntry] = (), name: str = "",
+                 metadata: dict | None = None):
+        self.name = name
+        self.entries: list[TraceEntry] = list(entries)
+        self.metadata: dict = metadata or {}
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[TraceEntry]:
+        return iter(self.entries)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return Trace(self.entries[index], name=self.name,
+                         metadata=dict(self.metadata))
+        return self.entries[index]
+
+    def thread_ids(self) -> list[int]:
+        """Distinct thread identifiers, in order of first appearance."""
+        seen: dict[int, None] = {}
+        for entry in self.entries:
+            if entry.tid not in seen:
+                seen[entry.tid] = None
+        return list(seen)
+
+    def methods(self) -> set[str]:
+        return {entry.method for entry in self.entries}
+
+    def event_kinds(self) -> dict[str, int]:
+        """Histogram of event kinds, useful for stats and tests."""
+        counts: dict[str, int] = {}
+        for entry in self.entries:
+            kind = entry.event.kind
+            counts[kind] = counts.get(kind, 0) + 1
+        return counts
+
+    def render(self, limit: int | None = None) -> str:
+        """Human-readable dump (mostly for examples and debugging)."""
+        lines = []
+        shown = self.entries if limit is None else self.entries[:limit]
+        for entry in shown:
+            lines.append(entry.brief())
+        if limit is not None and len(self.entries) > limit:
+            lines.append(f"... ({len(self.entries) - limit} more entries)")
+        return "\n".join(lines)
+
+
+@dataclass(slots=True)
+class _ThreadState:
+    """Book-keeping for one thread while its trace is being generated."""
+
+    tid: int
+    stack: list[StackFrame] = field(default_factory=list)
+    #: Spawn ancestry: the call stacks at each ancestor's spawn point,
+    #: outermost ancestor first (the paper's ``fork(S*)`` payload).
+    ancestry: tuple[tuple[StackFrame, ...], ...] = ()
+
+    def snapshot(self) -> tuple[StackFrame, ...]:
+        return tuple(self.stack)
+
+
+class TraceBuilder:
+    """Write-side of a trace: event recording with call-stack tracking.
+
+    The builder mirrors the structure the operational semantics maintains —
+    an ordered set of stacks ``S*``, one per thread — and exposes one method
+    per evaluation rule that records an entry (CONS-E, FIELD-ACC-E,
+    FIELD-ASS-E, METH-E, RETURN-E, FORK-E, END-E).
+    """
+
+    ROOT_METHOD = "<main>"
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.registry = ObjectRegistry()
+        self._entries: list[TraceEntry] = []
+        self._threads: dict[int, _ThreadState] = {}
+        self._next_tid = 0
+        self._next_location = 1
+        self.main_tid = self._spawn_thread(ancestry=())
+
+    # -- thread management -------------------------------------------------
+
+    def _spawn_thread(self, ancestry: tuple[tuple[StackFrame, ...], ...]) -> int:
+        tid = self._next_tid
+        self._next_tid += 1
+        self._threads[tid] = _ThreadState(tid=tid, ancestry=ancestry)
+        return tid
+
+    def register_thread(self,
+                        ancestry: tuple[tuple[StackFrame, ...], ...] = (),
+                        ) -> int:
+        """Allocate a thread id for a thread not created through a fork
+        event (e.g. one that pre-existed trace capture)."""
+        return self._spawn_thread(ancestry)
+
+    def thread_state(self, tid: int) -> _ThreadState:
+        return self._threads[tid]
+
+    def current_method(self, tid: int) -> str:
+        stack = self._threads[tid].stack
+        return stack[-1].method if stack else self.ROOT_METHOD
+
+    def current_active(self, tid: int) -> ValueRep | None:
+        stack = self._threads[tid].stack
+        return stack[-1].callee if stack else None
+
+    def stack_depth(self, tid: int) -> int:
+        return len(self._threads[tid].stack)
+
+    # -- low-level entry recording -----------------------------------------
+
+    def _record(self, tid: int, event: Event) -> TraceEntry:
+        entry = TraceEntry(
+            eid=len(self._entries),
+            tid=tid,
+            method=self.current_method(tid),
+            active=self.current_active(tid),
+            event=event,
+        )
+        self._entries.append(entry)
+        return entry
+
+    # -- object creation ----------------------------------------------------
+
+    def fresh_location(self) -> int:
+        loc = self._next_location
+        self._next_location += 1
+        return loc
+
+    def record_init(self, tid: int, class_name: str,
+                    args: tuple[ValueRep, ...],
+                    serialization: object = None,
+                    location: int | None = None) -> ValueRep:
+        """CONS-E: create an object, returning its representation."""
+        if location is None:
+            location = self.fresh_location()
+        rep = self.registry.register(location, class_name, serialization)
+        self._record(tid, Init(class_name=class_name, args=args, obj=rep))
+        return rep
+
+    def record_init_event(self, tid: int, class_name: str,
+                          args: tuple[ValueRep, ...],
+                          obj_rep: ValueRep) -> TraceEntry:
+        """CONS-E variant for capture layers that manage their own object
+        registry: records the init entry for an already-built
+        representation."""
+        return self._record(tid, Init(class_name=class_name, args=args,
+                                      obj=obj_rep))
+
+    # -- field events ---------------------------------------------------------
+
+    def record_get(self, tid: int, obj: ValueRep, field_name: str,
+                   value: ValueRep) -> TraceEntry:
+        return self._record(tid, FieldGet(obj, field_name, value))
+
+    def record_set(self, tid: int, obj: ValueRep, field_name: str,
+                   value: ValueRep) -> TraceEntry:
+        return self._record(tid, FieldSet(obj, field_name, value))
+
+    # -- method events ---------------------------------------------------------
+
+    def record_call(self, tid: int, obj: ValueRep, method: str,
+                    args: tuple[ValueRep, ...]) -> TraceEntry:
+        """METH-E: the call entry is recorded in the *caller's* context,
+        then the new frame is pushed."""
+        state = self._threads[tid]
+        entry = self._record(tid, Call(obj=obj, method=method, args=args))
+        caller = state.stack[-1].callee if state.stack else None
+        state.stack.append(StackFrame(method=method, caller=caller, callee=obj))
+        return entry
+
+    def record_return(self, tid: int, value: ValueRep = UNIT) -> TraceEntry:
+        """RETURN-E: pop the frame, record the return in the caller's
+        context."""
+        state = self._threads[tid]
+        if not state.stack:
+            raise RuntimeError(f"return with empty stack on thread {tid}")
+        frame = state.stack.pop()
+        return self._record(
+            tid, Return(obj=frame.callee, method=frame.method, value=value))
+
+    # -- thread events ---------------------------------------------------------
+
+    def record_fork(self, tid: int) -> int:
+        """FORK-E: record thread creation, returning the child tid.
+
+        The fork event captures the spawning thread's current call stack
+        appended to its own ancestry, giving the child's full parentage.
+        """
+        parent = self._threads[tid]
+        ancestry = parent.ancestry + (parent.snapshot(),)
+        child_tid = self._spawn_thread(ancestry)
+        self._record(tid, Fork(child_tid=child_tid, ancestry=ancestry))
+        return child_tid
+
+    def record_end(self, tid: int) -> TraceEntry:
+        """END-E: record thread completion."""
+        state = self._threads[tid]
+        ancestry = state.ancestry + (state.snapshot(),)
+        return self._record(tid, End(tid=tid, ancestry=ancestry))
+
+    # -- finishing -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def build(self, metadata: dict | None = None) -> Trace:
+        return Trace(self._entries, name=self.name, metadata=metadata)

@@ -1,0 +1,370 @@
+"""Views-based trace differencing (Sec. 3.3, Fig. 12) — the contribution.
+
+Each pair of correlated thread views is evaluated in lock step:
+
+* STEP-VIEW-MATCH — equal heads (``=e``) are removed and placed in the
+  similarity set ``sigma``.
+* STEP-VIEW-NOMATCH — on differing heads, secondary views *linked* to
+  nearby entries are explored (``LinkedSimilarEntries``): entries within a
+  constant distance ``delta`` of the current positions whose views of some
+  type are correlated (X_chi) have the LCS computed over fixed windows
+  (``omega``) of those views.  Entries in the windowed LCS are marked
+  similar ("anchors" in Fig. 13) even when they are far apart in the
+  thread views — this is what makes the approach resilient to reordered
+  operations.  The evaluation then skips to the next point of
+  correspondence and resumes lock-step scanning.
+
+The implementation is linear in time and space: windows are constant-size,
+each (view-pair, window) is explored at most once, and the
+next-correspondence search's overshoot is bounded by the distance actually
+skipped.
+
+RPRISM's relaxed correlation (Sec. 5) is implemented here: when two
+entries sit at the *same distance* from the current (known-correlated)
+positions, their method/object views are treated as correlated even if
+their names differ — providing tolerance to rename/split/merge
+refactorings.
+"""
+
+from __future__ import annotations
+
+import time
+from bisect import bisect_left
+from dataclasses import dataclass, field
+
+from repro.core.correlation import ViewCorrelator
+from repro.core.diffs import DiffResult, DifferenceSequence, build_sequences
+from repro.core.lcs import OpCounter, lcs_dp
+from repro.core.traces import Trace
+from repro.core.views import NAME_MAPPINGS, View, ViewType
+from repro.core.web import ViewWeb
+
+
+@dataclass(slots=True)
+class ViewDiffConfig:
+    """Tunable parameters of the views-based differencing semantics."""
+
+    #: omega — radius of the fixed-size windows over secondary views that
+    #: the LCS is computed on (Fig. 9's ``win``).
+    window: int = 12
+    #: delta — how far around the differing entries tau_1/tau_3 to look
+    #: for entries with correlated secondary views
+    #: (SIMILAR-FROM-LINKED-VIEWS's first two antecedent lines).
+    radius: int = 4
+    #: Secondary view types explored by LinkedSimilarEntries.
+    view_types: tuple[ViewType, ...] = (
+        ViewType.METHOD, ViewType.TARGET_OBJECT, ViewType.ACTIVE_OBJECT)
+    #: Enable RPRISM's relaxed same-distance correlation (Sec. 5).
+    relaxed: bool = True
+    #: Cap on distinct correlated view pairs explored per nomatch point.
+    max_secondary_pairs: int = 4
+    #: Cap on next-correspondence overshoot; ``None`` means scan to the end
+    #: (still amortised-linear, see module docstring).
+    scan_limit: int | None = None
+    #: Cell cap for aligning the two skipped segments of a NOMATCH step
+    #: with a small LCS (recovers equal entries inside the skipped
+    #: region).  Each entry joins at most one such LCS, so the pass stays
+    #: linear; 0 disables it.
+    skip_lcs_cells: int = 4096
+
+
+class _ThreadPairDiffer:
+    """Lock-step evaluation of one correlated thread-view pair."""
+
+    def __init__(self, left_view: View, right_view: View, web_l: ViewWeb,
+                 web_r: ViewWeb, correlator: ViewCorrelator,
+                 config: ViewDiffConfig, counter: OpCounter,
+                 similar_left: set[int], similar_right: set[int],
+                 anchor_pairs: list[tuple[int, int]]):
+        self.lv = left_view
+        self.rv = right_view
+        self.web_l = web_l
+        self.web_r = web_r
+        self.correlator = correlator
+        self.config = config
+        self.counter = counter
+        self.similar_left = similar_left
+        self.similar_right = similar_right
+        self.anchor_pairs = anchor_pairs
+        # Per-view key caches: position -> =e key.
+        entries_l = web_l.trace.entries
+        entries_r = web_r.trace.entries
+        self.lkeys = [entries_l[i].key() for i in left_view.indices]
+        self.rkeys = [entries_r[i].key() for i in right_view.indices]
+        # key -> sorted positions, for the next-correspondence search.
+        self.rpos: dict = {}
+        for pos, key in enumerate(self.rkeys):
+            self.rpos.setdefault(key, []).append(pos)
+        # (left view name, right view name, window bucket) pairs already
+        # explored, so each window is LCS'd at most once.
+        self._explored: set[tuple] = set()
+        # Anchored positions (in the two thread views) found by secondary
+        # view exploration and still ahead of the scan.
+        self._pending_anchors: list[tuple[int, int]] = []
+        # eid -> position caches for the main views.
+        self._lpos_by_eid = {left_view.indices[p]: p
+                             for p in range(len(left_view.indices))}
+        self._rpos_by_eid = {right_view.indices[p]: p
+                             for p in range(len(right_view.indices))}
+
+    # -- driver --------------------------------------------------------------
+
+    def run(self) -> list[tuple[int, int]]:
+        """Evaluate the pair, returning the monotonic match pairs
+        (left eid, right eid)."""
+        lv, rv = self.lv, self.rv
+        lkeys, rkeys = self.lkeys, self.rkeys
+        n, m = len(lkeys), len(rkeys)
+        match_pairs: list[tuple[int, int]] = []
+        i = j = 0
+        while i < n and j < m:
+            self.counter.bump()
+            if lkeys[i] == rkeys[j]:
+                # STEP-VIEW-MATCH
+                left_eid = lv.indices[i]
+                right_eid = rv.indices[j]
+                self.similar_left.add(left_eid)
+                self.similar_right.add(right_eid)
+                match_pairs.append((left_eid, right_eid))
+                i += 1
+                j += 1
+                continue
+            # STEP-VIEW-NOMATCH
+            self._linked_similar_entries(i, j)
+            ni, nj = self._next_correspondence(i, j)
+            if (ni, nj) == (i, j):  # pragma: no cover - defensive
+                ni, nj = i + 1, j + 1
+            self._align_skipped(i, ni, j, nj, match_pairs)
+            i, j = ni, nj
+        return match_pairs
+
+    def _align_skipped(self, i: int, ni: int, j: int, nj: int,
+                       match_pairs: list[tuple[int, int]]) -> None:
+        """Recover equal entries inside the skipped NOMATCH region with a
+        small bounded LCS over the two skipped segments."""
+        cells = self.config.skip_lcs_cells
+        width_l = ni - i
+        width_r = nj - j
+        if cells <= 0 or width_l == 0 or width_r == 0 or \
+                width_l * width_r > cells:
+            return
+        lcs = lcs_dp(self.lkeys[i:ni], self.rkeys[j:nj],
+                     counter=self.counter)
+        lv, rv = self.lv, self.rv
+        for wi, wj in lcs.pairs:
+            left_eid = lv.indices[i + wi]
+            right_eid = rv.indices[j + wj]
+            self.similar_left.add(left_eid)
+            self.similar_right.add(right_eid)
+            match_pairs.append((left_eid, right_eid))
+
+    # -- LinkedSimilarEntries (SIMILAR-FROM-LINKED-VIEWS) ----------------------
+
+    def _linked_similar_entries(self, i: int, j: int) -> None:
+        """Explore secondary views linked near positions (i, j) and mark
+        windowed-LCS entries as similar."""
+        config = self.config
+        lv, rv = self.lv, self.rv
+        entries_l = self.web_l.trace.entries
+        entries_r = self.web_r.trace.entries
+        explored_now = 0
+        radius = config.radius
+        lo_l = max(0, i - radius)
+        hi_l = min(len(lv.indices), i + radius + 1)
+        lo_r = max(0, j - radius)
+        hi_r = min(len(rv.indices), j + radius + 1)
+        for pl in range(lo_l, hi_l):
+            tau5 = entries_l[lv.indices[pl]]
+            for pr in range(lo_r, hi_r):
+                if explored_now >= config.max_secondary_pairs:
+                    return
+                tau6 = entries_r[rv.indices[pr]]
+                for vtype in config.view_types:
+                    names = self.correlator.correlate(tau5, tau6, vtype)
+                    if names is None and config.relaxed and (pl - i) == (pr - j):
+                        # Relaxed correlation: same distance from the
+                        # current (correlated) positions.
+                        names = self._relaxed_names(tau5, tau6, vtype)
+                    if names is None:
+                        continue
+                    if self._explore_view_pair(names[0], names[1],
+                                               tau5.eid, tau6.eid):
+                        explored_now += 1
+
+    def _relaxed_names(self, tau5, tau6, vtype: ViewType):
+        name_l = NAME_MAPPINGS[vtype](tau5)
+        name_r = NAME_MAPPINGS[vtype](tau6)
+        if name_l is None or name_r is None:
+            return None
+        return (name_l, name_r)
+
+    def _explore_view_pair(self, name_l, name_r, center_eid_l: int,
+                           center_eid_r: int) -> bool:
+        """Windowed LCS over one correlated secondary-view pair.
+
+        Returns True if a (new) exploration was performed.
+        """
+        view_l = self.web_l.view(name_l)
+        view_r = self.web_r.view(name_r)
+        if view_l is None or view_r is None:
+            return False
+        pos_l = view_l.position_of(center_eid_l)
+        pos_r = view_r.position_of(center_eid_r)
+        if pos_l < 0 or pos_r < 0:
+            return False
+        omega = self.config.window
+        bucket = (name_l, name_r, pos_l // max(omega, 1),
+                  pos_r // max(omega, 1))
+        if bucket in self._explored:
+            return False
+        self._explored.add(bucket)
+        window_l = view_l.window_around_position(pos_l, omega)
+        window_r = view_r.window_around_position(pos_r, omega)
+        if not window_l or not window_r:
+            return True
+        lcs = lcs_dp(window_l, window_r, key=lambda e: e.key(),
+                     counter=self.counter)
+        for wi, wj in lcs.pairs:
+            entry_l = window_l[wi]
+            entry_r = window_r[wj]
+            self.similar_left.add(entry_l.eid)
+            self.similar_right.add(entry_r.eid)
+            self.anchor_pairs.append((entry_l.eid, entry_r.eid))
+            # If both anchored entries live in the main thread views ahead
+            # of the scan, they become correspondence candidates.
+            apl = self._lpos_by_eid.get(entry_l.eid)
+            apr = self._rpos_by_eid.get(entry_r.eid)
+            if apl is not None and apr is not None:
+                self._pending_anchors.append((apl, apr))
+        return True
+
+    # -- next point of correspondence -----------------------------------------
+
+    def _next_correspondence(self, i: int, j: int) -> tuple[int, int]:
+        """Find the nearest (i', j') >= (i, j) with equal heads, taking the
+        closer of the scan-discovered pair and any anchor pair; entries in
+        between remain outside sigma (the skipped differences of
+        STEP-VIEW-NOMATCH)."""
+        lkeys, rkeys = self.lkeys, self.rkeys
+        n, m = len(lkeys), len(rkeys)
+        best: tuple[int, int] | None = None
+        best_cost: int | None = None
+        # Anchor candidates strictly ahead of (i, j).
+        kept_anchors = []
+        for apl, apr in self._pending_anchors:
+            if apl >= i and apr >= j:
+                kept_anchors.append((apl, apr))
+                cost = (apl - i) + (apr - j)
+                if best_cost is None or cost < best_cost:
+                    best, best_cost = (apl, apr), cost
+        self._pending_anchors = kept_anchors
+        # Forward scan over left positions, bisecting into right positions.
+        limit = n
+        if self.config.scan_limit is not None:
+            limit = min(n, i + self.config.scan_limit)
+        for ip in range(i, limit):
+            left_cost = ip - i
+            if best_cost is not None and left_cost >= best_cost:
+                break
+            positions = self.rpos.get(lkeys[ip])
+            if not positions:
+                continue
+            self.counter.bump()
+            at = bisect_left(positions, j)
+            if at == len(positions):
+                continue
+            jp = positions[at]
+            cost = left_cost + (jp - j)
+            if best_cost is None or cost < best_cost:
+                best, best_cost = (ip, jp), cost
+        if best is None:
+            return (n, m)
+        return best
+
+
+def view_diff(left: Trace, right: Trace,
+              config: ViewDiffConfig | None = None,
+              counter: OpCounter | None = None,
+              web_left: ViewWeb | None = None,
+              web_right: ViewWeb | None = None) -> DiffResult:
+    """Difference two traces with the views-based semantics of Fig. 12.
+
+    Every pair of correlated thread views (X_TH) is evaluated under the
+    lock-step semantics; the per-pair similarity sets are unioned into the
+    final ``sigma`` and the differences derived by subtraction.  Threads
+    with no correlated partner contribute all their entries as
+    insertions/deletions.
+    """
+    if config is None:
+        config = ViewDiffConfig()
+    if counter is None:
+        counter = OpCounter()
+    started = time.perf_counter()
+    web_l = web_left if web_left is not None else ViewWeb(left)
+    web_r = web_right if web_right is not None else ViewWeb(right)
+    correlator = ViewCorrelator(web_l, web_r)
+
+    similar_left: set[int] = set()
+    similar_right: set[int] = set()
+    anchor_pairs: list[tuple[int, int]] = []
+    all_match_pairs: list[tuple[int, int]] = []
+    sequences: list[DifferenceSequence] = []
+
+    matched_left_tids: set[int] = set()
+    matched_right_tids: set[int] = set()
+    per_pair: list[tuple[View, View, list[tuple[int, int]]]] = []
+    for ltid, rtid in correlator.thread_pairs():
+        lv = web_l.thread_view(ltid)
+        rv = web_r.thread_view(rtid)
+        if lv is None or rv is None:
+            continue
+        matched_left_tids.add(ltid)
+        matched_right_tids.add(rtid)
+        differ = _ThreadPairDiffer(lv, rv, web_l, web_r, correlator, config,
+                                   counter, similar_left, similar_right,
+                                   anchor_pairs)
+        pairs = differ.run()
+        all_match_pairs.extend(pairs)
+        per_pair.append((lv, rv, pairs))
+    # Sequences are segmented only after every thread pair has contributed
+    # to sigma, so cross-thread anchors are honoured everywhere.
+    for lv, rv, pairs in per_pair:
+        sequences.extend(build_sequences(
+            left, right, pairs, similar_left, similar_right,
+            left_eids=list(lv.indices), right_eids=list(rv.indices)))
+
+    # Uncorrelated threads: every entry is a difference.
+    for tid in left.thread_ids():
+        if tid in matched_left_tids:
+            continue
+        lv = web_l.thread_view(tid)
+        if lv is None:
+            continue
+        entries = [e for e in lv if e.eid not in similar_left]
+        if entries:
+            sequences.append(DifferenceSequence(
+                kind="delete", left_entries=entries, right_entries=[]))
+    for tid in right.thread_ids():
+        if tid in matched_right_tids:
+            continue
+        rv = web_r.thread_view(tid)
+        if rv is None:
+            continue
+        entries = [e for e in rv if e.eid not in similar_right]
+        if entries:
+            sequences.append(DifferenceSequence(
+                kind="insert", left_entries=[], right_entries=entries))
+
+    elapsed = time.perf_counter() - started
+    return DiffResult(
+        left=left,
+        right=right,
+        similar_left=similar_left,
+        similar_right=similar_right,
+        match_pairs=sorted(all_match_pairs),
+        anchor_pairs=anchor_pairs,
+        sequences=sequences,
+        counter=counter,
+        algorithm="views",
+        seconds=elapsed,
+    )

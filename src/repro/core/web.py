@@ -1,0 +1,156 @@
+"""The view web: every view of a trace, linked through trace indices.
+
+Building the web is a single O(n) pass: each entry's view names are
+computed by the Fig. 7 mapping functions and the entry's index is appended
+to each named view's index list.  The web also gathers the per-object
+metadata (class name, creation sequence number, first-seen serialisation,
+init eid) that the correlation functions of Sec. 3.1 need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.entries import TraceEntry
+from repro.core.events import Fork, Init, StackFrame
+from repro.core.traces import Trace
+from repro.core.values import ValueRep
+from repro.core.views import View, ViewName, ViewType, view_names
+
+
+@dataclass(frozen=True, slots=True)
+class ObjectInfo:
+    """Correlation-relevant facts about one object in one trace."""
+
+    location: int
+    class_name: str
+    creation_seq: int | None
+    serialization: object
+    init_eid: int | None
+
+
+@dataclass(frozen=True, slots=True)
+class ThreadInfo:
+    """Correlation-relevant facts about one thread in one trace."""
+
+    tid: int
+    #: Spawn ancestry captured by the fork event that created this thread
+    #: (empty for the main thread).
+    ancestry: tuple[tuple[StackFrame, ...], ...]
+    fork_eid: int | None
+
+
+class ViewWeb:
+    """All views of a single trace, plus object/thread metadata."""
+
+    def __init__(self, trace: Trace):
+        self.trace = trace
+        self._views: dict[ViewName, View] = {}
+        self.objects: dict[int, ObjectInfo] = {}
+        self.threads: dict[int, ThreadInfo] = {}
+        self._build()
+
+    # -- construction -----------------------------------------------------
+
+    def _build(self) -> None:
+        indices: dict[ViewName, list[int]] = {}
+        seen_tids: dict[int, ThreadInfo] = {}
+        for position, entry in enumerate(self.trace.entries):
+            for name in view_names(entry):
+                indices.setdefault(name, []).append(position)
+            self._note_metadata(position, entry, seen_tids)
+        for name, index_list in indices.items():
+            self._views[name] = View(name, self.trace, index_list)
+        # Threads that never appear in a fork event (e.g. the main thread)
+        # still deserve ThreadInfo records.
+        for tid in self.trace.thread_ids():
+            if tid not in seen_tids:
+                seen_tids[tid] = ThreadInfo(tid=tid, ancestry=(), fork_eid=None)
+        self.threads = seen_tids
+
+    def _note_metadata(self, position: int, entry: TraceEntry,
+                       seen_tids: dict[int, ThreadInfo]) -> None:
+        event = entry.event
+        if isinstance(event, Init):
+            obj = event.obj
+            if obj.location is not None and obj.location not in self.objects:
+                self.objects[obj.location] = ObjectInfo(
+                    location=obj.location,
+                    class_name=obj.class_name,
+                    creation_seq=obj.creation_seq,
+                    serialization=obj.serialization,
+                    init_eid=entry.eid,
+                )
+        elif isinstance(event, Fork):
+            seen_tids[event.child_tid] = ThreadInfo(
+                tid=event.child_tid,
+                ancestry=event.ancestry,
+                fork_eid=entry.eid,
+            )
+        # Objects first observed outside an init (e.g. pre-existing
+        # receivers) are registered lazily from any event target.
+        target = event.target()
+        if (target is not None and target.location is not None
+                and target.location not in self.objects):
+            self.objects[target.location] = ObjectInfo(
+                location=target.location,
+                class_name=target.class_name,
+                creation_seq=target.creation_seq,
+                serialization=target.serialization,
+                init_eid=None,
+            )
+
+    # -- lookup -----------------------------------------------------------
+
+    def view(self, name: ViewName) -> View | None:
+        return self._views.get(name)
+
+    def views_of_type(self, vtype: ViewType) -> list[View]:
+        return [v for n, v in self._views.items() if n.vtype is vtype]
+
+    def view_names_of_type(self, vtype: ViewType) -> list[ViewName]:
+        return [n for n in self._views if n.vtype is vtype]
+
+    def all_views(self) -> list[View]:
+        return list(self._views.values())
+
+    def thread_view(self, tid: int) -> View | None:
+        return self.view(ViewName(ViewType.THREAD, tid))
+
+    def method_view(self, method: str) -> View | None:
+        return self.view(ViewName(ViewType.METHOD, method))
+
+    def target_object_view(self, location: int) -> View | None:
+        return self.view(ViewName(ViewType.TARGET_OBJECT, location))
+
+    def active_object_view(self, location: int) -> View | None:
+        return self.view(ViewName(ViewType.ACTIVE_OBJECT, location))
+
+    def views_of_entry(self, entry: TraceEntry) -> list[View]:
+        """Navigate the web: all views an entry belongs to (Sec. 2.4)."""
+        found = []
+        for name in view_names(entry):
+            view = self._views.get(name)
+            if view is not None:
+                found.append(view)
+        return found
+
+    def object_info(self, rep: ValueRep) -> ObjectInfo | None:
+        if rep.location is None:
+            return None
+        return self.objects.get(rep.location)
+
+    # -- statistics (Table 2) ----------------------------------------------
+
+    def counts(self) -> dict[str, int]:
+        """View counts in the shape of the paper's Table 2."""
+        by_type = {vtype: 0 for vtype in ViewType}
+        for name in self._views:
+            by_type[name.vtype] += 1
+        return {
+            "total": len(self._views),
+            "thread": by_type[ViewType.THREAD],
+            "method": by_type[ViewType.METHOD],
+            "target_object": by_type[ViewType.TARGET_OBJECT],
+            "active_object": by_type[ViewType.ACTIVE_OBJECT],
+        }

@@ -1,0 +1,31 @@
+"""The formal core language of Sec. 2: Featherweight Java extended with
+locations, field assignment, term sequences, value objects, and threads.
+
+Program evaluation *produces traces* (Fig. 6): every object creation,
+field access/assignment, method call/return, thread fork and thread end
+records a trace entry, exactly as the operational semantics prescribes.
+
+The concrete syntax adds a few conservative conveniences over the paper's
+abstract grammar (local variables, ``if``/``while`` over primitive
+conditions, and built-in primitive methods such as ``Int.add``); none of
+these introduce new *event* kinds, so traces remain within the Fig. 4
+grammar.
+"""
+
+from repro.lang.ast import (Block, ClassDecl, FieldDecl, FieldAssign,
+                            FieldRead, If, Lit, LocalAssign, MethodCall,
+                            MethodDecl, New, Program, Return, Seq, Spawn,
+                            This, Var, VarDecl, While)
+from repro.lang.errors import LangError, ParseError, RuntimeLangError
+from repro.lang.interp import Interpreter, run_program, run_source
+from repro.lang.parser import parse_program
+from repro.lang.typecheck import TypeCheckError, check_program
+
+__all__ = [
+    "Block", "ClassDecl", "FieldAssign", "FieldDecl", "FieldRead", "If",
+    "Interpreter", "LangError", "Lit", "LocalAssign", "MethodCall",
+    "MethodDecl", "New", "ParseError", "Program", "Return",
+    "RuntimeLangError", "Seq", "Spawn", "This", "TypeCheckError", "Var",
+    "VarDecl", "While", "check_program", "parse_program", "run_program",
+    "run_source",
+]

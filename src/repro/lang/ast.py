@@ -1,0 +1,218 @@
+"""Abstract syntax for the core language (Fig. 3).
+
+The term grammar maps onto classes as follows::
+
+    t ::= x              Var
+        | v              Lit (primitives; object values arise at runtime)
+        | t.f            FieldRead
+        | t.f = t        FieldAssign
+        | t.m(t*)        MethodCall
+        | new C(t*)      New
+        | new D(d)       Lit (value-object creation of a primitive)
+        | T(t*;)         Spawn
+        | t; t; ...      Seq / Block
+
+plus the conservative extensions ``VarDecl``/``LocalAssign`` (local
+variables), ``If``/``While`` (control flow over Bool primitives), and
+``Return``.  Class declarations follow the paper: fields, an implicit
+FJ-style constructor assigning constructor arguments to fields
+positionally (inherited fields first), and methods.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class Term:
+    """Base class of all terms."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True, slots=True)
+class Lit(Term):
+    """A primitive literal ``new D(d)`` / value ``D(d)``."""
+
+    value: object  # bool | int | float | str | None
+
+
+@dataclass(frozen=True, slots=True)
+class Var(Term):
+    """Variable reference ``x`` (method parameter or local)."""
+
+    name: str
+
+
+@dataclass(frozen=True, slots=True)
+class This(Term):
+    """The receiver ``this``."""
+
+
+@dataclass(frozen=True, slots=True)
+class FieldRead(Term):
+    """``t.f``"""
+
+    obj: Term
+    field: str
+
+
+@dataclass(frozen=True, slots=True)
+class FieldAssign(Term):
+    """``t.f = t``"""
+
+    obj: Term
+    field: str
+    value: Term
+
+
+@dataclass(frozen=True, slots=True)
+class MethodCall(Term):
+    """``t.m(t*)``"""
+
+    obj: Term
+    method: str
+    args: tuple[Term, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class New(Term):
+    """``new C(t*)``"""
+
+    class_name: str
+    args: tuple[Term, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class Spawn(Term):
+    """``T(t*;)`` — thread creation; the body runs on a fresh thread."""
+
+    body: "Block"
+
+
+@dataclass(frozen=True, slots=True)
+class Seq(Term):
+    """``t; t`` — evaluate in order, value of the last term."""
+
+    terms: tuple[Term, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class VarDecl(Term):
+    """``var x = t;`` — introduce a local (extension)."""
+
+    name: str
+    value: Term
+
+
+@dataclass(frozen=True, slots=True)
+class LocalAssign(Term):
+    """``x = t`` — update a local (extension)."""
+
+    name: str
+    value: Term
+
+
+@dataclass(frozen=True, slots=True)
+class If(Term):
+    """``if (t) { ... } else { ... }`` (extension)."""
+
+    condition: Term
+    then_block: "Block"
+    else_block: "Block | None"
+
+
+@dataclass(frozen=True, slots=True)
+class While(Term):
+    """``while (t) { ... }`` (extension)."""
+
+    condition: Term
+    body: "Block"
+
+
+@dataclass(frozen=True, slots=True)
+class Return(Term):
+    """``return t;`` — the trailing return of a method body."""
+
+    value: Term
+
+
+@dataclass(frozen=True, slots=True)
+class Block(Term):
+    """A braced sequence of statements."""
+
+    terms: tuple[Term, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class FieldDecl:
+    """``A f;``"""
+
+    type_name: str
+    name: str
+
+
+@dataclass(frozen=True, slots=True)
+class MethodDecl:
+    """``A m(A x*) { t*; return t; }``"""
+
+    return_type: str
+    name: str
+    params: tuple[FieldDecl, ...]
+    body: Block
+
+    def param_names(self) -> tuple[str, ...]:
+        return tuple(p.name for p in self.params)
+
+
+@dataclass(frozen=True, slots=True)
+class ClassDecl:
+    """``class C extends C' { A f*; M* }`` with the implicit FJ
+    constructor."""
+
+    name: str
+    superclass: str
+    fields: tuple[FieldDecl, ...]
+    methods: tuple[MethodDecl, ...]
+
+    def method(self, name: str) -> MethodDecl | None:
+        for method in self.methods:
+            if method.name == name:
+                return method
+        return None
+
+
+@dataclass(slots=True)
+class Program:
+    """``P ::= T(t;)`` — a class table plus the main thread's body."""
+
+    classes: dict[str, ClassDecl] = field(default_factory=dict)
+    main: Block = Block(terms=())
+
+    def class_decl(self, name: str) -> ClassDecl | None:
+        return self.classes.get(name)
+
+    def fields_of(self, class_name: str) -> tuple[FieldDecl, ...]:
+        """``fields(C)``: inherited fields first (Fig. 5)."""
+        if class_name == "Object":
+            return ()
+        decl = self.classes.get(class_name)
+        if decl is None:
+            raise KeyError(f"unknown class: {class_name}")
+        return self.fields_of(decl.superclass) + decl.fields
+
+    def mbody(self, method: str, class_name: str) -> tuple[MethodDecl, str]:
+        """``mbody(m, C)``: walk the superclass chain (Fig. 5).
+
+        Returns the declaration and the class that defines it.
+        """
+        current = class_name
+        while current != "Object":
+            decl = self.classes.get(current)
+            if decl is None:
+                raise KeyError(f"unknown class: {current}")
+            found = decl.method(method)
+            if found is not None:
+                return found, current
+            current = decl.superclass
+        raise KeyError(f"method {method} not found on {class_name}")

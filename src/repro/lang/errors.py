@@ -1,0 +1,21 @@
+"""Errors raised by the core language front end and interpreter."""
+
+from __future__ import annotations
+
+
+class LangError(Exception):
+    """Base class for core-language errors."""
+
+
+class ParseError(LangError):
+    """Syntax error, with source position."""
+
+    def __init__(self, message: str, line: int, column: int):
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+class RuntimeLangError(LangError):
+    """Dynamic error during program evaluation (unknown method, field,
+    class, bad condition type, step budget exhausted, ...)."""

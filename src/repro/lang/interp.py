@@ -1,0 +1,349 @@
+"""Trace-emitting interpreter for the core language (Fig. 6).
+
+Each evaluation rule that records a trace entry maps to one
+``TraceBuilder`` call:
+
+* CONS-E / CONS-VAL-E — ``record_init`` (object creation; value objects
+  record an init with the primitive representation),
+* FIELD-ACC-E / FIELD-ASS-E — ``record_get`` / ``record_set``,
+* METH-E / RETURN-E — ``record_call`` / ``record_return``,
+* FORK-E / END-E — ``record_fork`` / ``record_end``.
+
+Threads run under a deterministic cooperative scheduler: a ``spawn``
+records the fork event immediately (capturing the full spawn ancestry) and
+queues the thread body; queued threads run FIFO once the spawning thread
+completes.  Since the views trace abstraction analyses each thread view
+independently, this sequential schedule produces the same per-thread views
+as any interleaved schedule of the same program.
+
+Object serialisations follow Fig. 8: at creation, an object's
+representation is ``(C, [r1, ..., rn])`` over the constructor-argument
+representations, recursively.  Primitive built-in methods (``Int.add``,
+``Str.equals``, ...) record ordinary call/return events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.traces import Trace, TraceBuilder
+from repro.core.values import UNIT, ValueRep, prim, truncate_repr
+from repro.lang.ast import (Block, FieldAssign, FieldRead, If, Lit,
+                            LocalAssign, MethodCall, New, Program, Return,
+                            Seq, Spawn, Term, This, Var, VarDecl, While)
+from repro.lang.errors import RuntimeLangError
+from repro.lang.parser import parse_program
+
+
+@dataclass(frozen=True, slots=True)
+class Prim:
+    """A primitive runtime value ``D(d)``."""
+
+    value: object
+
+
+@dataclass(frozen=True, slots=True)
+class Ref:
+    """A location ``l(C)``."""
+
+    location: int
+    class_name: str
+
+
+RtValue = Prim | Ref
+
+#: Built-in methods on primitive values.  Each maps (receiver, *args) to a
+#: result; all participate in trace events like ordinary methods.
+BUILTINS: dict[str, Callable] = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "mul": lambda a, b: a * b,
+    "div": lambda a, b: a // b if isinstance(a, int) and isinstance(b, int)
+    else a / b,
+    "mod": lambda a, b: a % b,
+    "neg": lambda a: -a,
+    "eq": lambda a, b: a == b,
+    "equals": lambda a, b: a == b,
+    "ne": lambda a, b: a != b,
+    "lt": lambda a, b: a < b,
+    "le": lambda a, b: a <= b,
+    "gt": lambda a, b: a > b,
+    "ge": lambda a, b: a >= b,
+    "and_": lambda a, b: a and b,
+    "or_": lambda a, b: a or b,
+    "not_": lambda a: not a,
+    "concat": lambda a, b: f"{a}{b}",
+    "len": lambda a: len(a),
+    "charAt": lambda a, i: a[i],
+    "substr": lambda a, i, j: a[i:j],
+    "contains": lambda a, b: b in a,
+    "toStr": lambda a: str(a),
+}
+
+
+class _ReturnSignal(Exception):
+    """Unwinds a method body at an explicit ``return``."""
+
+    def __init__(self, value: RtValue):
+        self.value = value
+
+
+@dataclass(slots=True)
+class _Env:
+    """Lexical environment: locals plus the receiver."""
+
+    receiver: Ref | None
+    locals: dict[str, RtValue]
+
+
+class Interpreter:
+    """Evaluates a program, producing its execution trace."""
+
+    def __init__(self, program: Program, name: str = "",
+                 max_steps: int = 5_000_000):
+        self.program = program
+        self.builder = TraceBuilder(name=name)
+        self.store: dict[int, dict[str, RtValue]] = {}
+        self.max_steps = max_steps
+        self._steps = 0
+        self._thread_queue: list[tuple[int, Block, _Env]] = []
+
+    # -- representations (E# / E'#) ----------------------------------------
+
+    def rep(self, value: RtValue) -> ValueRep:
+        if isinstance(value, Prim):
+            if isinstance(value.value, type(None)):
+                return UNIT
+            return prim(value.value)
+        return self.builder.registry.describe(value.location)
+
+    def _serialize_new(self, class_name: str,
+                       arg_reps: tuple[ValueRep, ...]) -> tuple:
+        """``E'#(l(C)) = <l, C:[E'#(v1), ..., E'#(vn)]>`` (Fig. 8)."""
+        return (class_name, tuple(r.key() for r in arg_reps))
+
+    # -- driver -------------------------------------------------------------
+
+    def run(self) -> Trace:
+        main_env = _Env(receiver=None, locals={})
+        main_tid = self.builder.main_tid
+        self._run_block(self.program.main, main_env, main_tid)
+        self.builder.record_end(main_tid)
+        while self._thread_queue:
+            tid, body, env = self._thread_queue.pop(0)
+            self._run_block(body, env, tid)
+            self.builder.record_end(tid)
+        return self.builder.build(metadata={"language": "core"})
+
+    def _run_block(self, block: Block, env: _Env, tid: int) -> RtValue:
+        result: RtValue = Prim(None)
+        for term in block.terms:
+            result = self.eval(term, env, tid)
+        return result
+
+    # -- evaluation ---------------------------------------------------------
+
+    def eval(self, term: Term, env: _Env, tid: int) -> RtValue:
+        self._steps += 1
+        if self._steps > self.max_steps:
+            raise RuntimeLangError(
+                f"step budget exhausted ({self.max_steps})")
+        if isinstance(term, Lit):
+            return Prim(term.value)
+        if isinstance(term, Var):
+            if term.name not in env.locals:
+                raise RuntimeLangError(f"unbound variable: {term.name}")
+            return env.locals[term.name]
+        if isinstance(term, This):
+            if env.receiver is None:
+                raise RuntimeLangError("'this' outside a method")
+            return env.receiver
+        if isinstance(term, (Seq, Block)):
+            return self._run_block(
+                term if isinstance(term, Block) else Block(term.terms),
+                env, tid)
+        if isinstance(term, VarDecl):
+            env.locals[term.name] = self.eval(term.value, env, tid)
+            return Prim(None)
+        if isinstance(term, LocalAssign):
+            if term.name not in env.locals:
+                raise RuntimeLangError(f"assignment to unbound local: "
+                                       f"{term.name}")
+            value = self.eval(term.value, env, tid)
+            env.locals[term.name] = value
+            return value
+        if isinstance(term, FieldRead):
+            return self._eval_field_read(term, env, tid)
+        if isinstance(term, FieldAssign):
+            return self._eval_field_assign(term, env, tid)
+        if isinstance(term, New):
+            return self._eval_new(term, env, tid)
+        if isinstance(term, MethodCall):
+            return self._eval_call(term, env, tid)
+        if isinstance(term, Spawn):
+            return self._eval_spawn(term, env, tid)
+        if isinstance(term, If):
+            return self._eval_if(term, env, tid)
+        if isinstance(term, While):
+            return self._eval_while(term, env, tid)
+        if isinstance(term, Return):
+            raise _ReturnSignal(self.eval(term.value, env, tid))
+        raise RuntimeLangError(f"cannot evaluate term: {term!r}")
+
+    # -- rule implementations -------------------------------------------------
+
+    def _eval_new(self, term: New, env: _Env, tid: int) -> RtValue:
+        """CONS-E."""
+        decl = self.program.class_decl(term.class_name)
+        if decl is None:
+            raise RuntimeLangError(f"unknown class: {term.class_name}")
+        fields = self.program.fields_of(term.class_name)
+        if len(fields) != len(term.args):
+            raise RuntimeLangError(
+                f"constructor {term.class_name} expects {len(fields)} "
+                f"arguments, got {len(term.args)}")
+        args = [self.eval(arg, env, tid) for arg in term.args]
+        arg_reps = tuple(self.rep(a) for a in args)
+        location = self.builder.fresh_location()
+        self.store[location] = {
+            f.name: value for f, value in zip(fields, args)}
+        serialization = self._serialize_new(term.class_name, arg_reps)
+        rep = self.builder.record_init(tid, term.class_name, arg_reps,
+                                       serialization=serialization,
+                                       location=location)
+        del rep  # the init entry records it; callers re-derive via rep()
+        return Ref(location=location, class_name=term.class_name)
+
+    def _eval_field_read(self, term: FieldRead, env: _Env,
+                         tid: int) -> RtValue:
+        """FIELD-ACC-E."""
+        obj = self.eval(term.obj, env, tid)
+        if not isinstance(obj, Ref):
+            raise RuntimeLangError(
+                f"field access {term.field!r} on non-object")
+        fields = self.store[obj.location]
+        if term.field not in fields:
+            raise RuntimeLangError(
+                f"unknown field {term.field!r} on {obj.class_name}")
+        value = fields[term.field]
+        self.builder.record_get(tid, self.rep(obj), term.field,
+                                self.rep(value))
+        return value
+
+    def _eval_field_assign(self, term: FieldAssign, env: _Env,
+                           tid: int) -> RtValue:
+        """FIELD-ASS-E."""
+        obj = self.eval(term.obj, env, tid)
+        if not isinstance(obj, Ref):
+            raise RuntimeLangError(
+                f"field assignment {term.field!r} on non-object")
+        value = self.eval(term.value, env, tid)
+        fields = self.store[obj.location]
+        if term.field not in fields:
+            raise RuntimeLangError(
+                f"unknown field {term.field!r} on {obj.class_name}")
+        fields[term.field] = value
+        self.builder.record_set(tid, self.rep(obj), term.field,
+                                self.rep(value))
+        return value
+
+    def _eval_call(self, term: MethodCall, env: _Env, tid: int) -> RtValue:
+        """METH-E / RETURN-E, plus primitive built-ins."""
+        obj = self.eval(term.obj, env, tid)
+        args = [self.eval(arg, env, tid) for arg in term.args]
+        arg_reps = tuple(self.rep(a) for a in args)
+        if isinstance(obj, Prim):
+            return self._eval_builtin(obj, term.method, args, arg_reps, tid)
+        decl, owner = self._lookup_method(term.method, obj.class_name)
+        qualified = f"{owner}.{term.method}"
+        if len(decl.params) != len(args):
+            raise RuntimeLangError(
+                f"{qualified} expects {len(decl.params)} arguments, "
+                f"got {len(args)}")
+        self.builder.record_call(tid, self.rep(obj), qualified, arg_reps)
+        callee_env = _Env(receiver=obj,
+                          locals=dict(zip(decl.param_names(), args)))
+        try:
+            result = self._run_block(decl.body, callee_env, tid)
+        except _ReturnSignal as signal:
+            result = signal.value
+        self.builder.record_return(tid, self.rep(result))
+        return result
+
+    def _lookup_method(self, method: str, class_name: str):
+        try:
+            return self.program.mbody(method, class_name)
+        except KeyError as exc:
+            raise RuntimeLangError(str(exc)) from None
+
+    def _eval_builtin(self, obj: Prim, method: str, args: list[RtValue],
+                      arg_reps: tuple[ValueRep, ...], tid: int) -> RtValue:
+        func = BUILTINS.get(method)
+        if func is None:
+            raise RuntimeLangError(
+                f"unknown built-in {method!r} on primitive "
+                f"{truncate_repr(repr(obj.value))}")
+        unwrapped = []
+        for arg in args:
+            if not isinstance(arg, Prim):
+                raise RuntimeLangError(
+                    f"built-in {method!r} takes primitive arguments")
+            unwrapped.append(arg.value)
+        receiver_rep = self.rep(obj)
+        qualified = f"{receiver_rep.class_name}.{method}"
+        self.builder.record_call(tid, receiver_rep, qualified, arg_reps)
+        try:
+            result = Prim(func(obj.value, *unwrapped))
+        except (TypeError, ValueError, ZeroDivisionError, IndexError) as exc:
+            raise RuntimeLangError(
+                f"built-in {qualified} failed: {exc}") from exc
+        self.builder.record_return(tid, self.rep(result))
+        return result
+
+    def _eval_spawn(self, term: Spawn, env: _Env, tid: int) -> RtValue:
+        """FORK-E: record the fork (with full ancestry) and queue the body.
+
+        The child thread closes over the spawning environment, mirroring
+        the semantics where the thread term's free variables were already
+        substituted.
+        """
+        child_tid = self.builder.record_fork(tid)
+        child_env = _Env(receiver=env.receiver, locals=dict(env.locals))
+        self._thread_queue.append((child_tid, term.body, child_env))
+        return Prim(None)
+
+    def _eval_if(self, term: If, env: _Env, tid: int) -> RtValue:
+        condition = self.eval(term.condition, env, tid)
+        if not isinstance(condition, Prim) or not isinstance(
+                condition.value, bool):
+            raise RuntimeLangError("if condition must be a Bool")
+        if condition.value:
+            return self._run_block(term.then_block, env, tid)
+        if term.else_block is not None:
+            return self._run_block(term.else_block, env, tid)
+        return Prim(None)
+
+    def _eval_while(self, term: While, env: _Env, tid: int) -> RtValue:
+        result: RtValue = Prim(None)
+        while True:
+            condition = self.eval(term.condition, env, tid)
+            if not isinstance(condition, Prim) or not isinstance(
+                    condition.value, bool):
+                raise RuntimeLangError("while condition must be a Bool")
+            if not condition.value:
+                return result
+            result = self._run_block(term.body, env, tid)
+
+
+def run_program(program: Program, name: str = "",
+                max_steps: int = 5_000_000) -> Trace:
+    """Evaluate a parsed program, returning its execution trace."""
+    return Interpreter(program, name=name, max_steps=max_steps).run()
+
+
+def run_source(source: str, name: str = "",
+               max_steps: int = 5_000_000) -> Trace:
+    """Parse and evaluate concrete syntax, returning the trace."""
+    return run_program(parse_program(source), name=name,
+                       max_steps=max_steps)

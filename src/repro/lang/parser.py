@@ -1,0 +1,325 @@
+"""Recursive-descent parser for the core language's concrete syntax.
+
+Grammar (statements end in ``;``; ``//`` comments run to end of line)::
+
+    program    := classdecl* "thread" block
+    classdecl  := "class" NAME ("extends" NAME)? "{" member* "}"
+    member     := TYPE NAME ";"                          (field)
+                | TYPE NAME "(" params ")" block         (method)
+    block      := "{" stmt* "}"
+    stmt       := "var" NAME "=" expr ";"
+                | "return" expr ";"
+                | "if" "(" expr ")" block ("else" block)?
+                | "while" "(" expr ")" block
+                | "spawn" block
+                | expr ";"
+    expr       := postfix ("=" expr)?                    (field/local assign)
+    postfix    := primary ("." NAME ("(" args ")")?)*
+    primary    := INT | FLOAT | STRING | "true" | "false" | "null" | "unit"
+                | "this" | NAME | "new" NAME "(" args ")" | "(" expr ")"
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lang.ast import (Block, ClassDecl, FieldAssign, FieldDecl,
+                            FieldRead, If, Lit, LocalAssign, MethodCall,
+                            MethodDecl, New, Program, Return, Spawn, This,
+                            Var, VarDecl, While)
+from repro.lang.errors import ParseError
+
+KEYWORDS = {
+    "class", "extends", "new", "this", "thread", "spawn", "var", "return",
+    "if", "else", "while", "true", "false", "null", "unit",
+}
+
+PUNCT = ("(", ")", "{", "}", ";", ",", ".", "=")
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    kind: str  # 'name' | 'int' | 'float' | 'string' | 'punct' | 'kw' | 'eof'
+    text: str
+    line: int
+    column: int
+
+
+def tokenize(source: str) -> list[Token]:
+    tokens: list[Token] = []
+    line, column = 1, 1
+    i = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            column = 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            column += 1
+            continue
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        start_col = column
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            kind = "kw" if text in KEYWORDS else "name"
+            tokens.append(Token(kind, text, line, start_col))
+            column += j - i
+            i = j
+            continue
+        if ch.isdigit() or (ch == "-" and i + 1 < n and source[i + 1].isdigit()):
+            j = i + 1
+            is_float = False
+            while j < n and (source[j].isdigit() or source[j] == "."):
+                if source[j] == ".":
+                    if is_float or j + 1 >= n or not source[j + 1].isdigit():
+                        break
+                    is_float = True
+                j += 1
+            text = source[i:j]
+            tokens.append(Token("float" if is_float else "int", text, line,
+                                start_col))
+            column += j - i
+            i = j
+            continue
+        if ch in "'\"":
+            quote = ch
+            j = i + 1
+            chars: list[str] = []
+            while j < n and source[j] != quote:
+                if source[j] == "\\" and j + 1 < n:
+                    escape = source[j + 1]
+                    chars.append({"n": "\n", "t": "\t"}.get(escape, escape))
+                    j += 2
+                    continue
+                if source[j] == "\n":
+                    raise ParseError("unterminated string", line, start_col)
+                chars.append(source[j])
+                j += 1
+            if j >= n:
+                raise ParseError("unterminated string", line, start_col)
+            tokens.append(Token("string", "".join(chars), line, start_col))
+            column += (j + 1) - i
+            i = j + 1
+            continue
+        if ch in PUNCT:
+            tokens.append(Token("punct", ch, line, start_col))
+            i += 1
+            column += 1
+            continue
+        raise ParseError(f"unexpected character {ch!r}", line, column)
+    tokens.append(Token("eof", "", line, column))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.at = 0
+
+    # -- token helpers ------------------------------------------------------
+
+    def peek(self) -> Token:
+        return self.tokens[self.at]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.at]
+        if token.kind != "eof":
+            self.at += 1
+        return token
+
+    def check(self, kind: str, text: str | None = None) -> bool:
+        token = self.peek()
+        if token.kind != kind:
+            return False
+        return text is None or token.text == text
+
+    def accept(self, kind: str, text: str | None = None) -> Token | None:
+        if self.check(kind, text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, text: str | None = None) -> Token:
+        token = self.peek()
+        if not self.check(kind, text):
+            want = text if text is not None else kind
+            raise ParseError(f"expected {want!r}, found {token.text!r}",
+                             token.line, token.column)
+        return self.advance()
+
+    # -- grammar ------------------------------------------------------------
+
+    def program(self) -> Program:
+        classes: dict[str, ClassDecl] = {}
+        while self.check("kw", "class"):
+            decl = self.class_decl()
+            if decl.name in classes:
+                token = self.peek()
+                raise ParseError(f"duplicate class {decl.name}", token.line,
+                                 token.column)
+            classes[decl.name] = decl
+        self.expect("kw", "thread")
+        main = self.block()
+        self.expect("eof")
+        return Program(classes=classes, main=main)
+
+    def class_decl(self) -> ClassDecl:
+        self.expect("kw", "class")
+        name = self.expect("name").text
+        superclass = "Object"
+        if self.accept("kw", "extends"):
+            superclass = self.expect("name").text
+        self.expect("punct", "{")
+        fields: list[FieldDecl] = []
+        methods: list[MethodDecl] = []
+        while not self.check("punct", "}"):
+            type_name = self.expect("name").text
+            member_name = self.expect("name").text
+            if self.accept("punct", ";"):
+                fields.append(FieldDecl(type_name=type_name,
+                                        name=member_name))
+                continue
+            self.expect("punct", "(")
+            params: list[FieldDecl] = []
+            if not self.check("punct", ")"):
+                while True:
+                    ptype = self.expect("name").text
+                    pname = self.expect("name").text
+                    params.append(FieldDecl(type_name=ptype, name=pname))
+                    if not self.accept("punct", ","):
+                        break
+            self.expect("punct", ")")
+            body = self.block()
+            methods.append(MethodDecl(return_type=type_name,
+                                      name=member_name,
+                                      params=tuple(params), body=body))
+        self.expect("punct", "}")
+        return ClassDecl(name=name, superclass=superclass,
+                         fields=tuple(fields), methods=tuple(methods))
+
+    def block(self) -> Block:
+        self.expect("punct", "{")
+        terms = []
+        while not self.check("punct", "}"):
+            terms.append(self.statement())
+        self.expect("punct", "}")
+        return Block(terms=tuple(terms))
+
+    def statement(self):
+        if self.accept("kw", "var"):
+            name = self.expect("name").text
+            self.expect("punct", "=")
+            value = self.expression()
+            self.expect("punct", ";")
+            return VarDecl(name=name, value=value)
+        if self.accept("kw", "return"):
+            value = self.expression()
+            self.expect("punct", ";")
+            return Return(value=value)
+        if self.accept("kw", "if"):
+            self.expect("punct", "(")
+            condition = self.expression()
+            self.expect("punct", ")")
+            then_block = self.block()
+            else_block = None
+            if self.accept("kw", "else"):
+                else_block = self.block()
+            return If(condition=condition, then_block=then_block,
+                      else_block=else_block)
+        if self.accept("kw", "while"):
+            self.expect("punct", "(")
+            condition = self.expression()
+            self.expect("punct", ")")
+            body = self.block()
+            return While(condition=condition, body=body)
+        if self.accept("kw", "spawn"):
+            body = self.block()
+            return Spawn(body=body)
+        expr = self.expression()
+        self.expect("punct", ";")
+        return expr
+
+    def expression(self):
+        target = self.postfix()
+        if self.accept("punct", "="):
+            value = self.expression()
+            if isinstance(target, FieldRead):
+                return FieldAssign(obj=target.obj, field=target.field,
+                                   value=value)
+            if isinstance(target, Var):
+                return LocalAssign(name=target.name, value=value)
+            token = self.peek()
+            raise ParseError("invalid assignment target", token.line,
+                             token.column)
+        return target
+
+    def postfix(self):
+        expr = self.primary()
+        while self.accept("punct", "."):
+            name = self.expect("name").text
+            if self.accept("punct", "("):
+                args = self.arguments()
+                expr = MethodCall(obj=expr, method=name, args=args)
+            else:
+                expr = FieldRead(obj=expr, field=name)
+        return expr
+
+    def arguments(self) -> tuple:
+        args = []
+        if not self.check("punct", ")"):
+            while True:
+                args.append(self.expression())
+                if not self.accept("punct", ","):
+                    break
+        self.expect("punct", ")")
+        return tuple(args)
+
+    def primary(self):
+        token = self.peek()
+        if token.kind == "int":
+            self.advance()
+            return Lit(value=int(token.text))
+        if token.kind == "float":
+            self.advance()
+            return Lit(value=float(token.text))
+        if token.kind == "string":
+            self.advance()
+            return Lit(value=token.text)
+        if self.accept("kw", "true"):
+            return Lit(value=True)
+        if self.accept("kw", "false"):
+            return Lit(value=False)
+        if self.accept("kw", "null"):
+            return Lit(value=None)
+        if self.accept("kw", "unit"):
+            return Lit(value=None)
+        if self.accept("kw", "this"):
+            return This()
+        if self.accept("kw", "new"):
+            name = self.expect("name").text
+            self.expect("punct", "(")
+            args = self.arguments()
+            return New(class_name=name, args=args)
+        if token.kind == "name":
+            self.advance()
+            return Var(name=token.text)
+        if self.accept("punct", "("):
+            expr = self.expression()
+            self.expect("punct", ")")
+            return expr
+        raise ParseError(f"unexpected token {token.text!r}", token.line,
+                         token.column)
+
+
+def parse_program(source: str) -> Program:
+    """Parse concrete syntax into a :class:`~repro.lang.ast.Program`."""
+    return _Parser(tokenize(source)).program()

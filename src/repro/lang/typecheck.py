@@ -1,0 +1,358 @@
+"""Static semantics for the core language.
+
+The paper's calculus is typed (types ``A ::= C | D``; Fig. 3 gives field,
+parameter and return types).  This checker implements the corresponding
+static semantics: a well-formed class table (known supertypes, acyclic
+hierarchy, no field shadowing, override compatibility) and expression
+typing with nominal subtyping for classes plus the primitive domain
+``Bool | Int | Float | Str | Unit | Null``.
+
+The interpreter runs untyped programs happily (dynamic errors become
+``RuntimeLangError``); the checker is the optional static gate::
+
+    program = parse_program(source)
+    check_program(program)          # raises TypeCheckError on ill-typed
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lang.ast import (Block, ClassDecl, FieldAssign, FieldRead, If,
+                            Lit, LocalAssign, MethodCall, MethodDecl, New,
+                            Program, Return, Seq, Spawn, Term, This, Var,
+                            VarDecl, While)
+from repro.lang.errors import LangError
+
+#: Primitive type names.
+PRIMITIVES = ("Bool", "Int", "Float", "Str", "Unit", "Null")
+#: The root class.
+OBJECT = "Object"
+
+
+class TypeCheckError(LangError):
+    """Ill-typed program."""
+
+
+@dataclass(frozen=True, slots=True)
+class BuiltinSig:
+    """Signature of a primitive built-in method."""
+
+    params: tuple[str, ...]
+    result: str
+
+
+def _arith(result: str) -> dict[str, BuiltinSig]:
+    return {
+        "add": BuiltinSig((result,), result),
+        "sub": BuiltinSig((result,), result),
+        "mul": BuiltinSig((result,), result),
+        "div": BuiltinSig((result,), result),
+        "mod": BuiltinSig((result,), result),
+        "neg": BuiltinSig((), result),
+        "eq": BuiltinSig((result,), "Bool"),
+        "equals": BuiltinSig((result,), "Bool"),
+        "ne": BuiltinSig((result,), "Bool"),
+        "lt": BuiltinSig((result,), "Bool"),
+        "le": BuiltinSig((result,), "Bool"),
+        "gt": BuiltinSig((result,), "Bool"),
+        "ge": BuiltinSig((result,), "Bool"),
+        "toStr": BuiltinSig((), "Str"),
+    }
+
+
+#: Built-in method signatures per primitive receiver type.
+BUILTIN_SIGS: dict[str, dict[str, BuiltinSig]] = {
+    "Int": _arith("Int"),
+    "Float": _arith("Float"),
+    "Bool": {
+        "and_": BuiltinSig(("Bool",), "Bool"),
+        "or_": BuiltinSig(("Bool",), "Bool"),
+        "not_": BuiltinSig((), "Bool"),
+        "eq": BuiltinSig(("Bool",), "Bool"),
+        "equals": BuiltinSig(("Bool",), "Bool"),
+        "ne": BuiltinSig(("Bool",), "Bool"),
+        "toStr": BuiltinSig((), "Str"),
+    },
+    "Str": {
+        "concat": BuiltinSig(("Str",), "Str"),
+        "len": BuiltinSig((), "Int"),
+        "charAt": BuiltinSig(("Int",), "Str"),
+        "substr": BuiltinSig(("Int", "Int"), "Str"),
+        "contains": BuiltinSig(("Str",), "Bool"),
+        "eq": BuiltinSig(("Str",), "Bool"),
+        "equals": BuiltinSig(("Str",), "Bool"),
+        "ne": BuiltinSig(("Str",), "Bool"),
+        "toStr": BuiltinSig((), "Str"),
+    },
+}
+
+
+class TypeChecker:
+    """Checks one program."""
+
+    def __init__(self, program: Program):
+        self.program = program
+
+    # -- class table well-formedness ---------------------------------------
+
+    def check(self) -> None:
+        self.check_class_table()
+        for decl in self.program.classes.values():
+            for method in decl.methods:
+                self.check_method(decl, method)
+        env = {}
+        self.check_block(self.program.main, env, receiver=None,
+                         expected_return=None)
+
+    def check_class_table(self) -> None:
+        classes = self.program.classes
+        for name, decl in classes.items():
+            if decl.superclass != OBJECT and decl.superclass not in classes:
+                raise TypeCheckError(
+                    f"class {name} extends unknown class "
+                    f"{decl.superclass}")
+            if name in PRIMITIVES or name == OBJECT:
+                raise TypeCheckError(f"class name {name} is reserved")
+        # acyclicity
+        for name in classes:
+            seen = {name}
+            current = classes[name].superclass
+            while current != OBJECT:
+                if current in seen:
+                    raise TypeCheckError(
+                        f"cyclic class hierarchy through {name}")
+                seen.add(current)
+                current = classes[current].superclass
+        # field shadowing + type validity
+        for name, decl in classes.items():
+            inherited = {f.name for f in self.program.fields_of(
+                decl.superclass)} if decl.superclass != OBJECT else set()
+            own = set()
+            for field in decl.fields:
+                self.require_known_type(field.type_name,
+                                        f"field {name}.{field.name}")
+                if field.name in own or field.name in inherited:
+                    raise TypeCheckError(
+                        f"field {field.name} shadowed/duplicated in "
+                        f"class {name}")
+                own.add(field.name)
+        # override compatibility
+        for name, decl in classes.items():
+            for method in decl.methods:
+                self.check_override(decl, method)
+
+    def check_override(self, decl: ClassDecl, method: MethodDecl) -> None:
+        current = decl.superclass
+        while current != OBJECT:
+            super_decl = self.program.classes[current]
+            overridden = super_decl.method(method.name)
+            if overridden is not None:
+                same_params = tuple(p.type_name for p in method.params) \
+                    == tuple(p.type_name for p in overridden.params)
+                if not same_params or \
+                        method.return_type != overridden.return_type:
+                    raise TypeCheckError(
+                        f"{decl.name}.{method.name} overrides "
+                        f"{current}.{method.name} with an incompatible "
+                        f"signature")
+                return
+            current = super_decl.superclass
+
+    def require_known_type(self, type_name: str, where: str) -> None:
+        if type_name in PRIMITIVES or type_name == OBJECT:
+            return
+        if type_name not in self.program.classes:
+            raise TypeCheckError(f"unknown type {type_name} in {where}")
+
+    # -- subtyping ------------------------------------------------------------
+
+    def is_subtype(self, sub: str, sup: str) -> bool:
+        if sub == sup or sup == OBJECT and sub not in PRIMITIVES:
+            return True
+        if sub == "Null" and (sup in self.program.classes
+                              or sup == OBJECT):
+            return True  # null inhabits every reference type
+        if sub == "Int" and sup == "Float":
+            return True  # numeric widening for convenience
+        current = sub
+        while current in self.program.classes:
+            current = self.program.classes[current].superclass
+            if current == sup:
+                return True
+        return False
+
+    def require_subtype(self, sub: str, sup: str, context: str) -> None:
+        if not self.is_subtype(sub, sup):
+            raise TypeCheckError(f"{context}: expected {sup}, got {sub}")
+
+    # -- method bodies ------------------------------------------------------------
+
+    def check_method(self, decl: ClassDecl, method: MethodDecl) -> None:
+        self.require_known_type(method.return_type,
+                                f"{decl.name}.{method.name} return")
+        env: dict[str, str] = {}
+        seen = set()
+        for param in method.params:
+            self.require_known_type(
+                param.type_name,
+                f"parameter {param.name} of {decl.name}.{method.name}")
+            if param.name in seen:
+                raise TypeCheckError(
+                    f"duplicate parameter {param.name} in "
+                    f"{decl.name}.{method.name}")
+            seen.add(param.name)
+            env[param.name] = param.type_name
+        self.check_block(method.body, env, receiver=decl.name,
+                         expected_return=method.return_type)
+
+    def check_block(self, block: Block, env: dict[str, str],
+                    receiver: str | None,
+                    expected_return: str | None) -> None:
+        for term in block.terms:
+            self.check_statement(term, env, receiver, expected_return)
+
+    def check_statement(self, term: Term, env: dict[str, str],
+                        receiver: str | None,
+                        expected_return: str | None) -> None:
+        if isinstance(term, VarDecl):
+            env[term.name] = self.type_of(term.value, env, receiver)
+        elif isinstance(term, LocalAssign):
+            if term.name not in env:
+                raise TypeCheckError(f"assignment to unbound local "
+                                     f"{term.name}")
+            value_type = self.type_of(term.value, env, receiver)
+            self.require_subtype(value_type, env[term.name],
+                                 f"assignment to {term.name}")
+        elif isinstance(term, Return):
+            value_type = self.type_of(term.value, env, receiver)
+            if expected_return is not None and expected_return != "Unit":
+                self.require_subtype(value_type, expected_return,
+                                     "return value")
+        elif isinstance(term, If):
+            condition = self.type_of(term.condition, env, receiver)
+            self.require_subtype(condition, "Bool", "if condition")
+            self.check_block(term.then_block, dict(env), receiver,
+                             expected_return)
+            if term.else_block is not None:
+                self.check_block(term.else_block, dict(env), receiver,
+                                 expected_return)
+        elif isinstance(term, While):
+            condition = self.type_of(term.condition, env, receiver)
+            self.require_subtype(condition, "Bool", "while condition")
+            self.check_block(term.body, dict(env), receiver,
+                             expected_return)
+        elif isinstance(term, Spawn):
+            self.check_block(term.body, dict(env), receiver, None)
+        else:
+            self.type_of(term, env, receiver)
+
+    # -- expression typing ------------------------------------------------------------
+
+    def type_of(self, term: Term, env: dict[str, str],
+                receiver: str | None) -> str:
+        if isinstance(term, Lit):
+            value = term.value
+            if value is None:
+                return "Null"
+            if isinstance(value, bool):
+                return "Bool"
+            if isinstance(value, int):
+                return "Int"
+            if isinstance(value, float):
+                return "Float"
+            return "Str"
+        if isinstance(term, Var):
+            if term.name not in env:
+                raise TypeCheckError(f"unbound variable {term.name}")
+            return env[term.name]
+        if isinstance(term, This):
+            if receiver is None:
+                raise TypeCheckError("'this' outside a method")
+            return receiver
+        if isinstance(term, New):
+            return self.type_of_new(term, env, receiver)
+        if isinstance(term, FieldRead):
+            obj_type = self.type_of(term.obj, env, receiver)
+            return self.field_type(obj_type, term.field)
+        if isinstance(term, FieldAssign):
+            obj_type = self.type_of(term.obj, env, receiver)
+            field_type = self.field_type(obj_type, term.field)
+            value_type = self.type_of(term.value, env, receiver)
+            self.require_subtype(value_type, field_type,
+                                 f"assignment to {obj_type}.{term.field}")
+            return value_type
+        if isinstance(term, MethodCall):
+            return self.type_of_call(term, env, receiver)
+        if isinstance(term, (Seq, Block)):
+            result = "Unit"
+            for sub in term.terms:
+                result = self.type_of(sub, env, receiver)
+            return result
+        raise TypeCheckError(f"untypeable term in expression position: "
+                             f"{type(term).__name__}")
+
+    def type_of_new(self, term: New, env, receiver) -> str:
+        if term.class_name not in self.program.classes:
+            raise TypeCheckError(f"unknown class {term.class_name}")
+        fields = self.program.fields_of(term.class_name)
+        if len(fields) != len(term.args):
+            raise TypeCheckError(
+                f"constructor {term.class_name} expects {len(fields)} "
+                f"arguments, got {len(term.args)}")
+        for field, arg in zip(fields, term.args):
+            arg_type = self.type_of(arg, env, receiver)
+            self.require_subtype(
+                arg_type, field.type_name,
+                f"constructor argument {field.name} of {term.class_name}")
+        return term.class_name
+
+    def field_type(self, obj_type: str, field_name: str) -> str:
+        if obj_type in PRIMITIVES:
+            raise TypeCheckError(
+                f"field access .{field_name} on primitive {obj_type}")
+        if obj_type == OBJECT:
+            raise TypeCheckError(
+                f"field access .{field_name} on Object")
+        for field in self.program.fields_of(obj_type):
+            if field.name == field_name:
+                return field.type_name
+        raise TypeCheckError(f"unknown field {field_name} on {obj_type}")
+
+    def type_of_call(self, term: MethodCall, env, receiver) -> str:
+        obj_type = self.type_of(term.obj, env, receiver)
+        arg_types = [self.type_of(arg, env, receiver)
+                     for arg in term.args]
+        if obj_type in PRIMITIVES:
+            sigs = BUILTIN_SIGS.get(obj_type, {})
+            sig = sigs.get(term.method)
+            if sig is None:
+                raise TypeCheckError(
+                    f"unknown built-in {obj_type}.{term.method}")
+            if len(sig.params) != len(arg_types):
+                raise TypeCheckError(
+                    f"{obj_type}.{term.method} expects "
+                    f"{len(sig.params)} arguments, got {len(arg_types)}")
+            for expected, actual in zip(sig.params, arg_types):
+                self.require_subtype(actual, expected,
+                                     f"argument of {obj_type}."
+                                     f"{term.method}")
+            return sig.result
+        try:
+            method, _owner = self.program.mbody(term.method, obj_type)
+        except KeyError as exc:
+            raise TypeCheckError(str(exc)) from None
+        if len(method.params) != len(arg_types):
+            raise TypeCheckError(
+                f"{obj_type}.{term.method} expects "
+                f"{len(method.params)} arguments, got {len(arg_types)}")
+        for param, actual in zip(method.params, arg_types):
+            self.require_subtype(actual, param.type_name,
+                                 f"argument {param.name} of "
+                                 f"{obj_type}.{term.method}")
+        return method.return_type
+
+
+def check_program(program: Program) -> None:
+    """Raise :class:`TypeCheckError` unless the program is well typed."""
+    TypeChecker(program).check()

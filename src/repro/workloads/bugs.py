@@ -1,0 +1,142 @@
+"""Regression-injection framework (Sec. 5.1's experimental design).
+
+The paper injects regressions into each post-fix Rhino version "by either
+using the actual cause of the bug itself if the bug was a regression or by
+using a distribution of root causes that matches the distribution found
+for semantic bugs in the Mozilla project [Li et al., ASID 2006]":
+
+    missing features     26.4%
+    missing cases        17.3%
+    boundary conditions  10.3%
+    control flow         16.0%
+    wrong expressions     5.8%
+    typos                24.2%
+
+``BugSpec`` describes one injectable regression: its root-cause category,
+the engine flag that enables it, the failing (regressing) input, a similar
+passing input, and a predicate recognising cause entries in a trace (the
+ground truth for false-positive/negative accounting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.entries import TraceEntry
+
+#: Root-cause categories with the Mozilla-project distribution weights.
+ROOT_CAUSE_DISTRIBUTION: dict[str, float] = {
+    "missing-feature": 0.264,
+    "missing-case": 0.173,
+    "boundary": 0.103,
+    "control-flow": 0.160,
+    "wrong-expression": 0.058,
+    "typo": 0.242,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class BugSpec:
+    """One injectable regression."""
+
+    bug_id: str
+    category: str
+    description: str
+    #: Input (workload-specific) that makes the regression manifest.
+    failing_input: object
+    #: A similar input on which old and new versions agree.
+    passing_input: object
+    #: Predicate over trace entries recognising the *cause* of the
+    #: regression (used only for ground-truth scoring, never by the
+    #: analysis itself).
+    cause_predicate: Callable[[TraceEntry], bool] = field(
+        default=lambda entry: False)
+    #: How many distinct cause manifestations exist (for FN accounting).
+    cause_marks: int = 1
+
+    def __post_init__(self):
+        if self.category not in ROOT_CAUSE_DISTRIBUTION:
+            raise ValueError(f"unknown root-cause category: "
+                             f"{self.category!r}")
+
+
+class BugRegistry:
+    """A named collection of injectable regressions for one workload."""
+
+    def __init__(self, workload: str):
+        self.workload = workload
+        self._bugs: dict[str, BugSpec] = {}
+
+    def register(self, spec: BugSpec) -> BugSpec:
+        if spec.bug_id in self._bugs:
+            raise ValueError(f"duplicate bug id: {spec.bug_id}")
+        self._bugs[spec.bug_id] = spec
+        return spec
+
+    def get(self, bug_id: str) -> BugSpec:
+        try:
+            return self._bugs[bug_id]
+        except KeyError:
+            raise KeyError(f"unknown bug: {bug_id!r} "
+                           f"(workload {self.workload})") from None
+
+    def all(self) -> list[BugSpec]:
+        return list(self._bugs.values())
+
+    def ids(self) -> list[str]:
+        return list(self._bugs)
+
+    def by_category(self) -> dict[str, list[BugSpec]]:
+        grouped: dict[str, list[BugSpec]] = {}
+        for spec in self._bugs.values():
+            grouped.setdefault(spec.category, []).append(spec)
+        return grouped
+
+    def category_mix(self) -> dict[str, float]:
+        """Achieved category proportions (compare against the target
+        distribution in tests)."""
+        total = len(self._bugs)
+        if total == 0:
+            return {}
+        return {category: len(specs) / total
+                for category, specs in self.by_category().items()}
+
+
+def cause_by_value(*values) -> Callable[[TraceEntry], bool]:
+    """Cause predicate: any event whose value/args mention one of the
+    given serialised values."""
+    wanted = set(values)
+
+    def predicate(entry: TraceEntry) -> bool:
+        event = entry.event
+        candidates = []
+        value = getattr(event, "value", None)
+        if value is not None:
+            candidates.append(value.serialization)
+        for arg in getattr(event, "args", ()) or ():
+            candidates.append(arg.serialization)
+        return any(c in wanted for c in candidates)
+
+    return predicate
+
+
+def cause_by_method(*method_fragments: str) -> Callable[[TraceEntry], bool]:
+    """Cause predicate: events on/in methods whose qualified name contains
+    one of the fragments."""
+
+    def predicate(entry: TraceEntry) -> bool:
+        event_method = getattr(entry.event, "method", "") or ""
+        return any(fragment in entry.method or fragment in event_method
+                   for fragment in method_fragments)
+
+    return predicate
+
+
+def cause_any(*predicates) -> Callable[[TraceEntry], bool]:
+    """Disjunction of cause predicates."""
+
+    def predicate(entry: TraceEntry) -> bool:
+        return any(p(entry) for p in predicates)
+
+    return predicate

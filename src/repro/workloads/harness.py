@@ -1,0 +1,229 @@
+"""Harness for the real-life regression studies (Tables 1 and 2).
+
+One :class:`ScenarioSpec` per case study — Daikon, Xalan-1725,
+Xalan-1802, Derby-1633 — each pointing at its workload's version entry
+points, test inputs, and ground-truth predicate.  ``run_scenario``
+produces a :class:`ScenarioResult` carrying every column of the paper's
+Table 1 (for both the LCS-based and views-based semantics) and Table 2
+(view counts and A/B/C/D set sizes).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+from repro.capture import TraceFilter, trace_call
+from repro.core.lcs import LcsMemoryError, MemoryBudget, OpCounter
+from repro.core.lcs_diff import lcs_diff
+from repro.core.regression import (MODE_INTERSECT, analyze_regression,
+                                   evaluate_against_truth)
+from repro.core.traces import Trace
+from repro.core.view_diff import ViewDiffConfig, view_diff
+from repro.core.web import ViewWeb
+
+from repro.workloads.invariants import scenario as daikon
+from repro.workloads.minidb import scenario as derby
+from repro.workloads.minixslt import scenario as xalan
+
+
+@dataclass(slots=True)
+class ScenarioSpec:
+    """One real-life regression case study."""
+
+    name: str
+    package: str
+    filter_modules: tuple[str, ...]
+    run_old: Callable
+    run_new: Callable
+    regressing_input: object
+    correct_input: object
+    is_cause_entry: Callable
+    cause_marks: int = 1
+    mode: str = MODE_INTERSECT
+
+
+@dataclass(slots=True)
+class SemanticsRow:
+    """One semantics' half of a Table 1 row."""
+
+    num_diffs: int | None = None
+    diff_sequences: int | None = None
+    regression_sequences: int | None = None
+    false_positives: int | None = None
+    false_negatives: int | None = None
+    analysis_seconds: float | None = None
+    memory_bytes: int | None = None
+    compares: int = 0
+    failed: str | None = None  # e.g. "out of memory"
+
+
+@dataclass(slots=True)
+class ScenarioResult:
+    """Table 1 row + Table 2 data for one scenario."""
+
+    name: str
+    workload_loc: int
+    trace_entries: int
+    tracing_seconds: float
+    lcs: SemanticsRow = field(default_factory=SemanticsRow)
+    views: SemanticsRow = field(default_factory=SemanticsRow)
+    speedup: float | None = None
+    view_counts: dict[str, int] = field(default_factory=dict)
+    set_sizes: dict[str, int] = field(default_factory=dict)
+
+
+def workload_loc(package: str) -> int:
+    """Lines of code of a workload package (the Table 1 LOC column)."""
+    import repro
+    root = Path(repro.__file__).parent / "workloads" / package
+    total = 0
+    for path in sorted(root.glob("*.py")):
+        total += sum(1 for _ in path.open())
+    return total
+
+
+def capture_scenario_trace(spec: ScenarioSpec, runner: Callable, payload,
+                           name: str) -> Trace:
+    """Trace one version/input combination under the scenario's
+    pointcut filter."""
+    trace_filter = TraceFilter(include_modules=spec.filter_modules)
+    return trace_call(runner, payload, filter=trace_filter,
+                      name=name).trace
+
+
+def _analyze(spec: ScenarioSpec, suspected, expected, regression,
+             row: SemanticsRow) -> dict[str, int]:
+    report = analyze_regression(suspected, expected=expected,
+                                regression=regression, mode=spec.mode)
+    evaluation = evaluate_against_truth(report, spec.is_cause_entry,
+                                        expected_cause_marks=spec.cause_marks)
+    row.num_diffs = suspected.num_diffs()
+    row.diff_sequences = len(suspected.sequences)
+    row.regression_sequences = report.size_d
+    row.false_positives = evaluation.false_positives
+    row.false_negatives = evaluation.false_negatives
+    return report.set_sizes()
+
+
+def run_scenario(spec: ScenarioSpec,
+                 lcs_budget_cells: int = 100_000_000,
+                 config: ViewDiffConfig | None = None) -> ScenarioResult:
+    """Everything the paper measures for one case study."""
+    started = time.perf_counter()
+    old_bad = capture_scenario_trace(
+        spec, spec.run_old, spec.regressing_input,
+        f"{spec.name}/old/regressing")
+    new_bad = capture_scenario_trace(
+        spec, spec.run_new, spec.regressing_input,
+        f"{spec.name}/new/regressing")
+    old_ok = capture_scenario_trace(
+        spec, spec.run_old, spec.correct_input,
+        f"{spec.name}/old/correct")
+    new_ok = capture_scenario_trace(
+        spec, spec.run_new, spec.correct_input,
+        f"{spec.name}/new/correct")
+    tracing_seconds = time.perf_counter() - started
+
+    result = ScenarioResult(
+        name=spec.name,
+        workload_loc=workload_loc(spec.package),
+        trace_entries=len(old_bad) + len(new_bad),
+        tracing_seconds=tracing_seconds,
+    )
+
+    # -- views-based differencing + analysis --------------------------------
+    views_counter = OpCounter()
+    views_started = time.perf_counter()
+    suspected_v = view_diff(old_bad, new_bad, config=config,
+                            counter=views_counter)
+    expected_v = view_diff(old_ok, new_ok, config=config,
+                           counter=views_counter)
+    regression_v = view_diff(new_ok, new_bad, config=config,
+                             counter=views_counter)
+    result.set_sizes = _analyze(spec, suspected_v, expected_v,
+                                regression_v, result.views)
+    result.views.analysis_seconds = time.perf_counter() - views_started
+    result.views.compares = views_counter.total
+    # Views memory: the webs' index lists (4 bytes/index modelled).
+    web = ViewWeb(old_bad)
+    result.view_counts = web.counts()
+    result.views.memory_bytes = 8 * sum(
+        len(v.indices) for v in web.all_views())
+
+    # -- LCS-based differencing + analysis ------------------------------------
+    lcs_counter = OpCounter()
+    budget = MemoryBudget(max_cells=lcs_budget_cells)
+    lcs_started = time.perf_counter()
+    try:
+        suspected_l = lcs_diff(old_bad, new_bad, counter=lcs_counter,
+                               budget=budget)
+        expected_l = lcs_diff(old_ok, new_ok, counter=lcs_counter,
+                              budget=budget)
+        regression_l = lcs_diff(new_ok, new_bad, counter=lcs_counter,
+                                budget=budget)
+        _analyze(spec, suspected_l, expected_l, regression_l, result.lcs)
+        result.lcs.analysis_seconds = time.perf_counter() - lcs_started
+        result.lcs.compares = lcs_counter.total
+        result.lcs.memory_bytes = budget.peak_bytes()
+        # Speedup on the paper's metric: entry compare operations (the
+        # baseline's count includes the DP-equivalent charge when the
+        # anchored differ stood in for the quadratic core).
+        if result.views.compares:
+            result.speedup = result.lcs.compares / result.views.compares
+    except LcsMemoryError as failure:
+        result.lcs.failed = (f"out of memory failure at "
+                             f"{failure.needed_cells * 4} bytes")
+        result.lcs.memory_bytes = failure.needed_cells * 4
+    return result
+
+
+SCENARIOS: dict[str, ScenarioSpec] = {
+    "Daikon": ScenarioSpec(
+        name="Daikon",
+        package="invariants",
+        filter_modules=("repro.workloads.invariants",),
+        run_old=daikon.run_old_version,
+        run_new=daikon.run_new_version,
+        regressing_input=daikon.REGRESSING_DATASET,
+        correct_input=daikon.CORRECT_DATASET,
+        is_cause_entry=daikon.is_cause_entry,
+        cause_marks=daikon.CAUSE_MARKS,
+    ),
+    "Xalan-1725": ScenarioSpec(
+        name="Xalan-1725",
+        package="minixslt",
+        filter_modules=("repro.workloads.minixslt",),
+        run_old=xalan.run_1725_old,
+        run_new=xalan.run_1725_new,
+        regressing_input=xalan.REGRESSING_INPUT_1725,
+        correct_input=xalan.CORRECT_INPUT_1725,
+        is_cause_entry=xalan.is_cause_entry_1725,
+    ),
+    "Xalan-1802": ScenarioSpec(
+        name="Xalan-1802",
+        package="minixslt",
+        filter_modules=("repro.workloads.minixslt",),
+        run_old=xalan.run_1802_old,
+        run_new=xalan.run_1802_new,
+        regressing_input=xalan.REGRESSING_INPUT_1802,
+        correct_input=xalan.CORRECT_INPUT_1802,
+        is_cause_entry=xalan.is_cause_entry_1802,
+    ),
+    "Derby-1633": ScenarioSpec(
+        name="Derby-1633",
+        package="minidb",
+        filter_modules=("repro.workloads.minidb",),
+        run_old=derby.run_old_version,
+        run_new=derby.run_new_version,
+        regressing_input=derby.REGRESSING_INPUT,
+        correct_input=derby.CORRECT_INPUT,
+        is_cause_entry=derby.is_cause_entry,
+    ),
+}
+
+
+def run_all_scenarios(**kwargs) -> list[ScenarioResult]:
+    return [run_scenario(spec, **kwargs) for spec in SCENARIOS.values()]

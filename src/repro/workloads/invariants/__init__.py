@@ -1,0 +1,33 @@
+"""The Daikon analogue: likely-invariant detection and invariant diffing.
+
+Daikon [Ernst et al., TSE 2001] observes variable values at program points
+and reports the invariants that held over all observations.  Its ``diff``
+subsystem compares the invariants of two runs with visitors;
+``XorVisitor`` reports invariants present in exactly one of the runs, and
+the regression the paper revisits (first evaluated by JUnit/CIA) was
+caused by changes to ``XorVisitor.shouldAddInv1`` and ``shouldAddInv2``.
+
+This package implements the full pipeline: sample model, invariant
+templates, falsification-based inference, the visitor-based diff, and the
+two versions of the XorVisitor predicates (the new one regressing exactly
+as described).
+"""
+
+from repro.workloads.invariants.inference import InvariantDetector
+from repro.workloads.invariants.invariants import (ConstantInvariant,
+                                                   EqualityInvariant,
+                                                   Invariant, NonZeroInvariant,
+                                                   RangeInvariant)
+from repro.workloads.invariants.model import ProgramPoint, RunData, Sample
+from repro.workloads.invariants.scenario import (CORRECT_DATASET,
+                                                 REGRESSING_DATASET,
+                                                 is_cause_entry,
+                                                 run_new_version,
+                                                 run_old_version)
+
+__all__ = [
+    "CORRECT_DATASET", "ConstantInvariant", "EqualityInvariant",
+    "Invariant", "InvariantDetector", "NonZeroInvariant", "ProgramPoint",
+    "REGRESSING_DATASET", "RangeInvariant", "RunData", "Sample",
+    "is_cause_entry", "run_new_version", "run_old_version",
+]

@@ -1,0 +1,129 @@
+"""Invariant diffing with visitors (daikon.diff, miniaturised).
+
+Two runs' invariants are paired by identity into :class:`InvariantPair`
+nodes; visitors walk the pairs.  ``XorVisitor`` collects invariants that
+appear in exactly one run — Daikon's symmetric difference — deciding
+membership through its two predicates ``should_add_inv1`` and
+``should_add_inv2``.  Those two methods are precisely where the paper's
+Daikon regression lives; the version modules supply their (correct or
+regressing) implementations.
+"""
+
+from __future__ import annotations
+
+from repro.capture import traced
+from repro.workloads.invariants.inference import detect_invariants
+from repro.workloads.invariants.invariants import Invariant
+from repro.workloads.invariants.model import RunData
+
+
+@traced
+class InvariantPair:
+    """The same-identity invariant from run 1 and run 2 (either side may
+    be missing)."""
+
+    def __init__(self, key: tuple, inv1: Invariant | None,
+                 inv2: Invariant | None):
+        self.key = key
+        self.inv1 = inv1
+        self.inv2 = inv2
+
+    def __repr__(self):
+        left = self.inv1.describe() if self.inv1 else "-"
+        right = self.inv2.describe() if self.inv2 else "-"
+        return f"Pair({left} | {right})"
+
+
+@traced
+class PairNode:
+    """All pairs of one program point."""
+
+    def __init__(self, point_name: str):
+        self.point_name = point_name
+        self.pairs = []
+
+    def add(self, pair: InvariantPair) -> None:
+        self.pairs = self.pairs + [pair]
+
+    def __repr__(self):
+        return f"PairNode({self.point_name}, {len(self.pairs)} pairs)"
+
+
+def build_pair_tree(run1: RunData, run2: RunData) -> list[PairNode]:
+    """Pair both runs' justified invariants by identity, per point."""
+    inv1_by_point = detect_invariants(run1)
+    inv2_by_point = detect_invariants(run2)
+    nodes: list[PairNode] = []
+    all_points = list(dict.fromkeys(
+        list(inv1_by_point) + list(inv2_by_point)))
+    for point_name in all_points:
+        node = PairNode(point_name)
+        left = {inv.identity(): inv
+                for inv in inv1_by_point.get(point_name, [])}
+        right = {inv.identity(): inv
+                 for inv in inv2_by_point.get(point_name, [])}
+        for key in dict.fromkeys(list(left) + list(right)):
+            node.add(InvariantPair(key, left.get(key), right.get(key)))
+        nodes.append(node)
+    return nodes
+
+
+@traced
+class Visitor:
+    """Base visitor over the pair tree."""
+
+    def visit_node(self, node: PairNode) -> None:
+        for pair in node.pairs:
+            self.visit_pair(pair)
+
+    def visit_pair(self, pair: InvariantPair) -> None:
+        raise NotImplementedError
+
+    def walk(self, nodes: list[PairNode]) -> None:
+        for node in nodes:
+            self.visit_node(node)
+
+    def __repr__(self):
+        return type(self).__name__
+
+
+@traced
+class MatchCountVisitor(Visitor):
+    """Counts pairs present in both runs (used for churn in the new
+    version and as an extra visitor exercising the tree)."""
+
+    def __init__(self):
+        self.matches = 0
+
+    def visit_pair(self, pair: InvariantPair) -> None:
+        if pair.inv1 is not None and pair.inv2 is not None:
+            self.matches = self.matches + 1
+
+
+@traced
+class XorVisitor(Visitor):
+    """Collects invariants present in exactly one run.
+
+    ``predicates`` supplies ``should_add_inv1(pair)`` and
+    ``should_add_inv2(pair)`` — the two methods whose change caused the
+    Daikon regression.  The visitor itself is version-independent.
+    """
+
+    def __init__(self, predicates):
+        self.predicates = predicates
+        self.only_in_run1 = []
+        self.only_in_run2 = []
+
+    def visit_pair(self, pair: InvariantPair) -> None:
+        if self.predicates.should_add_inv1(pair):
+            self.only_in_run1 = self.only_in_run1 + [pair.inv1]
+        if self.predicates.should_add_inv2(pair):
+            self.only_in_run2 = self.only_in_run2 + [pair.inv2]
+
+    def report(self) -> list[str]:
+        lines = []
+        for inv in self.only_in_run1:
+            lines.append(f"< {inv.point_name}: {inv.describe()}")
+        for inv in self.only_in_run2:
+            lines.append(f"> {inv.point_name}: {inv.describe()}")
+        return lines

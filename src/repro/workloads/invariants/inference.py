@@ -1,0 +1,75 @@
+"""Falsification-based invariant inference (the Daikon core loop)."""
+
+from __future__ import annotations
+
+from repro.capture import traced
+from repro.workloads.invariants.invariants import (BINARY_TEMPLATES,
+                                                   UNARY_TEMPLATES,
+                                                   Invariant)
+from repro.workloads.invariants.model import ProgramPoint, RunData
+
+
+@traced
+class InvariantDetector:
+    """Instantiates candidate invariants over a program point's variables
+    and feeds every sample through them; survivors that pass the
+    justification test are reported."""
+
+    def __init__(self, run: RunData):
+        self.run = run
+        self.detected = {}
+
+    def candidates_for(self, point: ProgramPoint) -> list[Invariant]:
+        candidates: list[Invariant] = []
+        names = point.variables
+        for index, name in enumerate(names):
+            for template in UNARY_TEMPLATES:
+                candidates.append(_SlottedInvariant(
+                    template(point.name, (name,)), (index,)))
+        for i in range(len(names)):
+            for j in range(i + 1, len(names)):
+                for template in BINARY_TEMPLATES:
+                    candidates.append(_SlottedInvariant(
+                        template(point.name, (names[i], names[j])),
+                        (i, j)))
+        return candidates
+
+    def detect_at(self, point_name: str) -> list[Invariant]:
+        point = self.run.points[point_name]
+        slotted = self.candidates_for(point)
+        for sample in self.run.samples_at(point_name):
+            for candidate in slotted:
+                candidate.feed_sample(sample)
+        survivors = [c.invariant for c in slotted
+                     if c.invariant.is_justified()]
+        self.detected[point_name] = survivors
+        return survivors
+
+    def detect_all(self) -> dict[str, list[Invariant]]:
+        for point_name in self.run.point_names():
+            self.detect_at(point_name)
+        return dict(self.detected)
+
+    def __repr__(self):
+        return f"InvariantDetector({self.run.name})"
+
+
+@traced
+class _SlottedInvariant:
+    """Binds an invariant to the variable slots it watches."""
+
+    def __init__(self, invariant: Invariant, slots: tuple[int, ...]):
+        self.invariant = invariant
+        self.slots = slots
+
+    def feed_sample(self, sample) -> None:
+        values = tuple(sample.value_of(slot) for slot in self.slots)
+        self.invariant.feed(values)
+
+    def __repr__(self):
+        return f"Slotted({self.invariant.describe()})"
+
+
+def detect_invariants(run: RunData) -> dict[str, list[Invariant]]:
+    """Convenience: full detection over a run."""
+    return InvariantDetector(run).detect_all()

@@ -1,0 +1,167 @@
+"""Invariant templates (the Daikon invariant lattice, miniaturised).
+
+Each invariant watches one or two variables of a program point, is fed
+samples, and is *falsified* the first time a sample contradicts it.  An
+invariant that survives all samples and has seen enough of them is
+*justified* (Daikon's confidence test, simplified to a sample-count
+threshold)."""
+
+from __future__ import annotations
+
+from repro.capture import traced
+
+#: Minimum samples before a surviving invariant is considered justified.
+JUSTIFICATION_THRESHOLD = 3
+
+
+@traced
+class Invariant:
+    """Base invariant over one or two variable slots."""
+
+    def __init__(self, point_name: str, var_names: tuple[str, ...]):
+        self.point_name = point_name
+        self.var_names = var_names
+        self.falsified = False
+        self.samples_seen = 0
+
+    # -- protocol ----------------------------------------------------------
+
+    def feed(self, values: tuple) -> None:
+        if self.falsified:
+            return
+        self.samples_seen = self.samples_seen + 1
+        if not self.holds(values):
+            self.falsified = True
+
+    def holds(self, values: tuple) -> bool:
+        raise NotImplementedError
+
+    def is_justified(self) -> bool:
+        return (not self.falsified
+                and self.samples_seen >= JUSTIFICATION_THRESHOLD)
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+    def identity(self) -> tuple:
+        """Cross-run identity: kind + point + variables + parameters."""
+        return (type(self).__name__, self.point_name, self.var_names,
+                self.parameters())
+
+    def parameters(self) -> tuple:
+        return ()
+
+    def __repr__(self):
+        state = "justified" if self.is_justified() else (
+            "falsified" if self.falsified else "pending")
+        return f"{self.describe()} [{state}]"
+
+
+@traced
+class ConstantInvariant(Invariant):
+    """``x == c`` where ``c`` is the first observed value."""
+
+    def __init__(self, point_name: str, var_names: tuple[str, ...]):
+        super().__init__(point_name, var_names)
+        self.constant = None
+        self.seeded = False
+
+    def holds(self, values: tuple) -> bool:
+        value = values[0]
+        if not self.seeded:
+            self.constant = value
+            self.seeded = True
+            return True
+        return value == self.constant
+
+    def parameters(self) -> tuple:
+        return (self.constant,)
+
+    def describe(self) -> str:
+        return f"{self.var_names[0]} == {self.constant!r}"
+
+
+@traced
+class RangeInvariant(Invariant):
+    """``lo <= x <= hi`` with bounds tightened to the observations."""
+
+    def __init__(self, point_name: str, var_names: tuple[str, ...]):
+        super().__init__(point_name, var_names)
+        self.low = None
+        self.high = None
+
+    def holds(self, values: tuple) -> bool:
+        value = values[0]
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            return False
+        if self.low is None or value < self.low:
+            self.low = value
+        if self.high is None or value > self.high:
+            self.high = value
+        return True
+
+    def parameters(self) -> tuple:
+        # Bounds are derived, not identity: two runs with different
+        # observed ranges still track "the same" invariant.
+        return ()
+
+    def describe(self) -> str:
+        return f"{self.var_names[0]} in [{self.low}..{self.high}]"
+
+
+@traced
+class NonZeroInvariant(Invariant):
+    """``x != 0``."""
+
+    def holds(self, values: tuple) -> bool:
+        value = values[0]
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            return False
+        return value != 0
+
+    def describe(self) -> str:
+        return f"{self.var_names[0]} != 0"
+
+
+@traced
+class NonNullInvariant(Invariant):
+    """``x is not None``."""
+
+    def holds(self, values: tuple) -> bool:
+        return values[0] is not None
+
+    def describe(self) -> str:
+        return f"{self.var_names[0]} != null"
+
+
+@traced
+class EqualityInvariant(Invariant):
+    """``x == y`` over a variable pair."""
+
+    def holds(self, values: tuple) -> bool:
+        return values[0] == values[1]
+
+    def describe(self) -> str:
+        return f"{self.var_names[0]} == {self.var_names[1]}"
+
+
+@traced
+class LessEqualInvariant(Invariant):
+    """``x <= y`` over a variable pair."""
+
+    def holds(self, values: tuple) -> bool:
+        a, b = values
+        if isinstance(a, bool) or isinstance(b, bool):
+            return False
+        if not isinstance(a, (int, float)) or not isinstance(b, (int, float)):
+            return False
+        return a <= b
+
+    def describe(self) -> str:
+        return f"{self.var_names[0]} <= {self.var_names[1]}"
+
+
+#: Unary and binary template factories, in reporting order.
+UNARY_TEMPLATES = (ConstantInvariant, RangeInvariant, NonZeroInvariant,
+                   NonNullInvariant)
+BINARY_TEMPLATES = (EqualityInvariant, LessEqualInvariant)

@@ -1,0 +1,77 @@
+"""Data model: program points, samples, and run data."""
+
+from __future__ import annotations
+
+from repro.capture import traced
+
+
+@traced
+class ProgramPoint:
+    """A named program point with an ordered variable list."""
+
+    def __init__(self, name: str, variables: tuple[str, ...]):
+        self.name = name
+        self.variables = variables
+
+    def __repr__(self):
+        return f"ProgramPoint({self.name})"
+
+
+@traced
+class Sample:
+    """One observation of all variables at a program point."""
+
+    def __init__(self, values: tuple):
+        self.values = values
+
+    def value_of(self, index: int):
+        return self.values[index]
+
+    def __repr__(self):
+        return f"Sample{self.values}"
+
+
+@traced
+class RunData:
+    """All samples of one program run, grouped by program point."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.points = {}
+        self.samples = {}
+
+    def declare(self, point: ProgramPoint) -> None:
+        self.points[point.name] = point
+        self.samples[point.name] = []
+
+    def observe(self, point_name: str, *values) -> None:
+        if point_name not in self.points:
+            raise KeyError(f"undeclared program point: {point_name}")
+        expected = len(self.points[point_name].variables)
+        if len(values) != expected:
+            raise ValueError(
+                f"{point_name} expects {expected} values, got {len(values)}")
+        self.samples[point_name].append(Sample(tuple(values)))
+
+    def point_names(self):
+        return list(self.points)
+
+    def samples_at(self, point_name: str):
+        return list(self.samples[point_name])
+
+    def sample_count(self, point_name: str) -> int:
+        return len(self.samples[point_name])
+
+    def __repr__(self):
+        return f"RunData({self.name})"
+
+
+def build_run(name: str, spec: dict[str, tuple[tuple[str, ...], list[tuple]]]
+              ) -> RunData:
+    """Build a run from ``{point: (variables, [sample values, ...])}``."""
+    run = RunData(name)
+    for point_name, (variables, rows) in spec.items():
+        run.declare(ProgramPoint(point_name, tuple(variables)))
+        for row in rows:
+            run.observe(point_name, *row)
+    return run

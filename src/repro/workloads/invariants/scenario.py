@@ -1,0 +1,96 @@
+"""The Daikon regression scenario (testXor).
+
+The regressing dataset produces an invariant justified only in the second
+run (an *inv2-only* pair): the old XorVisitor reports it, the new one
+silently drops it through the wrong-variable typo in ``should_add_inv2``.
+The correct (non-regressing) dataset has only inv1-only asymmetries with
+ample support, so both versions agree on it.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+
+from repro.workloads.invariants.diffing import (MatchCountVisitor,
+                                                XorVisitor, build_pair_tree)
+from repro.workloads.invariants.model import build_run
+from repro.workloads.invariants import version_new, version_old
+
+#: testXor analogue: run2 satisfies result != 0 and y <= result throughout
+#: (justified, 5 samples) while run1 falsifies them -> inv2-only pairs.
+REGRESSING_DATASET = (
+    {
+        "Calc.compute:EXIT": (("x", "y", "result"), [
+            (1, 1, 0), (2, 2, 0), (3, 3, 0), (4, 4, 0), (5, 5, 0),
+        ]),
+        "Calc.scale:EXIT": (("n", "factor"), [
+            (1, 10), (2, 10), (3, 10), (4, 10),
+        ]),
+    },
+    {
+        "Calc.compute:EXIT": (("x", "y", "result"), [
+            (1, 2, 3), (2, 3, 5), (3, 4, 7), (4, 5, 9), (5, 6, 11),
+        ]),
+        "Calc.scale:EXIT": (("n", "factor"), [
+            (1, 10), (2, 10), (3, 10), (4, 10),
+        ]),
+    },
+)
+
+#: A similar dataset whose asymmetric invariants are all inv1-only with
+#: enough samples: both versions produce the same xor output.
+CORRECT_DATASET = (
+    {
+        "Calc.compute:EXIT": (("x", "y", "result"), [
+            (1, 1, 0), (2, 2, 0), (3, 3, 0), (4, 4, 0), (5, 5, 0),
+        ]),
+        "Calc.scale:EXIT": (("n", "factor"), [
+            (1, 10), (2, 10), (3, 10), (4, 10),
+        ]),
+    },
+    {
+        "Calc.compute:EXIT": (("x", "y", "result"), [
+            (1, 1, 0), (2, 2, 0), (3, 3, 0), (4, 4, 0), (6, 6, 0),
+        ]),
+        "Calc.scale:EXIT": (("n", "factor"), [
+            (1, 10), (2, 10), (3, 10), (4, 10),
+        ]),
+    },
+)
+
+
+def run_xor_diff(version_module, dataset) -> list[str]:
+    """The full pipeline: build both runs, detect invariants, pair them,
+    and produce the xor report under the given version's predicates."""
+    run1_spec, run2_spec = dataset
+    run1 = build_run("run1", run1_spec)
+    run2 = build_run("run2", run2_spec)
+    tree = build_pair_tree(run1, run2)
+    matcher = MatchCountVisitor()
+    matcher.walk(tree)
+    visitor = XorVisitor(version_module.XorPredicates())
+    visitor.walk(tree)
+    return visitor.report()
+
+
+run_old_version = partial(run_xor_diff, version_old)
+run_new_version = partial(run_xor_diff, version_new)
+
+
+def regression_manifests() -> bool:
+    return (run_old_version(REGRESSING_DATASET)
+            != run_new_version(REGRESSING_DATASET))
+
+
+def is_cause_entry(entry) -> bool:
+    """Ground truth: differences inside (or calling) should_add_inv2 —
+    the typo'd predicate.  The paper's own tool exhibited a false
+    negative on the shouldAddInv1 half of the edit; ``cause_marks=2``
+    in the bench reproduces that accounting."""
+    method = getattr(entry.event, "method", "") or ""
+    return ("should_add_inv2" in entry.method
+            or "should_add_inv2" in method)
+
+
+#: Both predicate methods changed between versions.
+CAUSE_MARKS = 2

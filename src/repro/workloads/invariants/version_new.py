@@ -1,0 +1,48 @@
+"""Newer XorVisitor predicates — with the regression.
+
+The new version introduces a legitimate feature — suppressing invariants
+that are not "worth printing" (too few samples) — but the edit botched
+*both* predicates, mirroring the paper's description of the Daikon
+regression (changes to ``shouldAddInv1`` and ``shouldAddInv2`` in
+``daikon.diff.XorVisitor``; the outdated ``testXor`` exhibits it):
+
+* ``should_add_inv1`` gained the worth-printing condition (benign in
+  intent, part of the feature);
+* ``should_add_inv2`` was edited to test ``pair.inv1``'s printability
+  instead of ``pair.inv2``'s — a wrong-variable typo.  Since ``inv1`` is
+  ``None`` for the inv2-only pairs the predicate exists to catch, those
+  invariants are silently dropped from the xor output.
+"""
+
+from __future__ import annotations
+
+from repro.capture import traced
+from repro.workloads.invariants.diffing import InvariantPair
+from repro.workloads.invariants.invariants import Invariant
+
+#: The new feature's printability threshold.
+WORTH_PRINTING_SAMPLES = 4
+
+
+def worth_printing(invariant: Invariant | None) -> bool:
+    """The new feature: only report invariants with enough support."""
+    return (invariant is not None
+            and invariant.samples_seen >= WORTH_PRINTING_SAMPLES)
+
+
+@traced
+class XorPredicates:
+    """The regressing shouldAddInv1 / shouldAddInv2 pair."""
+
+    def should_add_inv1(self, pair: InvariantPair) -> bool:
+        return (pair.inv1 is not None and pair.inv2 is None
+                and worth_printing(pair.inv1))
+
+    def should_add_inv2(self, pair: InvariantPair) -> bool:
+        # BUG: tests inv1's printability; inv1 is None exactly when this
+        # predicate should fire, so inv2-only invariants vanish.
+        return (pair.inv2 is not None and pair.inv1 is None
+                and worth_printing(pair.inv1))
+
+    def __repr__(self):
+        return "XorPredicates(v2)"

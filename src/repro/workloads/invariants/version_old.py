@@ -1,0 +1,24 @@
+"""Original (correct) XorVisitor predicates.
+
+An invariant belongs to the xor output when it is justified on exactly
+one side of the pair.
+"""
+
+from __future__ import annotations
+
+from repro.capture import traced
+from repro.workloads.invariants.diffing import InvariantPair
+
+
+@traced
+class XorPredicates:
+    """The correct shouldAddInv1 / shouldAddInv2 pair."""
+
+    def should_add_inv1(self, pair: InvariantPair) -> bool:
+        return pair.inv1 is not None and pair.inv2 is None
+
+    def should_add_inv2(self, pair: InvariantPair) -> bool:
+        return pair.inv2 is not None and pair.inv1 is None
+
+    def __repr__(self):
+        return "XorPredicates(v1)"

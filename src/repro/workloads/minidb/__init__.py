@@ -1,0 +1,22 @@
+"""The Derby analogue: a small multithreaded SQL engine.
+
+Pipeline mirrors Derby's: SQL text is lexed and parsed, *compiled* into a
+physical plan by the planner/optimiser, and executed against in-memory
+storage under a lock manager.  Queries run on dedicated worker threads
+and a background lock-daemon thread produces additional thread views —
+the property that makes the paper's Derby case exercise multi-thread
+view correlation.
+
+The DERBY-1633 analogue: version ``10.1.3.1`` introduces a subquery-
+flattening optimisation whose corner case (a predicated ``IN`` subquery
+whose inner column shadows an outer column) raises a ``CompileError``
+during *query compilation* — the regressing run aborts before execution,
+producing the large error-path divergence the paper reports (125K raw
+differences)."""
+
+from repro.workloads.minidb.engine import Database, run_session
+from repro.workloads.minidb.errors import (CompileError, SqlError,
+                                           StorageError)
+
+__all__ = ["CompileError", "Database", "SqlError", "StorageError",
+           "run_session"]

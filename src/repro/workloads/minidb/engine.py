@@ -1,0 +1,104 @@
+"""Database facade and the threaded session driver."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.capture import traced
+from repro.workloads.minidb.errors import CompileError, SqlError
+from repro.workloads.minidb.locks import LockDaemon, LockManager
+from repro.workloads.minidb.planner import make_planner
+from repro.workloads.minidb.sql import CreateTable, parse_sql
+from repro.workloads.minidb.storage import Catalog
+
+
+@traced
+class ExecutionContext:
+    """What plan nodes need at run time."""
+
+    def __init__(self, catalog: Catalog, locks: LockManager):
+        self.catalog = catalog
+        self.locks = locks
+
+    def __repr__(self):
+        return "ExecutionContext"
+
+
+@traced
+class Database:
+    """One database instance of a specific engine version."""
+
+    def __init__(self, version: str):
+        self.version = version
+        self.catalog = Catalog()
+        self.locks = LockManager()
+        self.planner = make_planner(version, self.catalog)
+        self.statements_run = 0
+
+    def execute(self, sql_text: str) -> list[tuple]:
+        """Parse, compile, and run one statement."""
+        statement = parse_sql(sql_text)
+        self.statements_run = self.statements_run + 1
+        if isinstance(statement, CreateTable):
+            self.catalog.create_table(statement.table, statement.columns)
+            return []
+        plan = self.planner.plan(statement)
+        context = ExecutionContext(self.catalog, self.locks)
+        return plan.execute(context)
+
+    def __repr__(self):
+        return f"Database({self.version})"
+
+
+@traced
+class QueryWorker:
+    """Runs one statement on its own thread (Derby's per-connection
+    threads)."""
+
+    def __init__(self, database: Database, sql_text: str):
+        self.database = database
+        self.sql_text = sql_text
+        self.rows = None
+        self.error = None
+
+    def run(self) -> None:
+        try:
+            self.rows = self.database.execute(self.sql_text)
+        except (CompileError, SqlError) as exc:
+            self.error = exc
+
+    def __repr__(self):
+        return f"QueryWorker({self.sql_text[:30]!r})"
+
+
+def run_session(version: str, setup: list[str],
+                queries: list[str]) -> list:
+    """A full client session.
+
+    Setup statements run on the main thread; each query runs on a
+    dedicated worker thread (joined before the next starts, keeping
+    traces deterministic), with the lock daemon auditing once per query.
+    Returns per-query results: row lists, or the compile error that
+    aborted the query.
+    """
+    database = Database(version)
+    daemon = LockDaemon(database.locks)
+    daemon.start()
+    results: list = []
+    try:
+        for statement in setup:
+            database.execute(statement)
+        for sql_text in queries:
+            worker = QueryWorker(database, sql_text)
+            thread = threading.Thread(target=worker.run,
+                                      name="query-worker")
+            thread.start()
+            thread.join()
+            daemon.tick()
+            if worker.error is not None:
+                results.append(worker.error)
+            else:
+                results.append(worker.rows)
+    finally:
+        daemon.stop()
+    return results

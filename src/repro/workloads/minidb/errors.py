@@ -1,0 +1,16 @@
+"""Error types of the SQL engine."""
+
+from __future__ import annotations
+
+
+class SqlError(Exception):
+    """Lexical or syntactic error in a statement."""
+
+
+class CompileError(Exception):
+    """Query compilation (planning/optimisation) failure — the DERBY-1633
+    regression surfaces as one of these."""
+
+
+class StorageError(Exception):
+    """Catalog or storage-level failure (unknown table/column, arity)."""

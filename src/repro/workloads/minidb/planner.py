@@ -1,0 +1,149 @@
+"""Query planner / optimiser — the module DERBY-1633 regressed in.
+
+``Planner`` (10.1.2.1) compiles ``IN`` subqueries as nested evaluation
+(:class:`InSubqueryFilterNode`): always correct, never clever.
+
+``OptimizingPlanner`` (10.1.3.1) adds *subquery flattening*: an ``IN``
+subquery becomes a semi-join when eligible.  The eligibility analysis has
+an incomplete corner case: when the subquery carries its own WHERE
+predicate *and* its inner column name shadows a column of the outer
+table, the flattening's column-binding step consults the outer schema
+first and — finding the name there — concludes the binding is ambiguous
+and raises :class:`CompileError` instead of falling back to the nested
+strategy.  The regressing query therefore fails during *compilation*,
+exactly like the Derby bug ("version 10.1.3.1 throwing an error during
+query compilation")."""
+
+from __future__ import annotations
+
+from repro.capture import traced
+from repro.workloads.minidb.errors import CompileError
+from repro.workloads.minidb.plans import (CountNode, InSubqueryFilterNode,
+                                          InsertNode, LimitNode, PlanNode,
+                                          PredicateFilterNode, ProjectNode,
+                                          ScanNode, SemiJoinNode, SortNode)
+from repro.workloads.minidb.sql import (BoolOp, CreateTable, InSubquery,
+                                        Insert, Select)
+from repro.workloads.minidb.storage import Catalog
+
+
+def split_predicates(where) -> list:
+    """Flatten top-level AND conjunctions into a predicate list."""
+    if where is None:
+        return []
+    if isinstance(where, BoolOp) and where.op == "and":
+        return split_predicates(where.left) + split_predicates(where.right)
+    return [where]
+
+
+@traced
+class Planner:
+    """The 10.1.2.1 planner: nested subquery evaluation only."""
+
+    def __init__(self, catalog: Catalog):
+        self.catalog = catalog
+
+    # -- statement entry point ------------------------------------------------
+
+    def plan(self, statement) -> PlanNode:
+        if isinstance(statement, Insert):
+            return InsertNode(statement.table, statement.values)
+        if isinstance(statement, Select):
+            return self.plan_select(statement)
+        raise CompileError(f"unplannable statement: {statement!r}")
+
+    # -- SELECT -----------------------------------------------------------------
+
+    def plan_select(self, select: Select) -> PlanNode:
+        schema = self.catalog.table(select.table).schema
+        node: PlanNode = ScanNode(select.table)
+        plain = []
+        subqueries = []
+        for predicate in split_predicates(select.where):
+            if isinstance(predicate, InSubquery):
+                subqueries.append(predicate)
+            else:
+                plain.append(predicate)
+        for predicate in plain:
+            node = PredicateFilterNode(node, predicate, schema)
+        for predicate in subqueries:
+            node = self.plan_subquery(node, predicate, schema)
+        if select.order_by is not None:
+            node = SortNode(node, schema.column_index(select.order_by),
+                            select.descending)
+        if select.count:
+            node = CountNode(node)
+        else:
+            node = self.project(node, select, schema)
+        if select.limit is not None:
+            node = LimitNode(node, select.limit)
+        return node
+
+    def plan_subquery(self, node: PlanNode, predicate: InSubquery,
+                      schema) -> PlanNode:
+        column_index = schema.column_index(predicate.column.name)
+        subplan = self.plan_select(predicate.subquery)
+        return InSubqueryFilterNode(node, column_index, subplan,
+                                    predicate.negated)
+
+    def project(self, node: PlanNode, select: Select, schema) -> PlanNode:
+        if select.columns == ("*",):
+            return ProjectNode(node, ())
+        indices = tuple(schema.column_index(c) for c in select.columns)
+        return ProjectNode(node, indices)
+
+    def __repr__(self):
+        return type(self).__name__
+
+
+@traced
+class OptimizingPlanner(Planner):
+    """The 10.1.3.1 planner: adds subquery flattening (with the bug)."""
+
+    def plan_subquery(self, node: PlanNode, predicate: InSubquery,
+                      schema) -> PlanNode:
+        if self.flattening_eligible(predicate):
+            return self.flatten(node, predicate, schema)
+        return super().plan_subquery(node, predicate, schema)
+
+    def flattening_eligible(self, predicate: InSubquery) -> bool:
+        """Single-column, non-negated subqueries are flattened."""
+        subquery = predicate.subquery
+        return (not predicate.negated
+                and len(subquery.columns) == 1
+                and subquery.columns != ("*",))
+
+    def flatten(self, node: PlanNode, predicate: InSubquery,
+                schema) -> PlanNode:
+        subquery = predicate.subquery
+        inner_schema = self.catalog.table(subquery.table).schema
+        inner_column = subquery.columns[0]
+        outer_index = schema.column_index(predicate.column.name)
+        if subquery.where is not None:
+            # BUG (DERBY-1633 analogue): the binding check for the
+            # predicated path consults the *outer* schema first; a
+            # shadowed column name trips the ambiguity error instead of
+            # falling back to nested evaluation.
+            if schema.has_column(inner_column):
+                raise CompileError(
+                    f"ambiguous column binding {inner_column!r} while "
+                    f"flattening subquery over {subquery.table}")
+            inner: PlanNode = PredicateFilterNode(
+                ScanNode(subquery.table), subquery.where, inner_schema)
+        else:
+            inner = ScanNode(subquery.table)
+        inner_index = inner_schema.column_index(inner_column)
+        return SemiJoinNode(node, outer_index, inner, inner_index,
+                            predicate.negated)
+
+    def plan(self, statement) -> PlanNode:
+        return super().plan(statement)
+
+
+def make_planner(version: str, catalog: Catalog) -> Planner:
+    """Planner factory by engine version."""
+    if version == "10.1.2.1":
+        return Planner(catalog)
+    if version == "10.1.3.1":
+        return OptimizingPlanner(catalog)
+    raise ValueError(f"unknown database version: {version!r}")

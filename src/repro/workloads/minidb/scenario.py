@@ -1,0 +1,121 @@
+"""The DERBY-1633 regression scenario.
+
+The sample database has an ``orders`` table and a ``customers`` table
+that *share a column name* (``region``).  The regressing query filters
+orders by an ``IN`` subquery over customers *with a predicate*:
+
+    SELECT id, region FROM orders
+    WHERE region IN (SELECT region FROM customers WHERE tier = 1)
+
+* 10.1.2.1 evaluates the subquery nested — correct rows come back.
+* 10.1.3.1 tries to flatten it; the predicated path's column-binding
+  check sees ``region`` in the *outer* schema too, declares the binding
+  ambiguous, and aborts compilation with a ``CompileError``.
+
+The correct test case alters the predicate ("We formed the alternate
+test case by modifying the predicate causing the regression in the SQL
+query"): selecting the ``name`` column in the subquery avoids the
+shadowed name, flattening succeeds, and both versions agree."""
+
+from __future__ import annotations
+
+from functools import partial
+
+from repro.workloads.minidb.engine import run_session
+
+REGIONS = ("east", "west", "north", "south", "mid")
+
+#: Derby's trace is by far the largest of the four case studies (the
+#: paper: 337K entries vs 15-98K); the generated population and query
+#: batch scale the session accordingly.
+ORDER_ROWS = 150
+CUSTOMER_ROWS = 40
+
+
+def _build_setup() -> list[str]:
+    statements = [
+        "CREATE TABLE orders (id, region, amount)",
+        "CREATE TABLE customers (name, region, tier)",
+    ]
+    for order_id in range(1, ORDER_ROWS + 1):
+        region = REGIONS[order_id % len(REGIONS)]
+        amount = 20 + (order_id * 37) % 400
+        statements.append(
+            f"INSERT INTO orders VALUES ({order_id}, '{region}', {amount})")
+    for customer_id in range(1, CUSTOMER_ROWS + 1):
+        region = REGIONS[(customer_id * 3) % len(REGIONS)]
+        tier = 1 + customer_id % 3
+        statements.append(
+            f"INSERT INTO customers VALUES "
+            f"('cust{customer_id}', '{region}', {tier})")
+    return statements
+
+
+#: Shared database population (identical in both versions).
+SETUP_STATEMENTS = _build_setup()
+
+#: The query batch; query 4 is the regression trigger (predicated IN
+#: subquery with the shadowed ``region`` column name).
+REGRESSING_QUERIES = [
+    "SELECT id, amount FROM orders WHERE amount > 150",
+    "SELECT id FROM orders WHERE amount > 100 AND amount < 300",
+    "SELECT name FROM customers WHERE tier <= 2",
+    "SELECT id, region FROM orders "
+    "WHERE region IN (SELECT region FROM customers WHERE tier = 1)",
+    "SELECT id FROM orders WHERE region = 'east' AND amount > 40",
+    "SELECT name, region FROM customers "
+    "WHERE region IN (SELECT region FROM customers)",
+]
+
+#: The alternate test case: modified predicate, no shadowed name.
+CORRECT_QUERIES = [
+    "SELECT id, amount FROM orders WHERE amount > 150",
+    "SELECT id FROM orders WHERE amount > 100 AND amount < 300",
+    "SELECT name FROM customers WHERE tier <= 2",
+    "SELECT id, region FROM orders "
+    "WHERE region IN (SELECT region FROM customers)",
+    "SELECT id FROM orders WHERE region = 'east' AND amount > 40",
+    "SELECT name, region FROM customers "
+    "WHERE region IN (SELECT region FROM customers)",
+]
+
+REGRESSING_INPUT = (SETUP_STATEMENTS, REGRESSING_QUERIES)
+CORRECT_INPUT = (SETUP_STATEMENTS, CORRECT_QUERIES)
+
+
+def run_version(version: str, inputs) -> list[str]:
+    """Run a session, returning printable per-query outcomes."""
+    setup, queries = inputs
+    outcomes = run_session(version, setup, queries)
+    rendered = []
+    for outcome in outcomes:
+        if isinstance(outcome, Exception):
+            rendered.append(f"ERROR: {outcome}")
+        else:
+            rendered.append(f"ROWS: {sorted(outcome)}")
+    return rendered
+
+
+run_old_version = partial(run_version, "10.1.2.1")
+run_new_version = partial(run_version, "10.1.3.1")
+
+
+def regression_manifests() -> bool:
+    return (run_old_version(REGRESSING_INPUT)
+            != run_new_version(REGRESSING_INPUT))
+
+
+def is_cause_entry(entry) -> bool:
+    """Ground truth: the flattening path — eligibility, the ambiguous
+    binding check, and the CompileError it raises."""
+    method = getattr(entry.event, "method", "") or ""
+    for fragment in ("flatten", "flattening_eligible", "has_column"):
+        if fragment in entry.method or fragment in method:
+            return True
+    event = entry.event
+    texts = []
+    for rep in [getattr(event, "value", None),
+                *list(getattr(event, "args", ()) or ())]:
+        if rep is not None:
+            texts.append(str(rep.serialization))
+    return any("ambiguous column binding" in text for text in texts)

@@ -1,0 +1,314 @@
+"""SQL front end: lexer and recursive-descent parser.
+
+Supported statements::
+
+    CREATE TABLE t (a, b, c)
+    INSERT INTO t VALUES (1, 'x', 2)
+    SELECT a, b FROM t WHERE <predicate> [ORDER BY col [DESC]] [LIMIT n]
+    SELECT COUNT(*) FROM t [WHERE <predicate>]
+    SELECT * FROM t
+
+Predicates: comparisons (= != < <= > >=) between columns and literals,
+AND / OR conjunctions, and ``col IN (SELECT col FROM t WHERE ...)``
+subqueries — the construct at the heart of DERBY-1633.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.workloads.minidb.errors import SqlError
+
+KEYWORDS = {"create", "table", "insert", "into", "values", "select",
+            "from", "where", "and", "or", "in", "not", "order", "by",
+            "limit", "count", "asc", "desc"}
+
+COMPARISONS = ("=", "!=", "<=", ">=", "<", ">")
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    kind: str  # 'name' | 'kw' | 'int' | 'str' | 'punct' | 'op' | 'eof'
+    text: str
+    position: int
+
+
+def tokenize_sql(text: str) -> list[Token]:
+    tokens: list[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch in " \t\r\n":
+            i += 1
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            kind = "kw" if word.lower() in KEYWORDS else "name"
+            tokens.append(Token(kind, word.lower() if kind == "kw"
+                                else word, i))
+            i = j
+            continue
+        if ch.isdigit() or (ch == "-" and i + 1 < n and text[i + 1].isdigit()):
+            j = i + 1
+            while j < n and text[j].isdigit():
+                j += 1
+            tokens.append(Token("int", text[i:j], i))
+            i = j
+            continue
+        if ch == "'":
+            j = text.find("'", i + 1)
+            if j < 0:
+                raise SqlError(f"unterminated string at {i}")
+            tokens.append(Token("str", text[i + 1:j], i))
+            i = j + 1
+            continue
+        matched = False
+        for op in COMPARISONS:
+            if text.startswith(op, i):
+                tokens.append(Token("op", op, i))
+                i += len(op)
+                matched = True
+                break
+        if matched:
+            continue
+        if ch in "(),*":
+            tokens.append(Token("punct", ch, i))
+            i += 1
+            continue
+        raise SqlError(f"unexpected character {ch!r} at {i}")
+    tokens.append(Token("eof", "", n))
+    return tokens
+
+
+# -- AST ---------------------------------------------------------------------
+
+@dataclass(frozen=True, slots=True)
+class Literal:
+    value: object
+
+
+@dataclass(frozen=True, slots=True)
+class ColumnRef:
+    name: str
+
+
+@dataclass(frozen=True, slots=True)
+class Comparison:
+    op: str
+    left: "Literal | ColumnRef"
+    right: "Literal | ColumnRef"
+
+
+@dataclass(frozen=True, slots=True)
+class BoolOp:
+    op: str  # 'and' | 'or'
+    left: object
+    right: object
+
+
+@dataclass(frozen=True, slots=True)
+class InSubquery:
+    column: ColumnRef
+    subquery: "Select"
+    negated: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class Select:
+    columns: tuple[str, ...]  # ('*',) for all
+    table: str
+    where: object | None
+    #: ORDER BY column (None = storage order) and direction.
+    order_by: str | None = None
+    descending: bool = False
+    #: LIMIT row cap (None = unlimited).
+    limit: int | None = None
+    #: SELECT COUNT(*) — aggregate row count instead of projection.
+    count: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class CreateTable:
+    table: str
+    columns: tuple[str, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class Insert:
+    table: str
+    values: tuple[object, ...]
+
+
+Statement = Select | CreateTable | Insert
+
+
+class _SqlParser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.at = 0
+
+    def peek(self) -> Token:
+        return self.tokens[self.at]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.at]
+        if token.kind != "eof":
+            self.at += 1
+        return token
+
+    def accept(self, kind: str, text: str | None = None) -> Token | None:
+        token = self.peek()
+        if token.kind == kind and (text is None or token.text == text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, text: str | None = None) -> Token:
+        token = self.accept(kind, text)
+        if token is None:
+            found = self.peek()
+            want = text if text is not None else kind
+            raise SqlError(f"expected {want!r}, found {found.text!r} "
+                           f"at {found.position}")
+        return token
+
+    # -- statements --------------------------------------------------------
+
+    def statement(self) -> Statement:
+        if self.accept("kw", "create"):
+            return self.create_table()
+        if self.accept("kw", "insert"):
+            return self.insert()
+        if self.accept("kw", "select"):
+            select = self.select_body()
+            self.expect("eof")
+            return select
+        token = self.peek()
+        raise SqlError(f"unknown statement at {token.position}")
+
+    def create_table(self) -> CreateTable:
+        self.expect("kw", "table")
+        table = self.expect("name").text
+        self.expect("punct", "(")
+        columns = [self.expect("name").text]
+        while self.accept("punct", ","):
+            columns.append(self.expect("name").text)
+        self.expect("punct", ")")
+        self.expect("eof")
+        return CreateTable(table=table, columns=tuple(columns))
+
+    def insert(self) -> Insert:
+        self.expect("kw", "into")
+        table = self.expect("name").text
+        self.expect("kw", "values")
+        self.expect("punct", "(")
+        values = [self.literal_value()]
+        while self.accept("punct", ","):
+            values.append(self.literal_value())
+        self.expect("punct", ")")
+        self.expect("eof")
+        return Insert(table=table, values=tuple(values))
+
+    def literal_value(self):
+        token = self.peek()
+        if token.kind == "int":
+            self.advance()
+            return int(token.text)
+        if token.kind == "str":
+            self.advance()
+            return token.text
+        raise SqlError(f"expected literal at {token.position}")
+
+    # -- select -------------------------------------------------------------
+
+    def select_body(self) -> Select:
+        count = False
+        if self.accept("kw", "count"):
+            self.expect("punct", "(")
+            self.expect("punct", "*")
+            self.expect("punct", ")")
+            columns: tuple[str, ...] = ("*",)
+            count = True
+        else:
+            columns = self.select_columns()
+        self.expect("kw", "from")
+        table = self.expect("name").text
+        where = None
+        if self.accept("kw", "where"):
+            where = self.predicate()
+        order_by = None
+        descending = False
+        if self.accept("kw", "order"):
+            self.expect("kw", "by")
+            order_by = self.expect("name").text
+            if self.accept("kw", "desc"):
+                descending = True
+            else:
+                self.accept("kw", "asc")
+        limit = None
+        if self.accept("kw", "limit"):
+            token = self.expect("int")
+            limit = int(token.text)
+            if limit < 0:
+                raise SqlError(f"negative LIMIT at {token.position}")
+        return Select(columns=columns, table=table, where=where,
+                      order_by=order_by, descending=descending,
+                      limit=limit, count=count)
+
+    def select_columns(self) -> tuple[str, ...]:
+        if self.accept("punct", "*"):
+            return ("*",)
+        columns = [self.expect("name").text]
+        while self.accept("punct", ","):
+            columns.append(self.expect("name").text)
+        return tuple(columns)
+
+    def predicate(self):
+        left = self.conjunct()
+        while self.accept("kw", "or"):
+            right = self.conjunct()
+            left = BoolOp(op="or", left=left, right=right)
+        return left
+
+    def conjunct(self):
+        left = self.atom()
+        while self.accept("kw", "and"):
+            right = self.atom()
+            left = BoolOp(op="and", left=left, right=right)
+        return left
+
+    def atom(self):
+        if self.accept("punct", "("):
+            inner = self.predicate()
+            self.expect("punct", ")")
+            return inner
+        column = ColumnRef(self.expect("name").text)
+        negated = bool(self.accept("kw", "not"))
+        if self.accept("kw", "in"):
+            self.expect("punct", "(")
+            self.expect("kw", "select")
+            subquery = self.select_body()
+            self.expect("punct", ")")
+            return InSubquery(column=column, subquery=subquery,
+                              negated=negated)
+        if negated:
+            token = self.peek()
+            raise SqlError(f"expected IN after NOT at {token.position}")
+        op = self.expect("op").text
+        right = self.operand()
+        return Comparison(op=op, left=column, right=right)
+
+    def operand(self):
+        token = self.peek()
+        if token.kind == "name":
+            self.advance()
+            return ColumnRef(token.text)
+        return Literal(self.literal_value())
+
+
+def parse_sql(text: str) -> Statement:
+    """Parse one SQL statement."""
+    return _SqlParser(tokenize_sql(text)).statement()

@@ -1,0 +1,80 @@
+"""Catalog and storage: schemas, heap tables, rows."""
+
+from __future__ import annotations
+
+from repro.capture import traced
+from repro.workloads.minidb.errors import StorageError
+
+
+@traced
+class TableSchema:
+    """Column layout of one table."""
+
+    def __init__(self, name: str, columns: tuple[str, ...]):
+        self.name = name
+        self.columns = columns
+
+    def column_index(self, column: str) -> int:
+        try:
+            return self.columns.index(column)
+        except ValueError:
+            raise StorageError(
+                f"unknown column {column!r} in table {self.name}") from None
+
+    def has_column(self, column: str) -> bool:
+        return column in self.columns
+
+    def __repr__(self):
+        return f"TableSchema({self.name}{self.columns})"
+
+
+@traced
+class HeapTable:
+    """Row storage for one table."""
+
+    def __init__(self, schema: TableSchema):
+        self.schema = schema
+        self._rows: list[tuple] = []
+
+    def insert(self, values: tuple) -> None:
+        if len(values) != len(self.schema.columns):
+            raise StorageError(
+                f"{self.schema.name} expects {len(self.schema.columns)} "
+                f"values, got {len(values)}")
+        self._rows.append(values)
+
+    def scan(self) -> list[tuple]:
+        return list(self._rows)
+
+    def row_count(self) -> int:
+        return len(self._rows)
+
+    def __repr__(self):
+        return f"HeapTable({self.schema.name}, {len(self._rows)} rows)"
+
+
+@traced
+class Catalog:
+    """Name -> table registry."""
+
+    def __init__(self):
+        self._tables: dict[str, HeapTable] = {}
+
+    def create_table(self, name: str, columns: tuple[str, ...]) -> HeapTable:
+        if name in self._tables:
+            raise StorageError(f"table exists: {name}")
+        table = HeapTable(TableSchema(name, columns))
+        self._tables[name] = table
+        return table
+
+    def table(self, name: str) -> HeapTable:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise StorageError(f"unknown table: {name}") from None
+
+    def table_names(self) -> list[str]:
+        return list(self._tables)
+
+    def __repr__(self):
+        return f"Catalog({len(self._tables)} tables)"

@@ -1,0 +1,20 @@
+"""The Rhino analogue: a small JavaScript-like engine.
+
+Rhino compiles JavaScript to an intermediate form ("icode") which is then
+interpreted (the mode the paper traces, "as it produced longer and more
+complex traces").  This package follows the same architecture:
+
+* :mod:`repro.workloads.minijs.tokens` — lexer,
+* :mod:`repro.workloads.minijs.jsparser` — Pratt parser to AST,
+* :mod:`repro.workloads.minijs.jscompiler` — AST -> icode compiler
+  (with the new version's constant-folding evolution pass),
+* :mod:`repro.workloads.minijs.vm` — the icode interpreter,
+* :mod:`repro.workloads.minijs.engine` — version/bug configuration,
+* :mod:`repro.workloads.minijs.bug_registry` — the 14 injectable
+  regressions following the Sec. 5.1 root-cause distribution.
+"""
+
+from repro.workloads.minijs.bug_registry import MINIJS_BUGS
+from repro.workloads.minijs.engine import Engine, run_script
+
+__all__ = ["Engine", "MINIJS_BUGS", "run_script"]

@@ -1,0 +1,429 @@
+"""The 14 injectable minijs regressions (Sec. 5.1 experimental design).
+
+Categories follow the Mozilla root-cause distribution the paper samples
+from; each bug carries a failing script (the regressing test case), a
+similar passing script (the alternate, non-regressing test case), and a
+ground-truth cause predicate.  Every script starts with a ``work`` loop
+whose iteration count is set by the ``{N}`` placeholder, letting the
+benches scale trace length (the paper's traces ranged 10K-1.9M entries).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.bugs import (BugRegistry, BugSpec, cause_any,
+                                  cause_by_method, cause_by_value)
+
+#: Trace-fattening preamble shared by all scripts.
+WORK_PREAMBLE = """
+function work(n) {
+    var total = 0;
+    var i = 0;
+    while (i < n) {
+        total = total + i * 3 % 7;
+        i = i + 1;
+    }
+    return total;
+}
+print(work({N}));
+"""
+
+
+def script(body: str) -> str:
+    return WORK_PREAMBLE + body
+
+
+MINIJS_BUGS = BugRegistry("minijs")
+
+MINIJS_BUGS.register(BugSpec(
+    bug_id="MF-STR-COERCE",
+    category="missing-feature",
+    description="string + number concatenation coercion dropped",
+    failing_input=script("""
+        var parts = "";
+        var i = 0;
+        while (i < 8) {
+            parts = parts + "v" + i;
+            i = i + 1;
+        }
+        print(parts);
+    """),
+    passing_input=script("""
+        var parts = "";
+        var i = 0;
+        while (i < 8) {
+            parts = parts + "v" + str(i);
+            i = i + 1;
+        }
+        print(parts);
+    """),
+    cause_predicate=cause_by_method("Interpreter.add"),
+))
+
+MINIJS_BUGS.register(BugSpec(
+    bug_id="MF-NEG-INDEX",
+    category="missing-feature",
+    description="negative (from-the-end) array indexing dropped",
+    failing_input=script("""
+        var arr = [10, 20, 30, 40];
+        var i = 0;
+        var sum = 0;
+        while (i < 4) {
+            sum = sum + arr[0 - 1 - i];
+            i = i + 1;
+        }
+        print(sum);
+    """),
+    passing_input=script("""
+        var arr = [10, 20, 30, 40];
+        var i = 0;
+        var sum = 0;
+        while (i < 4) {
+            sum = sum + arr[len(arr) - 1 - i];
+            i = i + 1;
+        }
+        print(sum);
+    """),
+    cause_predicate=cause_by_method("Interpreter.index_read"),
+))
+
+MINIJS_BUGS.register(BugSpec(
+    bug_id="MF-BREAK",
+    category="missing-feature",
+    description="break statements compile to nothing",
+    failing_input=script("""
+        var i = 0;
+        var sum = 0;
+        while (i < 20) {
+            if (i == 5) { break; }
+            sum = sum + i;
+            i = i + 1;
+        }
+        print(sum);
+    """),
+    passing_input=script("""
+        var i = 0;
+        var sum = 0;
+        while (i < 5) {
+            sum = sum + i;
+            i = i + 1;
+        }
+        print(sum);
+    """),
+    cause_predicate=cause_by_method("JsCompiler.compile_break",
+                                    "compile_break"),
+))
+
+MINIJS_BUGS.register(BugSpec(
+    bug_id="MF-SUBSTR",
+    category="missing-feature",
+    description="substr ignores its end bound",
+    failing_input=script("""
+        var text = "abcdefghij";
+        var i = 0;
+        while (i < 5) {
+            print(substr(text, i, i + 3));
+            i = i + 1;
+        }
+    """),
+    passing_input=script("""
+        var text = "abcdefghij";
+        var i = 0;
+        while (i < 5) {
+            print(substr(text, i, len(text)));
+            i = i + 1;
+        }
+    """),
+    cause_predicate=cause_by_method("Builtins.call"),
+))
+
+MINIJS_BUGS.register(BugSpec(
+    bug_id="MC-MOD-NEG",
+    category="missing-case",
+    description="modulo of negative dividends uses floored semantics",
+    failing_input=script("""
+        var i = 0;
+        var sum = 0;
+        while (i < 6) {
+            sum = sum + (0 - 7 - i) % 3;
+            i = i + 1;
+        }
+        print(sum);
+    """),
+    passing_input=script("""
+        var i = 0;
+        var sum = 0;
+        while (i < 6) {
+            sum = sum + (7 + i) % 3;
+            i = i + 1;
+        }
+        print(sum);
+    """),
+    cause_predicate=cause_by_method("Interpreter.modulo"),
+))
+
+MINIJS_BUGS.register(BugSpec(
+    bug_id="MC-EQ-MIXED",
+    category="missing-case",
+    description="int/float cross-type equality case lost",
+    failing_input=script("""
+        var hits = 0;
+        var i = 0;
+        while (i < 6) {
+            if (i == i * 1.0) { hits = hits + 1; }
+            i = i + 1;
+        }
+        print(hits);
+    """),
+    passing_input=script("""
+        var hits = 0;
+        var i = 0;
+        while (i < 6) {
+            if (i == i) { hits = hits + 1; }
+            i = i + 1;
+        }
+        print(hits);
+    """),
+    cause_predicate=cause_by_method("Interpreter.equals"),
+))
+
+MINIJS_BUGS.register(BugSpec(
+    bug_id="B-SUBSTR-END",
+    category="boundary",
+    description="substr end bound off by one at the string tail",
+    failing_input=script("""
+        var text = "abcdefghij";
+        var out = "";
+        var i = 0;
+        while (i < 4) {
+            out = out + substr(text, i, i + 2);
+            i = i + 1;
+        }
+        print(out);
+    """),
+    passing_input=script("""
+        var text = "abcdefghij";
+        var out = "";
+        var i = 0;
+        while (i < 4) {
+            out = out + charAt(text, i) + charAt(text, i + 1);
+            i = i + 1;
+        }
+        print(out);
+    """),
+    cause_predicate=cause_by_method("Builtins.call"),
+))
+
+MINIJS_BUGS.register(BugSpec(
+    bug_id="B-FOR-INIT",
+    category="boundary",
+    description="for loops run their step once before the first test",
+    failing_input=script("""
+        var sum = 0;
+        var count = 0;
+        for (var i = 0; i < 6; i = i + 1) {
+            sum = sum + i + 10;
+            count = count + 1;
+        }
+        print(sum);
+        print(count);
+    """),
+    passing_input=script("""
+        var sum = 0;
+        var count = 0;
+        var i = 0;
+        while (i < 6) {
+            sum = sum + i + 10;
+            count = count + 1;
+            i = i + 1;
+        }
+        print(sum);
+        print(count);
+    """),
+    cause_predicate=cause_by_method("JsCompiler.compile_for",
+                                    "compile_for"),
+))
+
+MINIJS_BUGS.register(BugSpec(
+    bug_id="CF-NOT-IF",
+    category="control-flow",
+    description="if(!cond) loses its negation in the compiler",
+    failing_input=script("""
+        var done = false;
+        var count = 0;
+        var i = 0;
+        while (i < 6) {
+            if (!done) { count = count + 1; }
+            if (i == 3) { done = true; }
+            i = i + 1;
+        }
+        print(count);
+    """),
+    passing_input=script("""
+        var done = false;
+        var count = 0;
+        var i = 0;
+        while (i < 6) {
+            if (done == false) { count = count + 1; }
+            if (i == 3) { done = true; }
+            i = i + 1;
+        }
+        print(count);
+    """),
+    cause_predicate=cause_by_method("JsCompiler.compile_if",
+                                    "compile_if"),
+))
+
+MINIJS_BUGS.register(BugSpec(
+    bug_id="CF-SHORTCIRCUIT",
+    category="control-flow",
+    description="&& stops short-circuiting (right side always runs)",
+    failing_input=script("""
+        var calls = 0;
+        function bump(x) {
+            calls = calls + 1;
+            return x;
+        }
+        var i = 0;
+        var hits = 0;
+        while (i < 6) {
+            if (i > 2 && bump(true)) { hits = hits + 1; }
+            i = i + 1;
+        }
+        print(hits);
+        print(calls);
+    """),
+    passing_input=script("""
+        var calls = 0;
+        function bump(x) {
+            calls = calls + 1;
+            return x;
+        }
+        var i = 0;
+        var hits = 0;
+        while (i < 6) {
+            if (i > 2) { if (bump(true)) { hits = hits + 1; } }
+            i = i + 1;
+        }
+        print(hits);
+        print(calls);
+    """),
+    cause_predicate=cause_any(cause_by_method("bump"),
+                              cause_by_value(6, 3)),
+))
+
+MINIJS_BUGS.register(BugSpec(
+    bug_id="WE-FOLD-SUB",
+    category="wrong-expression",
+    description="constant folding computes a-b as b-a",
+    failing_input=script("""
+        var base = 100 - 42;
+        var i = 0;
+        var sum = 0;
+        while (i < 5) {
+            sum = sum + base;
+            i = i + 1;
+        }
+        print(sum);
+    """),
+    passing_input=script("""
+        var base = 100 + 42;
+        var i = 0;
+        var sum = 0;
+        while (i < 5) {
+            sum = sum + base;
+            i = i + 1;
+        }
+        print(sum);
+    """),
+    cause_predicate=cause_any(cause_by_method("JsCompiler.try_fold",
+                                              "try_fold"),
+                              cause_by_value(-58, 58)),
+))
+
+MINIJS_BUGS.register(BugSpec(
+    bug_id="T-LE-TYPO",
+    category="typo",
+    description="<= dispatches to the < implementation",
+    failing_input=script("""
+        var i = 0;
+        var sum = 0;
+        while (i <= 5) {
+            sum = sum + 1;
+            i = i + 1;
+        }
+        print(sum);
+    """),
+    passing_input=script("""
+        var i = 0;
+        var sum = 0;
+        while (i < 6) {
+            sum = sum + 1;
+            i = i + 1;
+        }
+        print(sum);
+    """),
+    cause_predicate=cause_by_method("Interpreter.compare"),
+))
+
+MINIJS_BUGS.register(BugSpec(
+    bug_id="T-PUSH-RET",
+    category="typo",
+    description="push returns the pre-append length",
+    failing_input=script("""
+        var arr = [];
+        var i = 0;
+        var total = 0;
+        while (i < 6) {
+            total = total + push(arr, i);
+            i = i + 1;
+        }
+        print(total);
+        print(len(arr));
+    """),
+    passing_input=script("""
+        var arr = [];
+        var i = 0;
+        while (i < 6) {
+            push(arr, i);
+            i = i + 1;
+        }
+        print(len(arr));
+    """),
+    cause_predicate=cause_by_method("Builtins.call"),
+))
+
+MINIJS_BUGS.register(BugSpec(
+    bug_id="T-NOT-NULL",
+    category="typo",
+    description="!null evaluates to false (inverted None test)",
+    failing_input=script("""
+        var maybe = null;
+        var count = 0;
+        var i = 0;
+        while (i < 6) {
+            if (!maybe) { count = count + 1; }
+            i = i + 1;
+        }
+        print(count);
+    """),
+    passing_input=script("""
+        var maybe = null;
+        var count = 0;
+        var i = 0;
+        while (i < 6) {
+            if (maybe == null) { count = count + 1; }
+            i = i + 1;
+        }
+        print(count);
+    """),
+    cause_predicate=cause_by_method("Interpreter.apply_unop"),
+))
+
+
+def scaled(source: str, n: int) -> str:
+    """Substitute the work-loop scale."""
+    return source.replace("{N}", str(n))
+
+
+def bug_ids() -> list[str]:
+    return MINIJS_BUGS.ids()

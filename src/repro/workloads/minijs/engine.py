@@ -1,0 +1,53 @@
+"""Engine facade: version/bug configuration.
+
+``old`` is the baseline engine.  ``new`` carries the evolution churn the
+paper's experimental design requires (regressions are injected into
+post-fix versions that also contain legitimate changes): a constant-
+folding pass in the compiler and opcode statistics in the interpreter.
+A ``bug`` id (see :mod:`repro.workloads.minijs.bug_registry`) switches
+one injected regression on.
+"""
+
+from __future__ import annotations
+
+from repro.capture import traced
+from repro.workloads.minijs.jscompiler import JsCompiler
+from repro.workloads.minijs.jsparser import parse_js
+from repro.workloads.minijs.vm import Interpreter
+
+
+@traced
+class Engine:
+    """One configured engine instance."""
+
+    def __init__(self, version: str = "old", bug: str | None = None):
+        if version not in ("old", "new"):
+            raise ValueError(f"unknown engine version: {version!r}")
+        if bug is not None and version == "old":
+            raise ValueError("bugs are injected into the new version only")
+        self.version = version
+        self.bugs = frozenset() if bug is None else frozenset({bug})
+        self.evolution = version == "new"
+
+    def compile(self, source: str):
+        script = parse_js(source)
+        compiler = JsCompiler(bugs=self.bugs,
+                              fold_constants=self.evolution)
+        return compiler.compile_script(script)
+
+    def run(self, source: str) -> list[str]:
+        """Compile and execute; returns the print output lines."""
+        unit = self.compile(source)
+        interpreter = Interpreter(unit, bugs=self.bugs,
+                                  collect_stats=self.evolution)
+        return interpreter.run()
+
+    def __repr__(self):
+        suffix = f"+{next(iter(self.bugs))}" if self.bugs else ""
+        return f"Engine({self.version}{suffix})"
+
+
+def run_script(source: str, version: str = "old",
+               bug: str | None = None) -> list[str]:
+    """One-shot convenience runner."""
+    return Engine(version=version, bug=bug).run(source)

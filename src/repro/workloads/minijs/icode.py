@@ -1,0 +1,84 @@
+"""Icode: the intermediate form the compiler emits and the VM runs.
+
+Mirrors Rhino's interpreter mode — a flat instruction array per function
+plus a constant pool folded into the instructions.
+"""
+
+from __future__ import annotations
+
+from repro.capture import traced
+
+#: Opcode mnemonics.
+PUSH = "PUSH"            # arg1 = constant
+LOAD = "LOAD"            # arg1 = variable name
+DECL = "DECL"            # arg1 = variable name (var: always this scope)
+STORE = "STORE"          # arg1 = variable name (assignment: local, else
+                         # enclosing global, else new local)
+ARRAY = "ARRAY"          # arg1 = element count (popped)
+INDEX = "INDEX"          # obj, idx -> value
+STORE_INDEX = "STORE_INDEX"  # obj, idx, value ->
+BINOP = "BINOP"          # arg1 = operator; rhs, lhs on stack
+UNOP = "UNOP"            # arg1 = operator
+JUMP = "JUMP"            # arg1 = target pc
+JIF = "JIF"              # arg1 = target pc; pops, jumps when falsy
+JIF_KEEP = "JIF_KEEP"    # arg1 = target; jumps when falsy, keeps value
+JIT_KEEP = "JIT_KEEP"    # arg1 = target; jumps when truthy, keeps value
+CALL = "CALL"            # arg1 = function name, arg2 = argc
+RET = "RET"              # returns top of stack
+POP = "POP"
+
+OPCODES = (PUSH, LOAD, DECL, STORE, ARRAY, INDEX, STORE_INDEX, BINOP,
+           UNOP, JUMP, JIF, JIF_KEEP, JIT_KEEP, CALL, RET, POP)
+
+
+@traced
+class Instr:
+    """One icode instruction."""
+
+    def __init__(self, op: str, arg1=None, arg2=None):
+        self.op = op
+        self.arg1 = arg1
+        self.arg2 = arg2
+
+    def __repr__(self):
+        parts = [self.op]
+        if self.arg1 is not None:
+            parts.append(repr(self.arg1))
+        if self.arg2 is not None:
+            parts.append(repr(self.arg2))
+        return f"Instr({' '.join(parts)})"
+
+
+@traced
+class FunctionCode:
+    """Compiled code of one function (or the top-level script)."""
+
+    def __init__(self, name: str, params: tuple[str, ...],
+                 instrs: list[Instr]):
+        self.name = name
+        self.params = params
+        self.instrs = instrs
+
+    def __len__(self) -> int:
+        return len(self.instrs)
+
+    def __repr__(self):
+        return f"FunctionCode({self.name}/{len(self.params)}, " \
+               f"{len(self.instrs)} instrs)"
+
+
+@traced
+class CodeUnit:
+    """A compiled script: top-level code plus its functions."""
+
+    def __init__(self, main: FunctionCode,
+                 functions: dict[str, FunctionCode]):
+        self.main = main
+        self.functions = functions
+
+    def function(self, name: str) -> FunctionCode | None:
+        return self.functions.get(name)
+
+    def __repr__(self):
+        return f"CodeUnit(main={len(self.main)} instrs, " \
+               f"{len(self.functions)} functions)"

@@ -1,0 +1,148 @@
+"""AST node types for the JavaScript-like language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class Node:
+    __slots__ = ()
+
+
+@dataclass(frozen=True, slots=True)
+class Num(Node):
+    value: float | int
+
+
+@dataclass(frozen=True, slots=True)
+class Str(Node):
+    value: str
+
+
+@dataclass(frozen=True, slots=True)
+class Bool(Node):
+    value: bool
+
+
+@dataclass(frozen=True, slots=True)
+class Null(Node):
+    pass
+
+
+@dataclass(frozen=True, slots=True)
+class Name(Node):
+    name: str
+
+
+@dataclass(frozen=True, slots=True)
+class ArrayLit(Node):
+    items: tuple[Node, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class Index(Node):
+    obj: Node
+    index: Node
+
+
+@dataclass(frozen=True, slots=True)
+class Unary(Node):
+    op: str  # '-' | '!'
+    operand: Node
+
+
+@dataclass(frozen=True, slots=True)
+class Binary(Node):
+    op: str
+    left: Node
+    right: Node
+
+
+@dataclass(frozen=True, slots=True)
+class LogicalAnd(Node):
+    left: Node
+    right: Node
+
+
+@dataclass(frozen=True, slots=True)
+class LogicalOr(Node):
+    left: Node
+    right: Node
+
+
+@dataclass(frozen=True, slots=True)
+class CallExpr(Node):
+    func: str
+    args: tuple[Node, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class VarDecl(Node):
+    name: str
+    value: Node
+
+
+@dataclass(frozen=True, slots=True)
+class Assign(Node):
+    name: str
+    value: Node
+
+
+@dataclass(frozen=True, slots=True)
+class IndexAssign(Node):
+    obj: Node
+    index: Node
+    value: Node
+
+
+@dataclass(frozen=True, slots=True)
+class ExprStmt(Node):
+    expr: Node
+
+
+@dataclass(frozen=True, slots=True)
+class If(Node):
+    condition: Node
+    then_body: tuple[Node, ...]
+    else_body: tuple[Node, ...] | None
+
+
+@dataclass(frozen=True, slots=True)
+class While(Node):
+    condition: Node
+    body: tuple[Node, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class For(Node):
+    init: Node | None
+    condition: Node | None
+    step: Node | None
+    body: tuple[Node, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class Break(Node):
+    pass
+
+
+@dataclass(frozen=True, slots=True)
+class Continue(Node):
+    pass
+
+
+@dataclass(frozen=True, slots=True)
+class Return(Node):
+    value: Node | None
+
+
+@dataclass(frozen=True, slots=True)
+class FunctionDecl(Node):
+    name: str
+    params: tuple[str, ...]
+    body: tuple[Node, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class Script(Node):
+    body: tuple[Node, ...]

@@ -1,0 +1,261 @@
+"""AST -> icode compiler.
+
+The new engine version adds a constant-folding pass (benign evolution
+churn).  Two injectable regressions live here:
+
+* ``WE-FOLD-SUB`` (wrong expression): folding of constant subtraction
+  computes the operands in the wrong order.
+* ``B-FOR-INIT`` (boundary): ``for`` loops emit the step once before the
+  first condition check, losing the first iteration.
+* ``MF-BREAK`` (missing feature): ``break`` compiles to a no-op.
+* ``CF-NOT-IF`` (control flow): ``if (!cond)`` "optimises" the negation
+  away, inverting the branch.
+"""
+
+from __future__ import annotations
+
+from repro.capture import traced
+from repro.workloads.minijs import jsast as ast
+from repro.workloads.minijs.icode import (ARRAY, BINOP, CALL, CodeUnit,
+                                          DECL, FunctionCode, INDEX, Instr,
+                                          JIF, JIF_KEEP, JIT_KEEP, JUMP,
+                                          LOAD, POP, PUSH, RET, STORE,
+                                          STORE_INDEX, UNOP)
+from repro.workloads.minijs.tokens import JsSyntaxError
+
+#: Operators the folding pass understands.
+FOLDABLE = {"+", "-", "*"}
+
+
+@traced
+class JsCompiler:
+    """Compiles a script AST into a :class:`CodeUnit`."""
+
+    def __init__(self, bugs: frozenset[str] = frozenset(),
+                 fold_constants: bool = False):
+        self._bugs = bugs
+        self._fold_constants = fold_constants
+        self.functions: dict[str, FunctionCode] = {}
+
+    # -- entry ---------------------------------------------------------------
+
+    def compile_script(self, script: ast.Script) -> CodeUnit:
+        statements = []
+        for statement in script.body:
+            if isinstance(statement, ast.FunctionDecl):
+                self.compile_function(statement)
+            else:
+                statements.append(statement)
+        instrs: list[Instr] = []
+        self.compile_block(tuple(statements), instrs, loop=None)
+        return CodeUnit(FunctionCode("<main>", (), instrs),
+                        dict(self.functions))
+
+    def compile_function(self, decl: ast.FunctionDecl) -> FunctionCode:
+        instrs: list[Instr] = []
+        self.compile_block(decl.body, instrs, loop=None)
+        instrs.append(Instr(PUSH, None))
+        instrs.append(Instr(RET))
+        code = FunctionCode(decl.name, decl.params, instrs)
+        self.functions[decl.name] = code
+        return code
+
+    # -- statements --------------------------------------------------------------
+
+    def compile_block(self, body, instrs: list[Instr], loop) -> None:
+        for statement in body:
+            self.compile_statement(statement, instrs, loop)
+
+    def compile_statement(self, statement, instrs: list[Instr],
+                          loop) -> None:
+        if isinstance(statement, ast.VarDecl):
+            self.compile_expr(statement.value, instrs)
+            instrs.append(Instr(DECL, statement.name))
+        elif isinstance(statement, ast.Assign):
+            self.compile_expr(statement.value, instrs)
+            instrs.append(Instr(STORE, statement.name))
+        elif isinstance(statement, ast.IndexAssign):
+            self.compile_expr(statement.obj, instrs)
+            self.compile_expr(statement.index, instrs)
+            self.compile_expr(statement.value, instrs)
+            instrs.append(Instr(STORE_INDEX))
+        elif isinstance(statement, ast.ExprStmt):
+            # for-steps arrive as ExprStmt-wrapped assignments.
+            if isinstance(statement.expr, (ast.Assign, ast.IndexAssign,
+                                           ast.VarDecl)):
+                self.compile_statement(statement.expr, instrs, loop)
+            else:
+                self.compile_expr(statement.expr, instrs)
+                instrs.append(Instr(POP))
+        elif isinstance(statement, ast.If):
+            self.compile_if(statement, instrs, loop)
+        elif isinstance(statement, ast.While):
+            self.compile_while(statement, instrs)
+        elif isinstance(statement, ast.For):
+            self.compile_for(statement, instrs)
+        elif isinstance(statement, ast.Break):
+            self.compile_break(instrs, loop)
+        elif isinstance(statement, ast.Continue):
+            if loop is None:
+                raise JsSyntaxError("continue outside a loop")
+            loop["continues"].append(len(instrs))
+            instrs.append(Instr(JUMP, None))
+        elif isinstance(statement, ast.Return):
+            if statement.value is None:
+                instrs.append(Instr(PUSH, None))
+            else:
+                self.compile_expr(statement.value, instrs)
+            instrs.append(Instr(RET))
+        elif isinstance(statement, ast.FunctionDecl):
+            self.compile_function(statement)
+        else:
+            raise JsSyntaxError(f"uncompilable statement: {statement!r}")
+
+    def compile_break(self, instrs: list[Instr], loop) -> None:
+        if loop is None:
+            raise JsSyntaxError("break outside a loop")
+        if "MF-BREAK" in self._bugs:
+            # BUG (missing feature): break emits nothing.
+            return
+        loop["breaks"].append(len(instrs))
+        instrs.append(Instr(JUMP, None))
+
+    def compile_if(self, statement: ast.If, instrs: list[Instr],
+                   loop) -> None:
+        condition = statement.condition
+        invert = False
+        if ("CF-NOT-IF" in self._bugs
+                and isinstance(condition, ast.Unary)
+                and condition.op == "!"):
+            # BUG (control flow): "strength-reduce" if(!c) by dropping
+            # the negation — without swapping the branches.
+            condition = condition.operand
+            invert = False  # the missing swap is the bug
+        del invert
+        self.compile_expr(condition, instrs)
+        jif_at = len(instrs)
+        instrs.append(Instr(JIF, None))
+        self.compile_block(statement.then_body, instrs, loop)
+        if statement.else_body is None:
+            instrs[jif_at] = Instr(JIF, len(instrs))
+        else:
+            jump_at = len(instrs)
+            instrs.append(Instr(JUMP, None))
+            instrs[jif_at] = Instr(JIF, len(instrs))
+            self.compile_block(statement.else_body, instrs, loop)
+            instrs[jump_at] = Instr(JUMP, len(instrs))
+
+    def compile_while(self, statement: ast.While,
+                      instrs: list[Instr]) -> None:
+        loop = {"breaks": [], "continues": []}
+        top = len(instrs)
+        self.compile_expr(statement.condition, instrs)
+        jif_at = len(instrs)
+        instrs.append(Instr(JIF, None))
+        self.compile_block(statement.body, instrs, loop)
+        instrs.append(Instr(JUMP, top))
+        end = len(instrs)
+        instrs[jif_at] = Instr(JIF, end)
+        self.patch_loop(instrs, loop, break_to=end, continue_to=top)
+
+    def compile_for(self, statement: ast.For,
+                    instrs: list[Instr]) -> None:
+        loop = {"breaks": [], "continues": []}
+        if statement.init is not None:
+            self.compile_statement(statement.init, instrs, None)
+        if "B-FOR-INIT" in self._bugs and statement.step is not None:
+            # BUG (boundary): the step runs once before the first
+            # condition test, so the loop starts one element late.
+            self.compile_statement(statement.step, instrs, None)
+        top = len(instrs)
+        jif_at = None
+        if statement.condition is not None:
+            self.compile_expr(statement.condition, instrs)
+            jif_at = len(instrs)
+            instrs.append(Instr(JIF, None))
+        self.compile_block(statement.body, instrs, loop)
+        step_at = len(instrs)
+        if statement.step is not None:
+            self.compile_statement(statement.step, instrs, None)
+        instrs.append(Instr(JUMP, top))
+        end = len(instrs)
+        if jif_at is not None:
+            instrs[jif_at] = Instr(JIF, end)
+        self.patch_loop(instrs, loop, break_to=end, continue_to=step_at)
+
+    def patch_loop(self, instrs: list[Instr], loop, break_to: int,
+                   continue_to: int) -> None:
+        for at in loop["breaks"]:
+            instrs[at] = Instr(JUMP, break_to)
+        for at in loop["continues"]:
+            instrs[at] = Instr(JUMP, continue_to)
+
+    # -- expressions -----------------------------------------------------------------
+
+    def compile_expr(self, expr, instrs: list[Instr]) -> None:
+        if isinstance(expr, (ast.Num, ast.Str, ast.Bool)):
+            instrs.append(Instr(PUSH, expr.value))
+        elif isinstance(expr, ast.Null):
+            instrs.append(Instr(PUSH, None))
+        elif isinstance(expr, ast.Name):
+            instrs.append(Instr(LOAD, expr.name))
+        elif isinstance(expr, ast.ArrayLit):
+            for item in expr.items:
+                self.compile_expr(item, instrs)
+            instrs.append(Instr(ARRAY, len(expr.items)))
+        elif isinstance(expr, ast.Index):
+            self.compile_expr(expr.obj, instrs)
+            self.compile_expr(expr.index, instrs)
+            instrs.append(Instr(INDEX))
+        elif isinstance(expr, ast.Unary):
+            self.compile_expr(expr.operand, instrs)
+            instrs.append(Instr(UNOP, expr.op))
+        elif isinstance(expr, ast.Binary):
+            folded = self.try_fold(expr)
+            if folded is not None:
+                instrs.append(Instr(PUSH, folded))
+            else:
+                self.compile_expr(expr.left, instrs)
+                self.compile_expr(expr.right, instrs)
+                instrs.append(Instr(BINOP, expr.op))
+        elif isinstance(expr, ast.LogicalAnd):
+            self.compile_expr(expr.left, instrs)
+            keep_at = len(instrs)
+            instrs.append(Instr(JIF_KEEP, None))
+            instrs.append(Instr(POP))
+            self.compile_expr(expr.right, instrs)
+            instrs[keep_at] = Instr(JIF_KEEP, len(instrs))
+        elif isinstance(expr, ast.LogicalOr):
+            self.compile_expr(expr.left, instrs)
+            keep_at = len(instrs)
+            instrs.append(Instr(JIT_KEEP, None))
+            instrs.append(Instr(POP))
+            self.compile_expr(expr.right, instrs)
+            instrs[keep_at] = Instr(JIT_KEEP, len(instrs))
+        elif isinstance(expr, ast.CallExpr):
+            for arg in expr.args:
+                self.compile_expr(arg, instrs)
+            instrs.append(Instr(CALL, expr.func, len(expr.args)))
+        else:
+            raise JsSyntaxError(f"uncompilable expression: {expr!r}")
+
+    def try_fold(self, expr: ast.Binary):
+        """Constant folding (the new version's evolution pass)."""
+        if not self._fold_constants or expr.op not in FOLDABLE:
+            return None
+        if not isinstance(expr.left, ast.Num) or \
+                not isinstance(expr.right, ast.Num):
+            return None
+        left = expr.left.value
+        right = expr.right.value
+        if expr.op == "+":
+            return left + right
+        if expr.op == "-":
+            if "WE-FOLD-SUB" in self._bugs:
+                # BUG (wrong expression): operands the wrong way round.
+                return right - left
+            return left - right
+        return left * right
+
+    def __repr__(self):
+        return f"JsCompiler(fold={self._fold_constants})"

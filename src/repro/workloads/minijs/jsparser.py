@@ -1,0 +1,267 @@
+"""Pratt parser: token stream -> AST."""
+
+from __future__ import annotations
+
+from repro.workloads.minijs import jsast as ast
+from repro.workloads.minijs.tokens import JsSyntaxError, Tok, tokenize_js
+
+#: Binding powers for binary operators (higher binds tighter).
+BINDING = {
+    "||": 10,
+    "&&": 20,
+    "==": 30, "!=": 30,
+    "<": 40, "<=": 40, ">": 40, ">=": 40,
+    "+": 50, "-": 50,
+    "*": 60, "/": 60, "%": 60,
+}
+
+
+class JsParser:
+    def __init__(self, tokens: list[Tok]):
+        self.tokens = tokens
+        self.at = 0
+
+    # -- token plumbing -------------------------------------------------------
+
+    def peek(self) -> Tok:
+        return self.tokens[self.at]
+
+    def advance(self) -> Tok:
+        token = self.tokens[self.at]
+        if token.kind != "eof":
+            self.at += 1
+        return token
+
+    def accept(self, kind: str, text: str | None = None) -> Tok | None:
+        token = self.peek()
+        if token.kind == kind and (text is None or token.text == text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, text: str | None = None) -> Tok:
+        token = self.accept(kind, text)
+        if token is None:
+            found = self.peek()
+            want = text if text is not None else kind
+            raise JsSyntaxError(
+                f"expected {want!r}, found {found.text!r} "
+                f"(line {found.line})")
+        return token
+
+    # -- entry ---------------------------------------------------------------
+
+    def parse_script(self) -> ast.Script:
+        body = []
+        while self.peek().kind != "eof":
+            body.append(self.statement())
+        return ast.Script(body=tuple(body))
+
+    # -- statements -------------------------------------------------------------
+
+    def statement(self) -> ast.Node:
+        token = self.peek()
+        if token.kind == "kw":
+            if token.text == "var":
+                return self.var_decl()
+            if token.text == "function":
+                return self.function_decl()
+            if token.text == "if":
+                return self.if_statement()
+            if token.text == "while":
+                return self.while_statement()
+            if token.text == "for":
+                return self.for_statement()
+            if token.text == "return":
+                self.advance()
+                value = None
+                if not self.accept("punct", ";"):
+                    value = self.expression()
+                    self.expect("punct", ";")
+                return ast.Return(value=value)
+            if token.text == "break":
+                self.advance()
+                self.expect("punct", ";")
+                return ast.Break()
+            if token.text == "continue":
+                self.advance()
+                self.expect("punct", ";")
+                return ast.Continue()
+        return self.expression_statement()
+
+    def var_decl(self) -> ast.VarDecl:
+        self.expect("kw", "var")
+        name = self.expect("name").text
+        self.expect("op", "=")
+        value = self.expression()
+        self.expect("punct", ";")
+        return ast.VarDecl(name=name, value=value)
+
+    def function_decl(self) -> ast.FunctionDecl:
+        self.expect("kw", "function")
+        name = self.expect("name").text
+        self.expect("punct", "(")
+        params = []
+        if not self.accept("punct", ")"):
+            while True:
+                params.append(self.expect("name").text)
+                if not self.accept("punct", ","):
+                    break
+            self.expect("punct", ")")
+        body = self.block()
+        return ast.FunctionDecl(name=name, params=tuple(params),
+                                body=body)
+
+    def block(self) -> tuple[ast.Node, ...]:
+        self.expect("punct", "{")
+        body = []
+        while not self.accept("punct", "}"):
+            body.append(self.statement())
+        return tuple(body)
+
+    def if_statement(self) -> ast.If:
+        self.expect("kw", "if")
+        self.expect("punct", "(")
+        condition = self.expression()
+        self.expect("punct", ")")
+        then_body = self.block()
+        else_body = None
+        if self.accept("kw", "else"):
+            if self.peek().kind == "kw" and self.peek().text == "if":
+                else_body = (self.if_statement(),)
+            else:
+                else_body = self.block()
+        return ast.If(condition=condition, then_body=then_body,
+                      else_body=else_body)
+
+    def while_statement(self) -> ast.While:
+        self.expect("kw", "while")
+        self.expect("punct", "(")
+        condition = self.expression()
+        self.expect("punct", ")")
+        return ast.While(condition=condition, body=self.block())
+
+    def for_statement(self) -> ast.For:
+        self.expect("kw", "for")
+        self.expect("punct", "(")
+        init = None
+        if not self.accept("punct", ";"):
+            if self.peek().kind == "kw" and self.peek().text == "var":
+                init = self.var_decl()
+            else:
+                init = ast.ExprStmt(self.assignment_or_expression())
+                self.expect("punct", ";")
+        condition = None
+        if not self.accept("punct", ";"):
+            condition = self.expression()
+            self.expect("punct", ";")
+        step = None
+        if not self.accept("punct", ")"):
+            step = ast.ExprStmt(self.assignment_or_expression())
+            self.expect("punct", ")")
+        return ast.For(init=init, condition=condition, step=step,
+                       body=self.block())
+
+    def expression_statement(self) -> ast.Node:
+        expr = self.assignment_or_expression()
+        self.expect("punct", ";")
+        if isinstance(expr, (ast.Assign, ast.IndexAssign, ast.VarDecl)):
+            return expr
+        return ast.ExprStmt(expr=expr)
+
+    def assignment_or_expression(self) -> ast.Node:
+        expr = self.expression()
+        if self.accept("op", "="):
+            value = self.assignment_or_expression()
+            if isinstance(expr, ast.Name):
+                return ast.Assign(name=expr.name, value=value)
+            if isinstance(expr, ast.Index):
+                return ast.IndexAssign(obj=expr.obj, index=expr.index,
+                                       value=value)
+            raise JsSyntaxError("invalid assignment target")
+        return expr
+
+    # -- expressions (Pratt) --------------------------------------------------------
+
+    def expression(self, min_binding: int = 0) -> ast.Node:
+        left = self.unary()
+        while True:
+            token = self.peek()
+            if token.kind != "op" or token.text not in BINDING:
+                return left
+            power = BINDING[token.text]
+            if power < min_binding:
+                return left
+            op = self.advance().text
+            right = self.expression(power + 1)
+            if op == "&&":
+                left = ast.LogicalAnd(left=left, right=right)
+            elif op == "||":
+                left = ast.LogicalOr(left=left, right=right)
+            else:
+                left = ast.Binary(op=op, left=left, right=right)
+
+    def unary(self) -> ast.Node:
+        if self.accept("op", "-"):
+            return ast.Unary(op="-", operand=self.unary())
+        if self.accept("op", "!"):
+            return ast.Unary(op="!", operand=self.unary())
+        return self.postfix()
+
+    def postfix(self) -> ast.Node:
+        expr = self.primary()
+        while True:
+            if self.accept("punct", "["):
+                index = self.expression()
+                self.expect("punct", "]")
+                expr = ast.Index(obj=expr, index=index)
+                continue
+            return expr
+
+    def primary(self) -> ast.Node:
+        token = self.peek()
+        if token.kind == "num":
+            self.advance()
+            if "." in token.text:
+                return ast.Num(value=float(token.text))
+            return ast.Num(value=int(token.text))
+        if token.kind == "str":
+            self.advance()
+            return ast.Str(value=token.text)
+        if token.kind == "kw" and token.text in ("true", "false"):
+            self.advance()
+            return ast.Bool(value=token.text == "true")
+        if token.kind == "kw" and token.text == "null":
+            self.advance()
+            return ast.Null()
+        if token.kind == "name":
+            name = self.advance().text
+            if self.accept("punct", "("):
+                args = []
+                if not self.accept("punct", ")"):
+                    while True:
+                        args.append(self.expression())
+                        if not self.accept("punct", ","):
+                            break
+                    self.expect("punct", ")")
+                return ast.CallExpr(func=name, args=tuple(args))
+            return ast.Name(name=name)
+        if self.accept("punct", "("):
+            expr = self.expression()
+            self.expect("punct", ")")
+            return expr
+        if self.accept("punct", "["):
+            items = []
+            if not self.accept("punct", "]"):
+                while True:
+                    items.append(self.expression())
+                    if not self.accept("punct", ","):
+                        break
+                self.expect("punct", "]")
+            return ast.ArrayLit(items=tuple(items))
+        raise JsSyntaxError(f"unexpected token {token.text!r} "
+                            f"(line {token.line})")
+
+
+def parse_js(source: str) -> ast.Script:
+    """Parse a script into its AST."""
+    return JsParser(tokenize_js(source)).parse_script()

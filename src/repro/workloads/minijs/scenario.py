@@ -1,0 +1,146 @@
+"""Driver helpers for the minijs quantitative assessment (Sec. 5.1).
+
+One :class:`BugRun` per injected bug: trace the old and new (bug-carrying)
+engines on the failing script, difference with both semantics, and
+compute the paper's accuracy and speedup measures.  The LCS baseline's
+compare cost is the modelled optimized-LCS cost (common-prefix/suffix
+trim + quadratic core over the middle region); its diff count comes from
+the exact LCS length (Myers' algorithm).  A cell budget reproduces the
+paper's baseline failures on long traces.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.capture import TraceFilter, trace_call
+from repro.core.lcs import (LcsBudgetExceeded, OpCounter, myers_lcs_length,
+                            trim_common)
+from repro.core.stats import accuracy as accuracy_ratio
+from repro.core.stats import speedup as speedup_ratio
+from repro.core.traces import Trace
+from repro.core.view_diff import ViewDiffConfig, view_diff
+from repro.workloads.bugs import BugSpec
+from repro.workloads.minijs.bug_registry import MINIJS_BUGS, scaled
+from repro.workloads.minijs.engine import run_script
+
+MINIJS_FILTER = TraceFilter(include_modules=("repro.workloads.minijs",))
+
+#: Per-bug work-loop scales: varied so trace lengths span a wide range
+#: (the paper's traces ran 10K .. 1.9M entries; ours are laptop-scaled).
+DEFAULT_SCALES = {
+    "MF-STR-COERCE": 8,
+    "MF-NEG-INDEX": 12,
+    "MF-BREAK": 16,
+    "MF-SUBSTR": 20,
+    "MC-MOD-NEG": 25,
+    "MC-EQ-MIXED": 5,     # a very small trace (the paper saw <1x here)
+    "B-SUBSTR-END": 30,
+    "B-FOR-INIT": 35,
+    "CF-NOT-IF": 40,
+    "CF-SHORTCIRCUIT": 3,  # the other very small trace
+    "WE-FOLD-SUB": 42,
+    "T-LE-TYPO": 60,      # beyond the baseline's memory budget
+    "T-PUSH-RET": 90,     # beyond the baseline's memory budget
+    "T-NOT-NULL": 120,    # beyond the baseline's memory budget
+}
+
+
+@dataclass(slots=True)
+class BugRun:
+    """Measurements for one injected regression."""
+
+    bug_id: str
+    category: str
+    trace_entries: int
+    views_num_diffs: int
+    views_sequences: int
+    views_compares: int
+    views_seconds: float
+    lcs_num_diffs: int | None
+    lcs_compares: int | None
+    lcs_failed: bool
+    accuracy: float | None
+    speedup: float | None
+
+    @property
+    def total_entries(self) -> int:
+        return self.trace_entries
+
+
+def trace_pair(spec: BugSpec, scale: int) -> tuple[Trace, Trace]:
+    """Trace old and new engines on the bug's failing script."""
+    source = scaled(str(spec.failing_input), scale)
+    old = trace_call(run_script, source, "old", filter=MINIJS_FILTER,
+                     name=f"{spec.bug_id}/old").trace
+    new = trace_call(run_script, source, "new", spec.bug_id,
+                     filter=MINIJS_FILTER,
+                     name=f"{spec.bug_id}/new").trace
+    return old, new
+
+
+def run_bug(spec: BugSpec, scale: int,
+            config: ViewDiffConfig | None = None,
+            lcs_cell_budget: int | None = 400_000_000,
+            lcs_max_d: int | None = 60_000) -> BugRun:
+    """One Fig. 14 data point."""
+    old, new = trace_pair(spec, scale)
+    total = len(old) + len(new)
+
+    started = time.perf_counter()
+    views_counter = OpCounter()
+    views_result = view_diff(old, new, config=config, counter=views_counter)
+    views_seconds = time.perf_counter() - started
+
+    keys_l = [e.key() for e in old.entries]
+    keys_r = [e.key() for e in new.entries]
+    prefix, mid_a, mid_b = trim_common(keys_l, keys_r)
+    del prefix
+    lcs_failed = False
+    lcs_num_diffs: int | None = None
+    lcs_compares: int | None = None
+    if lcs_cell_budget is not None and mid_a * mid_b > lcs_cell_budget:
+        lcs_failed = True  # the baseline's table would not fit in memory
+    else:
+        try:
+            lcs_length = myers_lcs_length(keys_l, keys_r, max_d=lcs_max_d)
+            lcs_num_diffs = total - 2 * lcs_length
+            lcs_compares = mid_a * mid_b  # modelled optimized-LCS cost
+        except LcsBudgetExceeded:
+            lcs_failed = True
+    run_accuracy = None
+    run_speedup = None
+    if not lcs_failed:
+        run_accuracy = accuracy_ratio(total, views_result.num_diffs(),
+                                      lcs_num_diffs)
+        run_speedup = speedup_ratio(lcs_compares, views_counter.total)
+    return BugRun(
+        bug_id=spec.bug_id,
+        category=spec.category,
+        trace_entries=total,
+        views_num_diffs=views_result.num_diffs(),
+        views_sequences=len(views_result.sequences),
+        views_compares=views_counter.total,
+        views_seconds=views_seconds,
+        lcs_num_diffs=lcs_num_diffs,
+        lcs_compares=lcs_compares,
+        lcs_failed=lcs_failed,
+        accuracy=run_accuracy,
+        speedup=run_speedup,
+    )
+
+
+def run_suite(scales: dict[str, int] | None = None,
+              bug_ids: list[str] | None = None,
+              **kwargs) -> list[BugRun]:
+    """Run the whole (or a subset of the) bug suite."""
+    if scales is None:
+        scales = DEFAULT_SCALES
+    runs = []
+    for spec in MINIJS_BUGS.all():
+        if bug_ids is not None and spec.bug_id not in bug_ids:
+            continue
+        scale = scales.get(spec.bug_id, 50)
+        runs.append(run_bug(spec, scale, **kwargs))
+    return runs

@@ -1,0 +1,102 @@
+"""Lexer for the JavaScript-like language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class JsSyntaxError(Exception):
+    """Lexical or syntactic error in a script."""
+
+
+KEYWORDS = {"var", "function", "return", "if", "else", "while", "for",
+            "true", "false", "null", "break", "continue"}
+
+TWO_CHAR_OPS = ("==", "!=", "<=", ">=", "&&", "||")
+PUNCT = "(){}[],;"
+
+
+@dataclass(frozen=True, slots=True)
+class Tok:
+    kind: str  # name | kw | num | str | op | punct | eof
+    text: str
+    line: int
+
+
+def tokenize_js(source: str) -> list[Tok]:
+    tokens: list[Tok] = []
+    i = 0
+    line = 1
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            word = source[i:j]
+            tokens.append(Tok("kw" if word in KEYWORDS else "name", word,
+                              line))
+            i = j
+            continue
+        if ch.isdigit():
+            j = i
+            seen_dot = False
+            while j < n and (source[j].isdigit()
+                             or (source[j] == "." and not seen_dot
+                                 and j + 1 < n and source[j + 1].isdigit())):
+                if source[j] == ".":
+                    seen_dot = True
+                j += 1
+            tokens.append(Tok("num", source[i:j], line))
+            i = j
+            continue
+        if ch in "'\"":
+            j = i + 1
+            chars = []
+            while j < n and source[j] != ch:
+                if source[j] == "\n":
+                    raise JsSyntaxError(f"unterminated string, line {line}")
+                if source[j] == "\\" and j + 1 < n:
+                    chars.append({"n": "\n", "t": "\t"}.get(
+                        source[j + 1], source[j + 1]))
+                    j += 2
+                    continue
+                chars.append(source[j])
+                j += 1
+            if j >= n:
+                raise JsSyntaxError(f"unterminated string, line {line}")
+            tokens.append(Tok("str", "".join(chars), line))
+            i = j + 1
+            continue
+        matched = False
+        for op in TWO_CHAR_OPS:
+            if source.startswith(op, i):
+                tokens.append(Tok("op", op, line))
+                i += 2
+                matched = True
+                break
+        if matched:
+            continue
+        if ch in "+-*/%<>!=":
+            tokens.append(Tok("op", ch, line))
+            i += 1
+            continue
+        if ch in PUNCT:
+            tokens.append(Tok("punct", ch, line))
+            i += 1
+            continue
+        raise JsSyntaxError(f"unexpected character {ch!r}, line {line}")
+    tokens.append(Tok("eof", "", line))
+    return tokens

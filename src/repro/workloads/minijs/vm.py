@@ -1,0 +1,402 @@
+"""The icode interpreter (Rhino's interpretive mode analogue).
+
+Several injectable regressions live here (see the bug registry):
+``MF-STR-COERCE``, ``MF-NEG-INDEX``, ``MC-MOD-NEG``, ``MC-EQ-MIXED``,
+``CF-SHORTCIRCUIT``, ``T-LE-TYPO``, ``T-NOT-NULL``, plus the builtins'
+``MF-SUBSTR``, ``B-SUBSTR-END``, ``T-PUSH-RET``.
+"""
+
+from __future__ import annotations
+
+from repro.capture import traced
+from repro.workloads.minijs.icode import (ARRAY, BINOP, CALL, CodeUnit,
+                                          DECL, FunctionCode, INDEX, JIF,
+                                          JIF_KEEP, JIT_KEEP, JUMP, LOAD,
+                                          POP, PUSH, RET, STORE,
+                                          STORE_INDEX, UNOP)
+
+
+class JsRuntimeError(Exception):
+    """Dynamic error during script execution."""
+
+
+def truthy(value) -> bool:
+    if value is None:
+        return False
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, (int, float)):
+        return value != 0
+    if isinstance(value, str):
+        return value != ""
+    if isinstance(value, list):
+        return True
+    return bool(value)
+
+
+def display(value) -> str:
+    if value is None:
+        return "null"
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    if isinstance(value, list):
+        return "[" + ", ".join(display(v) for v in value) + "]"
+    return str(value)
+
+
+@traced
+class Frame:
+    """One activation record."""
+
+    def __init__(self, code: FunctionCode):
+        self.code = code
+        self._pc = 0
+        self._stack = []
+        self.variables = {}
+
+    @property
+    def pc(self) -> int:
+        return self._pc
+
+    @pc.setter
+    def pc(self, value: int) -> None:
+        self._pc = value
+
+    def push(self, value) -> None:
+        self._stack.append(value)
+
+    def pop(self):
+        if not self._stack:
+            raise JsRuntimeError("operand stack underflow")
+        return self._stack.pop()
+
+    def peek(self):
+        if not self._stack:
+            raise JsRuntimeError("operand stack underflow")
+        return self._stack[-1]
+
+    def __repr__(self):
+        return f"Frame({self.code.name}@{self._pc})"
+
+
+@traced
+class Builtins:
+    """Built-in functions (print/len/push/charAt/substr/str/abs)."""
+
+    def __init__(self, bugs: frozenset[str], output: list[str]):
+        self._bugs = bugs
+        self._output = output
+
+    def call(self, name: str, args: list):
+        if name == "print":
+            self._output.append(" ".join(display(a) for a in args))
+            return None
+        if name == "len":
+            return len(args[0])
+        if name == "push":
+            args[0].append(args[1])
+            if "T-PUSH-RET" in self._bugs:
+                # BUG (typo): off-by-one on the returned new length.
+                return len(args[0]) - 1
+            return len(args[0])
+        if name == "charAt":
+            text, at = args
+            if 0 <= at < len(text):
+                return text[at]
+            return ""
+        if name == "substr":
+            text, start, end = args
+            if "MF-SUBSTR" in self._bugs:
+                # BUG (missing feature): the end bound is ignored.
+                return text[start:]
+            if "B-SUBSTR-END" in self._bugs:
+                # BUG (boundary): exclusive bound treated as len-1 cap.
+                return text[start:max(start, end - 1)]
+            return text[start:end]
+        if name == "str":
+            return display(args[0])
+        if name == "abs":
+            return abs(args[0])
+        raise JsRuntimeError(f"unknown function: {name}")
+
+    def known(self, name: str) -> bool:
+        return name in ("print", "len", "push", "charAt", "substr", "str",
+                        "abs")
+
+    def __repr__(self):
+        return "Builtins"
+
+
+@traced
+class Interpreter:
+    """Executes a :class:`CodeUnit`."""
+
+    MAX_STEPS = 2_000_000
+
+    def __init__(self, unit: CodeUnit, bugs: frozenset[str] = frozenset(),
+                 collect_stats: bool = False):
+        self.unit = unit
+        self._bugs = bugs
+        self.output: list[str] = []
+        self.builtins = Builtins(bugs, self.output)
+        self.globals: dict[str, object] = {}
+        self._steps = 0
+        self.collect_stats = collect_stats
+        self.functions_entered = 0
+        self._op_counts: dict[str, int] = {}
+
+    # -- driver ----------------------------------------------------------------
+
+    def run(self) -> list[str]:
+        # Top-level variables are the globals functions close over.
+        self.run_code(self.unit.main, self.globals)
+        return list(self.output)
+
+    def run_code(self, code: FunctionCode, variables: dict):
+        if self.collect_stats:
+            self.note_entry(code.name)
+        frame = Frame(code)
+        frame.variables = variables
+        while frame._pc < len(code.instrs):
+            self._steps += 1
+            if self._steps > self.MAX_STEPS:
+                raise JsRuntimeError("step budget exhausted")
+            instr = code.instrs[frame._pc]
+            if self.collect_stats:
+                self._op_counts[instr.op] = \
+                    self._op_counts.get(instr.op, 0) + 1
+            result = self.execute(instr, frame)
+            if result is not None:
+                return result[0]
+        return None
+
+    @property
+    def steps(self) -> int:
+        return self._steps
+
+    def note_entry(self, name: str) -> None:
+        """Evolution churn in the new version: per-call statistics."""
+        self.functions_entered = self.functions_entered + 1
+
+    # -- instruction dispatch ------------------------------------------------------
+
+    def execute(self, instr, frame: Frame):
+        """Execute one instruction; returns ``(value,)`` on RET."""
+        op = instr.op
+        if op == PUSH:
+            frame.push(instr.arg1)
+        elif op == LOAD:
+            frame.push(self.load_var(frame, instr.arg1))
+        elif op == DECL:
+            frame.variables[instr.arg1] = frame.pop()
+        elif op == STORE:
+            self.store_var(frame, instr.arg1, frame.pop())
+        elif op == ARRAY:
+            count = instr.arg1
+            items = [frame.pop() for _ in range(count)][::-1]
+            frame.push(items)
+        elif op == INDEX:
+            index = frame.pop()
+            obj = frame.pop()
+            frame.push(self.index_read(obj, index))
+        elif op == STORE_INDEX:
+            value = frame.pop()
+            index = frame.pop()
+            obj = frame.pop()
+            self.index_write(obj, index, value)
+        elif op == BINOP:
+            right = frame.pop()
+            left = frame.pop()
+            frame.push(self.apply_binop(instr.arg1, left, right))
+        elif op == UNOP:
+            frame.push(self.apply_unop(instr.arg1, frame.pop()))
+        elif op == JUMP:
+            frame.pc = instr.arg1
+            return None
+        elif op == JIF:
+            value = frame.pop()
+            if not truthy(value):
+                frame.pc = instr.arg1
+                return None
+        elif op == JIF_KEEP:
+            if "CF-SHORTCIRCUIT" in self._bugs:
+                # BUG (control flow): && no longer short-circuits — fall
+                # through into the right operand unconditionally.
+                frame.pc += 1
+                return None
+            if not truthy(frame.peek()):
+                frame.pc = instr.arg1
+                return None
+        elif op == JIT_KEEP:
+            if truthy(frame.peek()):
+                frame.pc = instr.arg1
+                return None
+        elif op == CALL:
+            frame.push(self.call(instr.arg1, instr.arg2, frame))
+        elif op == RET:
+            return (frame.pop(),)
+        elif op == POP:
+            frame.pop()
+        else:
+            raise JsRuntimeError(f"unknown opcode: {op}")
+        frame.pc += 1
+        return None
+
+    # -- operations ---------------------------------------------------------------
+
+    def store_var(self, frame: Frame, name: str, value) -> None:
+        if name in frame.variables:
+            frame.variables[name] = value
+        elif name in self.globals:
+            self.globals[name] = value
+        else:
+            frame.variables[name] = value
+
+    def load_var(self, frame: Frame, name: str):
+        if name in frame.variables:
+            return frame.variables[name]
+        if name in self.globals:
+            return self.globals[name]
+        raise JsRuntimeError(f"undefined variable: {name}")
+
+    def index_read(self, obj, index):
+        if not isinstance(obj, (list, str)):
+            raise JsRuntimeError("indexing a non-array value")
+        if not isinstance(index, int) or isinstance(index, bool):
+            raise JsRuntimeError("array index must be an integer")
+        if index < 0:
+            if "MF-NEG-INDEX" in self._bugs:
+                # BUG (missing feature): from-the-end indexing dropped.
+                return None
+            if -index <= len(obj):
+                return obj[index]
+            return None
+        if index >= len(obj):
+            return None
+        return obj[index]
+
+    def index_write(self, obj, index, value) -> None:
+        if not isinstance(obj, list):
+            raise JsRuntimeError("assigning into a non-array value")
+        if not isinstance(index, int) or isinstance(index, bool):
+            raise JsRuntimeError("array index must be an integer")
+        if 0 <= index < len(obj):
+            obj[index] = value
+        elif index == len(obj):
+            obj.append(value)
+        else:
+            raise JsRuntimeError(f"index {index} out of bounds")
+
+    def apply_binop(self, op: str, left, right):
+        if op == "+":
+            return self.add(left, right)
+        if op in ("-", "*", "/", "%"):
+            self.require_numbers(op, left, right)
+            if op == "-":
+                return left - right
+            if op == "*":
+                return left * right
+            if op == "/":
+                if right == 0:
+                    raise JsRuntimeError("division by zero")
+                result = left / right
+                if isinstance(left, int) and isinstance(right, int) \
+                        and result.is_integer():
+                    return int(result)
+                return result
+            return self.modulo(left, right)
+        if op == "==":
+            return self.equals(left, right)
+        if op == "!=":
+            return not self.equals(left, right)
+        if op in ("<", "<=", ">", ">="):
+            return self.compare(op, left, right)
+        raise JsRuntimeError(f"unknown operator: {op}")
+
+    def add(self, left, right):
+        if isinstance(left, str) or isinstance(right, str):
+            if "MF-STR-COERCE" in self._bugs and not (
+                    isinstance(left, str) and isinstance(right, str)):
+                # BUG (missing feature): number->string coercion dropped.
+                raise JsRuntimeError("cannot add string and number")
+            return js_concat(left, right)
+        return left + right
+
+    def modulo(self, left, right):
+        if right == 0:
+            raise JsRuntimeError("modulo by zero")
+        if "MC-MOD-NEG" in self._bugs and left < 0:
+            # BUG (missing case): negative dividends fall through to the
+            # floored (Python) semantics instead of truncated (JS).
+            return left % right
+        quotient = int(left / right)  # truncated division (JS semantics)
+        return left - quotient * right
+
+    def equals(self, left, right) -> bool:
+        if "MC-EQ-MIXED" in self._bugs:
+            # BUG (missing case): int/float cross-type comparison lost.
+            if isinstance(left, int) != isinstance(right, int):
+                return False
+        return left == right
+
+    def compare(self, op: str, left, right) -> bool:
+        self.require_comparable(op, left, right)
+        if op == "<":
+            return left < right
+        if op == "<=":
+            if "T-LE-TYPO" in self._bugs:
+                # BUG (typo): <= dispatches to the < implementation.
+                return left < right
+            return left <= right
+        if op == ">":
+            return left > right
+        return left >= right
+
+    def apply_unop(self, op: str, value):
+        if op == "-":
+            self.require_numbers(op, value, 0)
+            return -value
+        if op == "!":
+            if "T-NOT-NULL" in self._bugs and value is None:
+                # BUG (typo): `is not None` where `is None` was meant.
+                return False
+            return not truthy(value)
+        raise JsRuntimeError(f"unknown unary operator: {op}")
+
+    def require_numbers(self, op: str, left, right) -> None:
+        for value in (left, right):
+            if isinstance(value, bool) or not isinstance(value,
+                                                         (int, float)):
+                raise JsRuntimeError(f"operator {op!r} needs numbers")
+
+    def require_comparable(self, op: str, left, right) -> None:
+        if isinstance(left, str) != isinstance(right, str):
+            raise JsRuntimeError(f"operator {op!r} on mixed types")
+
+    # -- calls -----------------------------------------------------------------------
+
+    def call(self, name: str, argc: int, frame: Frame):
+        args = [frame.pop() for _ in range(argc)][::-1]
+        code = self.unit.function(name)
+        if code is not None:
+            if len(code.params) != len(args):
+                raise JsRuntimeError(
+                    f"{name} expects {len(code.params)} args, "
+                    f"got {len(args)}")
+            variables = dict(zip(code.params, args))
+            return self.run_code(code, variables)
+        if self.builtins.known(name):
+            return self.builtins.call(name, args)
+        raise JsRuntimeError(f"unknown function: {name}")
+
+    def __repr__(self):
+        return f"Interpreter(steps={self._steps})"
+
+
+# The string-concat path of ``add`` above needs the full JS behaviour:
+# left + right with coercion.  Implemented as a module function so the
+# buggy path in ``add`` stays small.
+def js_concat(left, right) -> str:
+    return display(left) + display(right)

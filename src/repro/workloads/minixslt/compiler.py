@@ -1,0 +1,158 @@
+"""Template compiler: stylesheet -> VM opcodes (the translet analogue).
+
+Templates are *compiled* into flat opcode lists executed by
+:mod:`repro.workloads.minixslt.vm`.  This is the dynamic-code-generation
+stage: a defect here produces wrong *code*, whose effect appears only
+when the code later runs against a document — the cause/effect separation
+that makes XALANJ-1725 hard for static tools.
+
+``LiteralElementCompiler.translate`` compiles a literal result element.
+It first runs ``check_attributes_unique`` (duplicate attributes are a
+stylesheet error), then emits one ``ATTR`` op per attribute.  In the
+buggy version (2.5.2 analogue) the emission loop reuses the duplicate-
+scan's index arithmetic and stops one attribute short whenever the
+element has more than one attribute — the last attribute silently
+disappears from the *generated code*.
+"""
+
+from __future__ import annotations
+
+from repro.capture import traced
+from repro.workloads.minixslt.stylesheet import (ApplyTemplates, ForEach,
+                                                 IfInstruction,
+                                                 LiteralElement,
+                                                 LiteralText, Stylesheet,
+                                                 StylesheetError, Template,
+                                                 ValueOf,
+                                                 split_attribute_template)
+
+
+@traced
+class Op:
+    """One VM instruction."""
+
+    def __init__(self, kind: str, arg1=None, arg2=None):
+        self.kind = kind
+        self.arg1 = arg1
+        self.arg2 = arg2
+
+    def __repr__(self):
+        parts = [self.kind]
+        if self.arg1 is not None:
+            parts.append(repr(self.arg1))
+        if self.arg2 is not None:
+            parts.append(repr(self.arg2))
+        return f"Op({', '.join(parts)})"
+
+
+@traced
+class CompiledTemplate:
+    """A template lowered to opcodes."""
+
+    def __init__(self, match: str, ops: list[Op]):
+        self.match = match
+        self.ops = ops
+
+    def __repr__(self):
+        return f"CompiledTemplate({self.match}, {len(self.ops)} ops)"
+
+
+@traced
+class LiteralElementCompiler:
+    """Compilation of literal result elements (XALANJ-1725 site)."""
+
+    def __init__(self, buggy_attribute_emission: bool):
+        self.buggy_attribute_emission = buggy_attribute_emission
+
+    def check_attributes_unique(self,
+                                attributes: list[tuple[str, str]]) -> int:
+        """Reject duplicate attribute names; returns the unique count."""
+        seen = []
+        for name, _value in attributes:
+            if name in seen:
+                raise StylesheetError(f"duplicate attribute: {name}")
+            seen = seen + [name]
+        return len(seen)
+
+    def translate(self, element: LiteralElement,
+                  compile_body) -> list[Op]:
+        """Emit ops for one literal element (start, attrs, body, end)."""
+        unique = self.check_attributes_unique(element.attributes)
+        ops = [Op("START_ELEM", element.tag)]
+        if self.buggy_attribute_emission and unique > 1:
+            # BUG: reuses the uniqueness scan's index as an *exclusive*
+            # bound, dropping the final attribute from the generated code.
+            emit_count = unique - 1
+        else:
+            emit_count = unique
+        for name, value in element.attributes[:emit_count]:
+            if "{" in value:
+                # Attribute value template: evaluated at execution time.
+                ops.append(Op("ATTR_TMPL", name,
+                              split_attribute_template(value)))
+            else:
+                ops.append(Op("ATTR", name, value))
+        ops.extend(compile_body(element.body))
+        ops.append(Op("END_ELEM", element.tag))
+        return ops
+
+
+@traced
+class TemplateCompiler:
+    """Compiles every template of a stylesheet to opcodes."""
+
+    def __init__(self, buggy_attribute_emission: bool = False,
+                 peephole: bool = False):
+        self.literal_compiler = LiteralElementCompiler(
+            buggy_attribute_emission)
+        self.peephole = peephole
+
+    def compile_stylesheet(self, stylesheet: Stylesheet
+                           ) -> list[CompiledTemplate]:
+        compiled = []
+        for template in stylesheet.templates:
+            compiled.append(self.compile_template(template))
+        return compiled
+
+    def compile_template(self, template: Template) -> CompiledTemplate:
+        ops = self.compile_body(template.body)
+        if self.peephole:
+            ops = self.fuse_adjacent_text(ops)
+        return CompiledTemplate(template.match, ops)
+
+    def compile_body(self, body: list) -> list[Op]:
+        ops: list[Op] = []
+        for item in body:
+            if isinstance(item, LiteralText):
+                ops.append(Op("TEXT", item.text))
+            elif isinstance(item, ValueOf):
+                ops.append(Op("VALUE_OF", item.select))
+            elif isinstance(item, ApplyTemplates):
+                ops.append(Op("APPLY", item.select))
+            elif isinstance(item, ForEach):
+                ops.append(Op("FOR_EACH", item.select,
+                              self.compile_body(item.body)))
+            elif isinstance(item, IfInstruction):
+                ops.append(Op("IF", item.test,
+                              self.compile_body(item.body)))
+            elif isinstance(item, LiteralElement):
+                ops.extend(self.literal_compiler.translate(
+                    item, self.compile_body))
+            else:
+                raise StylesheetError(f"uncompilable item: {item!r}")
+        return ops
+
+    def fuse_adjacent_text(self, ops: list[Op]) -> list[Op]:
+        """2.5.x peephole optimisation (benign churn between versions):
+        adjacent TEXT ops fuse into one."""
+        fused: list[Op] = []
+        for op in ops:
+            if (op.kind == "TEXT" and fused
+                    and fused[-1].kind == "TEXT"):
+                fused[-1] = Op("TEXT", fused[-1].arg1 + op.arg1)
+            else:
+                fused.append(op)
+        return fused
+
+    def __repr__(self):
+        return "TemplateCompiler"

@@ -1,0 +1,74 @@
+"""Engine facade: version selection and the transform pipeline.
+
+Versions (feature matrix mirrors the two regressions' version spans):
+
+=========  ==================  ====================  =================
+version    namespace module    attribute emission    peephole passes
+=========  ==================  ====================  =================
+``2.4.1``  flat (old arch)     correct               off
+``2.5.1``  scoped (rewritten,  correct               on
+           shadowing bug)
+``2.5.2``  scoped (same)       **buggy** (1725)      on
+=========  ==================  ====================  =================
+
+* XALANJ-1802 analogue: 2.4.1 -> 2.5.1 (re-architected namespaces).
+* XALANJ-1725 analogue: 2.5.1 -> 2.5.2 (compiler emits wrong code).
+"""
+
+from __future__ import annotations
+
+from repro.capture import traced
+from repro.workloads.minixslt.compiler import TemplateCompiler
+from repro.workloads.minixslt.namespaces import make_resolver
+from repro.workloads.minixslt.stylesheet import parse_stylesheet
+from repro.workloads.minixslt.vm import TransformVm
+from repro.workloads.minixslt.xmldoc import parse_xml
+
+#: Supported engine versions.
+VERSIONS = ("2.4.1", "2.5.1", "2.5.2")
+
+_FEATURES = {
+    "2.4.1": {"namespaces": "flat", "buggy_pop": False,
+              "buggy_attrs": False, "peephole": False},
+    "2.5.1": {"namespaces": "scoped", "buggy_pop": True,
+              "buggy_attrs": False, "peephole": True},
+    "2.5.2": {"namespaces": "scoped", "buggy_pop": True,
+              "buggy_attrs": True, "peephole": True},
+}
+
+
+@traced
+class XsltEngine:
+    """One engine instance of a specific version."""
+
+    def __init__(self, version: str):
+        if version not in _FEATURES:
+            raise ValueError(f"unknown engine version: {version!r}")
+        self.version = version
+        self.features = _FEATURES[version]
+
+    def compile(self, stylesheet_source: str):
+        stylesheet = parse_stylesheet(stylesheet_source)
+        compiler = TemplateCompiler(
+            buggy_attribute_emission=self.features["buggy_attrs"],
+            peephole=self.features["peephole"])
+        return compiler.compile_stylesheet(stylesheet)
+
+    def transform(self, stylesheet_source: str, document_source: str) -> str:
+        """The full pipeline: parse, compile (codegen), execute."""
+        templates = self.compile(stylesheet_source)
+        resolver = make_resolver(self.features["namespaces"],
+                                 buggy_pop=self.features["buggy_pop"])
+        document = parse_xml(document_source)
+        vm = TransformVm(templates, resolver)
+        return vm.transform(document)
+
+    def __repr__(self):
+        return f"XsltEngine({self.version})"
+
+
+def transform(version: str, stylesheet_source: str,
+              document_source: str) -> str:
+    """Convenience one-shot transform."""
+    return XsltEngine(version).transform(stylesheet_source,
+                                         document_source)

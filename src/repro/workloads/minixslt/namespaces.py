@@ -1,0 +1,113 @@
+"""Namespace resolution — the module re-architected between 2.4.1 and
+2.5.1 (the XALANJ-1802 analogue).
+
+``FlatResolver`` is the 2.4.1 design: a plain dictionary snapshot per
+element, rebuilt by copying on entry.  Correct, if unfashionable.
+
+``ScopedResolver`` is the 2.5.1 rewrite: a single binding stack with
+scope push/pop — faster, and carrying a corner-case bug: ``pop_scope``
+removes *all* bindings of a prefix declared in the closing scope, not
+just the innermost one, so a prefix *shadowed and then unshadowed*
+resolves to nothing.  The bug only fires on inputs that redeclare a
+prefix in a nested element and use it again after the element closes.
+"""
+
+from __future__ import annotations
+
+from repro.capture import traced
+
+
+class NamespaceError(Exception):
+    """Unresolvable prefix."""
+
+
+@traced
+class FlatResolver:
+    """2.4.1: immutable per-scope dictionary snapshots."""
+
+    def __init__(self):
+        self.scopes = [{"": "", "xml": "http://www.w3.org/XML/1998/namespace"}]
+
+    def push_scope(self, declarations: list[tuple[str, str]]) -> None:
+        merged = dict(self.scopes[-1])
+        for prefix, uri in declarations:
+            merged[prefix] = uri
+        self.scopes = self.scopes + [merged]
+
+    def pop_scope(self) -> None:
+        self.scopes = self.scopes[:-1]
+
+    def resolve(self, prefix: str) -> str:
+        current = self.scopes[-1]
+        if prefix in current:
+            return current[prefix]
+        raise NamespaceError(f"unbound namespace prefix: {prefix!r}")
+
+    def __repr__(self):
+        return f"FlatResolver(depth={len(self.scopes)})"
+
+
+@traced
+class Binding:
+    """One prefix binding on the shared stack."""
+
+    def __init__(self, prefix: str, uri: str, depth: int):
+        self.prefix = prefix
+        self.uri = uri
+        self.depth = depth
+
+    def __repr__(self):
+        return f"Binding({self.prefix}->{self.uri}@{self.depth})"
+
+
+@traced
+class ScopedResolver:
+    """2.5.1: one shared binding stack with scope depths."""
+
+    def __init__(self, buggy_pop: bool):
+        self.buggy_pop = buggy_pop
+        self.depth = 0
+        self.bindings = [Binding("", "", 0),
+                         Binding("xml",
+                                 "http://www.w3.org/XML/1998/namespace", 0)]
+
+    def push_scope(self, declarations: list[tuple[str, str]]) -> None:
+        self.depth = self.depth + 1
+        for prefix, uri in declarations:
+            self.bindings = self.bindings + [
+                Binding(prefix, uri, self.depth)]
+
+    def pop_scope(self) -> None:
+        closing = self.depth
+        if self.buggy_pop:
+            # BUG (XALANJ-1802 analogue): drops every binding whose
+            # *prefix* was declared in the closing scope — including
+            # outer bindings the inner one merely shadowed.
+            closing_prefixes = {b.prefix for b in self.bindings
+                                if b.depth == closing}
+            self.bindings = [b for b in self.bindings
+                             if b.prefix not in closing_prefixes
+                             or b.depth == 0]
+        else:
+            self.bindings = [b for b in self.bindings
+                             if b.depth < closing]
+        self.depth = closing - 1
+
+    def resolve(self, prefix: str) -> str:
+        for binding in reversed(self.bindings):
+            if binding.prefix == prefix:
+                return binding.uri
+        raise NamespaceError(f"unbound namespace prefix: {prefix!r}")
+
+    def __repr__(self):
+        return f"ScopedResolver(depth={self.depth}, " \
+               f"bindings={len(self.bindings)})"
+
+
+def make_resolver(architecture: str, buggy_pop: bool = False):
+    """Factory selecting the namespace architecture by engine version."""
+    if architecture == "flat":
+        return FlatResolver()
+    if architecture == "scoped":
+        return ScopedResolver(buggy_pop=buggy_pop)
+    raise ValueError(f"unknown namespace architecture: {architecture!r}")

@@ -1,0 +1,208 @@
+"""Stylesheet model and parser.
+
+A stylesheet is an XML document in the ``xsl`` prefix, supporting the core
+constructs the scenarios need::
+
+    <xsl:stylesheet>
+      <xsl:template match="name">
+        literal elements with {expr} attribute value templates
+        <xsl:value-of select="expr"/>
+        <xsl:apply-templates select="name"/>
+        <xsl:for-each select="name"> ... </xsl:for-each>
+        <xsl:if test="expr = 'literal'"> ... </xsl:if>
+      </xsl:template>
+    </xsl:stylesheet>
+
+Select expressions: ``.`` (current text), ``@attr``, a child element name,
+``name()`` and ``namespace-uri()``.  ``xsl:if`` tests are either an
+equality against a quoted literal or the truthiness (non-emptiness) of a
+select expression.
+"""
+
+from __future__ import annotations
+
+from repro.capture import traced
+from repro.workloads.minixslt.xmldoc import Element, parse_xml
+
+
+class StylesheetError(Exception):
+    """Malformed stylesheet."""
+
+
+@traced
+class Template:
+    """One ``xsl:template`` with its match pattern and body items."""
+
+    def __init__(self, match: str, body: list):
+        self.match = match
+        self.body = body
+
+    def __repr__(self):
+        return f"Template(match={self.match})"
+
+
+@traced
+class LiteralText:
+    def __init__(self, text: str):
+        self.text = text
+
+    def __repr__(self):
+        return f"LiteralText({self.text[:20]!r})"
+
+
+@traced
+class ValueOf:
+    def __init__(self, select: str):
+        self.select = select
+
+    def __repr__(self):
+        return f"ValueOf({self.select})"
+
+
+@traced
+class ApplyTemplates:
+    def __init__(self, select: str):
+        self.select = select
+
+    def __repr__(self):
+        return f"ApplyTemplates({self.select})"
+
+
+@traced
+class ForEach:
+    def __init__(self, select: str, body: list):
+        self.select = select
+        self.body = body
+
+    def __repr__(self):
+        return f"ForEach({self.select})"
+
+
+@traced
+class IfInstruction:
+    """``xsl:if test="expr"`` — the body runs when the test expression
+    evaluates truthy (non-empty), or when ``expr = 'literal'`` holds."""
+
+    def __init__(self, test: str, body: list):
+        self.test = test
+        self.body = body
+
+    def __repr__(self):
+        return f"If({self.test})"
+
+
+@traced
+class LiteralElement:
+    """A literal result element; its compilation is where XALANJ-1725
+    lives."""
+
+    def __init__(self, tag: str, attributes: list[tuple[str, str]],
+                 body: list):
+        self.tag = tag
+        self.attributes = attributes
+        self.body = body
+
+    def __repr__(self):
+        return f"LiteralElement(<{self.tag}> " \
+               f"{len(self.attributes)} attrs)"
+
+
+@traced
+class Stylesheet:
+    """Parsed stylesheet: templates in document order."""
+
+    def __init__(self, templates: list[Template]):
+        self.templates = templates
+
+    def template_for(self, element: Element) -> Template | None:
+        """First template whose match pattern fits (local name or ``*``)."""
+        for template in self.templates:
+            if template.match == element.local_name() or \
+                    template.match == "*":
+                return template
+        return None
+
+    def __repr__(self):
+        return f"Stylesheet({len(self.templates)} templates)"
+
+
+def parse_stylesheet(source: str) -> Stylesheet:
+    """Parse stylesheet XML into the template model."""
+    root = parse_xml(source)
+    if root.local_name() != "stylesheet":
+        raise StylesheetError(f"not a stylesheet: <{root.tag}>")
+    templates = []
+    for child in root.children:
+        if child.local_name() != "template":
+            continue
+        match = child.attribute("match")
+        if match is None:
+            raise StylesheetError("template without match pattern")
+        templates.append(Template(match, _parse_body(child)))
+    if not templates:
+        raise StylesheetError("stylesheet has no templates")
+    return Stylesheet(templates)
+
+
+def _parse_body(element: Element) -> list:
+    """Body items of a template or literal element, in document order.
+
+    The XML parser separates text and children; we approximate document
+    order as: leading text, then children each followed by nothing —
+    sufficient for the scenarios (mixed text/element content keeps the
+    text first).
+    """
+    items: list = []
+    if element.text:
+        items.append(LiteralText(element.text))
+    for child in element.children:
+        items.append(_parse_item(child))
+    return items
+
+
+def _parse_item(element: Element):
+    local = element.local_name()
+    prefix = element.prefix()
+    if prefix == "xsl":
+        if local == "value-of":
+            select = element.attribute("select")
+            if select is None:
+                raise StylesheetError("value-of without select")
+            return ValueOf(select)
+        if local == "apply-templates":
+            return ApplyTemplates(element.attribute("select", "*"))
+        if local == "for-each":
+            select = element.attribute("select")
+            if select is None:
+                raise StylesheetError("for-each without select")
+            return ForEach(select, _parse_body(element))
+        if local == "if":
+            test = element.attribute("test")
+            if test is None:
+                raise StylesheetError("if without test")
+            return IfInstruction(test, _parse_body(element))
+        raise StylesheetError(f"unsupported xsl instruction: {local}")
+    return LiteralElement(element.tag, list(element.attributes),
+                          _parse_body(element))
+
+
+def split_attribute_template(value: str) -> list[tuple[str, str]]:
+    """Split an attribute value template into ``("text", ...)`` and
+    ``("expr", ...)`` parts: ``"id-{@name}"`` ->
+    ``[("text", "id-"), ("expr", "@name")]``."""
+    parts: list[tuple[str, str]] = []
+    rest = value
+    while rest:
+        open_at = rest.find("{")
+        if open_at < 0:
+            parts.append(("text", rest))
+            break
+        close_at = rest.find("}", open_at)
+        if close_at < 0:
+            raise StylesheetError(
+                f"unterminated attribute template in {value!r}")
+        if open_at > 0:
+            parts.append(("text", rest[:open_at]))
+        parts.append(("expr", rest[open_at + 1:close_at]))
+        rest = rest[close_at + 1:]
+    return parts

@@ -1,0 +1,179 @@
+"""The opcode VM: executes compiled templates against an input document.
+
+This is where XALANJ-1725's *effect* surfaces — long after the compiler
+produced the wrong ops — and where namespace resolution (XALANJ-1802's
+re-architected module) is exercised for every element pushed/popped.
+Unresolvable prefixes degrade to the recovery URI rather than aborting,
+so the 1802 regression manifests as wrong output.
+"""
+
+from __future__ import annotations
+
+from repro.capture import traced
+from repro.workloads.minixslt.compiler import CompiledTemplate, Op
+from repro.workloads.minixslt.namespaces import NamespaceError
+from repro.workloads.minixslt.xmldoc import Element, escape
+
+#: Emitted when a prefix cannot be resolved (lenient recovery).
+UNRESOLVED_URI = "urn:unresolved"
+
+
+@traced
+class OutputBuffer:
+    """Accumulates the transformation output.
+
+    Writes mutate the buffer in place: the traced event of interest is
+    the ``write`` call with its text argument, not a snapshot of the
+    whole accumulated document per write.
+    """
+
+    def __init__(self):
+        self._parts = []
+
+    def write(self, text: str) -> None:
+        self._parts.append(text)
+
+    def result(self) -> str:
+        return "".join(self._parts)
+
+    def __repr__(self):
+        return f"OutputBuffer({len(self._parts)} parts)"
+
+
+@traced
+class TransformVm:
+    """Executes compiled templates over the input tree."""
+
+    def __init__(self, templates: list[CompiledTemplate], resolver):
+        self.templates = templates
+        self.resolver = resolver
+        self.output = OutputBuffer()
+        self.apply_depth = 0
+        self.tag_open = False
+
+    # -- template dispatch ----------------------------------------------------
+
+    def template_for(self, element: Element) -> CompiledTemplate | None:
+        for template in self.templates:
+            if template.match == element.local_name() or \
+                    template.match == "*":
+                return template
+        return None
+
+    def transform(self, root: Element) -> str:
+        self.apply_to(root)
+        return self.output.result()
+
+    def apply_to(self, element: Element) -> None:
+        self.apply_depth = self.apply_depth + 1
+        self.resolver.push_scope(element.namespace_declarations())
+        template = self.template_for(element)
+        if template is not None:
+            self.execute(template.ops, element)
+        else:
+            # Built-in rule: recurse into children, copy text.
+            if element.text:
+                self.output.write(escape(element.text))
+            for child in element.children:
+                self.apply_to(child)
+        self.resolver.pop_scope()
+        self.apply_depth = self.apply_depth - 1
+
+    # -- op execution -----------------------------------------------------------
+
+    def execute(self, ops: list[Op], context: Element) -> None:
+        for op in ops:
+            self.execute_op(op, context)
+
+    def close_pending_tag(self) -> None:
+        """A START_ELEM is followed by its ATTR ops; the ``>`` is emitted
+        lazily before the first non-attribute output."""
+        if self.tag_open:
+            self.output.write(">")
+            self.tag_open = False
+
+    def execute_op(self, op: Op, context: Element) -> None:
+        kind = op.kind
+        if kind == "ATTR":
+            self.output.write(f' {op.arg1}="{op.arg2}"')
+            return
+        if kind == "ATTR_TMPL":
+            value = self.expand_template(op.arg2, context)
+            self.output.write(f' {op.arg1}="{value}"')
+            return
+        if kind == "START_ELEM":
+            self.close_pending_tag()
+            self.output.write(f"<{op.arg1}")
+            self.tag_open = True
+            return
+        self.close_pending_tag()
+        if kind == "TEXT":
+            self.output.write(op.arg1)
+        elif kind == "END_ELEM":
+            self.output.write(f"</{op.arg1}>")
+        elif kind == "VALUE_OF":
+            self.output.write(escape(self.evaluate(op.arg1, context)))
+        elif kind == "APPLY":
+            for child in self.select_nodes(op.arg1, context):
+                self.apply_to(child)
+        elif kind == "FOR_EACH":
+            for child in self.select_nodes(op.arg1, context):
+                self.execute(op.arg2, child)
+        elif kind == "IF":
+            if self.test_holds(op.arg1, context):
+                self.execute(op.arg2, context)
+        else:
+            raise ValueError(f"unknown op: {kind}")
+
+    def expand_template(self, parts, context: Element) -> str:
+        """Evaluate an attribute value template's parts."""
+        expanded = []
+        for kind, payload in parts:
+            if kind == "text":
+                expanded.append(payload)
+            else:
+                expanded.append(self.evaluate(payload, context))
+        return "".join(expanded)
+
+    def test_holds(self, test: str, context: Element) -> bool:
+        """``xsl:if`` tests: ``expr = 'literal'`` equality, or the
+        truthiness (non-emptiness) of a select expression."""
+        if "=" in test:
+            left, _, right = test.partition("=")
+            expected = right.strip().strip("'")
+            return self.evaluate(left.strip(), context) == expected
+        return self.evaluate(test.strip(), context) != ""
+
+    # -- select expressions -------------------------------------------------------
+
+    def evaluate(self, select: str, context: Element) -> str:
+        if select == ".":
+            return context.text
+        if select == "name()":
+            return context.local_name()
+        if select == "namespace-uri()":
+            prefix = context.prefix() or ""
+            return self.resolve_prefix(prefix)
+        if select.startswith("@"):
+            return context.attribute(select[1:], "") or ""
+        child = context.first_child(select)
+        if child is None:
+            for candidate in context.children:
+                if candidate.local_name() == select:
+                    return candidate.text
+            return ""
+        return child.text
+
+    def resolve_prefix(self, prefix: str) -> str:
+        try:
+            return self.resolver.resolve(prefix)
+        except NamespaceError:
+            return UNRESOLVED_URI
+
+    def select_nodes(self, select: str, context: Element) -> list[Element]:
+        if select == "*":
+            return list(context.children)
+        return [c for c in context.children if c.local_name() == select]
+
+    def __repr__(self):
+        return f"TransformVm({len(self.templates)} templates)"

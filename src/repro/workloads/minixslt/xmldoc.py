@@ -1,0 +1,223 @@
+"""A small, real XML parser: elements, attributes, text, comments,
+self-closing tags, and namespace-prefixed names.
+
+Attributes are kept as an ordered list of (name, value) pairs — duplicate
+attributes are a *compile-time* concern of the stylesheet compiler
+(``check_attributes_unique``), so the parser must preserve them.
+"""
+
+from __future__ import annotations
+
+from repro.capture import traced
+
+
+class XmlError(Exception):
+    """Malformed document."""
+
+
+@traced
+class Element:
+    """An XML element."""
+
+    def __init__(self, tag: str, attributes=None):
+        self.tag = tag
+        self.attributes = list(attributes or [])
+        self.children = []
+        self.text_chunks = []
+
+    # -- structure ----------------------------------------------------------
+
+    def add_child(self, child: "Element") -> None:
+        self.children = self.children + [child]
+
+    def add_text(self, text: str) -> None:
+        self.text_chunks = self.text_chunks + [text]
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def text(self) -> str:
+        return "".join(self.text_chunks)
+
+    def attribute(self, name: str, default: str | None = None) -> str | None:
+        for attr_name, value in self.attributes:
+            if attr_name == name:
+                return value
+        return default
+
+    def children_named(self, tag: str) -> list["Element"]:
+        return [c for c in self.children if c.tag == tag]
+
+    def first_child(self, tag: str) -> "Element | None":
+        for child in self.children:
+            if child.tag == tag:
+                return child
+        return None
+
+    def local_name(self) -> str:
+        return self.tag.rsplit(":", 1)[-1]
+
+    def prefix(self) -> str | None:
+        if ":" in self.tag:
+            return self.tag.split(":", 1)[0]
+        return None
+
+    def namespace_declarations(self) -> list[tuple[str, str]]:
+        """``xmlns:pfx="uri"`` attributes as (prefix, uri) pairs; the
+        default namespace is prefix ''. """
+        declarations = []
+        for name, value in self.attributes:
+            if name == "xmlns":
+                declarations.append(("", value))
+            elif name.startswith("xmlns:"):
+                declarations.append((name[6:], value))
+        return declarations
+
+    def __repr__(self):
+        return f"<{self.tag} attrs={len(self.attributes)} " \
+               f"kids={len(self.children)}>"
+
+
+@traced
+class XmlParser:
+    """Recursive-descent XML parser."""
+
+    def __init__(self, source: str):
+        self.source = source
+        self.at = 0
+
+    def parse(self) -> Element:
+        self._skip_prolog()
+        element = self._element()
+        self._skip_whitespace_and_comments()
+        if self.at < len(self.source):
+            raise XmlError(f"trailing content at offset {self.at}")
+        return element
+
+    # -- scanning -------------------------------------------------------------
+
+    def _peek(self) -> str:
+        return self.source[self.at] if self.at < len(self.source) else ""
+
+    def _skip_prolog(self) -> None:
+        self._skip_whitespace_and_comments()
+        if self.source.startswith("<?xml", self.at):
+            end = self.source.find("?>", self.at)
+            if end < 0:
+                raise XmlError("unterminated XML declaration")
+            self.at = end + 2
+        self._skip_whitespace_and_comments()
+
+    def _skip_whitespace_and_comments(self) -> None:
+        while self.at < len(self.source):
+            ch = self.source[self.at]
+            if ch in " \t\r\n":
+                self.at += 1
+                continue
+            if self.source.startswith("<!--", self.at):
+                end = self.source.find("-->", self.at)
+                if end < 0:
+                    raise XmlError("unterminated comment")
+                self.at = end + 3
+                continue
+            break
+
+    def _name(self) -> str:
+        start = self.at
+        while self.at < len(self.source) and (
+                self.source[self.at].isalnum()
+                or self.source[self.at] in ":_-."):
+            self.at += 1
+        if self.at == start:
+            raise XmlError(f"expected name at offset {start}")
+        return self.source[start:self.at]
+
+    def _expect(self, text: str) -> None:
+        if not self.source.startswith(text, self.at):
+            raise XmlError(f"expected {text!r} at offset {self.at}")
+        self.at += len(text)
+
+    # -- grammar -------------------------------------------------------------
+
+    def _element(self) -> Element:
+        self._expect("<")
+        tag = self._name()
+        attributes = self._attributes()
+        element = Element(tag, attributes)
+        self._skip_spaces()
+        if self.source.startswith("/>", self.at):
+            self.at += 2
+            return element
+        self._expect(">")
+        self._content(element)
+        self._expect("</")
+        closing = self._name()
+        if closing != tag:
+            raise XmlError(f"mismatched tags: <{tag}> vs </{closing}>")
+        self._skip_spaces()
+        self._expect(">")
+        return element
+
+    def _skip_spaces(self) -> None:
+        while self._peek() in " \t\r\n" and self._peek():
+            self.at += 1
+
+    def _attributes(self) -> list[tuple[str, str]]:
+        attributes = []
+        while True:
+            self._skip_spaces()
+            ch = self._peek()
+            if ch in (">", "/", ""):
+                return attributes
+            name = self._name()
+            self._skip_spaces()
+            self._expect("=")
+            self._skip_spaces()
+            quote = self._peek()
+            if quote not in "'\"":
+                raise XmlError(f"expected quoted value at {self.at}")
+            self.at += 1
+            end = self.source.find(quote, self.at)
+            if end < 0:
+                raise XmlError("unterminated attribute value")
+            attributes.append((name, self.source[self.at:end]))
+            self.at = end + 1
+
+    def _content(self, element: Element) -> None:
+        while True:
+            if self.at >= len(self.source):
+                raise XmlError(f"unterminated element <{element.tag}>")
+            if self.source.startswith("<!--", self.at):
+                end = self.source.find("-->", self.at)
+                if end < 0:
+                    raise XmlError("unterminated comment")
+                self.at = end + 3
+                continue
+            if self.source.startswith("</", self.at):
+                return
+            if self._peek() == "<":
+                element.add_child(self._element())
+                continue
+            end = self.source.find("<", self.at)
+            if end < 0:
+                raise XmlError(f"unterminated element <{element.tag}>")
+            text = self.source[self.at:end]
+            if text.strip():
+                element.add_text(unescape(text))
+            self.at = end
+
+
+def unescape(text: str) -> str:
+    return (text.replace("&lt;", "<").replace("&gt;", ">")
+            .replace("&quot;", '"').replace("&apos;", "'")
+            .replace("&amp;", "&"))
+
+
+def escape(text: str) -> str:
+    return (text.replace("&", "&amp;").replace("<", "&lt;")
+            .replace(">", "&gt;"))
+
+
+def parse_xml(source: str) -> Element:
+    """Parse an XML document, returning its root element."""
+    return XmlParser(source).parse()

@@ -1,0 +1,34 @@
+"""The motivating example (Fig. 1): MYFACES-1130.
+
+A servlet-processing pipeline that converts non-7-bit-safe characters in
+``text/html`` responses into HTML numeric entities.  The character range
+that is *exempt* from conversion is programmatic dynamic state:
+
+* :mod:`repro.workloads.myfaces.version_old` — the original version:
+  ``ServletProcessor`` instantiates ``NumericEntityUtil(32, 127)``
+  directly (the correct range).
+* :mod:`repro.workloads.myfaces.version_new` — the refactored version: a
+  new generic I/O filtering abstraction (``BinaryCharFilter``) is
+  extracted from the processor — and provides the *incorrect* range
+  ``[1, 127]``, so characters in ``[1, 31]`` are no longer converted.
+
+The error manifests far from its cause: the range is fixed at request
+setup, the conversion happens after the response body is produced, and
+only for ``text/html`` documents containing control characters.
+"""
+
+from repro.workloads.myfaces.common import Logger, NumericEntityUtil
+from repro.workloads.myfaces.scenario import (CORRECT_REQUEST,
+                                              REGRESSING_REQUEST,
+                                              run_new_version,
+                                              run_old_version)
+from repro.workloads.myfaces.version_new import \
+    ServletProcessor as NewServletProcessor
+from repro.workloads.myfaces.version_old import \
+    ServletProcessor as OldServletProcessor
+
+__all__ = [
+    "CORRECT_REQUEST", "Logger", "NewServletProcessor", "NumericEntityUtil",
+    "OldServletProcessor", "REGRESSING_REQUEST", "run_new_version",
+    "run_old_version",
+]

@@ -1,0 +1,86 @@
+"""Classes shared by both versions of the motivating example."""
+
+from __future__ import annotations
+
+from repro.capture import traced
+
+
+@traced
+class Logger:
+    """The LOG object of Fig. 2 — its target-object view stitches together
+    events that are temporally far apart."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.message_count = 0
+
+    def add_msg(self, message: str) -> None:
+        self.message_count = self.message_count + 1
+
+    def __repr__(self):
+        return f"Logger({self.name})"
+
+
+@traced
+class NumericEntityUtil:
+    """Converts characters outside ``[min_char_range, max_char_range]``
+    into HTML numeric entities.  The exempt range is mutable dynamic
+    state — the heart of the regression."""
+
+    def __init__(self, min_char_range: int, max_char_range: int):
+        self.min_char_range = min_char_range
+        self.max_char_range = max_char_range
+
+    def needs_conversion(self, code_point: int) -> bool:
+        low = self.min_char_range
+        high = self.max_char_range
+        return code_point < low or code_point > high
+
+    def convert(self, text: str) -> str:
+        pieces = []
+        for ch in text:
+            code_point = ord(ch)
+            if self.needs_conversion(code_point):
+                pieces.append(f"&#{code_point};")
+            else:
+                pieces.append(ch)
+        return "".join(pieces)
+
+    def __repr__(self):
+        return (f"NumericEntityUtil[{self.min_char_range}.."
+                f"{self.max_char_range}]")
+
+
+@traced
+class HttpRequest:
+    """A minimal request: document type plus body."""
+
+    def __init__(self, document_type: str, body: str):
+        self.document_type = document_type
+        self.body = body
+
+    def __repr__(self):
+        return f"HttpRequest({self.document_type}, {len(self.body)}b)"
+
+
+@traced
+class HttpResponse:
+    """The generated response."""
+
+    def __init__(self, document_type: str):
+        self.document_type = document_type
+        self.output = ""
+
+    def write(self, text: str) -> None:
+        self.output = self.output + text
+
+    def __repr__(self):
+        return f"HttpResponse({self.document_type})"
+
+
+def render_body(request: HttpRequest, logger: Logger) -> str:
+    """The 'application' part of the pipeline: produce the raw output for
+    a request (identical in both versions)."""
+    logger.add_msg("Rendering body")
+    return f"<html><body>{request.body}</body></html>" \
+        if request.document_type == "text/html" else request.body

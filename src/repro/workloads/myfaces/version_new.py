@@ -1,0 +1,79 @@
+"""The newer, regressing version (Fig. 1b).
+
+Refactoring: a generic I/O filtering abstraction was extracted from
+``ServletProcessor``.  ``BinaryCharFilter`` now owns the numeric-entity
+conversion — and provides the *incorrect* exempt range ``[1, 127]``
+instead of ``[32, 127]`` to the new ``NumericEntityUtil``, so control
+characters in ``[1, 31]`` silently stop being converted.  No structural
+property is violated; the defect lives purely in dynamic state set long
+before the conversion runs.
+"""
+
+from __future__ import annotations
+
+from repro.capture import traced
+from repro.workloads.myfaces.common import (HttpRequest, HttpResponse,
+                                            Logger, NumericEntityUtil,
+                                            render_body)
+
+
+@traced
+class IoFilter:
+    """The new generic filtering abstraction."""
+
+    def apply(self, text: str) -> str:
+        return text
+
+    def __repr__(self):
+        return type(self).__name__
+
+
+@traced
+class BinaryCharFilter(IoFilter):
+    """Extracted from ServletProcessor — with the wrong lower bound."""
+
+    MIN_SAFE = 1  # BUG: should be 32 (MYFACES-1130 pattern)
+    MAX_SAFE = 127
+
+    def __init__(self):
+        self.bin_conv = NumericEntityUtil(self.MIN_SAFE, self.MAX_SAFE)
+
+    def apply(self, text: str) -> str:
+        return self.bin_conv.convert(text)
+
+
+@traced
+class ServletProcessor:
+    """The refactored processor: conversion goes through the filter
+    chain."""
+
+    def __init__(self, logger: Logger):
+        self.logger = logger
+        self.request_type = ""
+        self.filters = []
+
+    def add_filter(self, io_filter: IoFilter) -> None:
+        self.filters = self.filters + [io_filter]
+
+    def set_request_type(self, document_type: str) -> None:
+        self.logger.add_msg("Setting request type")
+        self.request_type = document_type
+        self.filters = []
+        if document_type == "text/html":
+            self.add_filter(BinaryCharFilter())
+        self.logger.add_msg("Set request type")
+
+    def process(self, request: HttpRequest) -> HttpResponse:
+        self.logger.add_msg("Handling request")
+        self.set_request_type(request.document_type)
+        body = render_body(request, self.logger)
+        response = HttpResponse(request.document_type)
+        filtered = body
+        for io_filter in self.filters:
+            filtered = io_filter.apply(filtered)
+        response.write(filtered)
+        self.logger.add_msg("Request complete")
+        return response
+
+    def __repr__(self):
+        return f"ServletProcessor({self.request_type or '-'})"

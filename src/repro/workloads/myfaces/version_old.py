@@ -1,0 +1,52 @@
+"""The original, non-regressing version (Fig. 1a).
+
+``ServletProcessor`` directly instantiates ``NumericEntityUtil`` with the
+correct exempt range ``[32, 127]`` when the request type is set to
+``text/html``.
+"""
+
+from __future__ import annotations
+
+from repro.capture import traced
+from repro.workloads.myfaces.common import (HttpRequest, HttpResponse,
+                                            Logger, NumericEntityUtil,
+                                            render_body)
+
+
+@traced
+class ServletProcessor:
+    """Processes HTTP requests; HTML output has unsafe characters
+    converted to numeric entities."""
+
+    MIN_SAFE = 32
+    MAX_SAFE = 127
+
+    def __init__(self, logger: Logger):
+        self.logger = logger
+        self.request_type = ""
+        self.bin_conv = None
+
+    def set_request_type(self, document_type: str) -> None:
+        self.logger.add_msg("Setting request type")
+        self.request_type = document_type
+        if document_type == "text/html":
+            self.bin_conv = NumericEntityUtil(self.MIN_SAFE, self.MAX_SAFE)
+        else:
+            self.bin_conv = None
+        self.logger.add_msg("Set request type")
+
+    def process(self, request: HttpRequest) -> HttpResponse:
+        self.logger.add_msg("Handling request")
+        self.set_request_type(request.document_type)
+        body = render_body(request, self.logger)
+        response = HttpResponse(request.document_type)
+        converter = self.bin_conv
+        if converter is not None:
+            response.write(converter.convert(body))
+        else:
+            response.write(body)
+        self.logger.add_msg("Request complete")
+        return response
+
+    def __repr__(self):
+        return f"ServletProcessor({self.request_type or '-'})"

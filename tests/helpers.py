@@ -1,0 +1,77 @@
+"""Shared fixtures/builders for the test suite: small hand-built traces
+mirroring the paper's motivating example (Figs. 1, 2, 13)."""
+
+from __future__ import annotations
+
+from repro.core.traces import Trace, TraceBuilder
+from repro.core.values import prim
+
+
+def myfaces_trace(min_range: int = 32, max_range: int = 127,
+                  new_version: bool = False, name: str = "") -> Trace:
+    """The Fig. 13 thread view: original when ``new_version`` is False,
+    the regressing (refactored) version when True."""
+    b = TraceBuilder(name=name)
+    tid = b.main_tid
+    log = b.record_init(tid, "Logger", (), serialization="LOG")
+    sp = b.record_init(tid, "ServletProcessor", (),
+                       serialization="SP")
+    b.record_call(tid, log, "Logger.addMsg", (prim("Handling.."),))
+    b.record_return(tid)
+    b.record_call(tid, sp, "SP.setRequestType", (prim("text/html"),))
+    b.record_call(tid, prim("text/html"), "Str.equals",
+                  (prim("text/html"),))
+    b.record_return(tid, prim(True))
+    if new_version:
+        binflt = b.record_init(tid, "BinaryCharFilter", (),
+                               serialization="BINFLT")
+        num = b.record_init(
+            tid, "NumericEntityUtil", (prim(min_range), prim(max_range)),
+            serialization=("NumericEntityUtil", (min_range, max_range)))
+        b.record_set(tid, num, "_minCharRange", prim(min_range))
+        b.record_set(tid, num, "_maxCharRange", prim(max_range))
+        b.record_set(tid, binflt, "_binConv", num)
+        b.record_call(tid, sp, "SP.addFilter", (binflt,))
+        b.record_return(tid)
+    else:
+        num = b.record_init(
+            tid, "NumericEntityUtil", (prim(min_range), prim(max_range)),
+            serialization=("NumericEntityUtil", (min_range, max_range)))
+        b.record_set(tid, num, "_minCharRange", prim(min_range))
+        b.record_set(tid, num, "_maxCharRange", prim(max_range))
+        b.record_set(tid, sp, "_binConv", num)
+    b.record_call(tid, log, "Logger.addMsg", (prim("Set req.."),))
+    b.record_return(tid)
+    b.record_return(tid)  # setRequestType
+    b.record_call(tid, num, "NumericEntityUtil.process", (prim("body"),))
+    b.record_return(tid, prim("body"))
+    b.record_end(tid)
+    return b.build()
+
+
+def simple_trace(values, name: str = "") -> Trace:
+    """A flat trace of field sets over one object, one per value —
+    convenient for LCS/differencing unit tests (the =e key tracks the
+    value)."""
+    b = TraceBuilder(name=name)
+    tid = b.main_tid
+    obj = b.record_init(tid, "Cell", (), serialization="cell")
+    for value in values:
+        b.record_set(tid, obj, "v", prim(value))
+    b.record_end(tid)
+    return b.build()
+
+
+def two_thread_trace(main_values, worker_values, name: str = "") -> Trace:
+    """A trace with a main thread and one forked worker."""
+    b = TraceBuilder(name=name)
+    tid = b.main_tid
+    obj = b.record_init(tid, "Shared", (), serialization="shared")
+    worker = b.record_fork(tid)
+    for value in main_values:
+        b.record_set(tid, obj, "m", prim(value))
+    b.record_end(tid)
+    for value in worker_values:
+        b.record_set(worker, obj, "w", prim(value))
+    b.record_end(worker)
+    return b.build()

@@ -1,0 +1,109 @@
+"""Tests for the offline CLI."""
+
+import pytest
+
+from repro.analysis.cli import main
+from repro.analysis.serialize import save_trace
+
+from helpers import myfaces_trace, simple_trace
+
+
+@pytest.fixture()
+def trace_files(tmp_path):
+    old = myfaces_trace(min_range=32, name="old")
+    new = myfaces_trace(min_range=1, new_version=True, name="new")
+    old_path = tmp_path / "old.jsonl"
+    new_path = tmp_path / "new.jsonl"
+    save_trace(old, old_path)
+    save_trace(new, new_path)
+    return str(old_path), str(new_path)
+
+
+class TestInfo:
+    def test_summary(self, trace_files, capsys):
+        old_path, _ = trace_files
+        assert main(["info", old_path]) == 0
+        out = capsys.readouterr().out
+        assert "entries" in out
+        assert "call" in out
+
+    def test_tree(self, trace_files, capsys):
+        old_path, _ = trace_files
+        main(["info", old_path, "--tree"])
+        out = capsys.readouterr().out
+        assert "-->" in out
+
+
+class TestViews:
+    def test_lists_views(self, trace_files, capsys):
+        old_path, _ = trace_files
+        assert main(["views", old_path]) == 0
+        out = capsys.readouterr().out
+        assert "views:" in out
+        assert "TH" in out
+
+
+class TestDiff:
+    def test_diff_finds_regression(self, trace_files, capsys):
+        old_path, new_path = trace_files
+        status = main(["diff", old_path, new_path])
+        out = capsys.readouterr().out
+        assert status == 1  # differences found
+        assert "semantic diff" in out
+        assert "_minCharRange" in out
+
+    def test_identical_traces_exit_zero(self, tmp_path, capsys):
+        trace = simple_trace([1, 2, 3], name="t")
+        a = tmp_path / "a.jsonl"
+        b = tmp_path / "b.jsonl"
+        save_trace(trace, a)
+        save_trace(trace, b)
+        assert main(["diff", str(a), str(b)]) == 0
+
+    def test_lcs_algorithm(self, trace_files, capsys):
+        old_path, new_path = trace_files
+        main(["diff", old_path, new_path, "--algorithm", "optimized"])
+        out = capsys.readouterr().out
+        assert "lcs-optimized" in out
+
+
+class TestAnalyze:
+    def test_suspected_only(self, trace_files, capsys):
+        old_path, new_path = trace_files
+        status = main(["analyze", "--suspected-old", old_path,
+                       "--suspected-new", new_path])
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "|A|=" in out
+
+    def test_full_recipe(self, tmp_path, capsys):
+        old_bad = myfaces_trace(min_range=32, name="ob")
+        new_bad = myfaces_trace(min_range=1, new_version=True, name="nb")
+        old_ok = myfaces_trace(min_range=32, name="oo")
+        new_ok = myfaces_trace(min_range=32, new_version=True, name="no")
+        paths = {}
+        for key, trace in [("ob", old_bad), ("nb", new_bad),
+                           ("oo", old_ok), ("no", new_ok)]:
+            path = tmp_path / f"{key}.jsonl"
+            save_trace(trace, path)
+            paths[key] = str(path)
+        status = main([
+            "analyze",
+            "--suspected-old", paths["ob"], "--suspected-new", paths["nb"],
+            "--expected-old", paths["oo"], "--expected-new", paths["no"],
+            "--regression-left", paths["no"],
+            "--regression-right", paths["nb"],
+        ])
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "|D|=" in out
+
+
+class TestParser:
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

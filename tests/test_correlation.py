@@ -1,0 +1,158 @@
+"""Tests for the view correlation functions X_chi (Sec. 3.1)."""
+
+from repro.core.correlation import ViewCorrelator, ancestry_similarity
+from repro.core.traces import TraceBuilder
+from repro.core.values import prim
+from repro.core.views import ViewType
+from repro.core.web import ThreadInfo, ViewWeb
+
+from helpers import myfaces_trace, two_thread_trace
+
+
+def webs(left, right):
+    return ViewWeb(left), ViewWeb(right)
+
+
+class TestAncestrySimilarity:
+    def test_main_threads_identical(self):
+        a = ThreadInfo(tid=0, ancestry=(), fork_eid=None)
+        b = ThreadInfo(tid=0, ancestry=(), fork_eid=None)
+        assert ancestry_similarity(a, b) == 1.0
+
+    def test_main_vs_forked(self):
+        a = ThreadInfo(tid=0, ancestry=(), fork_eid=None)
+        b = ThreadInfo(tid=1, ancestry=((),), fork_eid=3)
+        assert ancestry_similarity(a, b) == 0.0
+
+    def test_same_spawn_stack_scores_high(self):
+        from repro.core.events import StackFrame
+        frame = StackFrame(method="Server.start", caller=None, callee=None)
+        a = ThreadInfo(tid=1, ancestry=((frame,),), fork_eid=1)
+        b = ThreadInfo(tid=2, ancestry=((frame,),), fork_eid=9)
+        assert ancestry_similarity(a, b) == 1.0
+
+    def test_different_spawn_stack_scores_lower(self):
+        from repro.core.events import StackFrame
+        fa = StackFrame(method="Server.start", caller=None, callee=None)
+        fb = StackFrame(method="Pool.grow", caller=None, callee=None)
+        a = ThreadInfo(tid=1, ancestry=((fa,),), fork_eid=1)
+        b = ThreadInfo(tid=2, ancestry=((fb,),), fork_eid=9)
+        assert ancestry_similarity(a, b) < 1.0
+
+
+class TestThreadCorrelation:
+    def test_main_threads_correlate(self):
+        left = myfaces_trace(name="L")
+        right = myfaces_trace(new_version=True, name="R")
+        correlator = ViewCorrelator(*webs(left, right))
+        assert (0, 0) in correlator.thread_pairs()
+
+    def test_forked_threads_correlate(self):
+        left = two_thread_trace([1, 2], [3])
+        right = two_thread_trace([1, 2], [3, 4])
+        correlator = ViewCorrelator(*webs(left, right))
+        assert correlator.correlated_thread(1) == 1
+
+    def test_assignment_is_injective(self):
+        left = two_thread_trace([1], [2])
+        right = two_thread_trace([1], [2])
+        correlator = ViewCorrelator(*webs(left, right))
+        targets = [r for _, r in correlator.thread_pairs()]
+        assert len(targets) == len(set(targets))
+
+
+class TestMethodCorrelation:
+    def test_same_signature_correlates(self):
+        left = myfaces_trace()
+        right = myfaces_trace(new_version=True)
+        correlator = ViewCorrelator(*webs(left, right))
+        entry_l = next(e for e in left if e.method == "SP.setRequestType")
+        entry_r = next(e for e in right if e.method == "SP.setRequestType")
+        names = correlator.correlate(entry_l, entry_r, ViewType.METHOD)
+        assert names is not None
+        assert names[0].key == names[1].key == "SP.setRequestType"
+
+    def test_different_signature_does_not(self):
+        left = myfaces_trace()
+        right = myfaces_trace(new_version=True)
+        correlator = ViewCorrelator(*webs(left, right))
+        entry_l = next(e for e in left if e.method == "SP.setRequestType")
+        entry_r = next(e for e in right if e.method == "<main>")
+        assert correlator.correlate(entry_l, entry_r,
+                                    ViewType.METHOD) is None
+
+
+class TestObjectCorrelation:
+    def test_by_value_representation(self):
+        left = myfaces_trace()
+        right = myfaces_trace(new_version=True)
+        web_l, web_r = webs(left, right)
+        correlator = ViewCorrelator(web_l, web_r)
+        log_l = next(loc for loc, i in web_l.objects.items()
+                     if i.class_name == "Logger")
+        log_r = next(loc for loc, i in web_r.objects.items()
+                     if i.class_name == "Logger")
+        assert correlator.correlated_object(log_l) == log_r
+
+    def test_by_creation_seq_when_reps_differ(self):
+        # NumericEntityUtil serialisations differ (32 vs 1) but the
+        # (class, creation seq) pair still correlates them.
+        left = myfaces_trace(min_range=32)
+        right = myfaces_trace(min_range=1, new_version=True)
+        web_l, web_r = webs(left, right)
+        correlator = ViewCorrelator(web_l, web_r)
+        num_l = next(loc for loc, i in web_l.objects.items()
+                     if i.class_name == "NumericEntityUtil")
+        num_r = next(loc for loc, i in web_r.objects.items()
+                     if i.class_name == "NumericEntityUtil")
+        assert correlator.correlated_object(num_l) == num_r
+
+    def test_unrelated_classes_never_correlate(self):
+        left = myfaces_trace()
+        right = myfaces_trace(new_version=True)
+        web_l, web_r = webs(left, right)
+        correlator = ViewCorrelator(web_l, web_r)
+        log_l = next(loc for loc, i in web_l.objects.items()
+                     if i.class_name == "Logger")
+        num_r = next(loc for loc, i in web_r.objects.items()
+                     if i.class_name == "NumericEntityUtil")
+        assert correlator.correlated_object(log_l) != num_r
+
+    def test_right_objects_used_at_most_once(self):
+        b = TraceBuilder()
+        tid = b.main_tid
+        for _ in range(3):
+            b.record_init(tid, "A", (), serialization="same")
+        left = b.build()
+        b2 = TraceBuilder()
+        b2.record_init(b2.main_tid, "A", (), serialization="same")
+        right = b2.build()
+        correlator = ViewCorrelator(*webs(left, right))
+        mapped = [correlator.correlated_object(loc)
+                  for loc in ViewWeb(left).objects]
+        real = [m for m in mapped if m is not None]
+        assert len(real) == len(set(real)) == 1
+
+
+class TestCorrelatedViewPairs:
+    def test_thread_view_pairs(self):
+        left = two_thread_trace([1], [2])
+        right = two_thread_trace([1], [2])
+        correlator = ViewCorrelator(*webs(left, right))
+        pairs = correlator.correlated_view_pairs(ViewType.THREAD)
+        assert len(pairs) == 2
+
+    def test_method_view_pairs(self):
+        left = myfaces_trace()
+        right = myfaces_trace(new_version=True)
+        correlator = ViewCorrelator(*webs(left, right))
+        pairs = correlator.correlated_view_pairs(ViewType.METHOD)
+        keys = {p[0].key for p in pairs}
+        assert "SP.setRequestType" in keys
+
+    def test_target_object_view_pairs(self):
+        left = myfaces_trace()
+        right = myfaces_trace(new_version=True)
+        correlator = ViewCorrelator(*webs(left, right))
+        pairs = correlator.correlated_view_pairs(ViewType.TARGET_OBJECT)
+        assert pairs  # Logger, SP, NumericEntityUtil all correlate

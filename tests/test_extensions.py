@@ -1,0 +1,129 @@
+"""Tests for the extension analyses (protocol inference, impact)."""
+
+from repro.analysis.impact import ImpactReport, impact_of, impacted_methods
+from repro.analysis.protocols import (Protocol, diff_protocols,
+                                      infer_protocols)
+from repro.core.traces import TraceBuilder
+from repro.core.values import prim
+from repro.core.view_diff import view_diff
+
+from helpers import myfaces_trace, simple_trace, two_thread_trace
+
+
+def account_trace(sequences: list[list[str]], name: str = ""):
+    """One Account object per sequence, calling methods in order."""
+    builder = TraceBuilder(name=name)
+    tid = builder.main_tid
+    for sequence in sequences:
+        obj = builder.record_init(tid, "Account", ())
+        for method in sequence:
+            builder.record_call(tid, obj, method, ())
+            builder.record_return(tid)
+    builder.record_end(tid)
+    return builder.build()
+
+
+class TestProtocolInference:
+    def test_transitions_from_call_sequences(self):
+        trace = account_trace([["open", "deposit", "close"]])
+        protocols = infer_protocols(trace)
+        protocol = protocols["Account"]
+        assert protocol.allows(["open", "deposit", "close"])
+        assert not protocol.allows(["deposit"])  # never first
+        assert not protocol.allows(["open", "close", "deposit"])
+
+    def test_multiple_instances_merge(self):
+        trace = account_trace([["open", "close"],
+                               ["open", "deposit", "close"]])
+        protocol = infer_protocols(trace)["Account"]
+        assert protocol.instances == 2
+        assert protocol.allows(["open", "close"])
+        assert protocol.allows(["open", "deposit", "close"])
+
+    def test_support_counts(self):
+        trace = account_trace([["open", "close"], ["open", "close"]])
+        protocol = infer_protocols(trace)["Account"]
+        assert protocol.support[("<start>", "open")] == 2
+
+    def test_methods_and_size(self):
+        trace = account_trace([["open", "deposit", "close"]])
+        protocol = infer_protocols(trace)["Account"]
+        assert protocol.methods() == {"open", "deposit", "close"}
+        assert protocol.transition_count() == 3
+
+    def test_render(self):
+        trace = account_trace([["open"]])
+        text = infer_protocols(trace)["Account"].render()
+        assert "open" in text
+        assert "protocol Account" in text
+
+    def test_objects_without_init_skipped(self):
+        builder = TraceBuilder()
+        tid = builder.main_tid
+        ghost = builder.registry.register(99, "Ghost")
+        builder.record_call(tid, ghost, "spook", ())
+        builder.record_return(tid)
+        trace = builder.build()
+        assert "Ghost" not in infer_protocols(trace)
+
+
+class TestProtocolDiff:
+    def test_added_and_removed_transitions(self):
+        old = infer_protocols(account_trace([["open", "close"]]))
+        new = infer_protocols(account_trace([["open", "audit", "close"]]))
+        [diff] = diff_protocols(old, new)
+        assert ("open", "audit") in diff.added
+        assert ("open", "close") in diff.removed
+
+    def test_identical_protocols_no_diff(self):
+        old = infer_protocols(account_trace([["open", "close"]]))
+        new = infer_protocols(account_trace([["open", "close"]]))
+        assert diff_protocols(old, new) == []
+
+    def test_new_class_all_added(self):
+        old: dict[str, Protocol] = {}
+        new = infer_protocols(account_trace([["open"]]))
+        [diff] = diff_protocols(old, new)
+        assert diff.removed == []
+        assert diff.added
+
+
+class TestImpact:
+    def test_single_modification_impact(self):
+        left = simple_trace([1, 2, 3], name="L")
+        right = simple_trace([1, 9, 3], name="R")
+        report = impact_of(view_diff(left, right))
+        assert report.total_differences == 2
+        assert "Cell" in report.classes
+
+    def test_no_differences_empty_impact(self):
+        left = simple_trace([1, 2], name="L")
+        right = simple_trace([1, 2], name="R")
+        report = impact_of(view_diff(left, right))
+        assert report.total_differences == 0
+        assert report.methods == {}
+
+    def test_motivating_example_impact(self):
+        left = myfaces_trace(min_range=32, name="old")
+        right = myfaces_trace(min_range=1, new_version=True, name="new")
+        report = impact_of(view_diff(left, right))
+        assert "NumericEntityUtil" in report.classes
+        methods = impacted_methods(view_diff(left, right))
+        assert "SP.setRequestType" in methods
+
+    def test_thread_attribution(self):
+        left = two_thread_trace([1, 2], [5], name="L")
+        right = two_thread_trace([1, 2], [6], name="R")
+        report = impact_of(view_diff(left, right))
+        assert report.impacted_thread_ids() == [1]
+
+    def test_ranking_order(self):
+        report = ImpactReport(methods={"a": 3, "b": 7}, classes={"X": 2})
+        assert report.ranked_methods()[0] == ("b", 7)
+        assert report.ranked_classes() == [("X", 2)]
+
+    def test_render(self):
+        left = simple_trace([1, 2, 3], name="L")
+        right = simple_trace([1, 9, 3], name="R")
+        text = impact_of(view_diff(left, right)).render()
+        assert "impact:" in text

@@ -1,0 +1,128 @@
+"""Cross-layer integration tests: formal language -> views -> diffing,
+capture -> segmentation -> offline analysis, workload -> full pipeline."""
+
+from repro.analysis.serialize import load_trace, save_trace
+from repro.capture import TraceFilter, trace_call
+from repro.capture.segments import load_segments, segment_trace
+from repro.core.lcs_diff import lcs_diff
+from repro.core.regression import analyze_regression, evaluate_against_truth
+from repro.core.view_diff import view_diff
+from repro.core.views import ViewType
+from repro.core.web import ViewWeb
+from repro.lang import run_source
+from repro.workloads.bugs import cause_by_method
+from repro.workloads.minijs.bug_registry import MINIJS_BUGS, scaled
+from repro.workloads.minijs.engine import run_script
+
+PROGRAM_TEMPLATE = """
+class Counter extends Object {
+    Int value;
+    Unit bump(Int amount) {
+        this.value = this.value.add(amount);
+        return unit;
+    }
+}
+thread {
+    var c = new Counter(0);
+    var i = 0;
+    while (i.lt(5)) {
+        c.bump(%STEP%);
+        i = i.add(1);
+    }
+    c.value;
+}
+"""
+
+
+class TestFormalLanguageDiffing:
+    def test_versions_differ_only_in_changed_value(self):
+        old = run_source(PROGRAM_TEMPLATE.replace("%STEP%", "2"),
+                         name="old")
+        new = run_source(PROGRAM_TEMPLATE.replace("%STEP%", "3"),
+                         name="new")
+        result = view_diff(old, new)
+        assert result.num_diffs() > 0
+        # Every surviving difference mentions the changed dynamics (the
+        # argument 3 / the diverging counter values); the loop plumbing
+        # (i.lt, i.add) is correlated away.
+        for eid in result.left_diff_eids():
+            entry = old.entries[eid]
+            assert "lt" not in str(entry.key())
+
+    def test_identical_programs_empty_diff(self):
+        source = PROGRAM_TEMPLATE.replace("%STEP%", "2")
+        old = run_source(source, name="a")
+        new = run_source(source, name="b")
+        assert view_diff(old, new).num_diffs() == 0
+        assert lcs_diff(old, new).num_diffs() == 0
+
+    def test_lang_trace_has_full_view_web(self):
+        trace = run_source(PROGRAM_TEMPLATE.replace("%STEP%", "2"))
+        web = ViewWeb(trace)
+        assert web.views_of_type(ViewType.THREAD)
+        assert web.views_of_type(ViewType.METHOD)
+        assert web.views_of_type(ViewType.TARGET_OBJECT)
+        assert web.views_of_type(ViewType.ACTIVE_OBJECT)
+
+
+class TestOfflineRoundTrip:
+    def test_segmented_capture_analysed_offline(self, tmp_path):
+        """Capture -> segment to disk -> reload -> diff: the RPRISM
+        workflow for long-running programs."""
+        trace_filter = TraceFilter(
+            include_modules=("repro.workloads.minijs",))
+        spec = MINIJS_BUGS.get("WE-FOLD-SUB")
+        source = scaled(str(spec.failing_input), 4)
+        old = trace_call(run_script, source, "old",
+                         filter=trace_filter, name="old").trace
+        new = trace_call(run_script, source, "new", spec.bug_id,
+                         filter=trace_filter, name="new").trace
+        direct = view_diff(old, new).num_diffs()
+
+        old_paths = segment_trace(old, tmp_path / "old", segment_size=500)
+        new_paths = segment_trace(new, tmp_path / "new", segment_size=500)
+        assert len(old_paths) > 1  # actually segmented
+        old_loaded = load_segments(old_paths, name="old")
+        new_loaded = load_segments(new_paths, name="new")
+        assert view_diff(old_loaded, new_loaded).num_diffs() == direct
+
+    def test_save_load_full_pipeline(self, tmp_path):
+        trace_filter = TraceFilter(
+            include_modules=("repro.workloads.minijs",))
+        source = scaled(str(MINIJS_BUGS.get("T-LE-TYPO").failing_input), 3)
+        trace = trace_call(run_script, source, "old",
+                           filter=trace_filter, name="t").trace
+        path = tmp_path / "t.jsonl"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert ViewWeb(loaded).counts() == ViewWeb(trace).counts()
+
+
+class TestWorkloadPipeline:
+    def test_minijs_bug_localised_end_to_end(self):
+        """The full Sec. 4 recipe over a minijs regression, with ground
+        truth checked."""
+        trace_filter = TraceFilter(
+            include_modules=("repro.workloads.minijs",))
+        spec = MINIJS_BUGS.get("MF-NEG-INDEX")
+        failing = scaled(str(spec.failing_input), 4)
+        passing = scaled(str(spec.passing_input), 4)
+
+        def capture(source, version, bug=None, name=""):
+            return trace_call(run_script, source, version, bug,
+                              filter=trace_filter, name=name).trace
+
+        old_bad = capture(failing, "old", name="old/bad")
+        new_bad = capture(failing, "new", spec.bug_id, name="new/bad")
+        old_ok = capture(passing, "old", name="old/ok")
+        new_ok = capture(passing, "new", spec.bug_id, name="new/ok")
+
+        suspected = view_diff(old_bad, new_bad)
+        expected = view_diff(old_ok, new_ok)
+        regression = view_diff(new_ok, new_bad)
+        report = analyze_regression(suspected, expected=expected,
+                                    regression=regression)
+        assert 1 <= report.size_d <= report.size_a
+        evaluation = evaluate_against_truth(
+            report, cause_by_method("Interpreter.index_read"))
+        assert evaluation.false_negatives == 0

@@ -1,0 +1,240 @@
+"""Tests for the trace-emitting interpreter (Fig. 6 rules)."""
+
+import pytest
+
+from repro.core.events import (Call, End, FieldGet, FieldSet, Fork, Init,
+                               Return)
+from repro.core.views import ViewType
+from repro.core.web import ViewWeb
+from repro.lang import run_source
+from repro.lang.errors import RuntimeLangError
+
+
+class TestObjectRules:
+    def test_cons_e_records_init(self):
+        trace = run_source("""
+            class P { Int x; }
+            thread { new P(5); }
+        """)
+        inits = [e for e in trace if isinstance(e.event, Init)]
+        assert len(inits) == 1
+        assert inits[0].event.class_name == "P"
+        assert inits[0].event.args[0].serialization == 5
+
+    def test_recursive_serialization(self):
+        trace = run_source("""
+            class Inner { Int v; }
+            class Outer { Inner inner; }
+            thread { new Outer(new Inner(3)); }
+        """)
+        outer_init = [e for e in trace if isinstance(e.event, Init)][-1]
+        serialization = outer_init.event.obj.serialization
+        assert serialization[0] == "Outer"
+        # The inner object's representation is nested inside.
+        assert "Inner" in str(serialization)
+
+    def test_field_acc_e(self):
+        trace = run_source("""
+            class P { Int x; Int getX() { return this.x; } }
+            thread { new P(5).getX(); }
+        """)
+        gets = [e for e in trace if isinstance(e.event, FieldGet)]
+        assert len(gets) == 1
+        assert gets[0].event.field == "x"
+        assert gets[0].event.value.serialization == 5
+        assert gets[0].method == "P.getX"
+
+    def test_field_ass_e(self):
+        trace = run_source("""
+            class P { Int x; Unit setX(Int v) { this.x = v; return unit; } }
+            thread { new P(0).setX(9); }
+        """)
+        sets = [e for e in trace if isinstance(e.event, FieldSet)]
+        assert len(sets) == 1
+        assert sets[0].event.value.serialization == 9
+
+    def test_constructor_arity_checked(self):
+        with pytest.raises(RuntimeLangError):
+            run_source("class P { Int x; } thread { new P(); }")
+
+    def test_unknown_field(self):
+        with pytest.raises(RuntimeLangError):
+            run_source("""
+                class P { Int x; Int m() { return this.y; } }
+                thread { new P(1).m(); }
+            """)
+
+
+class TestMethodRules:
+    def test_meth_e_and_return_e(self):
+        trace = run_source("""
+            class A { Int m(Int v) { return v; } }
+            thread { new A().m(42); }
+        """)
+        calls = [e for e in trace if isinstance(e.event, Call)]
+        rets = [e for e in trace if isinstance(e.event, Return)]
+        assert calls[0].event.method == "A.m"
+        assert calls[0].event.args[0].serialization == 42
+        assert rets[0].event.value.serialization == 42
+
+    def test_dynamic_dispatch(self):
+        trace = run_source("""
+            class A { Str who() { return 'A'; } }
+            class B extends A { Str who() { return 'B'; } }
+            thread {
+                new B().who();
+            }
+        """)
+        calls = [e for e in trace if isinstance(e.event, Call)]
+        assert calls[0].event.method == "B.who"
+        rets = [e for e in trace if isinstance(e.event, Return)]
+        assert rets[0].event.value.serialization == "B"
+
+    def test_inherited_method_qualified_by_owner(self):
+        trace = run_source("""
+            class A { Str who() { return 'A'; } }
+            class B extends A { }
+            thread { new B().who(); }
+        """)
+        calls = [e for e in trace if isinstance(e.event, Call)]
+        assert calls[0].event.method == "A.who"
+
+    def test_builtin_methods_traced(self):
+        trace = run_source("thread { 1.add(2).mul(3); }")
+        calls = [e.event.method for e in trace
+                 if isinstance(e.event, Call)]
+        assert calls == ["Int.add", "Int.mul"]
+        rets = [e.event.value.serialization for e in trace
+                if isinstance(e.event, Return)]
+        assert rets == [3, 9]
+
+    def test_string_builtins(self):
+        trace = run_source("thread { 'ab'.concat('cd').len(); }")
+        rets = [e.event.value.serialization for e in trace
+                if isinstance(e.event, Return)]
+        assert rets == ["abcd", 4]
+
+    def test_unknown_method(self):
+        with pytest.raises(RuntimeLangError):
+            run_source("class A { } thread { new A().nope(); }")
+
+    def test_arity_mismatch(self):
+        with pytest.raises(RuntimeLangError):
+            run_source("""
+                class A { Int m(Int x) { return x; } }
+                thread { new A().m(); }
+            """)
+
+    def test_early_return_unwinds(self):
+        trace = run_source("""
+            class A {
+                Int m(Bool b) {
+                    if (b) { return 1; }
+                    return 2;
+                }
+            }
+            thread { new A().m(true); }
+        """)
+        rets = [e.event.value.serialization for e in trace
+                if isinstance(e.event, Return) and e.event.method == "A.m"]
+        assert rets == [1]
+
+
+class TestControlFlow:
+    def test_while_loop(self):
+        trace = run_source("""
+            class Counter {
+                Int n;
+                Unit bump() { this.n = this.n.add(1); return unit; }
+            }
+            thread {
+                var c = new Counter(0);
+                var i = 0;
+                while (i.lt(3)) {
+                    c.bump();
+                    i = i.add(1);
+                }
+            }
+        """)
+        sets = [e for e in trace if isinstance(e.event, FieldSet)]
+        assert [s.event.value.serialization for s in sets] == [1, 2, 3]
+
+    def test_if_condition_must_be_bool(self):
+        with pytest.raises(RuntimeLangError):
+            run_source("thread { if (1) { 2; } }")
+
+    def test_step_budget(self):
+        with pytest.raises(RuntimeLangError):
+            run_source("thread { while (true) { 1; } }", max_steps=1000)
+
+
+class TestThreads:
+    def test_fork_e_and_end_e(self):
+        trace = run_source("""
+            class A { Int m() { return 1; } }
+            thread {
+                var a = new A();
+                spawn { a.m(); }
+                a.m();
+            }
+        """)
+        forks = [e for e in trace if isinstance(e.event, Fork)]
+        ends = [e for e in trace if isinstance(e.event, End)]
+        assert len(forks) == 1
+        assert len(ends) == 2
+        assert set(trace.thread_ids()) == {0, 1}
+
+    def test_child_sees_parent_locals(self):
+        trace = run_source("""
+            class A { Int m(Int v) { return v; } }
+            thread {
+                var a = new A();
+                var x = 7;
+                spawn { a.m(x); }
+            }
+        """)
+        child_calls = [e for e in trace
+                       if isinstance(e.event, Call) and e.tid == 1]
+        assert child_calls[0].event.args[0].serialization == 7
+
+    def test_spawn_inside_method_captures_ancestry(self):
+        trace = run_source("""
+            class Server {
+                Unit start() {
+                    spawn { 1.add(1); }
+                    return unit;
+                }
+            }
+            thread { new Server().start(); }
+        """)
+        [fork] = [e for e in trace if isinstance(e.event, Fork)]
+        assert fork.event.ancestry[0][-1].method == "Server.start"
+
+    def test_thread_views_partition(self):
+        trace = run_source("""
+            thread {
+                spawn { 1.add(1); }
+                spawn { 2.add(2); }
+                3.add(3);
+            }
+        """)
+        web = ViewWeb(trace)
+        assert len(web.views_of_type(ViewType.THREAD)) == 3
+
+
+class TestScopingErrors:
+    def test_unbound_variable(self):
+        with pytest.raises(RuntimeLangError):
+            run_source("thread { x; }")
+
+    def test_assign_unbound_local(self):
+        with pytest.raises(RuntimeLangError):
+            run_source("thread { x = 1; }")
+
+    def test_this_at_top_level(self):
+        with pytest.raises(RuntimeLangError):
+            run_source("thread { this; }")
+
+    def test_unknown_class(self):
+        with pytest.raises(RuntimeLangError):
+            run_source("thread { new Nope(); }")

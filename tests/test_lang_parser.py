@@ -1,0 +1,182 @@
+"""Tests for the core-language lexer and parser."""
+
+import pytest
+
+from repro.lang.ast import (Block, ClassDecl, FieldAssign, FieldRead, If,
+                            Lit, LocalAssign, MethodCall, New, Return,
+                            Spawn, This, Var, VarDecl, While)
+from repro.lang.errors import ParseError
+from repro.lang.parser import parse_program, tokenize
+
+
+class TestTokenizer:
+    def test_names_keywords_punct(self):
+        tokens = tokenize("class Foo { }")
+        kinds = [(t.kind, t.text) for t in tokens]
+        assert kinds[0] == ("kw", "class")
+        assert kinds[1] == ("name", "Foo")
+        assert kinds[-1] == ("eof", "")
+
+    def test_numbers(self):
+        tokens = tokenize("1 2.5 -3")
+        assert [(t.kind, t.text) for t in tokens[:3]] == [
+            ("int", "1"), ("float", "2.5"), ("int", "-3")]
+
+    def test_strings_with_escapes(self):
+        [token, _eof] = tokenize(r"'a\nb'")
+        assert token.kind == "string"
+        assert token.text == "a\nb"
+
+    def test_comments_skipped(self):
+        tokens = tokenize("x // comment\ny")
+        assert [t.text for t in tokens[:2]] == ["x", "y"]
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError):
+            tokenize("'oops")
+
+    def test_bad_character(self):
+        with pytest.raises(ParseError):
+            tokenize("@")
+
+    def test_line_numbers(self):
+        tokens = tokenize("a\nb")
+        assert tokens[0].line == 1
+        assert tokens[1].line == 2
+
+
+class TestParser:
+    def test_minimal_program(self):
+        program = parse_program("thread { }")
+        assert program.classes == {}
+        assert program.main == Block(terms=())
+
+    def test_class_with_fields_and_methods(self):
+        program = parse_program("""
+            class Point extends Object {
+                Int x;
+                Int y;
+                Int getX() { return this.x; }
+            }
+            thread { var p = new Point(1, 2); p.getX(); }
+        """)
+        decl = program.classes["Point"]
+        assert isinstance(decl, ClassDecl)
+        assert [f.name for f in decl.fields] == ["x", "y"]
+        assert decl.method("getX") is not None
+        assert decl.superclass == "Object"
+
+    def test_extends(self):
+        program = parse_program("""
+            class A { }
+            class B extends A { }
+            thread { }
+        """)
+        assert program.classes["B"].superclass == "A"
+
+    def test_inherited_fields_order(self):
+        program = parse_program("""
+            class A { Int a; }
+            class B extends A { Int b; }
+            thread { }
+        """)
+        assert [f.name for f in program.fields_of("B")] == ["a", "b"]
+
+    def test_mbody_walks_superclass(self):
+        program = parse_program("""
+            class A { Int m() { return 1; } }
+            class B extends A { }
+            thread { }
+        """)
+        _method, owner = program.mbody("m", "B")
+        assert owner == "A"
+
+    def test_field_assign_vs_local_assign(self):
+        program = parse_program("""
+            thread { var x = 1; x = 2; }
+        """)
+        decl, assign = program.main.terms
+        assert isinstance(decl, VarDecl)
+        assert isinstance(assign, LocalAssign)
+
+    def test_field_read_and_assign(self):
+        program = parse_program("""
+            class C { Int f; Unit m() { this.f = this.f; return unit; } }
+            thread { }
+        """)
+        method = program.classes["C"].method("m")
+        assign = method.body.terms[0]
+        assert isinstance(assign, FieldAssign)
+        assert isinstance(assign.value, FieldRead)
+
+    def test_chained_calls(self):
+        program = parse_program("thread { var s = 'a'.concat('b').len(); }")
+        decl = program.main.terms[0]
+        call = decl.value
+        assert isinstance(call, MethodCall)
+        assert call.method == "len"
+        assert isinstance(call.obj, MethodCall)
+
+    def test_control_flow(self):
+        program = parse_program("""
+            thread {
+                if (true) { 1; } else { 2; }
+                while (false) { 3; }
+            }
+        """)
+        if_term, while_term = program.main.terms
+        assert isinstance(if_term, If)
+        assert if_term.else_block is not None
+        assert isinstance(while_term, While)
+
+    def test_spawn(self):
+        program = parse_program("thread { spawn { 1; } }")
+        [spawn] = program.main.terms
+        assert isinstance(spawn, Spawn)
+
+    def test_return_statement(self):
+        program = parse_program("""
+            class C { Int m() { return 7; } }
+            thread { }
+        """)
+        method = program.classes["C"].method("m")
+        [ret] = method.body.terms
+        assert isinstance(ret, Return)
+        assert ret.value == Lit(7)
+
+    def test_literals(self):
+        program = parse_program(
+            "thread { 1; 2.5; 'hi'; true; false; null; unit; this; x; }")
+        terms = program.main.terms
+        assert terms[0] == Lit(1)
+        assert terms[1] == Lit(2.5)
+        assert terms[2] == Lit("hi")
+        assert terms[3] == Lit(True)
+        assert terms[4] == Lit(False)
+        assert terms[5] == Lit(None)
+        assert terms[6] == Lit(None)
+        assert isinstance(terms[7], This)
+        assert terms[8] == Var("x")
+
+    def test_new_expression(self):
+        program = parse_program("thread { new Foo(1, 'x'); }")
+        [new] = program.main.terms
+        assert isinstance(new, New)
+        assert new.class_name == "Foo"
+        assert len(new.args) == 2
+
+    def test_invalid_assignment_target(self):
+        with pytest.raises(ParseError):
+            parse_program("thread { 1 = 2; }")
+
+    def test_duplicate_class_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("class A { } class A { } thread { }")
+
+    def test_missing_thread_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("class A { }")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("thread { } extra")

@@ -1,0 +1,230 @@
+"""Tests for the core language's static semantics."""
+
+import pytest
+
+from repro.lang.parser import parse_program
+from repro.lang.typecheck import TypeCheckError, check_program
+
+
+def check(source: str) -> None:
+    check_program(parse_program(source))
+
+
+def rejects(source: str, fragment: str = "") -> None:
+    with pytest.raises(TypeCheckError) as info:
+        check(source)
+    if fragment:
+        assert fragment in str(info.value)
+
+
+class TestClassTable:
+    def test_well_formed_accepted(self):
+        check("""
+            class A { Int x; Int getX() { return this.x; } }
+            class B extends A { Str name; }
+            thread { new B(1, 'b').getX(); }
+        """)
+
+    def test_unknown_superclass(self):
+        rejects("class A extends Ghost { } thread { }", "unknown class")
+
+    def test_cyclic_hierarchy(self):
+        rejects("""
+            class A extends B { }
+            class B extends A { }
+            thread { }
+        """, "cyclic")
+
+    def test_reserved_class_name(self):
+        rejects("class Int { } thread { }", "reserved")
+
+    def test_field_shadowing(self):
+        rejects("""
+            class A { Int x; }
+            class B extends A { Str x; }
+            thread { }
+        """, "shadowed")
+
+    def test_duplicate_field(self):
+        rejects("class A { Int x; Int x; } thread { }", "shadowed")
+
+    def test_unknown_field_type(self):
+        rejects("class A { Ghost g; } thread { }", "unknown type")
+
+    def test_incompatible_override(self):
+        rejects("""
+            class A { Int m(Int x) { return x; } }
+            class B extends A { Str m(Int x) { return 'no'; } }
+            thread { }
+        """, "incompatible")
+
+    def test_compatible_override_accepted(self):
+        check("""
+            class A { Int m(Int x) { return x; } }
+            class B extends A { Int m(Int x) { return x.add(1); } }
+            thread { }
+        """)
+
+
+class TestExpressions:
+    def test_literals(self):
+        check("thread { 1; 2.5; 'x'; true; null; unit; }")
+
+    def test_unbound_variable(self):
+        rejects("thread { ghost; }", "unbound")
+
+    def test_var_decl_infers(self):
+        check("thread { var x = 1; x.add(2); }")
+
+    def test_local_reassignment_type_checked(self):
+        rejects("thread { var x = 1; x = 'str'; }", "expected Int")
+
+    def test_int_widens_to_float(self):
+        check("""
+            class Box { Float v; }
+            thread { new Box(1); }
+        """)
+
+    def test_constructor_arity(self):
+        rejects("class A { Int x; } thread { new A(); }", "expects 1")
+
+    def test_constructor_argument_type(self):
+        rejects("class A { Int x; } thread { new A('s'); }",
+                "expected Int")
+
+    def test_null_inhabits_reference_types(self):
+        check("""
+            class Inner { }
+            class Outer { Inner inner; }
+            thread { new Outer(null); }
+        """)
+
+    def test_null_not_primitive(self):
+        rejects("class A { Int x; } thread { new A(null); }",
+                "expected Int")
+
+
+class TestFieldsAndMethods:
+    SOURCE = """
+        class Point {
+            Int x;
+            Int y;
+            Int getX() { return this.x; }
+            Unit setX(Int v) { this.x = v; return unit; }
+        }
+        thread { %BODY% }
+    """
+
+    def body(self, text: str) -> str:
+        return self.SOURCE.replace("%BODY%", text)
+
+    def test_field_read_and_write(self):
+        check(self.body("var p = new Point(1, 2); p.x; p.x = 3;"))
+
+    def test_unknown_field(self):
+        rejects(self.body("new Point(1, 2).z;"), "unknown field")
+
+    def test_field_assignment_type(self):
+        rejects(self.body("new Point(1, 2).x = 'no';"), "expected Int")
+
+    def test_method_call_types(self):
+        check(self.body("new Point(1, 2).setX(9);"))
+
+    def test_method_arity(self):
+        rejects(self.body("new Point(1, 2).setX();"), "expects 1")
+
+    def test_method_argument_type(self):
+        rejects(self.body("new Point(1, 2).setX(true);"), "expected Int")
+
+    def test_unknown_method(self):
+        rejects(self.body("new Point(1, 2).warp();"), "not found")
+
+    def test_return_type_checked(self):
+        rejects("""
+            class A { Int m() { return 'str'; } }
+            thread { }
+        """, "expected Int")
+
+    def test_field_access_on_primitive(self):
+        rejects("thread { var x = 1; x.y; }", "primitive")
+
+    def test_inherited_method_visible(self):
+        check("""
+            class A { Int m() { return 1; } }
+            class B extends A { }
+            thread { new B().m(); }
+        """)
+
+
+class TestBuiltins:
+    def test_arithmetic(self):
+        check("thread { 1.add(2).mul(3); }")
+
+    def test_comparison_result_is_bool(self):
+        check("thread { if (1.lt(2)) { 3; } }")
+
+    def test_string_ops(self):
+        check("thread { 'ab'.concat('cd').len(); }")
+
+    def test_wrong_builtin_arg(self):
+        rejects("thread { 1.add('x'); }", "expected Int")
+
+    def test_unknown_builtin(self):
+        rejects("thread { 1.frobnicate(); }", "unknown built-in")
+
+    def test_bool_ops(self):
+        check("thread { true.and_(false).or_(true).not_(); }")
+
+
+class TestControlFlowAndThreads:
+    def test_condition_must_be_bool(self):
+        rejects("thread { if (1) { 2; } }", "expected Bool")
+        rejects("thread { while ('x') { 2; } }", "expected Bool")
+
+    def test_spawn_body_checked(self):
+        rejects("thread { spawn { ghost; } }", "unbound")
+
+    def test_spawn_sees_outer_locals(self):
+        check("thread { var x = 1; spawn { x.add(1); } }")
+
+    def test_this_at_top_level(self):
+        rejects("thread { this; }", "outside")
+
+    def test_branch_scopes_isolated(self):
+        rejects("""
+            thread {
+                if (true) { var y = 1; }
+                y;
+            }
+        """, "unbound")
+
+
+class TestDynamicAgreement:
+    """Programs accepted by the checker also run without dynamic type
+    errors (on these cases)."""
+
+    CASES = [
+        """
+        class Counter {
+            Int n;
+            Unit bump() { this.n = this.n.add(1); return unit; }
+        }
+        thread {
+            var c = new Counter(0);
+            var i = 0;
+            while (i.lt(3)) { c.bump(); i = i.add(1); }
+        }
+        """,
+        """
+        class A { Str who() { return 'A'; } }
+        class B extends A { Str who() { return 'B'; } }
+        thread { new B().who().concat('!'); }
+        """,
+    ]
+
+    @pytest.mark.parametrize("source", CASES)
+    def test_checked_programs_run(self, source):
+        from repro.lang import run_source
+        check(source)
+        trace = run_source(source)
+        assert len(trace) > 0

@@ -1,0 +1,68 @@
+"""Tests for the Fig. 14 driver (repro.workloads.minijs.scenario)."""
+
+import pytest
+
+from repro.workloads.minijs.bug_registry import MINIJS_BUGS
+from repro.workloads.minijs.scenario import (DEFAULT_SCALES, BugRun,
+                                             run_bug, run_suite,
+                                             trace_pair)
+
+
+class TestTracePair:
+    def test_traces_named_and_nonempty(self):
+        spec = MINIJS_BUGS.get("T-LE-TYPO")
+        old, new = trace_pair(spec, 2)
+        assert len(old) > 100
+        assert len(new) > 100
+        assert "old" in old.name
+        assert "new" in new.name
+
+    def test_traces_differ_on_failing_input(self):
+        spec = MINIJS_BUGS.get("WE-FOLD-SUB")
+        old, new = trace_pair(spec, 2)
+        keys_old = [e.key() for e in old.entries]
+        keys_new = [e.key() for e in new.entries]
+        assert keys_old != keys_new
+
+
+class TestRunBug:
+    @pytest.fixture(scope="class")
+    def run(self) -> BugRun:
+        return run_bug(MINIJS_BUGS.get("MC-MOD-NEG"), 3)
+
+    def test_views_measurements_present(self, run):
+        assert run.views_num_diffs > 0
+        assert run.views_sequences > 0
+        assert run.views_compares > 0
+        assert run.views_seconds > 0
+
+    def test_lcs_measurements_present(self, run):
+        assert not run.lcs_failed
+        assert run.lcs_num_diffs is not None
+        assert run.lcs_compares is not None
+
+    def test_metrics_computed(self, run):
+        assert run.accuracy is not None
+        assert run.accuracy > 0.5
+        assert run.speedup is not None
+        assert run.speedup > 0
+
+    def test_lcs_failure_emulation(self):
+        run = run_bug(MINIJS_BUGS.get("MC-MOD-NEG"), 3,
+                      lcs_cell_budget=10)
+        assert run.lcs_failed
+        assert run.accuracy is None
+        assert run.speedup is None
+        # The views side still completed.
+        assert run.views_num_diffs > 0
+
+
+class TestRunSuite:
+    def test_subset_runs(self):
+        runs = run_suite(scales={"T-PUSH-RET": 2},
+                         bug_ids=["T-PUSH-RET"])
+        assert len(runs) == 1
+        assert runs[0].bug_id == "T-PUSH-RET"
+
+    def test_default_scales_cover_all_bugs(self):
+        assert set(DEFAULT_SCALES) == set(MINIJS_BUGS.ids())

@@ -1,0 +1,111 @@
+"""Tests for the regression-cause analysis (Sec. 4)."""
+
+import pytest
+
+from repro.core.regression import (MODE_INTERSECT, MODE_SUBTRACT,
+                                   analyze_regression, diff_key_pool,
+                                   evaluate_against_truth, side_key_pools)
+from repro.core.view_diff import view_diff
+
+from helpers import simple_trace
+
+
+def diff(left_values, right_values):
+    return view_diff(simple_trace(left_values, name="L"),
+                     simple_trace(right_values, name="R"))
+
+
+class TestKeyPools:
+    def test_pool_of_identical_traces_is_empty(self):
+        assert diff_key_pool(diff([1, 2], [1, 2])) == set()
+
+    def test_side_pools(self):
+        result = diff([1, 2, 3], [1, 9, 3])
+        left, right = side_key_pools(result)
+        assert len(left) == 1
+        assert len(right) == 1
+        assert left != right
+
+
+class TestAnalysis:
+    def test_suspected_only(self):
+        suspected = diff([1, 2, 3], [1, 9, 3])
+        report = analyze_regression(suspected)
+        assert report.size_d == len(suspected.sequences) == 1
+
+    def test_expected_filters_evolution_noise(self):
+        # Differences 7->8 occur on both inputs (program evolution);
+        # 3->9 occurs only under the regressing input.
+        suspected = diff([1, 7, 3, 4], [1, 8, 9, 4])
+        expected = diff([5, 7, 6], [5, 8, 6])
+        report = analyze_regression(suspected, expected=expected)
+        surviving = [e.event.value.serialization
+                     for c in report.candidates
+                     for e in c.surviving_left + c.surviving_right]
+        assert 9 in surviving
+        assert 8 not in surviving
+
+    def test_intersection_with_c(self):
+        suspected = diff([1, 2, 3], [1, 9, 8])
+        # C (new version, correct vs regressing input) only shows the 9.
+        regression = diff([1, 2, 8], [1, 9, 8])
+        report = analyze_regression(suspected, regression=regression,
+                                    mode=MODE_INTERSECT)
+        surviving = [e.event.value.serialization
+                     for c in report.candidates
+                     for e in c.surviving_left + c.surviving_right]
+        assert 9 in surviving
+        assert 8 not in surviving
+
+    def test_subtract_mode_for_code_removal(self):
+        # The regression removes the "2" event; C cannot contain it.
+        suspected = diff([1, 2, 3], [1, 3])
+        regression = diff([1, 3, 5], [1, 3])
+        report_subtract = analyze_regression(
+            suspected, regression=regression, mode=MODE_SUBTRACT)
+        surviving = [e.event.value.serialization
+                     for c in report_subtract.candidates
+                     for e in c.surviving_left + c.surviving_right]
+        assert 2 in surviving
+        report_intersect = analyze_regression(
+            suspected, regression=regression, mode=MODE_INTERSECT)
+        assert report_intersect.size_d <= report_subtract.size_d
+
+    def test_set_sizes_reported(self):
+        suspected = diff([1, 2], [1, 9])
+        expected = diff([1, 2], [1, 2])
+        regression = diff([1, 9], [1, 9])
+        report = analyze_regression(suspected, expected=expected,
+                                    regression=regression)
+        sizes = report.set_sizes()
+        assert sizes["A"] == 1
+        assert sizes["B"] == 0
+        assert sizes["C"] == 0
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            analyze_regression(diff([1], [2]), mode="xor")
+
+    def test_render_mentions_sizes(self):
+        report = analyze_regression(diff([1, 2], [1, 9]))
+        assert "|A|=" in report.render()
+
+
+class TestTruthEvaluation:
+    def test_true_positive_and_false_positive(self):
+        suspected = diff([1, 2, 3, 4, 5], [1, 9, 3, 8, 5])
+        report = analyze_regression(suspected)
+        evaluation = evaluate_against_truth(
+            report,
+            lambda e: getattr(e.event, "value", None) is not None
+            and e.event.value.serialization in (9, 2))
+        assert evaluation.true_positives >= 1
+        assert evaluation.true_positives + evaluation.false_positives == \
+            report.size_d
+
+    def test_false_negative_counted(self):
+        suspected = diff([1, 2], [1, 2])  # no diffs at all
+        report = analyze_regression(suspected)
+        evaluation = evaluate_against_truth(report, lambda e: True,
+                                            expected_cause_marks=1)
+        assert evaluation.false_negatives == 1

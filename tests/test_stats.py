@@ -1,0 +1,79 @@
+"""Tests for the Sec. 5.1 metrics and Fig. 14 histogram bins."""
+
+import pytest
+
+from repro.core.stats import (ACCURACY_BINS, SPEEDUP_BINS, accuracy,
+                              accuracy_histogram, bin_index,
+                              dynamic_slicing_percentage, speedup,
+                              speedup_histogram)
+
+
+class TestAccuracy:
+    def test_equal_diff_counts_is_100_percent(self):
+        assert accuracy(1000, 50, 50) == pytest.approx(1.0)
+
+    def test_fewer_diffs_than_lcs_exceeds_100_percent(self):
+        # RPRISM detecting moves yields fewer differences than LCS.
+        assert accuracy(1000, 30, 50) > 1.0
+
+    def test_more_diffs_is_below_100_percent(self):
+        assert accuracy(1000, 60, 50) < 1.0
+
+    def test_zero_total_rejected(self):
+        with pytest.raises(ValueError):
+            accuracy(0, 0, 0)
+
+    def test_lcs_all_diff_edge(self):
+        assert accuracy(10, 0, 10) == float("inf")
+
+
+class TestSpeedup:
+    def test_ratio(self):
+        assert speedup(1000, 10) == 100.0
+
+    def test_zero_rprism_compares(self):
+        assert speedup(10, 0) == float("inf")
+
+    def test_below_one_possible(self):
+        # The paper observed <1x for two very small traces.
+        assert speedup(5, 10) == 0.5
+
+
+class TestBinning:
+    def test_bin_index_lower_edge(self):
+        assert bin_index(0.98, ACCURACY_BINS) == 0
+
+    def test_bin_index_exact_bound(self):
+        assert bin_index(1.0, ACCURACY_BINS) == 1
+
+    def test_bin_index_overflow_clamps(self):
+        assert bin_index(99.0, ACCURACY_BINS) == len(ACCURACY_BINS) - 1
+
+    def test_accuracy_histogram_labels(self):
+        hist = accuracy_histogram([1.0, 1.0, 1.2, 3.0])
+        assert hist.labels[0] == "99%"
+        assert hist.labels[-1] == "200%"
+        assert hist.total() == 4
+        assert hist.counts[1] == 2  # the two 100% cases
+
+    def test_speedup_histogram(self):
+        hist = speedup_histogram([0.4, 80.0, 4000.0, 90000.0])
+        assert hist.labels[0] == "0.5x"
+        assert hist.counts[0] == 1
+        assert hist.counts[-1] == 2  # 4000 and the overflow both in 5000x
+        assert len(hist.labels) == len(SPEEDUP_BINS)
+
+    def test_histogram_render(self):
+        hist = speedup_histogram([2.0, 2.0])
+        text = hist.render(title="Speedup")
+        assert "Speedup" in text
+        assert "(2)" in text
+
+
+class TestSlicingPercentage:
+    def test_basic(self):
+        assert dynamic_slicing_percentage(2, 10_000) == pytest.approx(0.02)
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError):
+            dynamic_slicing_percentage(1, 0)

@@ -1,0 +1,135 @@
+"""Tests for Trace and TraceBuilder (stack tracking, rule recording)."""
+
+import pytest
+
+from repro.core.events import Call, End, Fork, Init, Return
+from repro.core.traces import Trace, TraceBuilder
+from repro.core.values import prim
+
+from helpers import simple_trace, two_thread_trace
+
+
+class TestTraceBuilder:
+    def test_eids_are_indices(self):
+        trace = simple_trace([1, 2, 3])
+        for index, entry in enumerate(trace.entries):
+            assert entry.eid == index
+
+    def test_call_context_is_callers(self):
+        b = TraceBuilder()
+        tid = b.main_tid
+        o = b.record_init(tid, "A", ())
+        b.record_call(tid, o, "A.m", ())
+        trace = b.build()
+        call_entry = trace.entries[1]
+        # METH-E records the call in the *calling* context.
+        assert call_entry.method == TraceBuilder.ROOT_METHOD
+        assert isinstance(call_entry.event, Call)
+
+    def test_nested_call_context(self):
+        b = TraceBuilder()
+        tid = b.main_tid
+        o = b.record_init(tid, "A", ())
+        b.record_call(tid, o, "A.outer", ())
+        b.record_call(tid, o, "A.inner", ())
+        inner_get = b.record_get(tid, o, "f", prim(1))
+        assert inner_get.method == "A.inner"
+        b.record_return(tid)
+        after_return = b.record_get(tid, o, "f", prim(1))
+        assert after_return.method == "A.outer"
+
+    def test_return_records_method_and_value(self):
+        b = TraceBuilder()
+        tid = b.main_tid
+        o = b.record_init(tid, "A", ())
+        b.record_call(tid, o, "A.m", ())
+        b.record_return(tid, prim(7))
+        entry = b.build().entries[-1]
+        assert isinstance(entry.event, Return)
+        assert entry.event.method == "A.m"
+        assert entry.event.value.serialization == 7
+
+    def test_return_with_empty_stack_raises(self):
+        b = TraceBuilder()
+        with pytest.raises(RuntimeError):
+            b.record_return(b.main_tid)
+
+    def test_fork_captures_ancestry(self):
+        b = TraceBuilder()
+        tid = b.main_tid
+        o = b.record_init(tid, "A", ())
+        b.record_call(tid, o, "A.spawner", ())
+        child = b.record_fork(tid)
+        fork_entry = b.build().entries[-1]
+        assert isinstance(fork_entry.event, Fork)
+        assert fork_entry.event.child_tid == child
+        # One ancestry level (spawned from main), capturing the call stack.
+        assert len(fork_entry.event.ancestry) == 1
+        assert fork_entry.event.ancestry[0][-1].method == "A.spawner"
+
+    def test_nested_fork_ancestry_depth(self):
+        b = TraceBuilder()
+        child = b.record_fork(b.main_tid)
+        grandchild = b.record_fork(child)
+        fork_entries = [e for e in b.build().entries
+                        if isinstance(e.event, Fork)]
+        assert len(fork_entries[0].event.ancestry) == 1
+        assert len(fork_entries[1].event.ancestry) == 2
+        assert grandchild != child
+
+    def test_end_event(self):
+        b = TraceBuilder()
+        b.record_end(b.main_tid)
+        entry = b.build().entries[-1]
+        assert isinstance(entry.event, End)
+        assert entry.event.tid == b.main_tid
+
+    def test_init_registers_creation_seq(self):
+        b = TraceBuilder()
+        tid = b.main_tid
+        a1 = b.record_init(tid, "A", ())
+        a2 = b.record_init(tid, "A", ())
+        b1 = b.record_init(tid, "B", ())
+        assert (a1.creation_seq, a2.creation_seq, b1.creation_seq) == (1, 2, 1)
+
+    def test_register_thread_allocates_fresh_tid(self):
+        b = TraceBuilder()
+        tid = b.register_thread()
+        assert tid != b.main_tid
+        b.record_init(tid, "A", ())
+        assert b.build().entries[0].tid == tid
+
+
+class TestTrace:
+    def test_len_iter_getitem(self):
+        trace = simple_trace([1, 2, 3])
+        assert len(trace) == 5  # init + 3 sets + end
+        assert list(trace)[0] is trace[0]
+        assert isinstance(trace.entries[0].event, Init)
+
+    def test_slice_returns_trace(self):
+        trace = simple_trace([1, 2, 3], name="t")
+        sub = trace[1:3]
+        assert isinstance(sub, Trace)
+        assert len(sub) == 2
+        assert sub.name == "t"
+
+    def test_thread_ids_in_order(self):
+        trace = two_thread_trace([1], [2])
+        assert trace.thread_ids() == [0, 1]
+
+    def test_event_kinds_histogram(self):
+        trace = simple_trace([1, 2])
+        kinds = trace.event_kinds()
+        assert kinds["init"] == 1
+        assert kinds["set"] == 2
+        assert kinds["end"] == 1
+
+    def test_methods(self):
+        trace = simple_trace([1])
+        assert TraceBuilder.ROOT_METHOD in trace.methods()
+
+    def test_render_limit(self):
+        trace = simple_trace(range(10))
+        text = trace.render(limit=3)
+        assert "more entries" in text

@@ -1,0 +1,102 @@
+"""Tests for value/object representations (repro.core.values)."""
+
+import pytest
+
+from repro.core.values import (ObjectRegistry, REPR_TRUNCATION, UNIT,
+                               ValueRep, prim, truncate_repr)
+
+
+class TestPrim:
+    def test_int(self):
+        rep = prim(42)
+        assert rep.class_name == "Int"
+        assert rep.serialization == 42
+        assert rep.is_primitive
+
+    def test_bool_is_not_int(self):
+        # bool is a subclass of int in Python; the formal domain keeps
+        # Bool and Int distinct.
+        assert prim(True).class_name == "Bool"
+        assert prim(1).class_name == "Int"
+        assert prim(True).key() != prim(1).key()
+
+    def test_float(self):
+        assert prim(1.5).class_name == "Float"
+
+    def test_none(self):
+        assert prim(None).class_name == "Null"
+
+    def test_string_truncated_to_128(self):
+        rep = prim("x" * 1000)
+        assert rep.serialization == "x" * REPR_TRUNCATION
+
+    def test_non_primitive_rejected(self):
+        with pytest.raises(TypeError):
+            prim(object())
+
+
+class TestValueRep:
+    def test_key_excludes_location(self):
+        a = ValueRep("C", serialization="s", location=1, creation_seq=1)
+        b = ValueRep("C", serialization="s", location=99, creation_seq=7)
+        assert a.key() == b.key()
+
+    def test_key_distinguishes_class(self):
+        a = ValueRep("C", serialization="s")
+        b = ValueRep("D", serialization="s")
+        assert a.key() != b.key()
+
+    def test_key_distinguishes_serialization(self):
+        a = ValueRep("C", serialization="s1")
+        b = ValueRep("C", serialization="s2")
+        assert a.key() != b.key()
+
+    def test_brief_shows_creation_seq(self):
+        rep = ValueRep("C", location=3, creation_seq=2)
+        assert rep.brief() == "C-2"
+
+    def test_unit(self):
+        assert UNIT.is_primitive
+        assert UNIT.class_name == "Unit"
+
+
+class TestTruncateRepr:
+    def test_short_unchanged(self):
+        assert truncate_repr("abc") == "abc"
+
+    def test_long_cut(self):
+        assert len(truncate_repr("a" * 500)) == REPR_TRUNCATION
+
+
+class TestObjectRegistry:
+    def test_creation_seq_is_per_class(self):
+        reg = ObjectRegistry()
+        a = reg.register(1, "A")
+        b = reg.register(2, "B")
+        a2 = reg.register(3, "A")
+        assert (a.creation_seq, b.creation_seq, a2.creation_seq) == (1, 1, 2)
+
+    def test_describe_round_trip(self):
+        reg = ObjectRegistry()
+        rep = reg.register(7, "A", serialization="x")
+        assert reg.describe(7) is rep
+
+    def test_describe_unknown_raises(self):
+        with pytest.raises(KeyError):
+            ObjectRegistry().describe(123)
+
+    def test_update_serialization_preserves_identity(self):
+        reg = ObjectRegistry()
+        reg.register(1, "A", serialization="old")
+        updated = reg.update_serialization(1, "new")
+        assert updated.serialization == "new"
+        assert updated.creation_seq == 1
+        assert updated.location == 1
+        assert reg.describe(1).serialization == "new"
+
+    def test_creation_count(self):
+        reg = ObjectRegistry()
+        assert reg.creation_count("A") == 0
+        reg.register(1, "A")
+        reg.register(2, "A")
+        assert reg.creation_count("A") == 2

@@ -1,0 +1,177 @@
+"""Tests for the views-based differencing semantics (Fig. 12)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.lcs_diff import lcs_diff
+from repro.core.view_diff import ViewDiffConfig, view_diff
+
+from helpers import myfaces_trace, simple_trace, two_thread_trace
+
+value_lists = st.lists(st.integers(min_value=0, max_value=9), max_size=25)
+
+
+class TestLockStep:
+    def test_identical_traces(self):
+        left = simple_trace([1, 2, 3], name="L")
+        right = simple_trace([1, 2, 3], name="R")
+        result = view_diff(left, right)
+        assert result.num_diffs() == 0
+        assert len(result.match_pairs) == len(left)
+
+    def test_single_modification(self):
+        left = simple_trace([1, 2, 3])
+        right = simple_trace([1, 7, 3])
+        result = view_diff(left, right)
+        assert result.num_diffs() == 2
+        [seq] = result.sequences
+        assert seq.kind == "modify"
+
+    def test_insertion(self):
+        left = simple_trace([1, 2, 3])
+        right = simple_trace([1, 2, 99, 3])
+        result = view_diff(left, right)
+        assert result.num_diffs() == 1
+        [seq] = result.sequences
+        assert seq.kind == "insert"
+
+    def test_trailing_difference(self):
+        left = simple_trace([1, 2])
+        right = simple_trace([1, 2, 3, 4])
+        result = view_diff(left, right)
+        assert result.num_diffs() == 2
+
+
+class TestSimilaritySetInvariants:
+    @given(value_lists, value_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_similar_plus_diff_partitions_traces(self, a, b):
+        left = simple_trace(a)
+        right = simple_trace(b)
+        result = view_diff(left, right)
+        assert len(result.similar_left) + len(result.left_diff_eids()) == \
+            len(left)
+        assert len(result.similar_right) + len(result.right_diff_eids()) == \
+            len(right)
+
+    @given(value_lists, value_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_match_pairs_have_equal_keys(self, a, b):
+        left = simple_trace(a)
+        right = simple_trace(b)
+        result = view_diff(left, right)
+        for l_eid, r_eid in result.match_pairs:
+            assert left.entries[l_eid].key() == right.entries[r_eid].key()
+
+    @given(value_lists, value_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_anchor_pairs_have_equal_keys(self, a, b):
+        left = simple_trace(a)
+        right = simple_trace(b)
+        result = view_diff(left, right)
+        for l_eid, r_eid in result.anchor_pairs:
+            assert left.entries[l_eid].key() == right.entries[r_eid].key()
+
+    @given(value_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_self_diff_is_empty(self, a):
+        left = simple_trace(a, name="L")
+        right = simple_trace(a, name="R")
+        assert view_diff(left, right).num_diffs() == 0
+
+
+class TestReorderingResilience:
+    @staticmethod
+    def cross_object_pair(swapped: bool, name: str):
+        """Two objects whose operation blocks interleave differently in
+        the thread view while each object's own order is unchanged."""
+        from repro.core.traces import TraceBuilder
+        from repro.core.values import prim
+        builder = TraceBuilder(name=name)
+        tid = builder.main_tid
+        obj_x = builder.record_init(tid, "X", (), serialization="x")
+        obj_y = builder.record_init(tid, "Y", (), serialization="y")
+        for block in range(4):
+            base = block * 5
+            first, second = ((obj_y, obj_x) if swapped
+                             else (obj_x, obj_y))
+            for at in range(5):
+                builder.record_set(tid, first,
+                                   "f" if first is obj_x else "g",
+                                   prim(base + at))
+            for at in range(5):
+                builder.record_set(tid, second,
+                                   "f" if second is obj_x else "g",
+                                   prim(base + at))
+        builder.record_end(tid)
+        return builder.build()
+
+    def test_cross_object_reordering_recovered_via_views(self):
+        # The LCS counts the swapped interleaving as differences; the
+        # views-based differ anchors the entries through each object's
+        # (unchanged) target-object view.
+        left = self.cross_object_pair(False, "L")
+        right = self.cross_object_pair(True, "R")
+        from repro.core.view_diff import ViewDiffConfig
+        views_result = view_diff(left, right, config=ViewDiffConfig(
+            window=12, radius=4))
+        lcs_result = lcs_diff(left, right)
+        assert views_result.num_diffs() < lcs_result.num_diffs()
+        assert views_result.anchor_pairs
+
+    def test_motivating_example(self):
+        left = myfaces_trace(min_range=32, name="orig")
+        right = myfaces_trace(min_range=1, new_version=True, name="new")
+        result = view_diff(left, right)
+        # The regression manifests in the changed init/set values plus the
+        # structural BinaryCharFilter insertion.
+        diff_keys = {left.entries[eid].key()
+                     for eid in result.left_diff_eids()}
+        assert any("_minCharRange" in str(k) for k in diff_keys)
+        # Unchanged surroundings (Logger calls) stay similar.
+        log_eids = [e.eid for e in left
+                    if e.event.kind == "call"
+                    and "addMsg" in getattr(e.event, "method", "")]
+        for eid in log_eids:
+            assert eid in result.similar_left
+
+
+class TestThreads:
+    def test_two_threads_diffed_independently(self):
+        left = two_thread_trace([1, 2, 3], [7, 8], name="L")
+        right = two_thread_trace([1, 2, 3], [7, 9], name="R")
+        result = view_diff(left, right)
+        # Only the worker thread's value differs.
+        assert result.num_diffs() == 2
+        [seq] = result.sequences
+        assert {e.tid for e in seq.left_entries} == {1}
+
+    def test_unmatched_thread_is_whole_difference(self):
+        left = two_thread_trace([1, 2], [5], name="L")
+        b = simple_trace([1, 2], name="R")
+        result = view_diff(left, b)
+        kinds = {s.kind for s in result.sequences}
+        assert "delete" in kinds  # the worker thread only exists on left
+
+
+class TestConfig:
+    def test_zero_radius_disables_anchoring(self):
+        left = simple_trace([10, 11, 1, 2, 3, 4, 5, 6])
+        right = simple_trace([1, 2, 3, 4, 5, 6, 10, 11])
+        config = ViewDiffConfig(radius=0, window=0, view_types=())
+        result = view_diff(left, right, config=config)
+        assert result.anchor_pairs == []
+
+    def test_linear_compare_growth(self):
+        # Doubling the trace length should roughly double compare count
+        # (O(n) claim of Sec. 3.3) for a fixed difference density.
+        def run(n):
+            values = list(range(n))
+            values[n // 2] = -1
+            left = simple_trace(range(n))
+            right = simple_trace(values)
+            return view_diff(left, right).compares()
+
+        small = run(400)
+        large = run(800)
+        assert large < small * 4  # comfortably sub-quadratic

@@ -1,0 +1,161 @@
+"""Tests for view projections (Fig. 7) and the view web."""
+
+from repro.core.events import Fork, Init
+from repro.core.traces import TraceBuilder
+from repro.core.values import prim
+from repro.core.views import (ViewName, ViewType, nu_active_object,
+                              nu_method, nu_target_object, nu_thread,
+                              view_names)
+from repro.core.web import ViewWeb
+
+from helpers import myfaces_trace, two_thread_trace
+
+
+class TestNameMappings:
+    def setup_method(self):
+        b = TraceBuilder()
+        tid = b.main_tid
+        self.a = b.record_init(tid, "A", ())
+        b.record_call(tid, self.a, "A.m", ())
+        self.b_obj = b.record_init(tid, "B", ())
+        b.record_get(tid, self.b_obj, "f", prim(1))
+        b.record_return(tid)
+        self.trace = b.build()
+
+    def test_thread_mapping(self):
+        assert nu_thread(self.trace[0]) == ViewName(ViewType.THREAD, 0)
+
+    def test_method_mapping_tracks_top_of_stack(self):
+        get_entry = self.trace[3]
+        assert nu_method(get_entry) == ViewName(ViewType.METHOD, "A.m")
+
+    def test_target_object_mapping(self):
+        get_entry = self.trace[3]
+        name = nu_target_object(get_entry)
+        assert name == ViewName(ViewType.TARGET_OBJECT,
+                                self.b_obj.location)
+
+    def test_target_object_none_for_thread_events(self):
+        b = TraceBuilder()
+        b.record_fork(b.main_tid)
+        fork_entry = b.build()[0]
+        assert isinstance(fork_entry.event, Fork)
+        assert nu_target_object(fork_entry) is None
+
+    def test_active_object_mapping(self):
+        # Inside A.m, the active object is the A instance.
+        get_entry = self.trace[3]
+        assert nu_active_object(get_entry) == ViewName(
+            ViewType.ACTIVE_OBJECT, self.a.location)
+
+    def test_active_object_none_at_root(self):
+        init_entry = self.trace[0]
+        assert nu_active_object(init_entry) is None
+
+    def test_view_names_union(self):
+        names = view_names(self.trace[3])
+        types = {n.vtype for n in names}
+        assert types == {ViewType.THREAD, ViewType.METHOD,
+                         ViewType.TARGET_OBJECT, ViewType.ACTIVE_OBJECT}
+
+
+class TestView:
+    def test_every_entry_in_exactly_one_thread_view(self):
+        trace = two_thread_trace([1, 2], [3])
+        web = ViewWeb(trace)
+        thread_views = web.views_of_type(ViewType.THREAD)
+        covered = sorted(eid for view in thread_views
+                         for eid in view.indices)
+        assert covered == list(range(len(trace)))
+
+    def test_position_of_and_window(self):
+        trace = myfaces_trace()
+        web = ViewWeb(trace)
+        view = web.thread_view(0)
+        assert view is not None
+        eid = view.indices[5]
+        assert view.position_of(eid) == 5
+        window = view.window(eid, radius=2)
+        assert len(window) == 5
+        assert window[2].eid == eid
+
+    def test_window_clipped_at_edges(self):
+        trace = myfaces_trace()
+        web = ViewWeb(trace)
+        view = web.thread_view(0)
+        window = view.window(view.indices[0], radius=3)
+        assert len(window) == 4  # position 0 .. 3
+
+    def test_window_absent_eid(self):
+        trace = myfaces_trace()
+        web = ViewWeb(trace)
+        view = web.method_view("SP.setRequestType")
+        assert view.window(10**9, radius=3) == []
+
+    def test_project_preserves_order(self):
+        trace = myfaces_trace()
+        web = ViewWeb(trace)
+        view = web.method_view("SP.setRequestType")
+        projected = view.project()
+        eids = [e.eid for e in projected]
+        assert eids == sorted(eids)
+
+
+class TestViewWeb:
+    def test_method_view_contents(self):
+        trace = myfaces_trace()
+        web = ViewWeb(trace)
+        view = web.method_view("SP.setRequestType")
+        assert view is not None
+        # Every member entry fired while setRequestType was on top.
+        for entry in view:
+            assert entry.method == "SP.setRequestType"
+
+    def test_target_object_view_for_num(self):
+        trace = myfaces_trace()
+        web = ViewWeb(trace)
+        num_loc = next(loc for loc, info in web.objects.items()
+                       if info.class_name == "NumericEntityUtil")
+        view = web.target_object_view(num_loc)
+        kinds = {e.event.kind for e in view}
+        assert "init" in kinds
+        assert "set" in kinds
+        assert "call" in kinds
+
+    def test_object_info_from_init(self):
+        trace = myfaces_trace()
+        web = ViewWeb(trace)
+        infos = [i for i in web.objects.values()
+                 if i.class_name == "NumericEntityUtil"]
+        assert len(infos) == 1
+        assert infos[0].creation_seq == 1
+        assert infos[0].init_eid is not None
+        init_entry = trace[infos[0].init_eid]
+        assert isinstance(init_entry.event, Init)
+
+    def test_thread_info_for_forked_thread(self):
+        trace = two_thread_trace([1], [2])
+        web = ViewWeb(trace)
+        assert set(web.threads) == {0, 1}
+        assert web.threads[0].ancestry == ()
+        assert web.threads[1].fork_eid is not None
+
+    def test_counts_shape(self):
+        trace = myfaces_trace()
+        web = ViewWeb(trace)
+        counts = web.counts()
+        assert counts["thread"] == 1
+        assert counts["total"] == (counts["thread"] + counts["method"]
+                                   + counts["target_object"]
+                                   + counts["active_object"])
+        # Only contexts with entries *inside* them materialise as method
+        # views: <main> and SP.setRequestType here.
+        assert counts["method"] == 2
+
+    def test_views_of_entry_navigation(self):
+        trace = myfaces_trace()
+        web = ViewWeb(trace)
+        entry = trace[6]  # inside setRequestType
+        views = web.views_of_entry(entry)
+        for view in views:
+            assert view.position_of(entry.eid) >= 0

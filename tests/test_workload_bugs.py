@@ -1,0 +1,93 @@
+"""Tests for the regression-injection framework."""
+
+import pytest
+
+from repro.core.traces import TraceBuilder
+from repro.core.values import prim
+from repro.workloads.bugs import (BugRegistry, BugSpec,
+                                  ROOT_CAUSE_DISTRIBUTION, cause_any,
+                                  cause_by_method, cause_by_value)
+
+
+def spec(bug_id="B1", category="typo"):
+    return BugSpec(bug_id=bug_id, category=category, description="d",
+                   failing_input="f", passing_input="p")
+
+
+def sample_entries():
+    builder = TraceBuilder()
+    tid = builder.main_tid
+    obj = builder.record_init(tid, "A", (prim(42),))
+    builder.record_call(tid, obj, "A.compute", (prim(7),))
+    builder.record_set(tid, obj, "x", prim(99))
+    builder.record_return(tid, prim(7))
+    return builder.build().entries
+
+
+class TestDistribution:
+    def test_weights_sum_to_one(self):
+        assert abs(sum(ROOT_CAUSE_DISTRIBUTION.values()) - 1.0) < 0.01
+
+    def test_paper_values(self):
+        assert ROOT_CAUSE_DISTRIBUTION["missing-feature"] == 0.264
+        assert ROOT_CAUSE_DISTRIBUTION["typo"] == 0.242
+
+
+class TestBugSpec:
+    def test_unknown_category_rejected(self):
+        with pytest.raises(ValueError):
+            spec(category="cosmic-rays")
+
+    def test_valid_categories_accepted(self):
+        for category in ROOT_CAUSE_DISTRIBUTION:
+            assert spec(category=category).category == category
+
+
+class TestRegistry:
+    def test_register_get_ids(self):
+        registry = BugRegistry("w")
+        registry.register(spec("B1"))
+        registry.register(spec("B2", category="boundary"))
+        assert registry.ids() == ["B1", "B2"]
+        assert registry.get("B1").bug_id == "B1"
+
+    def test_duplicate_rejected(self):
+        registry = BugRegistry("w")
+        registry.register(spec("B1"))
+        with pytest.raises(ValueError):
+            registry.register(spec("B1"))
+
+    def test_unknown_bug(self):
+        with pytest.raises(KeyError):
+            BugRegistry("w").get("nope")
+
+    def test_category_mix(self):
+        registry = BugRegistry("w")
+        registry.register(spec("B1", "typo"))
+        registry.register(spec("B2", "typo"))
+        registry.register(spec("B3", "boundary"))
+        mix = registry.category_mix()
+        assert mix["typo"] == pytest.approx(2 / 3)
+
+    def test_empty_mix(self):
+        assert BugRegistry("w").category_mix() == {}
+
+
+class TestCausePredicates:
+    def test_cause_by_value_matches_args_and_values(self):
+        entries = sample_entries()
+        predicate = cause_by_value(7)
+        assert any(predicate(e) for e in entries)
+        assert not any(cause_by_value(123456)(e) for e in entries)
+
+    def test_cause_by_method_matches_context_and_event(self):
+        entries = sample_entries()
+        predicate = cause_by_method("A.compute")
+        assert any(predicate(e) for e in entries)
+        assert not any(cause_by_method("B.other")(e) for e in entries)
+
+    def test_cause_any(self):
+        entries = sample_entries()
+        predicate = cause_any(cause_by_value(123456),
+                              cause_by_method("A.compute"))
+        assert any(predicate(e) for e in entries)

@@ -1,0 +1,163 @@
+"""Tests for the substrate feature extensions: ORDER BY / LIMIT /
+COUNT(*) in minidb, attribute value templates and xsl:if in minixslt."""
+
+import pytest
+
+from repro.workloads.minidb.engine import Database
+from repro.workloads.minidb.errors import SqlError
+from repro.workloads.minidb.sql import parse_sql
+from repro.workloads.minixslt.engine import transform
+from repro.workloads.minixslt.stylesheet import (StylesheetError,
+                                                 split_attribute_template)
+
+
+class TestSqlParserExtensions:
+    def test_order_by(self):
+        statement = parse_sql("SELECT a FROM t ORDER BY a")
+        assert statement.order_by == "a"
+        assert not statement.descending
+
+    def test_order_by_desc(self):
+        statement = parse_sql("SELECT a FROM t ORDER BY a DESC")
+        assert statement.descending
+
+    def test_limit(self):
+        statement = parse_sql("SELECT a FROM t LIMIT 3")
+        assert statement.limit == 3
+
+    def test_count_star(self):
+        statement = parse_sql("SELECT COUNT(*) FROM t")
+        assert statement.count
+
+    def test_combined_clauses(self):
+        statement = parse_sql(
+            "SELECT a FROM t WHERE a > 1 ORDER BY a DESC LIMIT 2")
+        assert statement.where is not None
+        assert statement.order_by == "a"
+        assert statement.limit == 2
+
+    def test_order_without_by_rejected(self):
+        with pytest.raises(SqlError):
+            parse_sql("SELECT a FROM t ORDER a")
+
+    def test_limit_requires_int(self):
+        with pytest.raises(SqlError):
+            parse_sql("SELECT a FROM t LIMIT x")
+
+
+class TestSqlExecutionExtensions:
+    @pytest.fixture()
+    def database(self):
+        database = Database("10.1.3.1")
+        database.execute("CREATE TABLE t (a, b)")
+        for a, b in [(3, 30), (1, 10), (2, 20)]:
+            database.execute(f"INSERT INTO t VALUES ({a}, {b})")
+        return database
+
+    def test_order_by_ascending(self, database):
+        rows = database.execute("SELECT a FROM t ORDER BY a")
+        assert rows == [(1,), (2,), (3,)]
+
+    def test_order_by_descending(self, database):
+        rows = database.execute("SELECT b FROM t ORDER BY b DESC")
+        assert rows == [(30,), (20,), (10,)]
+
+    def test_limit(self, database):
+        rows = database.execute("SELECT a FROM t ORDER BY a LIMIT 2")
+        assert rows == [(1,), (2,)]
+
+    def test_count_star(self, database):
+        assert database.execute("SELECT COUNT(*) FROM t") == [(3,)]
+
+    def test_count_with_where(self, database):
+        rows = database.execute("SELECT COUNT(*) FROM t WHERE a >= 2")
+        assert rows == [(2,)]
+
+    def test_order_by_with_subquery(self, database):
+        database.execute("CREATE TABLE u (x)")
+        database.execute("INSERT INTO u VALUES (1)")
+        database.execute("INSERT INTO u VALUES (3)")
+        rows = database.execute(
+            "SELECT a FROM t WHERE a IN (SELECT x FROM u) "
+            "ORDER BY a DESC")
+        assert rows == [(3,), (1,)]
+
+    def test_both_planners_agree(self):
+        query = "SELECT a FROM t ORDER BY a DESC LIMIT 1"
+        results = []
+        for version in ("10.1.2.1", "10.1.3.1"):
+            database = Database(version)
+            database.execute("CREATE TABLE t (a)")
+            for a in (5, 9, 1):
+                database.execute(f"INSERT INTO t VALUES ({a})")
+            results.append(database.execute(query))
+        assert results[0] == results[1] == [(9,)]
+
+
+class TestAttributeTemplates:
+    def test_split_plain_text(self):
+        assert split_attribute_template("abc") == [("text", "abc")]
+
+    def test_split_mixed(self):
+        parts = split_attribute_template("id-{@name}-x")
+        assert parts == [("text", "id-"), ("expr", "@name"),
+                         ("text", "-x")]
+
+    def test_split_expr_only(self):
+        assert split_attribute_template("{.}") == [("expr", ".")]
+
+    def test_unterminated_rejected(self):
+        with pytest.raises(StylesheetError):
+            split_attribute_template("{oops")
+
+    def test_avt_expanded_at_execution(self):
+        output = transform("2.5.1", """
+            <xsl:stylesheet>
+              <xsl:template match="doc">
+                <xsl:apply-templates select="item"/>
+              </xsl:template>
+              <xsl:template match="item">
+                <row id="r-{@name}"><xsl:value-of select="."/></row>
+              </xsl:template>
+            </xsl:stylesheet>""",
+            '<doc><item name="a">1</item><item name="b">2</item></doc>')
+        assert '<row id="r-a">1</row>' in output
+        assert '<row id="r-b">2</row>' in output
+
+
+class TestXslIf:
+    STYLESHEET = """
+        <xsl:stylesheet>
+          <xsl:template match="doc">
+            <xsl:apply-templates select="item"/>
+          </xsl:template>
+          <xsl:template match="item">
+            <xsl:if test="@kind = 'good'">
+              <keep><xsl:value-of select="."/></keep>
+            </xsl:if>
+            <xsl:if test="@note">
+              <noted/>
+            </xsl:if>
+          </xsl:template>
+        </xsl:stylesheet>"""
+
+    def test_equality_test(self):
+        output = transform("2.5.1", self.STYLESHEET, """
+            <doc>
+              <item kind="good">yes</item>
+              <item kind="bad">no</item>
+            </doc>""")
+        assert "<keep>yes</keep>" in output
+        assert "no" not in output
+
+    def test_truthiness_test(self):
+        output = transform("2.5.1", self.STYLESHEET, """
+            <doc><item kind="bad" note="n">x</item></doc>""")
+        assert "<noted" in output
+
+    def test_if_without_test_rejected(self):
+        with pytest.raises(StylesheetError):
+            transform("2.5.1", """
+                <xsl:stylesheet>
+                  <xsl:template match="doc"><xsl:if>x</xsl:if></xsl:template>
+                </xsl:stylesheet>""", "<doc/>")

@@ -1,0 +1,180 @@
+"""Tests for the Daikon-analogue workload."""
+
+import pytest
+
+from repro.workloads.invariants.diffing import (InvariantPair,
+                                                MatchCountVisitor,
+                                                XorVisitor, build_pair_tree)
+from repro.workloads.invariants.inference import detect_invariants
+from repro.workloads.invariants.invariants import (ConstantInvariant,
+                                                   EqualityInvariant,
+                                                   LessEqualInvariant,
+                                                   NonZeroInvariant,
+                                                   RangeInvariant)
+from repro.workloads.invariants.model import (ProgramPoint, RunData,
+                                              build_run)
+from repro.workloads.invariants import version_new, version_old
+from repro.workloads.invariants.scenario import (CORRECT_DATASET,
+                                                 REGRESSING_DATASET,
+                                                 regression_manifests,
+                                                 run_new_version,
+                                                 run_old_version)
+
+
+class TestModel:
+    def test_observe_checks_arity(self):
+        run = RunData("r")
+        run.declare(ProgramPoint("p", ("x", "y")))
+        with pytest.raises(ValueError):
+            run.observe("p", 1)
+
+    def test_undeclared_point_rejected(self):
+        run = RunData("r")
+        with pytest.raises(KeyError):
+            run.observe("nope", 1)
+
+    def test_build_run(self):
+        run = build_run("r", {"p": (("x",), [(1,), (2,)])})
+        assert run.sample_count("p") == 2
+
+
+class TestInvariants:
+    def feed(self, invariant, rows):
+        for row in rows:
+            invariant.feed(row)
+        return invariant
+
+    def test_constant_survives(self):
+        inv = self.feed(ConstantInvariant("p", ("x",)),
+                        [(5,), (5,), (5,)])
+        assert inv.is_justified()
+        assert inv.describe() == "x == 5"
+
+    def test_constant_falsified(self):
+        inv = self.feed(ConstantInvariant("p", ("x",)),
+                        [(5,), (6,), (5,)])
+        assert inv.falsified
+        assert not inv.is_justified()
+
+    def test_justification_needs_samples(self):
+        inv = self.feed(ConstantInvariant("p", ("x",)), [(5,), (5,)])
+        assert not inv.is_justified()  # below threshold
+
+    def test_range_tracks_bounds(self):
+        inv = self.feed(RangeInvariant("p", ("x",)),
+                        [(3,), (1,), (7,), (2,)])
+        assert inv.is_justified()
+        assert (inv.low, inv.high) == (1, 7)
+
+    def test_range_rejects_non_numeric(self):
+        inv = self.feed(RangeInvariant("p", ("x",)), [("a",)])
+        assert inv.falsified
+
+    def test_nonzero(self):
+        ok = self.feed(NonZeroInvariant("p", ("x",)), [(1,), (2,), (3,)])
+        assert ok.is_justified()
+        bad = self.feed(NonZeroInvariant("p", ("x",)), [(1,), (0,), (3,)])
+        assert bad.falsified
+
+    def test_equality_pair(self):
+        inv = self.feed(EqualityInvariant("p", ("x", "y")),
+                        [(1, 1), (2, 2), (9, 9)])
+        assert inv.is_justified()
+
+    def test_less_equal_pair(self):
+        inv = self.feed(LessEqualInvariant("p", ("x", "y")),
+                        [(1, 2), (2, 2), (0, 9)])
+        assert inv.is_justified()
+
+    def test_identity_stable_across_runs(self):
+        a = self.feed(ConstantInvariant("p", ("x",)), [(5,), (5,), (5,)])
+        b = self.feed(ConstantInvariant("p", ("x",)), [(5,), (5,), (5,)])
+        assert a.identity() == b.identity()
+
+    def test_falsified_stops_counting(self):
+        inv = ConstantInvariant("p", ("x",))
+        inv.feed((1,))
+        inv.feed((2,))
+        seen = inv.samples_seen
+        inv.feed((1,))
+        assert inv.samples_seen == seen
+
+
+class TestInference:
+    def test_detects_expected_invariants(self):
+        run = build_run("r", {
+            "p": (("x", "y"), [(1, 1), (2, 2), (3, 3)]),
+        })
+        detected = detect_invariants(run)
+        described = {inv.describe() for inv in detected["p"]}
+        assert "x == y" in described
+        assert "x != 0" in described
+
+    def test_no_justification_with_few_samples(self):
+        run = build_run("r", {"p": (("x",), [(1,)])})
+        detected = detect_invariants(run)
+        assert detected["p"] == []
+
+
+class TestDiffing:
+    def test_pair_tree_alignment(self):
+        run1 = build_run("a", {"p": (("x",), [(1,), (1,), (1,)])})
+        run2 = build_run("b", {"p": (("x",), [(2,), (2,), (2,)])})
+        [node] = build_pair_tree(run1, run2)
+        # x==1 only left, x==2 only right, shared: nonzero/range/nonnull.
+        keys = {pair.key[0] for pair in node.pairs}
+        assert "ConstantInvariant" in keys
+
+    def test_match_count_visitor(self):
+        run1 = build_run("a", {"p": (("x",), [(1,), (1,), (1,)])})
+        run2 = build_run("b", {"p": (("x",), [(1,), (1,), (1,)])})
+        visitor = MatchCountVisitor()
+        visitor.walk(build_pair_tree(run1, run2))
+        assert visitor.matches > 0
+
+    def test_old_xor_semantics(self):
+        predicates = version_old.XorPredicates()
+        left_only = InvariantPair(("k",), inv1=object(), inv2=None)
+        right_only = InvariantPair(("k",), inv1=None, inv2=object())
+        both = InvariantPair(("k",), inv1=object(), inv2=object())
+        assert predicates.should_add_inv1(left_only)
+        assert predicates.should_add_inv2(right_only)
+        assert not predicates.should_add_inv1(both)
+        assert not predicates.should_add_inv2(both)
+
+    def test_new_should_add_inv2_never_fires(self):
+        # The typo: worth_printing(pair.inv1) with inv1 None.
+        predicates = version_new.XorPredicates()
+        inv = ConstantInvariant("p", ("x",))
+        for _ in range(5):
+            inv.feed((1,))
+        right_only = InvariantPair(("k",), inv1=None, inv2=inv)
+        assert not predicates.should_add_inv2(right_only)
+
+    def test_new_should_add_inv1_requires_support(self):
+        predicates = version_new.XorPredicates()
+        weak = ConstantInvariant("p", ("x",))
+        for _ in range(3):
+            weak.feed((1,))
+        left_only = InvariantPair(("k",), inv1=weak, inv2=None)
+        assert not predicates.should_add_inv1(left_only)
+        strong = ConstantInvariant("p", ("x",))
+        for _ in range(5):
+            strong.feed((1,))
+        assert predicates.should_add_inv1(
+            InvariantPair(("k",), inv1=strong, inv2=None))
+
+
+class TestScenario:
+    def test_regression_manifests(self):
+        assert regression_manifests()
+
+    def test_new_version_drops_run2_invariants(self):
+        old_report = run_old_version(REGRESSING_DATASET)
+        new_report = run_new_version(REGRESSING_DATASET)
+        assert any(line.startswith(">") for line in old_report)
+        assert not any(line.startswith(">") for line in new_report)
+
+    def test_versions_agree_on_correct_dataset(self):
+        assert run_old_version(CORRECT_DATASET) == \
+            run_new_version(CORRECT_DATASET)

@@ -1,0 +1,224 @@
+"""Tests for the Derby-analogue SQL engine."""
+
+import pytest
+
+from repro.workloads.minidb.engine import Database, run_session
+from repro.workloads.minidb.errors import (CompileError, SqlError,
+                                           StorageError)
+from repro.workloads.minidb.locks import LockDaemon, LockManager
+from repro.workloads.minidb.planner import (OptimizingPlanner, Planner,
+                                            make_planner, split_predicates)
+from repro.workloads.minidb.sql import (BoolOp, Comparison, CreateTable,
+                                        InSubquery, Insert, Select,
+                                        parse_sql)
+from repro.workloads.minidb.storage import Catalog
+from repro.workloads.minidb.scenario import (CORRECT_INPUT,
+                                             REGRESSING_INPUT,
+                                             regression_manifests,
+                                             run_new_version,
+                                             run_old_version)
+
+
+class TestSqlParser:
+    def test_create_table(self):
+        statement = parse_sql("CREATE TABLE t (a, b)")
+        assert statement == CreateTable(table="t", columns=("a", "b"))
+
+    def test_insert(self):
+        statement = parse_sql("INSERT INTO t VALUES (1, 'x', -2)")
+        assert statement == Insert(table="t", values=(1, "x", -2))
+
+    def test_select_star(self):
+        statement = parse_sql("SELECT * FROM t")
+        assert statement.columns == ("*",)
+        assert statement.where is None
+
+    def test_select_with_comparison(self):
+        statement = parse_sql("SELECT a FROM t WHERE a > 5")
+        assert isinstance(statement.where, Comparison)
+        assert statement.where.op == ">"
+
+    def test_and_or_precedence(self):
+        statement = parse_sql(
+            "SELECT a FROM t WHERE a = 1 AND b = 2 OR c = 3")
+        assert isinstance(statement.where, BoolOp)
+        assert statement.where.op == "or"
+        assert statement.where.left.op == "and"
+
+    def test_in_subquery(self):
+        statement = parse_sql(
+            "SELECT a FROM t WHERE a IN (SELECT x FROM u WHERE x > 1)")
+        assert isinstance(statement.where, InSubquery)
+        assert statement.where.subquery.table == "u"
+
+    def test_not_in(self):
+        statement = parse_sql(
+            "SELECT a FROM t WHERE a NOT IN (SELECT x FROM u)")
+        assert statement.where.negated
+
+    def test_syntax_errors(self):
+        for bad in ("SELECT FROM t", "CREATE t", "INSERT INTO t (1)",
+                    "SELECT a FROM t WHERE", "FOO BAR"):
+            with pytest.raises(SqlError):
+                parse_sql(bad)
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlError):
+            parse_sql("INSERT INTO t VALUES ('oops)")
+
+
+class TestStorage:
+    def test_create_insert_scan(self):
+        catalog = Catalog()
+        catalog.create_table("t", ("a", "b"))
+        catalog.table("t").insert((1, 2))
+        assert catalog.table("t").scan() == [(1, 2)]
+
+    def test_duplicate_table(self):
+        catalog = Catalog()
+        catalog.create_table("t", ("a",))
+        with pytest.raises(StorageError):
+            catalog.create_table("t", ("a",))
+
+    def test_unknown_table(self):
+        with pytest.raises(StorageError):
+            Catalog().table("nope")
+
+    def test_arity_checked(self):
+        catalog = Catalog()
+        catalog.create_table("t", ("a", "b"))
+        with pytest.raises(StorageError):
+            catalog.table("t").insert((1,))
+
+    def test_unknown_column(self):
+        catalog = Catalog()
+        catalog.create_table("t", ("a",))
+        with pytest.raises(StorageError):
+            catalog.table("t").schema.column_index("z")
+
+
+class TestLocks:
+    def test_grant_counting(self):
+        manager = LockManager()
+        lock = manager.read_lock("t")
+        lock.release_shared()
+        manager.write_lock("t").release_exclusive()
+        assert manager.total_grants() == 2
+
+    def test_daemon_audits_per_tick(self):
+        manager = LockManager()
+        daemon = LockDaemon(manager)
+        daemon.start()
+        daemon.tick()
+        daemon.tick()
+        daemon.stop()
+        assert daemon.audits == 2
+
+
+class TestPlanner:
+    def setup_method(self):
+        self.database = Database("10.1.2.1")
+        self.database.execute("CREATE TABLE t (a, b)")
+        self.database.execute("CREATE TABLE u (x, a)")
+
+    def test_split_predicates(self):
+        statement = parse_sql("SELECT a FROM t WHERE a = 1 AND b = 2")
+        assert len(split_predicates(statement.where)) == 2
+
+    def test_factory(self):
+        catalog = Catalog()
+        assert isinstance(make_planner("10.1.2.1", catalog), Planner)
+        assert isinstance(make_planner("10.1.3.1", catalog),
+                          OptimizingPlanner)
+        with pytest.raises(ValueError):
+            make_planner("1.0", catalog)
+
+    def test_old_planner_never_flattens(self):
+        planner = self.database.planner
+        statement = parse_sql(
+            "SELECT a FROM t WHERE a IN (SELECT a FROM u WHERE x = 1)")
+        plan = planner.plan(statement)
+        assert "InSubquery" in plan.describe()
+
+    def test_new_planner_flattens_unpredicated(self):
+        database = Database("10.1.3.1")
+        database.execute("CREATE TABLE t (a, b)")
+        database.execute("CREATE TABLE u (x, y)")
+        plan = database.planner.plan(parse_sql(
+            "SELECT a FROM t WHERE a IN (SELECT x FROM u)"))
+        assert "SemiJoin" in plan.describe()
+
+    def test_new_planner_corner_case_raises(self):
+        database = Database("10.1.3.1")
+        database.execute("CREATE TABLE t (a, b)")
+        database.execute("CREATE TABLE u (x, a)")
+        with pytest.raises(CompileError):
+            database.planner.plan(parse_sql(
+                "SELECT a FROM t WHERE a IN (SELECT a FROM u WHERE x = 1)"))
+
+
+class TestExecution:
+    def make_database(self, version):
+        database = Database(version)
+        database.execute("CREATE TABLE t (a, b)")
+        for a, b in [(1, 10), (2, 20), (3, 30)]:
+            database.execute(f"INSERT INTO t VALUES ({a}, {b})")
+        return database
+
+    @pytest.mark.parametrize("version", ["10.1.2.1", "10.1.3.1"])
+    def test_filter_and_project(self, version):
+        database = self.make_database(version)
+        rows = database.execute("SELECT b FROM t WHERE a >= 2")
+        assert sorted(rows) == [(20,), (30,)]
+
+    @pytest.mark.parametrize("version", ["10.1.2.1", "10.1.3.1"])
+    def test_subquery_without_predicate_agrees(self, version):
+        database = self.make_database(version)
+        database.execute("CREATE TABLE u (x)")
+        database.execute("INSERT INTO u VALUES (1)")
+        database.execute("INSERT INTO u VALUES (3)")
+        rows = database.execute(
+            "SELECT a FROM t WHERE a IN (SELECT x FROM u)")
+        assert sorted(rows) == [(1,), (3,)]
+
+    def test_old_version_handles_predicated_shadowed_subquery(self):
+        database = self.make_database("10.1.2.1")
+        database.execute("CREATE TABLE u (x, a)")
+        database.execute("INSERT INTO u VALUES (9, 1)")
+        rows = database.execute(
+            "SELECT a FROM t WHERE a IN (SELECT a FROM u WHERE x = 9)")
+        assert rows == [(1,)]
+
+    def test_not_in(self):
+        database = self.make_database("10.1.2.1")
+        database.execute("CREATE TABLE u (x)")
+        database.execute("INSERT INTO u VALUES (1)")
+        rows = database.execute(
+            "SELECT a FROM t WHERE a NOT IN (SELECT x FROM u)")
+        assert sorted(rows) == [(2,), (3,)]
+
+
+class TestSession:
+    def test_run_session_collects_results_and_errors(self):
+        results = run_session("10.1.3.1",
+                              ["CREATE TABLE t (a, b)",
+                               "INSERT INTO t VALUES (1, 2)",
+                               "CREATE TABLE u (x, a)"],
+                              ["SELECT a FROM t WHERE a = 1",
+                               "SELECT a FROM t WHERE a IN "
+                               "(SELECT a FROM u WHERE x = 1)"])
+        assert results[0] == [(1,)]
+        assert isinstance(results[1], CompileError)
+
+    def test_scenario_manifests(self):
+        assert regression_manifests()
+
+    def test_new_version_errors_on_regressing_query(self):
+        outcomes = run_new_version(REGRESSING_INPUT)
+        assert any(o.startswith("ERROR") for o in outcomes)
+        old_outcomes = run_old_version(REGRESSING_INPUT)
+        assert not any(o.startswith("ERROR") for o in old_outcomes)
+
+    def test_versions_agree_on_correct_queries(self):
+        assert run_old_version(CORRECT_INPUT) == \
+            run_new_version(CORRECT_INPUT)

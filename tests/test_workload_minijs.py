@@ -1,0 +1,254 @@
+"""Tests for the Rhino-analogue engine (lexer, parser, compiler, VM)."""
+
+import pytest
+
+from repro.workloads.bugs import ROOT_CAUSE_DISTRIBUTION
+from repro.workloads.minijs.bug_registry import MINIJS_BUGS, scaled
+from repro.workloads.minijs.engine import Engine, run_script
+from repro.workloads.minijs.icode import CALL, JUMP, PUSH
+from repro.workloads.minijs.jscompiler import JsCompiler
+from repro.workloads.minijs.jsparser import parse_js
+from repro.workloads.minijs.tokens import JsSyntaxError, tokenize_js
+from repro.workloads.minijs.vm import JsRuntimeError, display, truthy
+
+
+def run(source: str, **kwargs) -> list[str]:
+    return run_script(source, **kwargs)
+
+
+class TestLexer:
+    def test_tokens(self):
+        kinds = [(t.kind, t.text) for t in tokenize_js("var x = 1.5;")]
+        assert kinds[:4] == [("kw", "var"), ("name", "x"), ("op", "="),
+                             ("num", "1.5")]
+
+    def test_two_char_ops(self):
+        texts = [t.text for t in tokenize_js("a <= b && c == d")]
+        assert "<=" in texts
+        assert "&&" in texts
+        assert "==" in texts
+
+    def test_string_escapes(self):
+        [token, _] = tokenize_js(r"'a\nb'")
+        assert token.text == "a\nb"
+
+    def test_comments(self):
+        texts = [t.text for t in tokenize_js("a // hi\nb")]
+        assert texts[:2] == ["a", "b"]
+
+    def test_unterminated_string(self):
+        with pytest.raises(JsSyntaxError):
+            tokenize_js("'oops")
+
+    def test_bad_char(self):
+        with pytest.raises(JsSyntaxError):
+            tokenize_js("a @ b")
+
+
+class TestParser:
+    def test_precedence(self):
+        script = parse_js("var x = 1 + 2 * 3;")
+        decl = script.body[0]
+        assert decl.value.op == "+"
+        assert decl.value.right.op == "*"
+
+    def test_else_if_chain(self):
+        script = parse_js("""
+            if (a == 1) { b = 1; } else if (a == 2) { b = 2; }
+            else { b = 3; }
+        """)
+        outer = script.body[0]
+        assert outer.else_body is not None
+
+    def test_function_and_call(self):
+        script = parse_js("function f(a, b) { return a; } f(1, 2);")
+        decl, call = script.body
+        assert decl.params == ("a", "b")
+        assert call.expr.func == "f"
+
+    def test_array_literal_and_index(self):
+        script = parse_js("var a = [1, 2, 3]; a[0] = a[1];")
+        assert len(script.body[0].value.items) == 3
+
+    def test_invalid_assignment(self):
+        with pytest.raises(JsSyntaxError):
+            parse_js("1 = 2;")
+
+
+class TestCompiler:
+    def test_folding_only_when_enabled(self):
+        script = parse_js("var x = 2 + 3;")
+        plain = JsCompiler(fold_constants=False).compile_script(script)
+        folded = JsCompiler(fold_constants=True).compile_script(script)
+        assert len(folded.main.instrs) < len(plain.main.instrs)
+        assert folded.main.instrs[0].op == PUSH
+        assert folded.main.instrs[0].arg1 == 5
+
+    def test_break_emits_jump(self):
+        script = parse_js("while (true) { break; }")
+        unit = JsCompiler().compile_script(script)
+        assert any(i.op == JUMP for i in unit.main.instrs)
+
+    def test_break_outside_loop(self):
+        with pytest.raises(JsSyntaxError):
+            JsCompiler().compile_script(parse_js("break;"))
+
+    def test_function_compiled_separately(self):
+        script = parse_js("function f() { return 1; } f();")
+        unit = JsCompiler().compile_script(script)
+        assert unit.function("f") is not None
+        assert any(i.op == CALL for i in unit.main.instrs)
+
+
+class TestVm:
+    def test_arithmetic_and_print(self):
+        assert run("print(1 + 2 * 3 - 4 / 2);") == ["5"]
+
+    def test_string_concat_coercion(self):
+        assert run("print('n=' + 42);") == ["n=42"]
+
+    def test_comparisons(self):
+        assert run("print(1 < 2, 2 <= 2, 3 > 4, 4 >= 4, 1 == 1.0, "
+                   "1 != 2);") == ["true true false true true true"]
+
+    def test_logical_short_circuit(self):
+        out = run("""
+            var calls = 0;
+            function side() { calls = calls + 1; return true; }
+            var r = false && side();
+            print(calls);
+            var s = true || side();
+            print(calls);
+        """)
+        assert out == ["0", "0"]
+
+    def test_while_and_for(self):
+        assert run("""
+            var sum = 0;
+            for (var i = 0; i < 5; i = i + 1) { sum = sum + i; }
+            print(sum);
+        """) == ["10"]
+
+    def test_break_and_continue(self):
+        assert run("""
+            var sum = 0;
+            for (var i = 0; i < 10; i = i + 1) {
+                if (i == 2) { continue; }
+                if (i == 5) { break; }
+                sum = sum + i;
+            }
+            print(sum);
+        """) == ["8"]  # 0+1+3+4
+
+    def test_recursion(self):
+        assert run("""
+            function fib(n) {
+                if (n < 2) { return n; }
+                return fib(n - 1) + fib(n - 2);
+            }
+            print(fib(10));
+        """) == ["55"]
+
+    def test_arrays(self):
+        assert run("""
+            var a = [1, 2, 3];
+            push(a, 4);
+            a[0] = 9;
+            print(a[0] + a[3], len(a), a[0 - 1]);
+        """) == ["13 4 4"]
+
+    def test_globals_visible_in_functions(self):
+        assert run("""
+            var counter = 0;
+            function bump() { counter = counter + 1; return counter; }
+            bump(); bump();
+            print(counter);
+        """) == ["2"]
+
+    def test_locals_shadow_globals(self):
+        assert run("""
+            var x = 1;
+            function f() { var x = 99; return x; }
+            f();
+            print(x);
+        """) == ["1"]
+
+    def test_negative_modulo_js_semantics(self):
+        assert run("print((0 - 7) % 3);") == ["-1"]
+
+    def test_builtins(self):
+        assert run("print(substr('hello', 1, 3), charAt('hi', 0), "
+                   "abs(0 - 5), str(2.0));") == ["el h 5 2"]
+
+    def test_runtime_errors(self):
+        for source in ("print(missing);", "missingFn();",
+                       "print(1 / 0);", "print('a' - 1);",
+                       "var a = 1; print(a[0]);"):
+            with pytest.raises(JsRuntimeError):
+                run(source)
+
+    def test_step_budget(self):
+        from repro.workloads.minijs.vm import Interpreter
+        unit = JsCompiler().compile_script(parse_js("while (true) { }"))
+        interpreter = Interpreter(unit)
+        interpreter.MAX_STEPS = 100
+        with pytest.raises(JsRuntimeError):
+            interpreter.run()
+
+    def test_display(self):
+        assert display(None) == "null"
+        assert display(True) == "true"
+        assert display(2.0) == "2"
+        assert display([1, None]) == "[1, null]"
+
+    def test_truthy(self):
+        assert not truthy(None)
+        assert not truthy(0)
+        assert not truthy("")
+        assert truthy([])  # arrays are objects: truthy
+
+
+class TestEngineVersions:
+    def test_old_rejects_bugs(self):
+        with pytest.raises(ValueError):
+            Engine(version="old", bug="T-LE-TYPO")
+
+    def test_unknown_version(self):
+        with pytest.raises(ValueError):
+            Engine(version="vintage")
+
+    def test_versions_agree_without_bug(self):
+        source = "var x = 10 - 3; print(x + 1);"
+        assert run(source, version="old") == run(source, version="new")
+
+
+class TestBugRegistry:
+    def test_fourteen_bugs(self):
+        assert len(MINIJS_BUGS.all()) == 14
+
+    def test_category_mix_tracks_distribution(self):
+        mix = MINIJS_BUGS.category_mix()
+        for category, target in ROOT_CAUSE_DISTRIBUTION.items():
+            assert category in mix
+            assert abs(mix[category] - target) < 0.12
+
+    @pytest.mark.parametrize("spec", MINIJS_BUGS.all(),
+                             ids=lambda s: s.bug_id)
+    def test_bug_manifests_and_alternate_agrees(self, spec):
+        failing = scaled(str(spec.failing_input), 10)
+        passing = scaled(str(spec.passing_input), 10)
+
+        def outcome(source, version, bug=None):
+            try:
+                return ("ok", run(source, version=version, bug=bug))
+            except Exception as exc:  # noqa: BLE001 - outcome capture
+                return ("error", str(exc))
+
+        assert outcome(failing, "old") != \
+            outcome(failing, "new", spec.bug_id)
+        assert outcome(passing, "old") == \
+            outcome(passing, "new", spec.bug_id)
+
+    def test_scaled_substitution(self):
+        assert "{N}" not in scaled("work({N});", 7)
+        assert "work(7);" in scaled("work({N});", 7)

@@ -1,0 +1,254 @@
+"""Tests for the Xalan-analogue workload."""
+
+import pytest
+
+from repro.workloads.minixslt.compiler import (LiteralElementCompiler,
+                                               TemplateCompiler)
+from repro.workloads.minixslt.engine import XsltEngine, transform
+from repro.workloads.minixslt.namespaces import (FlatResolver,
+                                                 NamespaceError,
+                                                 ScopedResolver,
+                                                 make_resolver)
+from repro.workloads.minixslt.stylesheet import (LiteralElement,
+                                                 StylesheetError,
+                                                 parse_stylesheet)
+from repro.workloads.minixslt.scenario import (CORRECT_INPUT_1725,
+                                               CORRECT_INPUT_1802,
+                                               REGRESSING_INPUT_1725,
+                                               REGRESSING_INPUT_1802,
+                                               regression_1725_manifests,
+                                               regression_1802_manifests,
+                                               run_1725_new, run_1725_old,
+                                               run_1802_new, run_1802_old)
+from repro.workloads.minixslt.xmldoc import XmlError, parse_xml
+
+
+class TestXmlParser:
+    def test_basic_structure(self):
+        root = parse_xml("<a><b>hi</b><b>ho</b><c/></a>")
+        assert root.tag == "a"
+        assert len(root.children) == 3
+        assert [b.text for b in root.children_named("b")] == ["hi", "ho"]
+
+    def test_attributes_ordered(self):
+        root = parse_xml('<a x="1" y="2" x2="3"/>')
+        assert root.attributes == [("x", "1"), ("y", "2"), ("x2", "3")]
+        assert root.attribute("y") == "2"
+        assert root.attribute("nope", "d") == "d"
+
+    def test_namespace_declarations(self):
+        root = parse_xml('<a xmlns:n="urn:x" xmlns="urn:d"/>')
+        assert ("n", "urn:x") in root.namespace_declarations()
+        assert ("", "urn:d") in root.namespace_declarations()
+
+    def test_prefix_and_local_name(self):
+        root = parse_xml("<ns:tag/>")
+        assert root.prefix() == "ns"
+        assert root.local_name() == "tag"
+
+    def test_comments_and_prolog(self):
+        root = parse_xml("<?xml version='1.0'?><!-- hi --><a/>")
+        assert root.tag == "a"
+
+    def test_entity_unescaping(self):
+        root = parse_xml("<a>&lt;x&gt; &amp; y</a>")
+        assert root.text == "<x> & y"
+
+    def test_mismatched_tags(self):
+        with pytest.raises(XmlError):
+            parse_xml("<a></b>")
+
+    def test_unterminated(self):
+        with pytest.raises(XmlError):
+            parse_xml("<a>")
+
+    def test_trailing_content(self):
+        with pytest.raises(XmlError):
+            parse_xml("<a/><b/>")
+
+
+class TestNamespaces:
+    def test_flat_resolver_shadowing(self):
+        resolver = FlatResolver()
+        resolver.push_scope([("a", "urn:outer")])
+        resolver.push_scope([("a", "urn:inner")])
+        assert resolver.resolve("a") == "urn:inner"
+        resolver.pop_scope()
+        assert resolver.resolve("a") == "urn:outer"
+
+    def test_scoped_resolver_correct_pop(self):
+        resolver = ScopedResolver(buggy_pop=False)
+        resolver.push_scope([("a", "urn:outer")])
+        resolver.push_scope([("a", "urn:inner")])
+        assert resolver.resolve("a") == "urn:inner"
+        resolver.pop_scope()
+        assert resolver.resolve("a") == "urn:outer"
+
+    def test_scoped_resolver_buggy_pop_drops_outer(self):
+        resolver = ScopedResolver(buggy_pop=True)
+        resolver.push_scope([("a", "urn:outer")])
+        resolver.push_scope([("a", "urn:inner")])
+        resolver.pop_scope()
+        with pytest.raises(NamespaceError):
+            resolver.resolve("a")
+
+    def test_buggy_pop_harmless_without_shadowing(self):
+        resolver = ScopedResolver(buggy_pop=True)
+        resolver.push_scope([("a", "urn:outer")])
+        resolver.push_scope([])
+        resolver.pop_scope()
+        assert resolver.resolve("a") == "urn:outer"
+
+    def test_unbound_prefix(self):
+        with pytest.raises(NamespaceError):
+            FlatResolver().resolve("zzz")
+
+    def test_factory(self):
+        assert isinstance(make_resolver("flat"), FlatResolver)
+        assert isinstance(make_resolver("scoped"), ScopedResolver)
+        with pytest.raises(ValueError):
+            make_resolver("cubist")
+
+
+class TestStylesheet:
+    def test_parse_templates(self):
+        sheet = parse_stylesheet("""
+            <xsl:stylesheet>
+              <xsl:template match="a"><xsl:value-of select="."/></xsl:template>
+              <xsl:template match="*"><xsl:apply-templates select="*"/></xsl:template>
+            </xsl:stylesheet>""")
+        assert len(sheet.templates) == 2
+        assert sheet.templates[0].match == "a"
+
+    def test_literal_elements_with_attributes(self):
+        sheet = parse_stylesheet("""
+            <xsl:stylesheet>
+              <xsl:template match="a"><out x="1" y="2">t</out></xsl:template>
+            </xsl:stylesheet>""")
+        [literal] = sheet.templates[0].body
+        assert isinstance(literal, LiteralElement)
+        assert literal.attributes == [("x", "1"), ("y", "2")]
+
+    def test_not_a_stylesheet(self):
+        with pytest.raises(StylesheetError):
+            parse_stylesheet("<html/>")
+
+    def test_template_without_match(self):
+        with pytest.raises(StylesheetError):
+            parse_stylesheet(
+                "<xsl:stylesheet><xsl:template/></xsl:stylesheet>")
+
+    def test_value_of_requires_select(self):
+        with pytest.raises(StylesheetError):
+            parse_stylesheet("""
+                <xsl:stylesheet>
+                  <xsl:template match="a"><xsl:value-of/></xsl:template>
+                </xsl:stylesheet>""")
+
+
+class TestCompiler:
+    def sheet(self, body: str):
+        return parse_stylesheet(f"""
+            <xsl:stylesheet>
+              <xsl:template match="a">{body}</xsl:template>
+            </xsl:stylesheet>""")
+
+    def test_correct_attribute_emission(self):
+        compiler = TemplateCompiler(buggy_attribute_emission=False)
+        [compiled] = compiler.compile_stylesheet(
+            self.sheet('<out x="1" y="2" z="3"/>'))
+        attrs = [op for op in compiled.ops if op.kind == "ATTR"]
+        assert [a.arg1 for a in attrs] == ["x", "y", "z"]
+
+    def test_buggy_emission_drops_last_attribute(self):
+        compiler = TemplateCompiler(buggy_attribute_emission=True)
+        [compiled] = compiler.compile_stylesheet(
+            self.sheet('<out x="1" y="2" z="3"/>'))
+        attrs = [op for op in compiled.ops if op.kind == "ATTR"]
+        assert [a.arg1 for a in attrs] == ["x", "y"]
+
+    def test_buggy_emission_spares_single_attribute(self):
+        compiler = TemplateCompiler(buggy_attribute_emission=True)
+        [compiled] = compiler.compile_stylesheet(self.sheet('<out x="1"/>'))
+        attrs = [op for op in compiled.ops if op.kind == "ATTR"]
+        assert len(attrs) == 1
+
+    def test_duplicate_attributes_rejected(self):
+        checker = LiteralElementCompiler(buggy_attribute_emission=False)
+        with pytest.raises(StylesheetError):
+            checker.check_attributes_unique([("x", "1"), ("x", "2")])
+
+    def test_peephole_fuses_text(self):
+        compiler = TemplateCompiler(peephole=True)
+        from repro.workloads.minixslt.compiler import Op
+        fused = compiler.fuse_adjacent_text(
+            [Op("TEXT", "a"), Op("TEXT", "b"), Op("START_ELEM", "x")])
+        assert len(fused) == 2
+        assert fused[0].arg1 == "ab"
+
+
+class TestEngine:
+    def test_simple_transform(self):
+        output = transform("2.4.1", """
+            <xsl:stylesheet>
+              <xsl:template match="doc"><r><xsl:value-of select="."/></r></xsl:template>
+            </xsl:stylesheet>""", "<doc>hello</doc>")
+        assert output == "<r>hello</r>"
+
+    def test_for_each(self):
+        output = transform("2.4.1", """
+            <xsl:stylesheet>
+              <xsl:template match="doc">
+                <xsl:for-each select="i"><xsl:value-of select="."/></xsl:for-each>
+              </xsl:template>
+            </xsl:stylesheet>""", "<doc><i>1</i><i>2</i></doc>")
+        assert output == "12"
+
+    def test_builtin_rule_copies_text(self):
+        output = transform("2.4.1", """
+            <xsl:stylesheet>
+              <xsl:template match="nomatch"><x/></xsl:template>
+            </xsl:stylesheet>""", "<doc>plain</doc>")
+        assert output == "plain"
+
+    def test_unknown_version(self):
+        with pytest.raises(ValueError):
+            XsltEngine("9.9")
+
+    def test_versions_agree_on_simple_input(self):
+        sheet = """
+            <xsl:stylesheet>
+              <xsl:template match="doc"><r a="1"><xsl:value-of select="."/></r></xsl:template>
+            </xsl:stylesheet>"""
+        doc = "<doc>x</doc>"
+        outputs = {transform(v, sheet, doc)
+                   for v in ("2.4.1", "2.5.1", "2.5.2")}
+        assert len(outputs) == 1
+
+
+class TestScenarios:
+    def test_1725_manifests(self):
+        assert regression_1725_manifests()
+
+    def test_1725_drops_role_attribute(self):
+        old = run_1725_old(REGRESSING_INPUT_1725)
+        new = run_1725_new(REGRESSING_INPUT_1725)
+        assert 'role="data"' in old
+        assert 'role="data"' not in new
+
+    def test_1725_versions_agree_on_safe_stylesheet(self):
+        assert run_1725_old(CORRECT_INPUT_1725) == \
+            run_1725_new(CORRECT_INPUT_1725)
+
+    def test_1802_manifests(self):
+        assert regression_1802_manifests()
+
+    def test_1802_unresolved_after_shadowing(self):
+        new = run_1802_new(REGRESSING_INPUT_1802)
+        assert "urn:unresolved" in new
+        old = run_1802_old(REGRESSING_INPUT_1802)
+        assert "urn:unresolved" not in old
+
+    def test_1802_versions_agree_without_shadowing(self):
+        assert run_1802_old(CORRECT_INPUT_1802) == \
+            run_1802_new(CORRECT_INPUT_1802)
