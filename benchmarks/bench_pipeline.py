@@ -1,0 +1,101 @@
+"""Micro-benchmark of the parallel scenario pipeline (repro.api).
+
+Builds one four-trace regression scenario from synthetic traces, fans it
+out as a batch of stored-scenario jobs, and compares sequential vs
+pooled execution of the diff/analysis side.  Capture is excluded on
+purpose: it is serialised process-wide (single ``sys.settrace`` weaver),
+so the pipeline's speedup must come from overlapping differencing and
+regression analysis — this benchmark verifies that it does and reports
+the per-engine cost split the batch runner aggregates.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import write_result
+
+from repro.api import Session, StoredScenarioJob, TraceStore, run_pipeline
+from repro.core.traces import TraceBuilder
+from repro.core.values import prim
+
+#: Jobs per batch (two per registered engine flavour exercised).
+JOBS = 8
+ENTRIES = 400
+WORKERS = (1, 2, 4)
+
+
+def synthetic_trace(n: int, variant: str, name: str):
+    """n field-set events; the 'new' variant modifies 2% and moves a
+    block, the 'bad' variants additionally corrupt a constructor arg."""
+    builder = TraceBuilder(name=name)
+    tid = builder.main_tid
+    seed = 1 if "bad" in variant else 32
+    obj = builder.record_init(tid, "Conv", (prim(seed),),
+                              serialization=("Conv", seed))
+    values = list(range(n))
+    if "new" in variant:
+        for at in range(25, n, 50):
+            values[at] = -values[at]
+        block = values[10:30]
+        del values[10:30]
+        values.extend(block)
+    for value in values:
+        builder.record_set(tid, obj, "v", prim(value))
+    builder.record_end(tid)
+    return builder.build()
+
+
+def build_store(tmp_path) -> TraceStore:
+    store = TraceStore(tmp_path)
+    store.save(synthetic_trace(ENTRIES, "old-bad", "ob"), key="ob")
+    store.save(synthetic_trace(ENTRIES, "new-bad", "nb"), key="nb")
+    store.save(synthetic_trace(ENTRIES, "old-ok", "oo"), key="oo")
+    store.save(synthetic_trace(ENTRIES, "new-ok", "no"), key="no")
+    return store
+
+
+def batch_jobs() -> list[StoredScenarioJob]:
+    engines = ("views", "optimized", "hirschberg", "fast")
+    return [StoredScenarioJob(
+        name=f"job-{i:02d}-{engines[i % len(engines)]}",
+        suspected=("ob", "nb"), expected=("oo", "no"),
+        regression=("no", "nb"), engine=engines[i % len(engines)])
+        for i in range(JOBS)]
+
+
+def test_pipeline_scaling(tmp_path):
+    session = Session(store=build_store(tmp_path / "store"))
+    jobs = batch_jobs()
+
+    rows = []
+    baseline_seconds = None
+    for workers in WORKERS:
+        started = time.perf_counter()
+        result = run_pipeline(jobs, session=session, max_workers=workers)
+        elapsed = time.perf_counter() - started
+        assert len(result.succeeded()) == JOBS
+        if baseline_seconds is None:
+            baseline_seconds = elapsed
+        rows.append((workers, elapsed, baseline_seconds / elapsed,
+                     result.total_compares()))
+
+    lines = [
+        "=== Parallel scenario pipeline "
+        f"({JOBS} stored scenarios x {ENTRIES} entries) ===",
+        f"{'workers':>7} {'batch s':>9} {'speedup':>8} {'compares':>12}",
+    ]
+    for workers, elapsed, speedup, compares in rows:
+        lines.append(f"{workers:>7} {elapsed:>9.3f} {speedup:>7.2f}x "
+                     f"{compares:>12}")
+    lines.append("")
+    lines.append("per-job split at max workers:")
+    final = run_pipeline(jobs, session=session, max_workers=WORKERS[-1])
+    for outcome in list(final)[:4]:
+        lines.append("  " + outcome.brief())
+    write_result("pipeline.txt", "\n".join(lines))
+
+    # Every configuration must produce identical analysis results.
+    sizes = {tuple(sorted(o.result.report.set_sizes().items()))
+             for o in final if o.result.engine == "views"}
+    assert len(sizes) == 1

@@ -6,14 +6,20 @@ numeric-entity converter with the exempt range [1, 127] instead of
 documents — the cause (a constructor argument) and the effect (wrong
 response bytes) are far apart in the execution.
 
+Driven through the ``repro.api`` session layer: every captured trace is
+persisted to a :class:`~repro.api.store.TraceStore`, and the analysis is
+re-run offline from the stored traces with a different engine to show
+the capture-now / diff-later workflow.
+
 Run with::
 
     python examples/myfaces_regression.py
 """
 
+import tempfile
+
 from repro.analysis import render_diff_report
-from repro.analysis.rprism import RPrism
-from repro.capture import TraceFilter
+from repro.api import Session
 from repro.core.regression import evaluate_against_truth
 from repro.core.views import ViewType
 from repro.workloads.myfaces.scenario import (CORRECT_REQUEST,
@@ -29,12 +35,15 @@ def main():
     print("new output:", run_new_version(REGRESSING_REQUEST))
     print()
 
-    tool = RPrism(filter=TraceFilter(
-        include_modules=("repro.workloads.myfaces",)))
-    outcome = tool.analyze_regression_scenario(
+    store_dir = tempfile.mkdtemp(prefix="rprism-store-")
+    session = (Session()
+               .with_filter(include_modules=("repro.workloads.myfaces",))
+               .with_store(store_dir))
+    outcome = session.run_scenario(
         run_old_version, run_new_version,
         regressing_input=REGRESSING_REQUEST,
-        correct_input=CORRECT_REQUEST)
+        correct_input=CORRECT_REQUEST,
+        name="MYFACES-1130", store_prefix="myfaces-1130")
 
     sizes = outcome.report.set_sizes()
     print(f"suspected differences (A): {sizes['A']} sequences")
@@ -49,9 +58,26 @@ def main():
           f"side effects, {evaluation.false_negatives} cause(s) missed")
     print()
 
+    # The offline half: every trace landed in the store, so the same
+    # scenario re-runs later — here against the LCS baseline engine.
+    print(f"trace store at {store_dir}:")
+    for record in session.store.records():
+        print("   ", record.brief())
+    offline = session.run_stored_scenario(
+        suspected=("myfaces-1130/old/regressing",
+                   "myfaces-1130/new/regressing"),
+        expected=("myfaces-1130/old/correct", "myfaces-1130/new/correct"),
+        regression=("myfaces-1130/new/correct",
+                    "myfaces-1130/new/regressing"),
+        engine="optimized", name="MYFACES-1130/offline")
+    print(f"offline re-analysis ({offline.engine}): "
+          f"|D|={offline.report.set_sizes()['D']} candidate sequences, "
+          f"{offline.compares()} compares")
+    print()
+
     # Navigate the view web like Fig. 2: the converter object's
     # target-object view collects its events across the whole run.
-    web = tool.web(outcome.traces["new/regressing"])
+    web = session.web("myfaces-1130/new/regressing")
     for location, info in web.objects.items():
         if info.class_name == "NumericEntityUtil":
             view = web.target_object_view(location)

@@ -6,9 +6,9 @@ Run with::
     python examples/quickstart.py
 """
 
-from repro import RPrism
 from repro.analysis import render_diff_report
-from repro.capture import TraceFilter, traced
+from repro.api import Session
+from repro.capture import traced
 from repro.core.regression import evaluate_against_truth
 
 
@@ -49,7 +49,7 @@ def new_version(basket):
 # --- the analysis ---------------------------------------------------------------
 
 def main():
-    tool = RPrism(filter=TraceFilter(include_modules=("__main__",)))
+    session = Session().with_filter(include_modules=("__main__",))
 
     # A regressing input (items between 10 and 100 now get discounted)
     # and a similar correct one (all items above 100 behave the same).
@@ -59,7 +59,7 @@ def main():
     print("old:", old_version(regressing_basket),
           " new:", new_version(regressing_basket), "(regression!)")
 
-    outcome = tool.analyze_regression_scenario(
+    outcome = session.run_scenario(
         old_version, new_version,
         regressing_input=regressing_basket,
         correct_input=correct_basket)

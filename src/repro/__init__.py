@@ -6,15 +6,23 @@ traces, linear-time views-based trace differencing, and regression-cause
 analysis, together with a formal trace-emitting core language, a Python
 trace-capture substrate, and the evaluation workloads.
 
-Typical use::
+Typical use (the :mod:`repro.api` session layer)::
 
-    from repro import RPrism
+    from repro.api import Session
 
-    tool = RPrism()
-    old = tool.trace_call(old_version_entrypoint, name="old")
-    new = tool.trace_call(new_version_entrypoint, name="new")
-    result = tool.diff(old, new)
+    session = (Session()
+               .with_filter(include_modules=("myapp",))
+               .with_engine("views"))
+    result = session.run_scenario(
+        old_version_entrypoint, new_version_entrypoint,
+        regressing_input=bad_input, correct_input=good_input)
     print(result.render())
+
+Lower-level pieces remain directly importable: ``session.capture`` /
+``session.diff`` drive individual steps, ``repro.api.TraceStore``
+persists traces for offline analysis, ``repro.api.ScenarioPipeline``
+batches scenarios across a worker pool, and the legacy ``RPrism``
+facade still works (it delegates to a ``Session``).
 """
 
 from repro.core import (DiffResult, DifferenceSequence, OpCounter,
@@ -22,20 +30,30 @@ from repro.core import (DiffResult, DifferenceSequence, OpCounter,
                         ValueRep, ViewDiffConfig, ViewType, ViewWeb,
                         analyze_regression, lcs_diff, view_diff)
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"
 
 __all__ = [
     "DiffResult", "DifferenceSequence", "OpCounter", "RegressionReport",
-    "RPrism", "Trace", "TraceBuilder", "TraceEntry", "ValueRep",
-    "ViewDiffConfig", "ViewType", "ViewWeb", "analyze_regression",
-    "lcs_diff", "view_diff", "__version__",
+    "RPrism", "Session", "SessionResult", "Trace", "TraceBuilder",
+    "TraceEntry", "TraceStore", "ValueRep", "ViewDiffConfig", "ViewType",
+    "ViewWeb", "analyze_regression", "lcs_diff", "view_diff",
+    "__version__",
 ]
+
+#: Names served lazily from the api/analysis layers: they pull in the
+#: capture substrate, so the core model stays importable in minimal
+#: environments.
+_LAZY = {
+    "RPrism": ("repro.analysis.rprism", "RPrism"),
+    "Session": ("repro.api.session", "Session"),
+    "SessionResult": ("repro.api.session", "SessionResult"),
+    "TraceStore": ("repro.api.store", "TraceStore"),
+}
 
 
 def __getattr__(name: str):
-    # RPrism pulls in the capture layer; import lazily so the core model
-    # stays importable in minimal environments.
-    if name == "RPrism":
-        from repro.analysis.rprism import RPrism
-        return RPrism
+    target = _LAZY.get(name)
+    if target is not None:
+        from importlib import import_module
+        return getattr(import_module(target[0]), target[1])
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -5,32 +5,108 @@ while the program runs, then analysed later.  This CLI covers that side::
 
     python -m repro.analysis.cli info  trace.jsonl
     python -m repro.analysis.cli views trace.jsonl
-    python -m repro.analysis.cli diff  old.jsonl new.jsonl [--algorithm views]
+    python -m repro.analysis.cli diff  old.jsonl new.jsonl \\
+        [--engine views] [--config window=8 --config relaxed=false]
     python -m repro.analysis.cli analyze --suspected-old old_bad.jsonl \\
         --suspected-new new_bad.jsonl [--expected-old ... --expected-new ...]
         [--regression-left ... --regression-right ...] [--mode intersect]
+    python -m repro.analysis.cli store add|list|show|tag|rm DIR ...
+    python -m repro.analysis.cli batch scenarios.json --store DIR [--jobs 4]
+
+Differencing is routed through the :mod:`repro.api.engines` registry
+(``--engine`` accepts any registered name; ``--algorithm`` remains as a
+deprecated alias), and the view-diff knobs of
+:class:`~repro.core.view_diff.ViewDiffConfig` are exposed as repeatable
+``--config KEY=VALUE`` flags.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import json
 import sys
 
+from repro.api.engines import available_engines, get_engine
+from repro.api.pipeline import StoredScenarioJob, run_pipeline
+from repro.api.session import Session
+from repro.api.store import TraceStore
 from repro.analysis.report import render_diff_report, render_trace_tree
 from repro.analysis.serialize import load_trace
-from repro.core.lcs_diff import lcs_diff
 from repro.core.regression import (MODE_INTERSECT, MODE_SUBTRACT,
                                    analyze_regression)
-from repro.core.view_diff import view_diff
+from repro.core.view_diff import ViewDiffConfig
+from repro.core.views import ViewType
 from repro.core.web import ViewWeb
 
+#: ``--config`` keys -> ViewDiffConfig fields (computed, so new knobs
+#: are exposed without touching the CLI).
+_CONFIG_FIELDS = {f.name: f for f in dataclasses.fields(ViewDiffConfig)}
 
-def _diff(left_path: str, right_path: str, algorithm: str):
+
+def _coerce_config_value(key: str, raw: str):
+    if key == "view_types":
+        types = []
+        for part in raw.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            try:
+                types.append(ViewType[part.upper()])
+            except KeyError:
+                names = ", ".join(t.name.lower() for t in ViewType)
+                raise SystemExit(f"unknown view type {part!r} "
+                                 f"(expected one of: {names})")
+        return tuple(types)
+    if raw.lower() in ("none", "null"):
+        return None
+    if raw.lower() in ("true", "false"):
+        return raw.lower() == "true"
+    try:
+        return int(raw)
+    except ValueError:
+        raise SystemExit(f"--config {key} expects an integer, boolean or "
+                         f"'none', got {raw!r}")
+
+
+def parse_config_flags(pairs: list[str] | None) -> ViewDiffConfig | None:
+    """``KEY=VALUE`` flags -> a ViewDiffConfig (None when no flags)."""
+    if not pairs:
+        return None
+    knobs = {}
+    for pair in pairs:
+        key, sep, raw = pair.partition("=")
+        key = key.strip().replace("-", "_")
+        if not sep:
+            raise SystemExit(f"--config expects KEY=VALUE, got {pair!r}")
+        if key not in _CONFIG_FIELDS:
+            known = ", ".join(sorted(_CONFIG_FIELDS))
+            raise SystemExit(f"unknown view-diff knob {key!r} "
+                             f"(known: {known})")
+        knobs[key] = _coerce_config_value(key, raw.strip())
+    return dataclasses.replace(ViewDiffConfig(), **knobs)
+
+
+def _engine_name(args) -> str:
+    """``--engine`` wins; ``--algorithm`` is the deprecated alias."""
+    return args.engine or getattr(args, "algorithm", None) or "views"
+
+
+def _add_engine_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--engine", choices=available_engines(),
+                        help="differencing engine (registry name)")
+    parser.add_argument("--algorithm", choices=available_engines(),
+                        help=argparse.SUPPRESS)  # deprecated alias
+    parser.add_argument("--config", action="append", metavar="KEY=VALUE",
+                        help="view-diff knob, e.g. --config window=8 "
+                             "--config relaxed=false (repeatable)")
+
+
+def _diff(left_path: str, right_path: str, engine: str,
+          config: ViewDiffConfig | None):
     left = load_trace(left_path)
     right = load_trace(right_path)
-    if algorithm == "views":
-        return view_diff(left, right)
-    return lcs_diff(left, right, algorithm=algorithm)
+    return get_engine(engine).diff(left, right, config=config)
 
 
 def cmd_info(args) -> int:
@@ -48,9 +124,10 @@ def cmd_views(args) -> int:
     trace = load_trace(args.trace)
     web = ViewWeb(trace)
     counts = web.counts()
-    print(f"{counts['total']} views: {counts['thread']} thread, "
-          f"{counts['method']} method, {counts['target_object']} "
-          f"target-object, {counts['active_object']} active-object")
+    breakdown = ", ".join(
+        f"{count} {kind.replace('_', '-')}"
+        for kind, count in counts.items() if kind != "total")
+    print(f"{counts['total']} views: {breakdown}")
     for view in sorted(web.all_views(),
                        key=lambda v: -len(v.indices))[:args.limit]:
         print(f"  {view.name.vtype.value:3} {str(view.name.key):40} "
@@ -59,26 +136,145 @@ def cmd_views(args) -> int:
 
 
 def cmd_diff(args) -> int:
-    result = _diff(args.left, args.right, args.algorithm)
+    result = _diff(args.left, args.right, _engine_name(args),
+                   parse_config_flags(args.config))
     print(render_diff_report(result, max_sequences=args.limit))
     return 0 if result.num_diffs() == 0 else 1
 
 
 def cmd_analyze(args) -> int:
-    suspected = _diff(args.suspected_old, args.suspected_new,
-                      args.algorithm)
+    engine = _engine_name(args)
+    config = parse_config_flags(args.config)
+    suspected = _diff(args.suspected_old, args.suspected_new, engine,
+                      config)
     expected = None
     if args.expected_old and args.expected_new:
-        expected = _diff(args.expected_old, args.expected_new,
-                         args.algorithm)
+        expected = _diff(args.expected_old, args.expected_new, engine,
+                         config)
     regression = None
     if args.regression_left and args.regression_right:
         regression = _diff(args.regression_left, args.regression_right,
-                           args.algorithm)
+                           engine, config)
     report = analyze_regression(suspected, expected=expected,
                                 regression=regression, mode=args.mode)
     print(report.render(limit=args.limit))
     return 0
+
+
+# -- store ------------------------------------------------------------------
+
+
+def cmd_store_add(args) -> int:
+    store = TraceStore(args.store)
+    record = store.ingest_file(args.trace, key=args.key,
+                               tags=tuple(args.tag or ()))
+    print(record.brief())
+    return 0
+
+
+def cmd_store_list(args) -> int:
+    store = _open_store(args.store)
+    records = store.records(tag=args.tag)
+    for record in records:
+        print(record.brief())
+    print(f"{len(records)} trace(s) in {store.root}")
+    return 0
+
+
+def _missing_key(store: TraceStore, key: str) -> int:
+    print(f"no trace {key!r} in {store.root}", file=sys.stderr)
+    return 1
+
+
+def _open_store(path: str) -> TraceStore:
+    try:
+        return TraceStore(path, create=False)
+    except FileNotFoundError:
+        raise SystemExit(f"no trace store at {path}")
+
+
+def cmd_store_show(args) -> int:
+    store = _open_store(args.store)
+    if args.key not in store:
+        return _missing_key(store, args.key)
+    record = store.get(args.key)
+    print(record.brief())
+    if args.tree:
+        print(render_trace_tree(store.load(args.key), limit=args.limit))
+    return 0
+
+
+def cmd_store_tag(args) -> int:
+    store = _open_store(args.store)
+    if args.key not in store:
+        return _missing_key(store, args.key)
+    if args.remove:
+        record = store.untag(args.key, *args.tags)
+    else:
+        record = store.tag(args.key, *args.tags)
+    print(record.brief())
+    return 0
+
+
+def cmd_store_rm(args) -> int:
+    store = _open_store(args.store)
+    if args.key not in store:
+        return _missing_key(store, args.key)
+    store.delete(args.key)
+    print(f"removed {args.key}")
+    return 0
+
+
+# -- batch ------------------------------------------------------------------
+
+
+def _jobs_from_spec(spec: dict) -> list[StoredScenarioJob]:
+    scenarios = spec.get("scenarios")
+    if not isinstance(scenarios, list) or not scenarios:
+        raise SystemExit("batch spec must have a non-empty "
+                         "'scenarios' list")
+    jobs = []
+    for position, entry in enumerate(scenarios):
+        def _pair(key, required=False):
+            value = entry.get(key)
+            if value is None and not required:
+                return None
+            if (not isinstance(value, (list, tuple)) or len(value) != 2
+                    or not all(isinstance(v, str) for v in value)):
+                raise SystemExit(f"scenario #{position}: {key!r} must "
+                                 f"be a list of two trace keys")
+            return (value[0], value[1])
+
+        jobs.append(StoredScenarioJob(
+            name=entry.get("name", f"scenario-{position}"),
+            suspected=_pair("suspected", required=True),
+            expected=_pair("expected"),
+            regression=_pair("regression"),
+            engine=entry.get("engine"),
+            mode=entry.get("mode"),
+        ))
+    return jobs
+
+
+def cmd_batch(args) -> int:
+    try:
+        with open(args.spec, encoding="utf-8") as handle:
+            spec = json.load(handle)
+    except FileNotFoundError:
+        raise SystemExit(f"no batch spec at {args.spec}")
+    except json.JSONDecodeError as error:
+        raise SystemExit(f"batch spec {args.spec} is not valid JSON: "
+                         f"{error}")
+    jobs = _jobs_from_spec(spec)
+    session = Session(store=_open_store(args.store),
+                      engine=_engine_name(args),
+                      config=parse_config_flags(args.config))
+    result = run_pipeline(jobs, session=session, max_workers=args.jobs)
+    print(result.render())
+    return 0 if not result.failed() else 1
+
+
+# -- parser -----------------------------------------------------------------
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -102,9 +298,7 @@ def build_parser() -> argparse.ArgumentParser:
     diff = commands.add_parser("diff", help="semantic diff of two traces")
     diff.add_argument("left")
     diff.add_argument("right")
-    diff.add_argument("--algorithm", default="views",
-                      choices=("views", "optimized", "dp", "hirschberg",
-                               "fast"))
+    _add_engine_options(diff)
     diff.add_argument("--limit", type=int, default=10)
     diff.set_defaults(func=cmd_diff)
 
@@ -118,11 +312,61 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--regression-right")
     analyze.add_argument("--mode", default=MODE_INTERSECT,
                          choices=(MODE_INTERSECT, MODE_SUBTRACT))
-    analyze.add_argument("--algorithm", default="views",
-                         choices=("views", "optimized", "dp",
-                                  "hirschberg", "fast"))
+    _add_engine_options(analyze)
     analyze.add_argument("--limit", type=int, default=10)
     analyze.set_defaults(func=cmd_analyze)
+
+    store = commands.add_parser(
+        "store", help="manage a persistent trace store directory")
+    store_cmds = store.add_subparsers(dest="store_command", required=True)
+
+    store_add = store_cmds.add_parser(
+        "add", help="ingest a trace file into the store")
+    store_add.add_argument("store")
+    store_add.add_argument("trace")
+    store_add.add_argument("--key", help="store key (default: trace name)")
+    store_add.add_argument("--tag", action="append",
+                           help="tag to attach (repeatable)")
+    store_add.set_defaults(func=cmd_store_add)
+
+    store_list = store_cmds.add_parser("list", help="list stored traces")
+    store_list.add_argument("store")
+    store_list.add_argument("--tag", help="only traces carrying this tag")
+    store_list.set_defaults(func=cmd_store_list)
+
+    store_show = store_cmds.add_parser("show", help="show one stored trace")
+    store_show.add_argument("store")
+    store_show.add_argument("key")
+    store_show.add_argument("--tree", action="store_true")
+    store_show.add_argument("--limit", type=int, default=40)
+    store_show.set_defaults(func=cmd_store_show)
+
+    store_tag = store_cmds.add_parser("tag", help="tag / untag a trace")
+    store_tag.add_argument("store")
+    store_tag.add_argument("key")
+    store_tag.add_argument("tags", nargs="+")
+    store_tag.add_argument("--remove", action="store_true",
+                           help="remove the tags instead of adding")
+    store_tag.set_defaults(func=cmd_store_tag)
+
+    store_rm = store_cmds.add_parser("rm", help="delete a stored trace")
+    store_rm.add_argument("store")
+    store_rm.add_argument("key")
+    store_rm.set_defaults(func=cmd_store_rm)
+
+    batch = commands.add_parser(
+        "batch",
+        help="run many stored regression scenarios through the pipeline")
+    batch.add_argument("spec", help="JSON file with a 'scenarios' list; "
+                                    "each entry names suspected/expected/"
+                                    "regression store keys")
+    batch.add_argument("--store", required=True,
+                       help="trace store directory the keys refer to")
+    batch.add_argument("--jobs", type=int, default=None,
+                       help="worker threads (default: one per scenario, "
+                            "capped)")
+    _add_engine_options(batch)
+    batch.set_defaults(func=cmd_batch)
     return parser
 
 

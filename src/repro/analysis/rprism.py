@@ -1,89 +1,92 @@
-"""RPRISM: the fully automated tool facade.
+"""RPRISM: the legacy one-call tool facade (now a shim).
 
-Ties the layers together exactly the way the paper's evaluation drives
-them: trace a correct and a regressing program version (Sec. 5's tracing
-layer), difference the traces with the views-based semantics (Sec. 3.3),
-and run the regression-cause analysis (Sec. 4) over the suspected /
-expected / regression difference sets.
-
-The one-call entry point is :meth:`RPrism.analyze_regression_scenario`::
+The tool surface moved to :mod:`repro.api`: configuration, capture,
+differencing, storage and batch execution live on
+:class:`repro.api.session.Session` and friends.  :class:`RPrism` remains
+as a thin backwards-compatible wrapper so existing drivers keep
+working::
 
     tool = RPrism()
     outcome = tool.analyze_regression_scenario(
         old_version=run_old, new_version=run_new,
         regressing_input=failing_input, correct_input=passing_input)
     print(outcome.render())
+
+is equivalent to::
+
+    outcome = Session().run_scenario(
+        run_old, run_new, regressing_input=failing_input,
+        correct_input=passing_input)
+
+``RPrismResult`` is an alias of :class:`repro.api.session.SessionResult`
+(same fields: ``suspected`` / ``expected`` / ``regression`` /
+``report`` / ``traces`` / ``seconds``).
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.api.session import Session, SessionResult
 from repro.capture.filters import TraceFilter
-from repro.capture.tracer import CaptureResult, trace_call
+from repro.capture.tracer import CaptureResult
 from repro.core.diffs import DiffResult
 from repro.core.lcs import MemoryBudget, OpCounter
-from repro.core.lcs_diff import lcs_diff
-from repro.core.regression import (MODE_INTERSECT, RegressionReport,
-                                   analyze_regression)
+from repro.core.regression import MODE_INTERSECT, RegressionReport
 from repro.core.traces import Trace
-from repro.core.view_diff import ViewDiffConfig, view_diff
+from repro.core.view_diff import ViewDiffConfig
 from repro.core.web import ViewWeb
 
-
-@dataclass(slots=True)
-class RPrismResult:
-    """Everything the tool produced for one regression scenario."""
-
-    suspected: DiffResult
-    expected: DiffResult | None
-    regression: DiffResult | None
-    report: RegressionReport
-    traces: dict[str, Trace] = field(default_factory=dict)
-    seconds: float = 0.0
-
-    def render(self, max_sequences: int = 10) -> str:
-        lines = [self.report.render(limit=max_sequences)]
-        lines.append(
-            f"suspected diff: {self.suspected.num_diffs()} differences in "
-            f"{len(self.suspected.sequences)} sequences "
-            f"({self.suspected.compares()} compares, "
-            f"{self.suspected.seconds:.3f}s)")
-        if self.expected is not None:
-            lines.append(
-                f"expected diff:  {self.expected.num_diffs()} differences "
-                f"in {len(self.expected.sequences)} sequences")
-        if self.regression is not None:
-            lines.append(
-                f"regression diff: {self.regression.num_diffs()} "
-                f"differences in {len(self.regression.sequences)} sequences")
-        return "\n".join(lines)
+#: Backwards-compatible name for the structured scenario outcome.
+RPrismResult = SessionResult
 
 
 class RPrism:
-    """The tool: tracing + views-based differencing + cause analysis."""
+    """Deprecated facade: delegates every operation to a Session."""
 
     def __init__(self, config: ViewDiffConfig | None = None,
                  filter: TraceFilter | None = None,
                  record_fields: bool = True):
-        self.config = config if config is not None else ViewDiffConfig()
-        self.filter = filter
-        self.record_fields = record_fields
+        self.session = Session(config=config, filter=filter,
+                               record_fields=record_fields)
+
+    # The session's configuration stays reachable under the old names.
+
+    @property
+    def config(self) -> ViewDiffConfig:
+        return self.session.config
+
+    @config.setter
+    def config(self, value: ViewDiffConfig) -> None:
+        self.session.config = value
+
+    @property
+    def filter(self) -> TraceFilter | None:
+        return self.session.filter
+
+    @filter.setter
+    def filter(self, value: TraceFilter | None) -> None:
+        self.session.filter = value
+
+    @property
+    def record_fields(self) -> bool:
+        return self.session.record_fields
+
+    @record_fields.setter
+    def record_fields(self, value: bool) -> None:
+        self.session.record_fields = value
 
     # -- tracing ---------------------------------------------------------
 
     def capture(self, func: Callable, *args, name: str = "",
                 **kwargs) -> CaptureResult:
         """Trace one run, keeping the result/error alongside the trace."""
-        return trace_call(func, *args, name=name, filter=self.filter,
-                          record_fields=self.record_fields, **kwargs)
+        return self.session.capture(func, *args, name=name, **kwargs)
 
     def trace_call(self, func: Callable, *args, name: str = "",
                    **kwargs) -> Trace:
         """Trace one run, returning just the trace."""
-        return self.capture(func, *args, name=name, **kwargs).trace
+        return self.session.trace_call(func, *args, name=name, **kwargs)
 
     # -- differencing ------------------------------------------------------
 
@@ -91,16 +94,13 @@ class RPrism:
              algorithm: str = "views",
              counter: OpCounter | None = None,
              budget: MemoryBudget | None = None) -> DiffResult:
-        """Difference two traces (``"views"`` or an LCS baseline name)."""
-        if algorithm == "views":
-            return view_diff(left, right, config=self.config,
-                             counter=counter)
-        return lcs_diff(left, right, algorithm=algorithm, counter=counter,
-                        budget=budget)
+        """Difference two traces (``algorithm`` is an engine name)."""
+        return self.session.diff(left, right, engine=algorithm,
+                                 counter=counter, budget=budget)
 
     def web(self, trace: Trace) -> ViewWeb:
         """Build the view web of a trace (for navigation / Table 2)."""
-        return ViewWeb(trace)
+        return self.session.web(trace)
 
     # -- the Sec. 4 pipeline --------------------------------------------------
 
@@ -108,54 +108,15 @@ class RPrism:
                 expected: DiffResult | None = None,
                 regression: DiffResult | None = None,
                 mode: str = MODE_INTERSECT) -> RegressionReport:
-        return analyze_regression(suspected, expected=expected,
-                                  regression=regression, mode=mode)
+        return self.session.analyze(suspected, expected=expected,
+                                    regression=regression, mode=mode)
 
     def analyze_regression_scenario(
             self, old_version: Callable, new_version: Callable,
             regressing_input, correct_input=None,
             mode: str = MODE_INTERSECT,
             algorithm: str = "views") -> RPrismResult:
-        """Run the full Sec. 4 recipe.
-
-        Traces collected (Sec. 4.2): old and new versions on the
-        regressing input (suspected set A); old and new on the correct
-        input (expected set B); and, on the new version, correct vs
-        regressing input (regression set C).  ``correct_input=None``
-        skips B and C, modelling the unattended-build configuration of
-        Sec. 5.1.
-
-        Version callables receive the input as their single argument.
-        """
-        started = time.perf_counter()
-        traces: dict[str, Trace] = {}
-        old_bad = self.capture(old_version, regressing_input,
-                               name="old/regressing").trace
-        new_bad = self.capture(new_version, regressing_input,
-                               name="new/regressing").trace
-        traces["old/regressing"] = old_bad
-        traces["new/regressing"] = new_bad
-        suspected = self.diff(old_bad, new_bad, algorithm=algorithm)
-
-        expected = None
-        regression = None
-        if correct_input is not None:
-            old_ok = self.capture(old_version, correct_input,
-                                  name="old/correct").trace
-            new_ok = self.capture(new_version, correct_input,
-                                  name="new/correct").trace
-            traces["old/correct"] = old_ok
-            traces["new/correct"] = new_ok
-            expected = self.diff(old_ok, new_ok, algorithm=algorithm)
-            regression = self.diff(new_ok, new_bad, algorithm=algorithm)
-
-        report = self.analyze(suspected, expected=expected,
-                              regression=regression, mode=mode)
-        return RPrismResult(
-            suspected=suspected,
-            expected=expected,
-            regression=regression,
-            report=report,
-            traces=traces,
-            seconds=time.perf_counter() - started,
-        )
+        """Run the full Sec. 4 recipe (see ``Session.run_scenario``)."""
+        return self.session.run_scenario(
+            old_version, new_version, regressing_input, correct_input,
+            engine=algorithm, mode=mode)

@@ -136,27 +136,51 @@ def entry_from_json(data: dict) -> TraceEntry:
                       event=_event_from_json(data["e"]))
 
 
-def save_trace(trace: Trace, path: str | Path) -> None:
-    """Write a trace as JSON lines (header line + one line per entry)."""
+def save_trace(trace: Trace, path: str | Path,
+               extra_metadata: dict | None = None) -> None:
+    """Write a trace as JSON lines (header line + one line per entry).
+
+    ``extra_metadata`` is merged over the trace's own metadata in the
+    header (the :class:`repro.api.store.TraceStore` records provenance
+    this way without mutating the in-memory trace).
+    """
     path = Path(path)
+    metadata = dict(trace.metadata)
+    if extra_metadata:
+        metadata.update(extra_metadata)
     with path.open("w", encoding="utf-8") as handle:
         header = {"format": FORMAT_VERSION, "name": trace.name,
-                  "entries": len(trace), "metadata": trace.metadata}
+                  "entries": len(trace), "metadata": metadata}
         handle.write(json.dumps(header) + "\n")
         for entry in trace.entries:
             handle.write(json.dumps(entry_to_json(entry)) + "\n")
+
+
+def read_header(path: str | Path) -> dict:
+    """Read just the header line of a trace file (cheap listing)."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        return _parse_header(handle.readline(), path)
+
+
+def _parse_header(header_line: str, path: Path) -> dict:
+    if not header_line:
+        raise ValueError(f"empty trace file: {path}")
+    try:
+        header = json.loads(header_line)
+    except json.JSONDecodeError as error:
+        raise ValueError(f"not a trace file: {path} ({error})") from None
+    if not isinstance(header, dict) \
+            or header.get("format") != FORMAT_VERSION:
+        raise ValueError(f"unsupported trace format: {header!r}")
+    return header
 
 
 def load_trace(path: str | Path) -> Trace:
     """Read a trace written by :func:`save_trace`."""
     path = Path(path)
     with path.open("r", encoding="utf-8") as handle:
-        header_line = handle.readline()
-        if not header_line:
-            raise ValueError(f"empty trace file: {path}")
-        header = json.loads(header_line)
-        if header.get("format") != FORMAT_VERSION:
-            raise ValueError(f"unsupported trace format: {header!r}")
+        header = _parse_header(handle.readline(), path)
         entries = [entry_from_json(json.loads(line))
                    for line in handle if line.strip()]
     return Trace(entries, name=header.get("name", ""),

@@ -1,0 +1,36 @@
+"""``repro.api`` — the composable public surface of the library.
+
+Four pieces, designed to grow independently:
+
+* :class:`Session` — fluent configuration + explicit lifecycle
+  (``capture`` / ``ingest`` / ``diff`` / ``analyze`` /
+  ``run_scenario``), producing structured :class:`SessionResult`\\ s.
+* the engine registry — :func:`register_engine` / :func:`get_engine` /
+  :func:`available_engines` over the :class:`DiffEngine` protocol; the
+  views-based semantics and every LCS baseline ship pre-registered.
+* :class:`TraceStore` — persistent JSONL trace storage (capture now,
+  diff later: the paper's offline workflow).
+* :class:`ScenarioPipeline` — batch execution of many regression
+  scenarios over a worker pool, with per-job op/timing aggregation.
+
+The legacy ``repro.RPrism`` facade remains as a thin shim over
+:class:`Session`.
+"""
+
+from repro.api.engines import (DiffEngine, LcsEngine, ViewsEngine,
+                               available_engines, get_engine,
+                               register_engine, unregister_engine)
+from repro.api.pipeline import (JobOutcome, PipelineResult, ScenarioJob,
+                                ScenarioPipeline, StoredScenarioJob,
+                                run_pipeline)
+from repro.api.session import (CAPTURE_LOCK, SCENARIO_ROLES, Session,
+                               SessionResult)
+from repro.api.store import TraceRecord, TraceStore
+
+__all__ = [
+    "CAPTURE_LOCK", "DiffEngine", "JobOutcome", "LcsEngine",
+    "PipelineResult", "SCENARIO_ROLES", "ScenarioJob", "ScenarioPipeline",
+    "Session", "SessionResult", "StoredScenarioJob", "TraceRecord",
+    "TraceStore", "ViewsEngine", "available_engines", "get_engine",
+    "register_engine", "run_pipeline", "unregister_engine",
+]

@@ -1,0 +1,145 @@
+"""Pluggable trace-differencing engines.
+
+The seed hard-wired ``algorithm="views"`` string branching into both
+:mod:`repro.analysis.rprism` and :mod:`repro.analysis.cli`.  This module
+replaces that with a small registry: a :class:`DiffEngine` is anything
+with a ``name`` and a ``diff(left, right, ...)`` method producing a
+:class:`repro.core.diffs.DiffResult`, and the built-in semantics — the
+views-based differencing of Sec. 3.3 and every LCS baseline of Sec. 3.2 —
+are pre-registered under stable names.
+
+Drivers (``Session``, the CLI, the workload harness) resolve engines by
+name, so swapping the analysis behind a stable driver API is one
+``register_engine`` call::
+
+    from repro.api import DiffEngine, register_engine
+
+    class MyEngine:
+        name = "mine"
+        def diff(self, left, right, *, config=None, counter=None,
+                 budget=None):
+            ...
+
+    register_engine(MyEngine())
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Protocol, runtime_checkable
+
+from repro.core.diffs import DiffResult
+from repro.core.lcs import MemoryBudget, OpCounter
+from repro.core.lcs_diff import ALGORITHMS, lcs_diff
+from repro.core.traces import Trace
+from repro.core.view_diff import ViewDiffConfig, view_diff
+
+
+@runtime_checkable
+class DiffEngine(Protocol):
+    """What a differencing backend must provide.
+
+    ``config`` is a :class:`ViewDiffConfig` (engines that do not use it
+    must accept and ignore it); ``counter`` accumulates entry-compare
+    operations; ``budget`` caps DP memory for engines that allocate
+    quadratic tables.
+    """
+
+    name: str
+
+    def diff(self, left: Trace, right: Trace, *,
+             config: ViewDiffConfig | None = None,
+             counter: OpCounter | None = None,
+             budget: MemoryBudget | None = None) -> DiffResult:
+        ...
+
+
+class ViewsEngine:
+    """The paper's contribution: linear-time views-based differencing."""
+
+    name = "views"
+
+    def diff(self, left: Trace, right: Trace, *,
+             config: ViewDiffConfig | None = None,
+             counter: OpCounter | None = None,
+             budget: MemoryBudget | None = None) -> DiffResult:
+        return view_diff(left, right, config=config, counter=counter)
+
+
+class LcsEngine:
+    """One LCS baseline variant (Sec. 3.2) under its algorithm name."""
+
+    def __init__(self, algorithm: str):
+        if algorithm not in ALGORITHMS:
+            raise ValueError(f"unknown LCS algorithm: {algorithm!r}")
+        self.name = algorithm
+        self.algorithm = algorithm
+
+    def diff(self, left: Trace, right: Trace, *,
+             config: ViewDiffConfig | None = None,
+             counter: OpCounter | None = None,
+             budget: MemoryBudget | None = None) -> DiffResult:
+        return lcs_diff(left, right, algorithm=self.algorithm,
+                        counter=counter, budget=budget)
+
+
+_REGISTRY: dict[str, DiffEngine] = {}
+_REGISTRY_LOCK = threading.Lock()
+
+
+def register_engine(engine: DiffEngine, *, replace: bool = False) -> None:
+    """Make ``engine`` resolvable by ``engine.name``.
+
+    Registering over an existing name requires ``replace=True`` so tests
+    and plugins cannot silently shadow the built-in semantics.
+    """
+    name = getattr(engine, "name", None)
+    if not name or not isinstance(name, str):
+        raise ValueError(f"engine has no usable name: {engine!r}")
+    if not callable(getattr(engine, "diff", None)):
+        raise ValueError(f"engine {name!r} has no diff() method")
+    with _REGISTRY_LOCK:
+        if name in _REGISTRY and not replace:
+            raise ValueError(f"engine {name!r} already registered "
+                             f"(pass replace=True to override)")
+        _REGISTRY[name] = engine
+
+
+def unregister_engine(name: str) -> None:
+    """Remove a registered engine (built-ins may be re-registered)."""
+    with _REGISTRY_LOCK:
+        _REGISTRY.pop(name, None)
+
+
+def get_engine(engine: str | DiffEngine) -> DiffEngine:
+    """Resolve an engine by name; engine instances pass through."""
+    if not isinstance(engine, str):
+        name = getattr(engine, "name", None)
+        if (name and isinstance(name, str)
+                and callable(getattr(engine, "diff", None))):
+            return engine
+        raise TypeError(f"not a diff engine: {engine!r}")
+    with _REGISTRY_LOCK:
+        found = _REGISTRY.get(engine)
+    if found is None:
+        raise KeyError(f"unknown diff engine {engine!r}; available: "
+                       f"{', '.join(available_engines())}")
+    return found
+
+
+def available_engines() -> tuple[str, ...]:
+    """Registered engine names, ``views`` first, then alphabetical."""
+    with _REGISTRY_LOCK:
+        names = set(_REGISTRY)
+    ordered = [n for n in ("views",) if n in names]
+    ordered.extend(sorted(names - {"views"}))
+    return tuple(ordered)
+
+
+def _register_builtins() -> None:
+    register_engine(ViewsEngine(), replace=True)
+    for algorithm in ALGORITHMS:
+        register_engine(LcsEngine(algorithm), replace=True)
+
+
+_register_builtins()

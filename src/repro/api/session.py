@@ -1,0 +1,366 @@
+"""The session layer: configure once, then capture / ingest / diff /
+analyze through one object.
+
+:class:`Session` replaces the monolithic ``RPrism`` facade with a
+composable driver: configuration is applied fluently
+(``Session().with_config(window=8).with_filter(include_modules=...)``),
+the differencing backend is resolved through the engine registry
+(:mod:`repro.api.engines`), and traces can be persisted to / resolved
+from a :class:`repro.api.store.TraceStore` so capture and analysis may
+happen in different processes — the paper's offline workflow.
+
+The full Sec. 4 recipe is one call::
+
+    from repro.api import Session
+
+    result = (Session()
+              .with_filter(include_modules=("myapp",))
+              .run_scenario(old_version, new_version,
+                            regressing_input=bad, correct_input=ok))
+    print(result.render())
+
+Capture is serialised process-wide: the ``sys.settrace`` weaver admits a
+single active :class:`~repro.capture.tracer.Tracer`, so concurrent
+sessions (e.g. the parallel pipeline) interleave their capture phases
+under :data:`CAPTURE_LOCK` while overlapping the diff/analysis work.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+from repro.api.engines import DiffEngine, get_engine
+from repro.api.store import TraceStore
+from repro.capture.filters import TraceFilter
+from repro.capture.tracer import CaptureResult, trace_call
+from repro.core.diffs import DiffResult
+from repro.core.lcs import MemoryBudget, OpCounter
+from repro.core.regression import (MODE_INTERSECT, RegressionReport,
+                                   analyze_regression)
+from repro.core.traces import Trace
+from repro.core.view_diff import ViewDiffConfig
+from repro.core.web import ViewWeb
+
+#: Process-wide capture serialisation (re-entrant so a nested capture
+#: attempt still reaches the Tracer's own "already active" diagnostic).
+CAPTURE_LOCK = threading.RLock()
+
+#: The four trace roles of the Sec. 4 recipe, in capture order.
+SCENARIO_ROLES = ("old/regressing", "new/regressing",
+                  "old/correct", "new/correct")
+
+
+@dataclass(slots=True)
+class SessionResult:
+    """Structured outcome of one regression scenario.
+
+    The suspected set A always exists; expected (B) and regression (C)
+    diffs are present only when a correct input was supplied (otherwise
+    the run models the unattended-build configuration of Sec. 5.1).
+    """
+
+    suspected: DiffResult
+    expected: DiffResult | None
+    regression: DiffResult | None
+    report: RegressionReport
+    traces: dict[str, Trace] = field(default_factory=dict)
+    seconds: float = 0.0
+    engine: str = "views"
+    scenario: str = ""
+    store_keys: tuple[str, ...] = ()
+
+    def diffs(self) -> list[DiffResult]:
+        """The diffs actually computed (A, and B/C when present)."""
+        return [d for d in (self.suspected, self.expected, self.regression)
+                if d is not None]
+
+    def compares(self) -> int:
+        """Total entry-compare operations across the scenario's diffs."""
+        return sum(d.counter.total for d in self.diffs()
+                   if d.counter is not None)
+
+    def render(self, max_sequences: int = 10) -> str:
+        lines = [self.report.render(limit=max_sequences)]
+        lines.append(
+            f"suspected diff: {self.suspected.num_diffs()} differences in "
+            f"{len(self.suspected.sequences)} sequences "
+            f"({self.suspected.compares()} compares, "
+            f"{self.suspected.seconds:.3f}s)")
+        if self.expected is not None:
+            lines.append(
+                f"expected diff:  {self.expected.num_diffs()} differences "
+                f"in {len(self.expected.sequences)} sequences")
+        if self.regression is not None:
+            lines.append(
+                f"regression diff: {self.regression.num_diffs()} "
+                f"differences in {len(self.regression.sequences)} sequences")
+        return "\n".join(lines)
+
+
+class Session:
+    """One configured analysis context (the public API entry object)."""
+
+    def __init__(self, *, config: ViewDiffConfig | None = None,
+                 filter: TraceFilter | None = None,
+                 store: TraceStore | str | Path | None = None,
+                 engine: str | DiffEngine = "views",
+                 mode: str = MODE_INTERSECT,
+                 record_fields: bool = True):
+        self.config = config if config is not None else ViewDiffConfig()
+        self.filter = filter
+        self.store = self._as_store(store)
+        self.engine = get_engine(engine)
+        self.mode = mode
+        self.record_fields = record_fields
+
+    @staticmethod
+    def _as_store(store) -> TraceStore | None:
+        if store is None or isinstance(store, TraceStore):
+            return store
+        return TraceStore(store)
+
+    # -- fluent configuration ----------------------------------------------
+
+    def with_config(self, config: ViewDiffConfig | None = None,
+                    **knobs) -> "Session":
+        """Set the view-diff configuration, or adjust individual knobs
+        of the current one (``with_config(window=8, relaxed=False)``)."""
+        if config is not None and knobs:
+            raise ValueError("pass a config object or knobs, not both")
+        if config is not None:
+            self.config = config
+        elif knobs:
+            self.config = dataclasses.replace(self.config, **knobs)
+        return self
+
+    def with_filter(self, filter: TraceFilter | None = None,
+                    **pointcuts) -> "Session":
+        """Set the pointcut filter (or build one from keyword lists)."""
+        if filter is not None and pointcuts:
+            raise ValueError("pass a filter object or pointcuts, not both")
+        self.filter = filter if filter is not None else \
+            TraceFilter(**pointcuts)
+        return self
+
+    def with_store(self, store: TraceStore | str | Path) -> "Session":
+        """Attach a trace store (a path creates/opens a directory)."""
+        self.store = self._as_store(store)
+        return self
+
+    def with_engine(self, engine: str | DiffEngine) -> "Session":
+        """Select the differencing backend by registry name."""
+        self.engine = get_engine(engine)
+        return self
+
+    def with_mode(self, mode: str) -> "Session":
+        """Select the Sec. 4 set-algebra mode (intersect / subtract)."""
+        self.mode = mode
+        return self
+
+    def derive(self, *, engine: str | DiffEngine | None = None,
+               config: ViewDiffConfig | None = None,
+               filter: TraceFilter | None = None,
+               mode: str | None = None) -> "Session":
+        """A sibling session sharing this one's store, with overrides
+        (the pipeline gives each job its own derived session)."""
+        return Session(
+            config=config if config is not None else self.config,
+            filter=filter if filter is not None else self.filter,
+            store=self.store,
+            engine=engine if engine is not None else self.engine,
+            mode=mode if mode is not None else self.mode,
+            record_fields=self.record_fields,
+        )
+
+    # -- lifecycle: capture / ingest ---------------------------------------
+
+    def capture(self, func: Callable, *args, name: str = "",
+                store_as: str | None = None,
+                tags: tuple[str, ...] = (), **kwargs) -> CaptureResult:
+        """Trace one run under this session's filter.
+
+        ``store_as`` persists the trace to the session store immediately
+        (requires :meth:`with_store`).
+        """
+        with CAPTURE_LOCK:
+            captured = trace_call(func, *args, name=name,
+                                  filter=self.filter,
+                                  record_fields=self.record_fields,
+                                  **kwargs)
+        if store_as is not None:
+            self._store_required().save(captured.trace, key=store_as,
+                                        tags=tags)
+        return captured
+
+    def trace_call(self, func: Callable, *args, name: str = "",
+                   **kwargs) -> Trace:
+        """Trace one run, returning just the trace."""
+        return self.capture(func, *args, name=name, **kwargs).trace
+
+    def ingest(self, source: Trace | str | Path,
+               store_as: str | None = None,
+               tags: tuple[str, ...] = ()) -> Trace:
+        """Bring an existing trace (object or serialised file) into the
+        session, optionally persisting it to the store."""
+        trace = self.resolve_trace(source)
+        if store_as is not None:
+            self._store_required().save(trace, key=store_as, tags=tags)
+        return trace
+
+    def resolve_trace(self, ref: Trace | str | Path) -> Trace:
+        """Trace objects pass through; strings/paths resolve first as
+        store keys, then as trace file paths."""
+        if isinstance(ref, Trace):
+            return ref
+        if self.store is not None and isinstance(ref, str) \
+                and ref in self.store:
+            return self.store.load(ref)
+        path = Path(ref)
+        if path.exists():
+            from repro.analysis.serialize import load_trace
+            return load_trace(path)
+        if self.store is not None:
+            raise KeyError(f"{ref!r} is neither a store key of "
+                           f"{self.store.root} nor a trace file")
+        raise FileNotFoundError(f"no trace file {ref!r} "
+                                f"(and the session has no store)")
+
+    def _store_required(self) -> TraceStore:
+        if self.store is None:
+            raise RuntimeError("this session has no trace store; call "
+                               "with_store(...) first")
+        return self.store
+
+    # -- lifecycle: diff / analyze -----------------------------------------
+
+    def diff(self, left: Trace | str | Path, right: Trace | str | Path,
+             *, engine: str | DiffEngine | None = None,
+             counter: OpCounter | None = None,
+             budget: MemoryBudget | None = None) -> DiffResult:
+        """Difference two traces (objects, store keys, or file paths)."""
+        backend = self.engine if engine is None else get_engine(engine)
+        return backend.diff(self.resolve_trace(left),
+                            self.resolve_trace(right),
+                            config=self.config, counter=counter,
+                            budget=budget)
+
+    def web(self, trace: Trace | str | Path) -> ViewWeb:
+        """Build the view web of a trace (for navigation / Table 2)."""
+        return ViewWeb(self.resolve_trace(trace))
+
+    def analyze(self, suspected: DiffResult,
+                expected: DiffResult | None = None,
+                regression: DiffResult | None = None,
+                mode: str | None = None) -> RegressionReport:
+        """The Sec. 4 set algebra over already-computed diffs."""
+        return analyze_regression(
+            suspected, expected=expected, regression=regression,
+            mode=self.mode if mode is None else mode)
+
+    # -- the Sec. 4 recipe ---------------------------------------------------
+
+    def run_scenario(self, old_version: Callable, new_version: Callable,
+                     regressing_input, correct_input=None, *,
+                     name: str = "",
+                     engine: str | DiffEngine | None = None,
+                     mode: str | None = None,
+                     store_prefix: str | None = None) -> SessionResult:
+        """Capture the four-trace recipe and analyse it.
+
+        Traces collected (Sec. 4.2): old and new versions on the
+        regressing input (suspected set A); old and new on the correct
+        input (expected set B); and, on the new version, correct vs
+        regressing input (regression set C).  ``correct_input=None``
+        skips B and C, modelling the unattended-build configuration of
+        Sec. 5.1.
+
+        ``store_prefix`` persists every captured trace to the session
+        store under ``<prefix>/<role>`` keys, so the scenario can be
+        re-analysed offline (``run_stored_scenario``).
+
+        Version callables receive the input as their single argument.
+        """
+        started = time.perf_counter()
+        traces: dict[str, Trace] = {}
+        store_keys: list[str] = []
+
+        def grab(runner: Callable, payload, role: str) -> Trace:
+            key = None
+            if store_prefix is not None:
+                key = f"{store_prefix}/{role}"
+                store_keys.append(key)
+            trace = self.capture(runner, payload, name=role,
+                                 store_as=key).trace
+            traces[role] = trace
+            return trace
+
+        old_bad = grab(old_version, regressing_input, "old/regressing")
+        new_bad = grab(new_version, regressing_input, "new/regressing")
+        suspected = self.diff(old_bad, new_bad, engine=engine)
+
+        expected = None
+        regression = None
+        if correct_input is not None:
+            old_ok = grab(old_version, correct_input, "old/correct")
+            new_ok = grab(new_version, correct_input, "new/correct")
+            expected = self.diff(old_ok, new_ok, engine=engine)
+            regression = self.diff(new_ok, new_bad, engine=engine)
+
+        report = self.analyze(suspected, expected=expected,
+                              regression=regression, mode=mode)
+        backend = self.engine if engine is None else get_engine(engine)
+        return SessionResult(
+            suspected=suspected,
+            expected=expected,
+            regression=regression,
+            report=report,
+            traces=traces,
+            seconds=time.perf_counter() - started,
+            engine=backend.name,
+            scenario=name,
+            store_keys=tuple(store_keys),
+        )
+
+    def run_stored_scenario(self, suspected: tuple[str, str],
+                            expected: tuple[str, str] | None = None,
+                            regression: tuple[str, str] | None = None, *,
+                            name: str = "",
+                            engine: str | DiffEngine | None = None,
+                            mode: str | None = None) -> SessionResult:
+        """The offline half of the recipe: diff + analyse trace pairs
+        already sitting in the store (or on disk), no capture."""
+        started = time.perf_counter()
+        traces: dict[str, Trace] = {}
+
+        def pair(refs: tuple[str, str],
+                 roles: tuple[str, str]) -> DiffResult:
+            left, right = (self.resolve_trace(r) for r in refs)
+            traces.setdefault(roles[0], left)
+            traces.setdefault(roles[1], right)
+            return self.diff(left, right, engine=engine)
+
+        suspected_d = pair(tuple(suspected),
+                           ("old/regressing", "new/regressing"))
+        expected_d = pair(tuple(expected), ("old/correct", "new/correct")) \
+            if expected else None
+        regression_d = pair(tuple(regression),
+                            ("new/correct", "new/regressing")) \
+            if regression else None
+        report = self.analyze(suspected_d, expected=expected_d,
+                              regression=regression_d, mode=mode)
+        backend = self.engine if engine is None else get_engine(engine)
+        return SessionResult(
+            suspected=suspected_d,
+            expected=expected_d,
+            regression=regression_d,
+            report=report,
+            traces=traces,
+            seconds=time.perf_counter() - started,
+            engine=backend.name,
+            scenario=name,
+        )

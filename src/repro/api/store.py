@@ -1,0 +1,274 @@
+"""Persistent trace store: capture now, diff later.
+
+RPRISM's workflow is offline — traces are captured (and segmented) to
+disk while the program runs and analysed afterwards.  A
+:class:`TraceStore` is a directory of JSONL trace files (the
+:mod:`repro.analysis.serialize` format) addressed by key, with a small
+sidecar index for tags::
+
+    store = TraceStore("traces/")
+    store.save(trace, key="old/regressing", tags=("myfaces", "bad"))
+    later = store.load("old/regressing")
+    for record in store.records(tag="bad"):
+        print(record.key, record.entries)
+
+Keys may contain ``/`` (sessions namespace the four-trace recipe as
+``<scenario>/old/regressing`` etc.); they are sanitised to flat file
+names on disk.  Trace name and entry counts are always read from the
+file headers, so files dropped into the directory by other tools are
+picked up; only tags live in the index.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.serialize import load_trace, read_header, save_trace
+from repro.core.traces import Trace
+
+INDEX_NAME = "store.json"
+INDEX_VERSION = 1
+_SUFFIX = ".jsonl"
+
+#: Characters allowed verbatim in on-disk file stems.
+_SAFE = set("abcdefghijklmnopqrstuvwxyz"
+            "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789._-")
+
+
+def _stem_for(key: str) -> str:
+    """Key -> file stem (``/`` becomes ``__``, exotic chars ``-``)."""
+    out = []
+    for ch in key:
+        if ch == "/":
+            out.append("__")
+        elif ch in _SAFE:
+            out.append(ch)
+        else:
+            out.append("-")
+    return "".join(out)
+
+
+@dataclass(frozen=True, slots=True)
+class TraceRecord:
+    """One stored trace as the store lists it (header + tags)."""
+
+    key: str
+    path: Path
+    name: str
+    entries: int
+    tags: tuple[str, ...] = ()
+    metadata: dict = field(default_factory=dict)
+
+    def brief(self) -> str:
+        tags = f" [{', '.join(self.tags)}]" if self.tags else ""
+        return f"{self.key:32} {self.entries:>7} entries{tags}"
+
+
+class TraceStore:
+    """A directory of serialised traces addressed by key."""
+
+    def __init__(self, root: str | Path, create: bool = True):
+        self.root = Path(root)
+        if create:
+            self.root.mkdir(parents=True, exist_ok=True)
+        elif not self.root.is_dir():
+            raise FileNotFoundError(f"no trace store at {self.root}")
+        self._lock = threading.Lock()
+
+    # -- index (tags + key<->file mapping) ---------------------------------
+
+    def _index_path(self) -> Path:
+        return self.root / INDEX_NAME
+
+    def _read_index(self) -> dict:
+        path = self._index_path()
+        if not path.exists():
+            return {"version": INDEX_VERSION, "traces": {}}
+        index = json.loads(path.read_text(encoding="utf-8"))
+        if index.get("version") != INDEX_VERSION:
+            raise ValueError(f"unsupported store index: {path}")
+        return index
+
+    def _write_index(self, index: dict) -> None:
+        tmp = self._index_path().with_suffix(".tmp")
+        tmp.write_text(json.dumps(index, indent=1, sort_keys=True) + "\n",
+                       encoding="utf-8")
+        tmp.replace(self._index_path())
+
+    def _entry_for(self, index: dict, key: str) -> dict:
+        entry = index["traces"].get(key)
+        if entry is not None:
+            return entry
+        # Sanitisation is lossy ("a/b" and "a__b" share a stem), so a
+        # fresh key colliding with another key's file — or with a loose
+        # file that belongs to a different key — gets a hash suffix.
+        file_name = _stem_for(key) + _SUFFIX
+        taken = {e["file"] for e in index["traces"].values()}
+        if file_name not in taken:
+            on_disk = self.root / file_name
+            if on_disk.exists() and self._key_of(on_disk) != key:
+                taken.add(file_name)
+        if file_name in taken:
+            digest = hashlib.sha1(key.encode("utf-8")).hexdigest()[:8]
+            file_name = f"{_stem_for(key)}-{digest}{_SUFFIX}"
+        entry = {"file": file_name, "tags": []}
+        index["traces"][key] = entry
+        return entry
+
+    def _key_of(self, path: Path) -> str | None:
+        """The store key a loose trace file carries (None: unreadable)."""
+        try:
+            header = read_header(path)
+        except (ValueError, OSError):
+            return None
+        return (header.get("metadata", {}).get("store_key")
+                or path.name[:-len(_SUFFIX)])
+
+    def _path_for(self, key: str, index: dict | None = None) -> Path:
+        if index is None:
+            index = self._read_index()
+        entry = index["traces"].get(key)
+        if entry is not None:
+            return self.root / entry["file"]
+        # Unindexed key (loose files, e.g. a store copied without its
+        # store.json): the stem is only a guess — a colliding key may
+        # own that file name, so trust the header's store_key and fall
+        # back to scanning for the file that actually carries the key.
+        guess = self.root / (_stem_for(key) + _SUFFIX)
+        if guess.exists() and self._key_of(guess) == key:
+            return guess
+        for path in sorted(self.root.glob("*" + _SUFFIX)):
+            if self._key_of(path) == key:
+                return path
+        return guess
+
+    # -- write side ---------------------------------------------------------
+
+    def save(self, trace: Trace, key: str | None = None,
+             tags: tuple[str, ...] = ()) -> TraceRecord:
+        """Serialise ``trace`` under ``key`` (default: its name)."""
+        if key is None:
+            key = trace.name
+        if not key:
+            raise ValueError("a store key is required for unnamed traces")
+        with self._lock:
+            index = self._read_index()
+            entry = self._entry_for(index, key)
+            entry["tags"] = sorted(set(entry["tags"]) | set(tags))
+            path = self.root / entry["file"]
+            save_trace(trace, path, extra_metadata={"store_key": key})
+            self._write_index(index)
+        return self.get(key)
+
+    def ingest_file(self, source: str | Path, key: str | None = None,
+                    tags: tuple[str, ...] = ()) -> TraceRecord:
+        """Copy an existing trace file into the store (re-serialised,
+        so format problems surface at ingest time, not diff time)."""
+        source = Path(source)
+        trace = load_trace(source)
+        return self.save(trace, key=key or trace.name or source.stem,
+                         tags=tags)
+
+    def tag(self, key: str, *tags: str) -> TraceRecord:
+        with self._lock:
+            index = self._read_index()
+            if key not in index["traces"]:
+                self._require(key)
+                self._entry_for(index, key)
+            entry = index["traces"][key]
+            entry["tags"] = sorted(set(entry["tags"]) | set(tags))
+            self._write_index(index)
+        return self.get(key)
+
+    def untag(self, key: str, *tags: str) -> TraceRecord:
+        with self._lock:
+            index = self._read_index()
+            entry = index["traces"].get(key)
+            if entry is not None:
+                entry["tags"] = sorted(set(entry["tags"]) - set(tags))
+                self._write_index(index)
+        return self.get(key)
+
+    def delete(self, key: str) -> None:
+        with self._lock:
+            index = self._read_index()
+            entry = index["traces"].pop(key, None)
+            path = (self.root / entry["file"] if entry is not None
+                    else self.root / (_stem_for(key) + _SUFFIX))
+            if path.exists():
+                path.unlink()
+            self._write_index(index)
+
+    # -- read side ----------------------------------------------------------
+
+    def _require(self, key: str, index: dict | None = None) -> Path:
+        path = self._path_for(key, index)
+        if not path.exists():
+            raise KeyError(f"no trace {key!r} in store {self.root}")
+        return path
+
+    def load(self, key: str) -> Trace:
+        """The full trace stored under ``key``."""
+        return load_trace(self._require(key))
+
+    def _record_for(self, key: str, index: dict) -> TraceRecord:
+        path = self._require(key, index)
+        header = read_header(path)
+        entry = index["traces"].get(key) or {}
+        return TraceRecord(
+            key=key,
+            path=path,
+            name=header.get("name", ""),
+            entries=header.get("entries", -1),
+            tags=tuple(entry.get("tags", ())),
+            metadata=header.get("metadata") or {},
+        )
+
+    def get(self, key: str) -> TraceRecord:
+        """Header + tags for one stored trace (cheap: no entry parse)."""
+        return self._record_for(key, self._read_index())
+
+    def _keys(self, index: dict) -> list[str]:
+        known = dict(index["traces"])
+        files_seen = {entry["file"] for entry in known.values()}
+        keys = set(known)
+        for path in sorted(self.root.glob("*" + _SUFFIX)):
+            if path.name in files_seen:
+                continue
+            # Loose file dropped in by another tool; unreadable ones
+            # (foreign formats, truncated writes) are skipped so one
+            # junk file cannot take down the whole listing.
+            key = self._key_of(path)
+            if key is not None:
+                keys.add(key)
+        return sorted(keys)
+
+    def keys(self) -> list[str]:
+        """Every stored key: indexed ones plus loose ``.jsonl`` files."""
+        return self._keys(self._read_index())
+
+    def records(self, tag: str | None = None) -> list[TraceRecord]:
+        """List stored traces, optionally only those carrying ``tag``."""
+        index = self._read_index()
+        records = []
+        for key in self._keys(index):
+            try:
+                records.append(self._record_for(key, index))
+            except (KeyError, ValueError, OSError):
+                continue  # deleted or corrupted underneath the listing
+        if tag is not None:
+            records = [r for r in records if tag in r.tags]
+        return records
+
+    def __contains__(self, key: str) -> bool:
+        return self._path_for(key).exists()
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    def __repr__(self) -> str:
+        return f"TraceStore({str(self.root)!r}, {len(self)} trace(s))"

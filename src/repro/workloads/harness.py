@@ -15,13 +15,14 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable
 
+from repro.api.engines import get_engine
+from repro.api.session import CAPTURE_LOCK
 from repro.capture import TraceFilter, trace_call
 from repro.core.lcs import LcsMemoryError, MemoryBudget, OpCounter
-from repro.core.lcs_diff import lcs_diff
 from repro.core.regression import (MODE_INTERSECT, analyze_regression,
                                    evaluate_against_truth)
 from repro.core.traces import Trace
-from repro.core.view_diff import ViewDiffConfig, view_diff
+from repro.core.view_diff import ViewDiffConfig
 from repro.core.web import ViewWeb
 
 from repro.workloads.invariants import scenario as daikon
@@ -90,8 +91,11 @@ def capture_scenario_trace(spec: ScenarioSpec, runner: Callable, payload,
     """Trace one version/input combination under the scenario's
     pointcut filter."""
     trace_filter = TraceFilter(include_modules=spec.filter_modules)
-    return trace_call(runner, payload, filter=trace_filter,
-                      name=name).trace
+    # One sys.settrace weaver per process: serialise captures so the
+    # parallel batch runner can overlap everything else.
+    with CAPTURE_LOCK:
+        return trace_call(runner, payload, filter=trace_filter,
+                          name=name).trace
 
 
 def _analyze(spec: ScenarioSpec, suspected, expected, regression,
@@ -110,8 +114,14 @@ def _analyze(spec: ScenarioSpec, suspected, expected, regression,
 
 def run_scenario(spec: ScenarioSpec,
                  lcs_budget_cells: int = 100_000_000,
-                 config: ViewDiffConfig | None = None) -> ScenarioResult:
-    """Everything the paper measures for one case study."""
+                 config: ViewDiffConfig | None = None,
+                 lcs_engine: str = "optimized") -> ScenarioResult:
+    """Everything the paper measures for one case study.
+
+    Both semantics are resolved through the :mod:`repro.api.engines`
+    registry: the views side always runs the ``views`` engine, the
+    baseline side runs ``lcs_engine`` (any registered LCS variant).
+    """
     started = time.perf_counter()
     old_bad = capture_scenario_trace(
         spec, spec.run_old, spec.regressing_input,
@@ -135,14 +145,15 @@ def run_scenario(spec: ScenarioSpec,
     )
 
     # -- views-based differencing + analysis --------------------------------
+    views_engine = get_engine("views")
     views_counter = OpCounter()
     views_started = time.perf_counter()
-    suspected_v = view_diff(old_bad, new_bad, config=config,
-                            counter=views_counter)
-    expected_v = view_diff(old_ok, new_ok, config=config,
-                           counter=views_counter)
-    regression_v = view_diff(new_ok, new_bad, config=config,
-                             counter=views_counter)
+    suspected_v = views_engine.diff(old_bad, new_bad, config=config,
+                                    counter=views_counter)
+    expected_v = views_engine.diff(old_ok, new_ok, config=config,
+                                   counter=views_counter)
+    regression_v = views_engine.diff(new_ok, new_bad, config=config,
+                                     counter=views_counter)
     result.set_sizes = _analyze(spec, suspected_v, expected_v,
                                 regression_v, result.views)
     result.views.analysis_seconds = time.perf_counter() - views_started
@@ -154,16 +165,17 @@ def run_scenario(spec: ScenarioSpec,
         len(v.indices) for v in web.all_views())
 
     # -- LCS-based differencing + analysis ------------------------------------
+    baseline = get_engine(lcs_engine)
     lcs_counter = OpCounter()
     budget = MemoryBudget(max_cells=lcs_budget_cells)
     lcs_started = time.perf_counter()
     try:
-        suspected_l = lcs_diff(old_bad, new_bad, counter=lcs_counter,
-                               budget=budget)
-        expected_l = lcs_diff(old_ok, new_ok, counter=lcs_counter,
-                              budget=budget)
-        regression_l = lcs_diff(new_ok, new_bad, counter=lcs_counter,
-                                budget=budget)
+        suspected_l = baseline.diff(old_bad, new_bad, counter=lcs_counter,
+                                    budget=budget)
+        expected_l = baseline.diff(old_ok, new_ok, counter=lcs_counter,
+                                   budget=budget)
+        regression_l = baseline.diff(new_ok, new_bad, counter=lcs_counter,
+                                     budget=budget)
         _analyze(spec, suspected_l, expected_l, regression_l, result.lcs)
         result.lcs.analysis_seconds = time.perf_counter() - lcs_started
         result.lcs.compares = lcs_counter.total
@@ -225,5 +237,27 @@ SCENARIOS: dict[str, ScenarioSpec] = {
 }
 
 
-def run_all_scenarios(**kwargs) -> list[ScenarioResult]:
-    return [run_scenario(spec, **kwargs) for spec in SCENARIOS.values()]
+def run_all_scenarios(max_workers: int | None = None,
+                      **kwargs) -> list[ScenarioResult]:
+    """All four case studies, optionally across a thread pool.
+
+    With ``max_workers`` > 1 the capture phases still interleave (they
+    contend on :data:`CAPTURE_LOCK`) but differencing and analysis of
+    different scenarios overlap.  Results keep ``SCENARIOS`` order.
+
+    Multithreaded workloads (Derby's lock daemon) interleave their own
+    threads' entries by OS scheduling, so per-run diff counts can shift
+    by a few entries under concurrent load — in sequential mode too.
+    """
+    specs = list(SCENARIOS.values())
+    if max_workers is None or max_workers <= 1:
+        return [run_scenario(spec, **kwargs) for spec in specs]
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.api.pipeline import prewarm_pool
+    with ThreadPoolExecutor(max_workers=max_workers) as pool:
+        # Spawn every worker before any capture installs the weaver (a
+        # lazily-spawned pool thread would be traced as a stray fork).
+        prewarm_pool(pool, max_workers)
+        return list(pool.map(lambda spec: run_scenario(spec, **kwargs),
+                             specs))

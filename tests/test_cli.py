@@ -1,9 +1,13 @@
 """Tests for the offline CLI."""
 
+import json
+
 import pytest
 
-from repro.analysis.cli import main
-from repro.analysis.serialize import save_trace
+from repro.analysis.cli import main, parse_config_flags
+from repro.analysis.serialize import load_trace, save_trace
+from repro.core.view_diff import ViewDiffConfig, view_diff
+from repro.core.views import ViewType
 
 from helpers import myfaces_trace, simple_trace
 
@@ -66,6 +70,60 @@ class TestDiff:
         out = capsys.readouterr().out
         assert "lcs-optimized" in out
 
+    def test_engine_flag(self, trace_files, capsys):
+        old_path, new_path = trace_files
+        main(["diff", old_path, new_path, "--engine", "hirschberg"])
+        out = capsys.readouterr().out
+        assert "lcs-hirschberg" in out
+
+    def test_config_flags_pass_through(self, trace_files, capsys):
+        old_path, new_path = trace_files
+        main(["diff", old_path, new_path, "--config", "skip_lcs_cells=0",
+              "--config", "window=4"])
+        out = capsys.readouterr().out
+        expected = view_diff(
+            load_trace(old_path), load_trace(new_path),
+            config=ViewDiffConfig(skip_lcs_cells=0, window=4))
+        assert f"{expected.num_diffs()} differences" in out
+
+    def test_bad_config_key_rejected(self, trace_files):
+        old_path, new_path = trace_files
+        with pytest.raises(SystemExit):
+            main(["diff", old_path, new_path, "--config", "bogus=1"])
+
+    def test_bad_config_value_rejected(self, trace_files):
+        old_path, new_path = trace_files
+        with pytest.raises(SystemExit):
+            main(["diff", old_path, new_path, "--config", "window=soon"])
+
+
+class TestParseConfigFlags:
+    def test_none_when_no_flags(self):
+        assert parse_config_flags(None) is None
+        assert parse_config_flags([]) is None
+
+    def test_every_scalar_knob(self):
+        config = parse_config_flags([
+            "window=6", "radius=2", "relaxed=false",
+            "max_secondary_pairs=9", "scan_limit=none",
+            "skip_lcs_cells=128"])
+        assert config == ViewDiffConfig(
+            window=6, radius=2, relaxed=False, max_secondary_pairs=9,
+            scan_limit=None, skip_lcs_cells=128)
+
+    def test_view_types_list(self):
+        config = parse_config_flags(["view_types=method,target_object"])
+        assert config.view_types == (ViewType.METHOD,
+                                     ViewType.TARGET_OBJECT)
+
+    def test_unknown_view_type(self):
+        with pytest.raises(SystemExit):
+            parse_config_flags(["view_types=sideways"])
+
+    def test_missing_equals(self):
+        with pytest.raises(SystemExit):
+            parse_config_flags(["window"])
+
 
 class TestAnalyze:
     def test_suspected_only(self, trace_files, capsys):
@@ -99,6 +157,200 @@ class TestAnalyze:
         assert "|D|=" in out
 
 
+@pytest.fixture()
+def populated_store(tmp_path):
+    """A store directory holding the full four-trace recipe."""
+    store_dir = tmp_path / "store"
+    traces = {
+        "ob": myfaces_trace(min_range=32, name="ob"),
+        "nb": myfaces_trace(min_range=1, new_version=True, name="nb"),
+        "oo": myfaces_trace(min_range=32, name="oo"),
+        "no": myfaces_trace(min_range=32, new_version=True, name="no"),
+    }
+    for key, trace in traces.items():
+        path = tmp_path / f"{key}.jsonl"
+        save_trace(trace, path)
+        assert main(["store", "add", str(store_dir), str(path),
+                     "--key", key, "--tag", "myfaces"]) == 0
+    return store_dir
+
+
+class TestStore:
+    def test_add_and_list(self, populated_store, capsys):
+        capsys.readouterr()
+        assert main(["store", "list", str(populated_store)]) == 0
+        out = capsys.readouterr().out
+        assert "4 trace(s)" in out
+        assert "ob" in out and "[myfaces]" in out
+
+    def test_list_filters_by_tag(self, populated_store, capsys):
+        main(["store", "tag", str(populated_store), "ob", "bad"])
+        capsys.readouterr()
+        assert main(["store", "list", str(populated_store),
+                     "--tag", "bad"]) == 0
+        out = capsys.readouterr().out
+        assert "1 trace(s)" in out
+
+    def test_show_tree(self, populated_store, capsys):
+        assert main(["store", "show", str(populated_store), "ob",
+                     "--tree"]) == 0
+        out = capsys.readouterr().out
+        assert "ob" in out
+        assert "-->" in out
+
+    def test_untag(self, populated_store, capsys):
+        assert main(["store", "tag", str(populated_store), "ob",
+                     "myfaces", "--remove"]) == 0
+        out = capsys.readouterr().out
+        assert "[myfaces]" not in out
+
+    def test_rm(self, populated_store, capsys):
+        assert main(["store", "rm", str(populated_store), "ob"]) == 0
+        capsys.readouterr()
+        main(["store", "list", str(populated_store)])
+        assert "3 trace(s)" in capsys.readouterr().out
+
+    def test_rm_missing_key_fails(self, populated_store, capsys):
+        assert main(["store", "rm", str(populated_store), "nope"]) == 1
+        assert "no trace" in capsys.readouterr().err
+
+    def test_show_missing_key_fails(self, populated_store, capsys):
+        assert main(["store", "show", str(populated_store), "nope"]) == 1
+        assert "no trace" in capsys.readouterr().err
+
+    def test_tag_missing_key_fails(self, populated_store, capsys):
+        assert main(["store", "tag", str(populated_store), "nope",
+                     "t"]) == 1
+        assert "no trace" in capsys.readouterr().err
+
+    def test_list_missing_dir_fails(self, tmp_path):
+        with pytest.raises(SystemExit, match="no trace store"):
+            main(["store", "list", str(tmp_path / "nowhere")])
+
+
+class TestBatch:
+    def _spec(self, tmp_path, scenarios):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps({"scenarios": scenarios}),
+                        encoding="utf-8")
+        return str(path)
+
+    def test_full_batch(self, tmp_path, populated_store, capsys):
+        spec = self._spec(tmp_path, [
+            {"name": "full", "suspected": ["ob", "nb"],
+             "expected": ["oo", "no"], "regression": ["no", "nb"]},
+            {"name": "baseline", "suspected": ["ob", "nb"],
+             "engine": "optimized"},
+        ])
+        assert main(["batch", spec, "--store", str(populated_store),
+                     "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "2/2 scenarios ok" in out
+        assert "engine=views" in out
+        assert "engine=optimized" in out
+
+    def test_failing_scenario_sets_exit_code(self, tmp_path,
+                                             populated_store, capsys):
+        spec = self._spec(tmp_path, [
+            {"name": "ok", "suspected": ["ob", "nb"]},
+            {"name": "broken", "suspected": ["ob", "missing"]},
+        ])
+        assert main(["batch", spec, "--store", str(populated_store)]) == 1
+        out = capsys.readouterr().out
+        assert "FAILED" in out
+        assert "1/2 scenarios ok" in out
+
+    def test_engine_and_config_flags(self, tmp_path, populated_store,
+                                     capsys):
+        spec = self._spec(tmp_path,
+                          [{"name": "s", "suspected": ["ob", "nb"]}])
+        assert main(["batch", spec, "--store", str(populated_store),
+                     "--engine", "views", "--config", "window=4"]) == 0
+        assert "engine=views" in capsys.readouterr().out
+
+    def test_empty_spec_rejected(self, tmp_path, populated_store):
+        spec = self._spec(tmp_path, [])
+        with pytest.raises(SystemExit):
+            main(["batch", spec, "--store", str(populated_store)])
+
+    def test_bad_pair_rejected(self, tmp_path, populated_store):
+        spec = self._spec(tmp_path, [{"name": "s", "suspected": ["ob"]}])
+        with pytest.raises(SystemExit):
+            main(["batch", spec, "--store", str(populated_store)])
+
+    def test_string_pair_rejected(self, tmp_path, populated_store):
+        # "suspected": "ob" is len-2-iterable-adjacent JSON mistakes'
+        # favourite shape; it must fail validation, not become ('o','b').
+        spec = self._spec(tmp_path, [{"name": "s", "suspected": "ob"}])
+        with pytest.raises(SystemExit, match="two trace keys"):
+            main(["batch", spec, "--store", str(populated_store)])
+
+    def test_missing_spec_file(self, tmp_path, populated_store):
+        with pytest.raises(SystemExit, match="no batch spec"):
+            main(["batch", str(tmp_path / "nope.json"),
+                  "--store", str(populated_store)])
+
+    def test_invalid_spec_json(self, tmp_path, populated_store):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{nope", encoding="utf-8")
+        with pytest.raises(SystemExit, match="not valid JSON"):
+            main(["batch", str(bad), "--store", str(populated_store)])
+
+    def test_missing_store_dir(self, tmp_path):
+        spec = self._spec(tmp_path, [{"suspected": ["a", "b"]}])
+        with pytest.raises(SystemExit, match="no trace store"):
+            main(["batch", spec, "--store", str(tmp_path / "nowhere")])
+
+
+class TestSerializeRoundTripProperty:
+    """Capture -> save -> load must preserve the view-diff verdict."""
+
+    @pytest.mark.parametrize("min_range,new_version",
+                             [(32, False), (1, True), (16, True)])
+    def test_roundtrip_preserves_view_diff(self, tmp_path, min_range,
+                                           new_version):
+        reference = myfaces_trace(min_range=32, name="reference")
+        trace = myfaces_trace(min_range=min_range,
+                              new_version=new_version, name="probe")
+        direct = view_diff(reference, trace)
+
+        ref_path = tmp_path / "ref.jsonl"
+        probe_path = tmp_path / "probe.jsonl"
+        save_trace(reference, ref_path)
+        save_trace(trace, probe_path)
+        reloaded = view_diff(load_trace(ref_path), load_trace(probe_path))
+
+        assert reloaded.num_diffs() == direct.num_diffs()
+        assert reloaded.similar_left == direct.similar_left
+        assert reloaded.similar_right == direct.similar_right
+        assert reloaded.match_pairs == direct.match_pairs
+        assert ([s.signature() for s in reloaded.sequences]
+                == [s.signature() for s in direct.sequences])
+
+    def test_roundtrip_of_captured_trace(self, tmp_path):
+        # A real sys.settrace capture (not a hand-built trace): entry
+        # keys must survive serialisation exactly.
+        from repro.api import Session
+        from repro.capture.filters import TraceFilter
+
+        def program(n):
+            return sum(range(n))
+
+        session = Session().with_filter(
+            TraceFilter(include_modules=(__name__,)))
+        left = session.trace_call(program, 4, name="left")
+        right = session.trace_call(program, 7, name="right")
+        direct = view_diff(left, right)
+
+        for trace, path in ((left, tmp_path / "l.jsonl"),
+                            (right, tmp_path / "r.jsonl")):
+            save_trace(trace, path)
+        reloaded = view_diff(load_trace(tmp_path / "l.jsonl"),
+                             load_trace(tmp_path / "r.jsonl"))
+        assert reloaded.num_diffs() == direct.num_diffs()
+        assert reloaded.match_pairs == direct.match_pairs
+
+
 class TestParser:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
@@ -107,3 +359,11 @@ class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+    def test_store_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["store"])
+
+    def test_unknown_engine_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["diff", "a", "b", "--engine", "bogus"])
