@@ -1,0 +1,231 @@
+"""Interned vs. tuple-key differencing throughput.
+
+For each (scenario, engine) configuration the bench runs the same diff
+twice — once over interned key-table ids (traces interned at ingest, the
+data layer's default) and once over raw ``=e`` key tuples — and reports
+wall-clock, compare ops/second, and how many ``entry.key()`` tuples each
+path constructed *during the diff* (the interned path builds its keys
+once at ingest; the tuple path rebuilds them per diff).  One JSON row is
+printed per configuration.
+
+Scenarios: a synthetic 10k-entry regression pair (call/set/return events
+with a small modified-and-reordered middle — the realistic "traces are
+mostly similar" shape), plus captured minidb / minijs / minixslt
+workload scenario pairs.
+
+Environment knobs (the CI smoke job shrinks everything):
+
+* ``BENCH_INTERN_ENTRIES`` — synthetic pair size (default 13400 ops,
+  ~10k entries per side).
+* ``BENCH_INTERN_WORKLOADS`` — 0 skips the workload captures.
+* ``BENCH_INTERN_REPEATS`` — timing repeats per configuration.
+
+The ≥2x throughput assertion only applies to the full-size synthetic
+scenario on the LCS engine (tiny smoke sizes are all fixed overhead and
+timing noise); result-identity assertions always run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from conftest import write_result
+
+from repro.capture import TraceFilter, trace_call
+from repro.core.entries import TraceEntry
+from repro.core.keytable import KeyTable
+from repro.core.lcs import OpCounter
+from repro.core.lcs_diff import lcs_diff
+from repro.core.traces import TraceBuilder
+from repro.core.values import prim
+from repro.core.view_diff import ViewDiffConfig, view_diff
+
+ENTRIES = int(os.environ.get("BENCH_INTERN_ENTRIES", "13400"))
+WITH_WORKLOADS = os.environ.get("BENCH_INTERN_WORKLOADS", "1") != "0"
+REPEATS = int(os.environ.get("BENCH_INTERN_REPEATS", "5"))
+
+#: The acceptance assertion only fires at full scale.
+ASSERT_MIN_ENTRIES = 8_000
+
+
+def synthetic_pair(ops_budget: int, key_table: KeyTable | None):
+    """A 2x ~(3/4 * ops_budget)-entry regression pair: every op is a
+    call + field set + return on one service object; the new version
+    negates part of the middle and moves a block within it."""
+
+    def build(variant: str, name: str):
+        builder = TraceBuilder(name=name, key_table=key_table)
+        tid = builder.main_tid
+        svc = builder.record_init(tid, "Service", (prim("cfg"),),
+                                  serialization=("Service", "cfg"))
+        ops = list(range(ops_budget // 4))
+        if variant == "new":
+            mid = len(ops) // 2
+            span = max(2, min(40, len(ops) // 8))
+            for at in range(mid - span, mid + span, 2):
+                ops[at] = -ops[at]
+            block = ops[mid - span:mid - span // 2]
+            del ops[mid - span:mid - span // 2]
+            ops[mid + span // 2:mid + span // 2] = block
+        for op in ops:
+            builder.record_call(tid, svc, "Service.handle",
+                                (prim(op), prim(str(op % 7))))
+            builder.record_set(tid, svc, "last", prim(op))
+            builder.record_return(tid, prim(op * 2))
+        builder.record_end(tid)
+        return builder.build()
+
+    return build("old", "synthetic/old"), build("new", "synthetic/new")
+
+
+def workload_pairs(key_table: KeyTable | None):
+    """Captured scenario trace pairs for the three code workloads."""
+    pairs = {}
+
+    from repro.workloads.minidb import scenario as derby
+    from repro.workloads.minidb.engine import run_session
+    derby_filter = TraceFilter(include_modules=("repro.workloads.minidb",))
+    queries = derby.REGRESSING_QUERIES
+    setup = derby.SETUP_STATEMENTS if ENTRIES >= ASSERT_MIN_ENTRIES \
+        else derby.SETUP_STATEMENTS[:20]
+    pairs["minidb"] = tuple(
+        trace_call(run_session, version, setup, queries,
+                   name=f"minidb/{version}", filter=derby_filter,
+                   key_table=key_table).trace
+        for version in ("10.1.2.1", "10.1.3.1"))
+
+    from repro.workloads.minijs.bug_registry import MINIJS_BUGS, scaled
+    from repro.workloads.minijs.engine import run_script
+    minijs_filter = TraceFilter(include_modules=("repro.workloads.minijs",))
+    spec = MINIJS_BUGS.get("CF-NOT-IF")
+    scale = 12 if ENTRIES >= ASSERT_MIN_ENTRIES else 2
+    source = scaled(str(spec.failing_input), scale)
+    pairs["minijs"] = (
+        trace_call(run_script, source, "old", name="minijs/old",
+                   filter=minijs_filter, key_table=key_table).trace,
+        trace_call(run_script, source, "new", spec.bug_id,
+                   name="minijs/new", filter=minijs_filter,
+                   key_table=key_table).trace)
+
+    from repro.workloads.minixslt import scenario as xalan
+    xslt_filter = TraceFilter(include_modules=("repro.workloads.minixslt",))
+    pairs["minixslt"] = (
+        trace_call(xalan.run_1725_old, xalan.REGRESSING_INPUT_1725,
+                   name="minixslt/old", filter=xslt_filter,
+                   key_table=key_table).trace,
+        trace_call(xalan.run_1725_new, xalan.REGRESSING_INPUT_1725,
+                   name="minixslt/new", filter=xslt_filter,
+                   key_table=key_table).trace)
+    return pairs
+
+
+class _KeyConstructionCount:
+    """Counts ``TraceEntry.key()`` calls while installed (the bench's
+    "entry-compare tuple constructions" metric)."""
+
+    def __init__(self):
+        self.calls = 0
+        self._original = TraceEntry.key
+
+    def __enter__(self):
+        original = self._original
+        counter = self
+
+        def counting_key(entry):
+            counter.calls = counter.calls + 1
+            return original(entry)
+
+        TraceEntry.key = counting_key
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        TraceEntry.key = self._original
+
+
+def run_config(scenario: str, engine: str, mode: str, left, right) -> dict:
+    interned = mode == "interned"
+
+    def one_diff(counter=None):
+        if engine == "views":
+            return view_diff(left, right, counter=counter,
+                             config=ViewDiffConfig(interned=interned))
+        return lcs_diff(left, right, algorithm=engine, counter=counter,
+                        interned=interned)
+
+    # Result + op counts + diff-time key constructions, measured once.
+    counter = OpCounter()
+    with _KeyConstructionCount() as constructions:
+        result = one_diff(counter)
+    # Wall-clock: best of REPEATS.
+    best = float("inf")
+    for _ in range(REPEATS):
+        started = time.perf_counter()
+        one_diff(OpCounter())
+        best = min(best, time.perf_counter() - started)
+    return {
+        "scenario": scenario,
+        "engine": engine,
+        "mode": mode,
+        "entries": len(left) + len(right),
+        "compares": counter.compares,
+        "charged": counter.charged,
+        "seconds": round(best, 6),
+        "compares_per_sec": round(counter.total / best) if best else 0,
+        "key_constructions": constructions.calls,
+        "num_diffs": result.num_diffs(),
+        "similar": sorted(result.similar_left),
+    }
+
+
+def test_interned_vs_tuple_throughput():
+    # One capture per scenario, shared by both modes: workload captures
+    # are not perfectly deterministic across runs (thread scheduling),
+    # and the tuple path ignores the carried key table anyway.
+    ingest_table = KeyTable()
+    scenarios = {"synthetic": synthetic_pair(ENTRIES, ingest_table)}
+    if WITH_WORKLOADS:
+        scenarios.update(workload_pairs(ingest_table))
+    ingest_constructions = ingest_table.key_constructions
+
+    engines = ("views", "optimized")
+    rows = []
+    ratios = {}
+    for scenario, (left, right) in scenarios.items():
+        for engine in engines:
+            interned = run_config(scenario, engine, "interned", left, right)
+            tupled = run_config(scenario, engine, "tuple", left, right)
+            # Identical DiffResult similarity sets, op counts, and diff
+            # counts — interning must never change the semantics.
+            assert interned["similar"] == tupled["similar"], \
+                (scenario, engine)
+            assert interned["compares"] == tupled["compares"]
+            assert interned["num_diffs"] == tupled["num_diffs"]
+            # Fewer or equal key-tuple constructions during the diff
+            # (the interned traces were interned once at ingest).
+            assert interned["key_constructions"] \
+                <= tupled["key_constructions"], (scenario, engine)
+            ratios[(scenario, engine)] = (tupled["seconds"]
+                                          / max(interned["seconds"], 1e-9))
+            for row in (interned, tupled):
+                row = dict(row)
+                del row["similar"]
+                rows.append(row)
+
+    lines = ["=== Interned vs tuple-key diffing ==="]
+    for row in rows:
+        lines.append(json.dumps(row, sort_keys=True))
+    lines.append(json.dumps({"ingest_key_constructions":
+                             ingest_constructions}))
+    for (scenario, engine), ratio in sorted(ratios.items()):
+        lines.append(f"# {scenario}/{engine}: interned is {ratio:.2f}x "
+                     f"the tuple-key throughput")
+    write_result("interning.txt", "\n".join(lines))
+
+    # The acceptance bar: >=2x compare-throughput on the full-size
+    # 10k-entry scenario under the compare-heavy LCS baseline.
+    synthetic_entries = len(scenarios["synthetic"][0]) * 2
+    if synthetic_entries >= ASSERT_MIN_ENTRIES:
+        assert ratios[("synthetic", "optimized")] >= 2.0, ratios
+        assert ratios[("synthetic", "views")] >= 1.0, ratios

@@ -1,9 +1,23 @@
 """Trace serialisation to/from JSON-lines files.
 
 RPRISM offloads trace segments to disk while the program runs and
-analyses them offline; this module provides the on-disk format.  One JSON
-object per line per trace entry; a header line carries the trace name and
-metadata.
+analyses them offline; this module provides the on-disk format.
+
+Format **v2** (the default) is streaming and key-table aware::
+
+    {"format": 2, "name": ..., "entries": n, "keys": k, "metadata": {...}}
+    {"key": <plain =e key>}          # k lines, id = line order
+    {"eid": ..., ..., "kid": <id>}   # n entry rows
+
+The key table between the header and the rows lets readers recover the
+interned ``=e`` representation without recomputing a single
+``entry.key()`` (:func:`load_trace` attaches it to the trace), and lets
+:func:`read_key_table` stream just the table — the
+:class:`~repro.api.store.TraceStore` lists and keys traces without ever
+materialising full entries.  Format **v1** (header + rows, no table)
+remains fully readable; :func:`save_trace` can still emit it via
+``version=1``.  Unknown format versions raise a clear ``ValueError``
+instead of silently mis-parsing.
 
 JSON has no tuples, so serialisations (which are nested tuples in memory,
 for hashability) are converted to lists on write and recursively back to
@@ -13,16 +27,19 @@ tuples on read — round-tripping preserves ``=e`` keys exactly.
 from __future__ import annotations
 
 import json
+from array import array
 from pathlib import Path
 from typing import Iterable, Iterator
 
 from repro.core.entries import TraceEntry
 from repro.core.events import (Call, End, Event, FieldGet, FieldSet, Fork,
                                Init, Return, StackFrame)
+from repro.core.keytable import KeyTable
 from repro.core.traces import Trace
 from repro.core.values import ValueRep
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+SUPPORTED_VERSIONS = (1, 2)
 
 
 def _rep_to_json(rep: ValueRep | None):
@@ -136,24 +153,65 @@ def entry_from_json(data: dict) -> TraceEntry:
                       event=_event_from_json(data["e"]))
 
 
+def _local_key_column(trace: Trace) -> tuple[list, array]:
+    """The trace's ``=e`` keys as a file-local table + id column.
+
+    A carried key table may be shared with other traces (a session's or
+    a whole pair's), so its ids are remapped to a compact first-use
+    ordering; without one, the keys are built from the entries once.
+    """
+    if trace.key_ids is not None and trace.key_table is not None:
+        source_keys = trace.key_table.keys()
+        remap: dict[int, int] = {}
+        local_keys: list = []
+        column = array("I")
+        for kid in trace.key_ids:
+            lid = remap.get(kid)
+            if lid is None:
+                lid = remap[kid] = len(local_keys)
+                local_keys.append(source_keys[kid])
+            column.append(lid)
+        return local_keys, column
+    table = KeyTable()
+    column = table.intern_entries(trace.entries)
+    return table.keys(), column
+
+
 def save_trace(trace: Trace, path: str | Path,
-               extra_metadata: dict | None = None) -> None:
-    """Write a trace as JSON lines (header line + one line per entry).
+               extra_metadata: dict | None = None,
+               version: int = FORMAT_VERSION) -> None:
+    """Write a trace as JSON lines (header, key table, entry rows).
 
     ``extra_metadata`` is merged over the trace's own metadata in the
     header (the :class:`repro.api.store.TraceStore` records provenance
-    this way without mutating the in-memory trace).
+    this way without mutating the in-memory trace).  ``version=1``
+    emits the legacy table-less format.
     """
+    if version not in SUPPORTED_VERSIONS:
+        raise ValueError(f"cannot write trace format version {version!r} "
+                         f"(supported: {SUPPORTED_VERSIONS})")
     path = Path(path)
     metadata = dict(trace.metadata)
     if extra_metadata:
         metadata.update(extra_metadata)
     with path.open("w", encoding="utf-8") as handle:
-        header = {"format": FORMAT_VERSION, "name": trace.name,
-                  "entries": len(trace), "metadata": metadata}
+        if version == 1:
+            header = {"format": 1, "name": trace.name,
+                      "entries": len(trace), "metadata": metadata}
+            handle.write(json.dumps(header) + "\n")
+            for entry in trace.entries:
+                handle.write(json.dumps(entry_to_json(entry)) + "\n")
+            return
+        local_keys, column = _local_key_column(trace)
+        header = {"format": 2, "name": trace.name, "entries": len(trace),
+                  "keys": len(local_keys), "metadata": metadata}
         handle.write(json.dumps(header) + "\n")
-        for entry in trace.entries:
-            handle.write(json.dumps(entry_to_json(entry)) + "\n")
+        for key in local_keys:
+            handle.write(json.dumps({"key": _plain(key)}) + "\n")
+        for entry, kid in zip(trace.entries, column):
+            row = entry_to_json(entry)
+            row["kid"] = kid
+            handle.write(json.dumps(row) + "\n")
 
 
 def read_header(path: str | Path) -> dict:
@@ -170,17 +228,86 @@ def _parse_header(header_line: str, path: Path) -> dict:
         header = json.loads(header_line)
     except json.JSONDecodeError as error:
         raise ValueError(f"not a trace file: {path} ({error})") from None
-    if not isinstance(header, dict) \
-            or header.get("format") != FORMAT_VERSION:
+    if not isinstance(header, dict) or "format" not in header:
         raise ValueError(f"unsupported trace format: {header!r}")
+    version = header["format"]
+    if version not in SUPPORTED_VERSIONS:
+        raise ValueError(
+            f"unsupported trace format version {version!r} in {path} "
+            f"(this reader supports: "
+            f"{', '.join(str(v) for v in SUPPORTED_VERSIONS)})")
     return header
 
 
-def load_trace(path: str | Path) -> Trace:
-    """Read a trace written by :func:`save_trace`."""
+def _read_table(handle, header: dict) -> KeyTable:
+    """Consume the key-table lines following a v2 header."""
+    table = KeyTable()
+    expected = header.get("keys", 0)
+    for _ in range(expected):
+        line = handle.readline()
+        if not line:
+            raise ValueError("truncated key table in trace file")
+        table.intern(_untuple(json.loads(line)["key"]))
+    if len(table) != expected:
+        # A duplicate key line would silently shift every id after it
+        # (intern dedupes) — reject the file instead of mis-diffing.
+        raise ValueError(f"corrupt key table: {expected} key line(s) but "
+                         f"{len(table)} distinct key(s)")
+    return table
+
+
+def read_key_table(path: str | Path) -> tuple[dict, KeyTable]:
+    """Stream (header, key table) without materialising entries.
+
+    For v1 files — which carry no table — the table is rebuilt by
+    streaming entries one at a time, still without holding the whole
+    trace in memory.
+    """
     path = Path(path)
     with path.open("r", encoding="utf-8") as handle:
         header = _parse_header(handle.readline(), path)
+        if header["format"] >= 2:
+            return header, _read_table(handle, header)
+        table = KeyTable()
+        for line in handle:
+            if line.strip():
+                table.intern_entry(entry_from_json(json.loads(line)))
+        return header, table
+
+
+def load_trace(path: str | Path) -> Trace:
+    """Read a trace written by :func:`save_trace`.
+
+    v2 traces come back carrying their key table and id column, so a
+    later interned diff never recomputes an ``=e`` key.
+    """
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        header = _parse_header(handle.readline(), path)
+        if header["format"] >= 2:
+            table = _read_table(handle, header)
+            entries: list[TraceEntry] = []
+            column = array("I")
+            have_kids = True
+            table_size = len(table)
+            for line in handle:
+                if not line.strip():
+                    continue
+                data = json.loads(line)
+                entries.append(entry_from_json(data))
+                kid = data.get("kid")
+                if kid is None:
+                    have_kids = False
+                elif not isinstance(kid, int) or not 0 <= kid < table_size:
+                    raise ValueError(
+                        f"corrupt trace row: kid {kid!r} outside the "
+                        f"{table_size}-entry key table")
+                elif have_kids:
+                    column.append(kid)
+            return Trace(entries, name=header.get("name", ""),
+                         metadata=header.get("metadata") or {},
+                         key_table=table if have_kids else None,
+                         key_ids=column if have_kids else None)
         entries = [entry_from_json(json.loads(line))
                    for line in handle if line.strip()]
     return Trace(entries, name=header.get("name", ""),
@@ -191,7 +318,9 @@ def iter_entries(path: str | Path) -> Iterator[TraceEntry]:
     """Stream entries from a trace file without loading it whole."""
     path = Path(path)
     with path.open("r", encoding="utf-8") as handle:
-        handle.readline()  # header
+        header = _parse_header(handle.readline(), path)
+        for _ in range(header.get("keys", 0)):
+            handle.readline()  # skip the key table
         for line in handle:
             if line.strip():
                 yield entry_from_json(json.loads(line))
@@ -199,14 +328,26 @@ def iter_entries(path: str | Path) -> Iterator[TraceEntry]:
 
 def save_entries(entries: Iterable[TraceEntry], path: str | Path,
                  name: str = "", metadata: dict | None = None) -> int:
-    """Write bare entries (used by trace segmentation); returns count."""
+    """Write bare entries (used by trace segmentation); returns count.
+
+    Emits v2 in two passes — intern the key table, then encode rows
+    straight to disk — so peak memory stays at the caller's entry
+    buffer (segment flushes exist to bound tracing memory) plus the
+    table, never a second full JSON copy of the segment.
+    """
     path = Path(path)
-    count = 0
+    if not isinstance(entries, (list, tuple)):
+        entries = list(entries)
+    table = KeyTable()
+    column = table.intern_entries(entries)
     with path.open("w", encoding="utf-8") as handle:
-        header = {"format": FORMAT_VERSION, "name": name, "entries": -1,
-                  "metadata": metadata or {}}
+        header = {"format": 2, "name": name, "entries": -1,
+                  "keys": len(table), "metadata": metadata or {}}
         handle.write(json.dumps(header) + "\n")
-        for entry in entries:
-            handle.write(json.dumps(entry_to_json(entry)) + "\n")
-            count += 1
-    return count
+        for key in table.keys():
+            handle.write(json.dumps({"key": _plain(key)}) + "\n")
+        for entry, kid in zip(entries, column):
+            row = entry_to_json(entry)
+            row["kid"] = kid
+            handle.write(json.dumps(row) + "\n")
+    return len(entries)

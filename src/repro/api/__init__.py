@@ -18,8 +18,10 @@ The legacy ``repro.RPrism`` facade remains as a thin shim over
 """
 
 from repro.api.engines import (DiffEngine, LcsEngine, ViewsEngine,
-                               available_engines, get_engine,
-                               register_engine, unregister_engine)
+                               accepts_key_table, available_engines,
+                               get_engine, register_engine,
+                               unregister_engine)
+from repro.core.keytable import KeyTable
 from repro.api.pipeline import (JobOutcome, PipelineResult, ScenarioJob,
                                 ScenarioPipeline, StoredScenarioJob,
                                 run_pipeline)
@@ -28,9 +30,9 @@ from repro.api.session import (CAPTURE_LOCK, SCENARIO_ROLES, Session,
 from repro.api.store import TraceRecord, TraceStore
 
 __all__ = [
-    "CAPTURE_LOCK", "DiffEngine", "JobOutcome", "LcsEngine",
+    "CAPTURE_LOCK", "DiffEngine", "JobOutcome", "KeyTable", "LcsEngine",
     "PipelineResult", "SCENARIO_ROLES", "ScenarioJob", "ScenarioPipeline",
     "Session", "SessionResult", "StoredScenarioJob", "TraceRecord",
-    "TraceStore", "ViewsEngine", "available_engines", "get_engine",
-    "register_engine", "run_pipeline", "unregister_engine",
+    "TraceStore", "ViewsEngine", "accepts_key_table", "available_engines",
+    "get_engine", "register_engine", "run_pipeline", "unregister_engine",
 ]

@@ -25,10 +25,12 @@ name, so swapping the analysis behind a stable driver API is one
 
 from __future__ import annotations
 
+import inspect
 import threading
 from typing import Protocol, runtime_checkable
 
 from repro.core.diffs import DiffResult
+from repro.core.keytable import KeyTable
 from repro.core.lcs import MemoryBudget, OpCounter
 from repro.core.lcs_diff import ALGORITHMS, lcs_diff
 from repro.core.traces import Trace
@@ -42,7 +44,10 @@ class DiffEngine(Protocol):
     ``config`` is a :class:`ViewDiffConfig` (engines that do not use it
     must accept and ignore it); ``counter`` accumulates entry-compare
     operations; ``budget`` caps DP memory for engines that allocate
-    quadratic tables.
+    quadratic tables; ``key_table`` is the diff pair's shared interned
+    ``=e`` symbol table.  Engines written before interning (without the
+    ``key_table`` parameter) remain valid — drivers feed the table only
+    to engines whose signature accepts it (:func:`accepts_key_table`).
     """
 
     name: str
@@ -50,8 +55,22 @@ class DiffEngine(Protocol):
     def diff(self, left: Trace, right: Trace, *,
              config: ViewDiffConfig | None = None,
              counter: OpCounter | None = None,
-             budget: MemoryBudget | None = None) -> DiffResult:
+             budget: MemoryBudget | None = None,
+             key_table: KeyTable | None = None) -> DiffResult:
         ...
+
+
+def accepts_key_table(engine: DiffEngine) -> bool:
+    """Whether ``engine.diff`` can be handed a ``key_table`` kwarg
+    (pre-interning engines are still supported without one)."""
+    try:
+        parameters = inspect.signature(engine.diff).parameters
+    except (TypeError, ValueError):  # pragma: no cover - exotic callables
+        return False
+    if "key_table" in parameters:
+        return True
+    return any(p.kind is inspect.Parameter.VAR_KEYWORD
+               for p in parameters.values())
 
 
 class ViewsEngine:
@@ -62,8 +81,10 @@ class ViewsEngine:
     def diff(self, left: Trace, right: Trace, *,
              config: ViewDiffConfig | None = None,
              counter: OpCounter | None = None,
-             budget: MemoryBudget | None = None) -> DiffResult:
-        return view_diff(left, right, config=config, counter=counter)
+             budget: MemoryBudget | None = None,
+             key_table: KeyTable | None = None) -> DiffResult:
+        return view_diff(left, right, config=config, counter=counter,
+                         key_table=key_table)
 
 
 class LcsEngine:
@@ -78,9 +99,12 @@ class LcsEngine:
     def diff(self, left: Trace, right: Trace, *,
              config: ViewDiffConfig | None = None,
              counter: OpCounter | None = None,
-             budget: MemoryBudget | None = None) -> DiffResult:
+             budget: MemoryBudget | None = None,
+             key_table: KeyTable | None = None) -> DiffResult:
+        interned = config.interned if config is not None else True
         return lcs_diff(left, right, algorithm=self.algorithm,
-                        counter=counter, budget=budget)
+                        counter=counter, budget=budget,
+                        interned=interned, key_table=key_table)
 
 
 _REGISTRY: dict[str, DiffEngine] = {}

@@ -16,8 +16,11 @@ see :data:`repro.api.session.CAPTURE_LOCK`), so parallelism buys its
 speedup on the diff/analysis side — which is where the paper's costs
 live.  Each job runs in a session derived from the pipeline's base
 session, so per-job engine/config/mode overrides compose with shared
-configuration, and every job reports an :class:`OpCounter` total and
-wall-clock seconds for the benchmark tables.
+configuration — including the base session's ``=e``
+:class:`~repro.core.keytable.KeyTable`, so every trace a batch captures
+is interned into one shared id space at ingest — and every job reports
+an :class:`OpCounter` total and wall-clock seconds for the benchmark
+tables.
 """
 
 from __future__ import annotations

@@ -34,11 +34,12 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable
 
-from repro.api.engines import DiffEngine, get_engine
+from repro.api.engines import DiffEngine, accepts_key_table, get_engine
 from repro.api.store import TraceStore
 from repro.capture.filters import TraceFilter
 from repro.capture.tracer import CaptureResult, trace_call
 from repro.core.diffs import DiffResult
+from repro.core.keytable import KeyTable
 from repro.core.lcs import MemoryBudget, OpCounter
 from repro.core.regression import (MODE_INTERSECT, RegressionReport,
                                    analyze_regression)
@@ -110,13 +111,19 @@ class Session:
                  store: TraceStore | str | Path | None = None,
                  engine: str | DiffEngine = "views",
                  mode: str = MODE_INTERSECT,
-                 record_fields: bool = True):
+                 record_fields: bool = True,
+                 key_table: KeyTable | None = None):
         self.config = config if config is not None else ViewDiffConfig()
         self.filter = filter
         self.store = self._as_store(store)
         self.engine = get_engine(engine)
         self.mode = mode
         self.record_fields = record_fields
+        #: The session's ingest-time ``=e`` symbol table: every capture
+        #: interns into it, so any two traces captured by this session
+        #: (or its derived siblings — the pipeline's per-job sessions)
+        #: already share one id space when they meet in :meth:`diff`.
+        self.key_table = key_table if key_table is not None else KeyTable()
 
     @staticmethod
     def _as_store(store) -> TraceStore | None:
@@ -166,8 +173,9 @@ class Session:
                config: ViewDiffConfig | None = None,
                filter: TraceFilter | None = None,
                mode: str | None = None) -> "Session":
-        """A sibling session sharing this one's store, with overrides
-        (the pipeline gives each job its own derived session)."""
+        """A sibling session sharing this one's store and key table,
+        with overrides (the pipeline gives each job its own derived
+        session)."""
         return Session(
             config=config if config is not None else self.config,
             filter=filter if filter is not None else self.filter,
@@ -175,6 +183,7 @@ class Session:
             engine=engine if engine is not None else self.engine,
             mode=mode if mode is not None else self.mode,
             record_fields=self.record_fields,
+            key_table=self.key_table,
         )
 
     # -- lifecycle: capture / ingest ---------------------------------------
@@ -191,6 +200,8 @@ class Session:
             captured = trace_call(func, *args, name=name,
                                   filter=self.filter,
                                   record_fields=self.record_fields,
+                                  key_table=self.key_table
+                                  if self.config.interned else None,
                                   **kwargs)
         if store_as is not None:
             self._store_required().save(captured.trace, key=store_as,
@@ -242,12 +253,23 @@ class Session:
              *, engine: str | DiffEngine | None = None,
              counter: OpCounter | None = None,
              budget: MemoryBudget | None = None) -> DiffResult:
-        """Difference two traces (objects, store keys, or file paths)."""
+        """Difference two traces (objects, store keys, or file paths).
+
+        With ``config.interned`` the pair shares one key table: the
+        table both traces already carry when it is common (this
+        session's captures), a fresh pair table otherwise.  Engines
+        registered before interning existed are called without the
+        ``key_table`` kwarg.
+        """
         backend = self.engine if engine is None else get_engine(engine)
-        return backend.diff(self.resolve_trace(left),
-                            self.resolve_trace(right),
+        left_trace = self.resolve_trace(left)
+        right_trace = self.resolve_trace(right)
+        kwargs = {}
+        if self.config.interned and accepts_key_table(backend):
+            kwargs["key_table"] = KeyTable.for_pair(left_trace, right_trace)
+        return backend.diff(left_trace, right_trace,
                             config=self.config, counter=counter,
-                            budget=budget)
+                            budget=budget, **kwargs)
 
     def web(self, trace: Trace | str | Path) -> ViewWeb:
         """Build the view web of a trace (for navigation / Table 2)."""

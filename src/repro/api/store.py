@@ -27,7 +27,9 @@ import threading
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.analysis.serialize import load_trace, read_header, save_trace
+from repro.analysis.serialize import (load_trace, read_header,
+                                      read_key_table, save_trace)
+from repro.core.keytable import KeyTable
 from repro.core.traces import Trace
 
 INDEX_NAME = "store.json"
@@ -160,7 +162,10 @@ class TraceStore:
             entry = self._entry_for(index, key)
             entry["tags"] = sorted(set(entry["tags"]) | set(tags))
             path = self.root / entry["file"]
-            save_trace(trace, path, extra_metadata={"store_key": key})
+            save_trace(trace, path, extra_metadata={
+                "store_key": key,
+                "fingerprint": trace.fingerprint(),
+            })
             self._write_index(index)
         return self.get(key)
 
@@ -214,6 +219,12 @@ class TraceStore:
     def load(self, key: str) -> Trace:
         """The full trace stored under ``key``."""
         return load_trace(self._require(key))
+
+    def load_key_table(self, key: str) -> KeyTable:
+        """Just the interned ``=e`` key table of a stored trace — no
+        entry materialisation for v2 files (v1 files are streamed)."""
+        _header, table = read_key_table(self._require(key))
+        return table
 
     def _record_for(self, key: str, index: dict) -> TraceRecord:
         path = self._require(key, index)

@@ -39,11 +39,17 @@ def current_tracer() -> "Tracer | None":
 
 
 class Tracer:
-    """Records an execution trace of the code run within the context."""
+    """Records an execution trace of the code run within the context.
+
+    ``key_table`` interns every recorded entry's ``=e`` key at capture
+    time (the ingest half of the interned data layer): the finished
+    trace carries its id column, so diffing it never rebuilds a key.
+    """
 
     def __init__(self, name: str = "", filter: TraceFilter | None = None,
-                 record_fields: bool = True, trace_lines: bool = False):
-        self.builder = TraceBuilder(name=name)
+                 record_fields: bool = True, trace_lines: bool = False,
+                 key_table=None):
+        self.builder = TraceBuilder(name=name, key_table=key_table)
         self.registry = LiveRegistry()
         self.filter = filter if filter is not None else TraceFilter()
         self.record_fields = record_fields
@@ -259,13 +265,15 @@ class CaptureResult:
 
 def trace_call(func, *args, name: str = "",
                filter: TraceFilter | None = None,
-               record_fields: bool = True, **kwargs) -> CaptureResult:
+               record_fields: bool = True, key_table=None,
+               **kwargs) -> CaptureResult:
     """Run ``func(*args, **kwargs)`` under a fresh tracer.
 
     Exceptions raised by the call are captured in the result rather than
     propagated, so traces of failing (regressing) runs remain available.
     """
-    tracer = Tracer(name=name, filter=filter, record_fields=record_fields)
+    tracer = Tracer(name=name, filter=filter, record_fields=record_fields,
+                    key_table=key_table)
     error: BaseException | None = None
     result = None
     with tracer:

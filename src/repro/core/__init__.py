@@ -6,6 +6,7 @@ from repro.core.diffs import DiffResult, DifferenceSequence, build_sequences
 from repro.core.entries import EOF, TraceEntry, entries_equal
 from repro.core.events import (Call, End, Event, FieldGet, FieldSet, Fork,
                                Init, Return, StackFrame)
+from repro.core.keytable import KeyTable
 from repro.core.lcs import (LcsBudgetExceeded, LcsMemoryError, LcsResult,
                             MemoryBudget, OpCounter, lcs_dp, lcs_fast,
                             lcs_hirschberg, lcs_length, lcs_optimized,
@@ -28,7 +29,8 @@ __all__ = [
     "ACCURACY_BINS", "SPEEDUP_BINS", "EOF", "MODE_INTERSECT", "MODE_SUBTRACT",
     "Call", "CandidateSequence", "DiffResult", "DifferenceSequence", "End",
     "Event", "FieldGet", "FieldSet", "Fork", "Histogram", "Init",
-    "LcsBudgetExceeded", "LcsMemoryError", "LcsResult", "MemoryBudget",
+    "KeyTable", "LcsBudgetExceeded", "LcsMemoryError", "LcsResult",
+    "MemoryBudget",
     "ObjectInfo", "ObjectRegistry", "OpCounter", "RegressionReport", "Return",
     "StackFrame", "ThreadInfo", "Trace", "TraceBuilder", "TraceEntry",
     "TruthEvaluation", "UNIT", "ValueRep", "View", "ViewCorrelator",

@@ -27,10 +27,45 @@ the relaxation is measured from.
 
 from __future__ import annotations
 
+from typing import Callable
+
 from repro.core.entries import TraceEntry
+from repro.core.keytable import KeyTable
 from repro.core.values import ValueRep
 from repro.core.views import ViewName, ViewType
 from repro.core.web import ObjectInfo, ThreadInfo, ViewWeb
+
+
+def _ancestry_keys(info: ThreadInfo,
+                   frame_key: Callable) -> list[tuple]:
+    """Per-level spawn-stack comparison keys, computed once per thread
+    (the seed rebuilt every ``frame.key()`` tuple inside the O(T^2)
+    scoring loop)."""
+    return [tuple(frame_key(frame) for frame in stack)
+            for stack in info.ancestry]
+
+
+def _keyed_similarity(a_stacks: list[tuple], b_stacks: list[tuple]) -> float:
+    """Ancestry similarity over precomputed per-level key stacks."""
+    if not a_stacks and not b_stacks:
+        return 1.0
+    if not a_stacks or not b_stacks:
+        return 0.0
+    levels = max(len(a_stacks), len(b_stacks))
+    total = 0.0
+    for stack_a, stack_b in zip(a_stacks, b_stacks):
+        if not stack_a and not stack_b:
+            total += 1.0
+            continue
+        frames = max(len(stack_a), len(stack_b))
+        common = 0
+        for ka, kb in zip(stack_a, stack_b):
+            if ka == kb:
+                common += 1
+            else:
+                break
+        total += common / frames if frames else 1.0
+    return total / levels
 
 
 def ancestry_similarity(a: ThreadInfo, b: ThreadInfo) -> float:
@@ -41,50 +76,49 @@ def ancestry_similarity(a: ThreadInfo, b: ThreadInfo) -> float:
     shorter ancestry score zero.  The result is normalised to [0, 1], with
     1 meaning identical ancestry (including both being main threads).
     """
-    if not a.ancestry and not b.ancestry:
-        return 1.0
-    if not a.ancestry or not b.ancestry:
-        return 0.0
-    levels = max(len(a.ancestry), len(b.ancestry))
-    total = 0.0
-    for depth in range(levels):
-        if depth >= len(a.ancestry) or depth >= len(b.ancestry):
-            continue
-        stack_a = a.ancestry[depth]
-        stack_b = b.ancestry[depth]
-        if not stack_a and not stack_b:
-            total += 1.0
-            continue
-        frames = max(len(stack_a), len(stack_b))
-        common = 0
-        for fa, fb in zip(stack_a, stack_b):
-            if fa.key() == fb.key():
-                common += 1
-            else:
-                break
-        total += common / frames if frames else 1.0
-    return total / levels
+    frame_key = lambda frame: frame.key()  # noqa: E731
+    return _keyed_similarity(_ancestry_keys(a, frame_key),
+                             _ancestry_keys(b, frame_key))
 
 
 class ViewCorrelator:
-    """Pairwise view correlation between a left and a right trace web."""
+    """Pairwise view correlation between a left and a right trace web.
 
-    def __init__(self, left: ViewWeb, right: ViewWeb):
+    Every comparison key the correlator builds — stack-frame keys for
+    X_TH, representation and creation keys for X_TO / X_AO — is
+    interned through a *correlator-private* :class:`KeyTable`, so
+    scoring compares and hashes dense ints.  The table is private on
+    purpose: these keys are only ever compared within one correlator,
+    and interning them into a long-lived shared table (a session's
+    ingest table) would grow it with every diff.
+    """
+
+    def __init__(self, left: ViewWeb, right: ViewWeb,
+                 key_table: KeyTable | None = None):
         self.left = left
         self.right = right
+        self.key_table = key_table if key_table is not None else KeyTable()
         self._thread_map = self._correlate_threads()
         self._object_map = self._correlate_objects()
+
+    def _key(self, value):
+        """Intern a comparison key."""
+        return self.key_table.intern(value)
 
     # -- thread correlation (X_TH) ------------------------------------------
 
     def _correlate_threads(self) -> dict[int, int]:
         """Best-match assignment over all thread pairs by ancestry score."""
-        left_threads = list(self.left.threads.values())
-        right_threads = list(self.right.threads.values())
+        intern = self.key_table.intern
+        frame_key = lambda frame: intern(frame.key())  # noqa: E731
+        left_threads = [(lt, _ancestry_keys(lt, frame_key))
+                        for lt in self.left.threads.values()]
+        right_threads = [(rt, _ancestry_keys(rt, frame_key))
+                         for rt in self.right.threads.values()]
         scored: list[tuple[float, int, int]] = []
-        for lt in left_threads:
-            for rt in right_threads:
-                score = ancestry_similarity(lt, rt)
+        for lt, lt_stacks in left_threads:
+            for rt, rt_stacks in right_threads:
+                score = _keyed_similarity(lt_stacks, rt_stacks)
                 if score > 0.0:
                     scored.append((score, lt.tid, rt.tid))
         # Greedy assignment, highest score first; ties broken by tid order
@@ -115,14 +149,15 @@ class ViewCorrelator:
         serialisation).  Priority 2: equal (class name, creation sequence
         number).  Each right object is used at most once.
         """
-        by_rep: dict[tuple, list[int]] = {}
-        by_seq: dict[tuple, int] = {}
+        by_rep: dict[object, list[int]] = {}
+        by_seq: dict[object, int] = {}
         for info in self.right.objects.values():
             if info.serialization is not None:
-                rep_key = (info.class_name, info.serialization)
+                rep_key = self._key((info.class_name, info.serialization))
                 by_rep.setdefault(rep_key, []).append(info.location)
             if info.creation_seq is not None:
-                by_seq[(info.class_name, info.creation_seq)] = info.location
+                seq_key = self._key((info.class_name, info.creation_seq))
+                by_seq[seq_key] = info.location
         mapping: dict[int, int] = {}
         used_right: set[int] = set()
         # Deterministic order: by left location.
@@ -130,13 +165,14 @@ class ViewCorrelator:
             info = self.left.objects[location]
             chosen: int | None = None
             if info.serialization is not None:
-                for candidate in by_rep.get(
-                        (info.class_name, info.serialization), ()):
+                rep_key = self._key((info.class_name, info.serialization))
+                for candidate in by_rep.get(rep_key, ()):
                     if candidate not in used_right:
                         chosen = candidate
                         break
             if chosen is None and info.creation_seq is not None:
-                candidate = by_seq.get((info.class_name, info.creation_seq))
+                seq_key = self._key((info.class_name, info.creation_seq))
+                candidate = by_seq.get(seq_key)
                 if candidate is not None and candidate not in used_right:
                     chosen = candidate
             if chosen is not None:
@@ -152,38 +188,43 @@ class ViewCorrelator:
 
     # -- the generic X_chi entry point ---------------------------------------
 
+    def correlate_keys(self, entry_l: TraceEntry, entry_r: TraceEntry,
+                       vtype: ViewType) -> tuple | None:
+        """``X_chi(tau_l, tau_r)`` over raw view keys: the correlated
+        ``(kappa_l, kappa_r)`` pair of type ``vtype`` containing the two
+        entries, or ``None`` — the hot-path variant of :meth:`correlate`
+        (no ViewName objects are built)."""
+        if vtype is ViewType.THREAD:
+            if self._thread_map.get(entry_l.tid) == entry_r.tid:
+                return (entry_l.tid, entry_r.tid)
+            return None
+        if vtype is ViewType.METHOD:
+            if entry_l.method == entry_r.method:
+                return (entry_l.method, entry_r.method)
+            return None
+        if vtype is ViewType.TARGET_OBJECT:
+            return self._object_key_pair(entry_l.event.target(),
+                                         entry_r.event.target())
+        if vtype is ViewType.ACTIVE_OBJECT:
+            return self._object_key_pair(entry_l.active, entry_r.active)
+        raise ValueError(f"unknown view type: {vtype}")
+
     def correlate(self, entry_l: TraceEntry, entry_r: TraceEntry,
                   vtype: ViewType) -> tuple[ViewName, ViewName] | None:
         """``X_chi(tau_l, tau_r)``: the correlated view-name pair of type
         ``vtype`` containing the two entries, or ``None``."""
-        if vtype is ViewType.THREAD:
-            if self._thread_map.get(entry_l.tid) == entry_r.tid:
-                return (ViewName(vtype, entry_l.tid),
-                        ViewName(vtype, entry_r.tid))
+        keys = self.correlate_keys(entry_l, entry_r, vtype)
+        if keys is None:
             return None
-        if vtype is ViewType.METHOD:
-            if entry_l.method == entry_r.method:
-                return (ViewName(vtype, entry_l.method),
-                        ViewName(vtype, entry_r.method))
-            return None
-        if vtype is ViewType.TARGET_OBJECT:
-            left_obj = entry_l.event.target()
-            right_obj = entry_r.event.target()
-            return self._object_view_pair(left_obj, right_obj, vtype)
-        if vtype is ViewType.ACTIVE_OBJECT:
-            return self._object_view_pair(entry_l.active, entry_r.active,
-                                          vtype)
-        raise ValueError(f"unknown view type: {vtype}")
+        return (ViewName(vtype, keys[0]), ViewName(vtype, keys[1]))
 
-    def _object_view_pair(self, left_obj: ValueRep | None,
-                          right_obj: ValueRep | None,
-                          vtype: ViewType) -> tuple[ViewName, ViewName] | None:
+    def _object_key_pair(self, left_obj: ValueRep | None,
+                         right_obj: ValueRep | None) -> tuple | None:
         if (left_obj is None or right_obj is None
                 or left_obj.location is None or right_obj.location is None):
             return None
         if self._object_map.get(left_obj.location) == right_obj.location:
-            return (ViewName(vtype, left_obj.location),
-                    ViewName(vtype, right_obj.location))
+            return (left_obj.location, right_obj.location)
         return None
 
     # -- bulk correlated view pairs ------------------------------------------

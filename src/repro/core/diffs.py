@@ -157,32 +157,33 @@ def build_sequences(left: Trace, right: Trace,
     thread view), defaulting to the whole trace.
     """
     if left_eids is None:
-        left_eids = [e.eid for e in left.entries]
+        rows_l = left.entries
+    else:
+        by_eid = {e.eid: e for e in left.entries}
+        rows_l = [by_eid[eid] for eid in left_eids]
     if right_eids is None:
-        right_eids = [e.eid for e in right.entries]
-    by_eid_l = {e.eid: e for e in left.entries}
-    by_eid_r = {e.eid: e for e in right.entries}
+        rows_r = right.entries
+    else:
+        by_eid = {e.eid: e for e in right.entries}
+        rows_r = [by_eid[eid] for eid in right_eids]
 
     sequences: list[DifferenceSequence] = []
-    # Positions of matched pairs within the restricted eid lists.
-    pos_l = {eid: i for i, eid in enumerate(left_eids)}
-    pos_r = {eid: i for i, eid in enumerate(right_eids)}
+    # Positions of matched pairs within the (restricted) entry rows.
+    pos_l = {entry.eid: i for i, entry in enumerate(rows_l)}
+    pos_r = {entry.eid: i for i, entry in enumerate(rows_r)}
     boundaries = [(-1, -1)]
     for l_eid, r_eid in match_pairs:
         if l_eid in pos_l and r_eid in pos_r:
             boundaries.append((pos_l[l_eid], pos_r[r_eid]))
-    boundaries.append((len(left_eids), len(right_eids)))
-
-    def gap_entries(eids: list[int], lo: int, hi: int, similar: set[int],
-                    table: dict[int, TraceEntry]) -> list[TraceEntry]:
-        return [table[eid] for eid in eids[lo + 1:hi]
-                if eid not in similar]
+    boundaries.append((len(rows_l), len(rows_r)))
 
     for (prev_l, prev_r), (next_l, next_r) in zip(boundaries, boundaries[1:]):
-        left_gap = gap_entries(left_eids, prev_l, next_l, similar_left,
-                               by_eid_l)
-        right_gap = gap_entries(right_eids, prev_r, next_r, similar_right,
-                                by_eid_r)
+        if next_l - prev_l <= 1 and next_r - prev_r <= 1:
+            continue  # adjacent matches: no gap on either side
+        left_gap = [e for e in rows_l[prev_l + 1:next_l]
+                    if e.eid not in similar_left]
+        right_gap = [e for e in rows_r[prev_r + 1:next_r]
+                     if e.eid not in similar_right]
         if not left_gap and not right_gap:
             continue
         if left_gap and right_gap:

@@ -164,10 +164,13 @@ def lcs_dp(a: Sequence, b: Sequence, key: Callable | None = None,
         row = table[i]
         prev = table[i - 1]
         ai = a_keys[i - 1]
-        for j in range(1, m + 1):
-            if counter is not None:
-                counter.bump()
-            if ai == b_keys[j - 1]:
+        if counter is not None:
+            # The inner loop performs exactly m compares; charging them
+            # per row keeps the totals identical while keeping the
+            # bookkeeping out of the hot loop.
+            counter.bump(m)
+        for j, bk in enumerate(b_keys, 1):
+            if ai == bk:
                 row[j] = prev[j - 1] + 1
             else:
                 up = prev[j]
@@ -196,10 +199,10 @@ def _lcs_lengths_row(a_keys: list, b_keys: list,
     curr = [0] * (m + 1)
     for ai in a_keys:
         curr[0] = 0
-        for j in range(1, m + 1):
-            if counter is not None:
-                counter.bump()
-            if ai == b_keys[j - 1]:
+        if counter is not None:
+            counter.bump(m)  # exactly m compares per row (see lcs_dp)
+        for j, bk in enumerate(b_keys, 1):
+            if ai == bk:
                 curr[j] = prev[j - 1] + 1
             else:
                 up = prev[j]

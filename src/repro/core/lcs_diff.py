@@ -9,6 +9,13 @@ differences be read as an insertion, deletion, or modification.
 ``lcs_diff`` implements this directly: rather than literally stepping the
 small-step rules one entry at a time, the LCS is computed once and the
 similarity set read off it — observably the same ``sigma``.
+
+By default the key sequences are *interned* through a
+:class:`~repro.core.keytable.KeyTable` shared by the pair, so every
+``=e`` compare inside the LCS machinery is an int compare instead of a
+nested-tuple walk; interning is a bijection on keys, so the computed
+``sigma`` is identical either way.  ``interned=False`` restores the
+tuple-key path.
 """
 
 from __future__ import annotations
@@ -16,6 +23,7 @@ from __future__ import annotations
 import time
 
 from repro.core.diffs import DiffResult, build_sequences
+from repro.core.keytable import KeyTable
 from repro.core.lcs import (LcsResult, MemoryBudget, OpCounter, lcs_dp,
                             lcs_fast, lcs_hirschberg, lcs_optimized)
 from repro.core.traces import Trace
@@ -27,7 +35,9 @@ ALGORITHMS = ("optimized", "dp", "hirschberg", "fast")
 def lcs_diff(left: Trace, right: Trace, algorithm: str = "optimized",
              counter: OpCounter | None = None,
              budget: MemoryBudget | None = None,
-             dp_cell_limit: int = 4_000_000) -> DiffResult:
+             dp_cell_limit: int = 4_000_000,
+             interned: bool = True,
+             key_table: KeyTable | None = None) -> DiffResult:
     """Difference two traces with the LCS-based semantics of Fig. 11.
 
     ``algorithm`` selects the LCS implementation: ``"optimized"`` is the
@@ -38,14 +48,24 @@ def lcs_diff(left: Trace, right: Trace, algorithm: str = "optimized",
     ``budget`` (DP cell cap) models the memory-exhaustion failures the
     paper reports on traces beyond ~100K entries: exceeding it raises
     :class:`repro.core.lcs.LcsMemoryError`.
+
+    ``interned`` compares dense key-table ids instead of key tuples
+    (``key_table`` supplies the pair's shared table; one is derived
+    from the traces otherwise).
     """
     if algorithm not in ALGORITHMS:
         raise ValueError(f"unknown LCS algorithm: {algorithm!r}")
     if counter is None:
         counter = OpCounter()
     started = time.perf_counter()
-    keys_l = [entry.key() for entry in left.entries]
-    keys_r = [entry.key() for entry in right.entries]
+    if interned:
+        table = key_table if key_table is not None \
+            else KeyTable.for_pair(left, right)
+        keys_l = table.ids_for(left).tolist()
+        keys_r = table.ids_for(right).tolist()
+    else:
+        keys_l = [entry.key() for entry in left.entries]
+        keys_r = [entry.key() for entry in right.entries]
 
     if algorithm == "optimized":
         result: LcsResult = lcs_optimized(keys_l, keys_r, counter=counter,

@@ -11,25 +11,51 @@ the per-trace :class:`~repro.core.values.ObjectRegistry`.
 
 from __future__ import annotations
 
+import hashlib
+from array import array
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator
+from typing import TYPE_CHECKING, Iterable, Iterator
 
 from repro.core.entries import TraceEntry
 from repro.core.events import (Call, End, Event, FieldGet, FieldSet, Fork,
                                Init, Return, StackFrame)
 from repro.core.values import UNIT, ObjectRegistry, ValueRep
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.keytable import KeyTable
+
 
 class Trace:
-    """An immutable-by-convention sequence of trace entries."""
+    """An immutable-by-convention sequence of trace entries.
 
-    __slots__ = ("name", "entries", "metadata")
+    Immutability is what makes the derived data safe to cache: the
+    distinct-thread list and the fingerprint are computed at most once,
+    and :class:`TraceBuilder` (the only sanctioned mutator) snapshots
+    the entry list on every :meth:`TraceBuilder.build`, so a built trace
+    never sees later recording.
+
+    ``key_table`` / ``key_ids`` carry the interned ``=e`` representation
+    when the trace was ingested through a
+    :class:`~repro.core.keytable.KeyTable` (capture with a session
+    table, or a format-v2 trace file): ``key_ids[i]`` is the dense id of
+    ``entries[i].key()`` in ``key_table``.  Both are ``None`` for
+    uninterned traces — every consumer falls back to key tuples.
+    """
+
+    __slots__ = ("name", "entries", "metadata", "key_table", "key_ids",
+                 "_thread_ids", "_fingerprint")
 
     def __init__(self, entries: Iterable[TraceEntry] = (), name: str = "",
-                 metadata: dict | None = None):
+                 metadata: dict | None = None,
+                 key_table: "KeyTable | None" = None,
+                 key_ids: "array | None" = None):
         self.name = name
         self.entries: list[TraceEntry] = list(entries)
         self.metadata: dict = metadata or {}
+        self.key_table = key_table
+        self.key_ids = key_ids
+        self._thread_ids: list[int] | None = None
+        self._fingerprint: str | None = None
 
     def __len__(self) -> int:
         return len(self.entries)
@@ -40,16 +66,40 @@ class Trace:
     def __getitem__(self, index):
         if isinstance(index, slice):
             return Trace(self.entries[index], name=self.name,
-                         metadata=dict(self.metadata))
+                         metadata=dict(self.metadata),
+                         key_table=self.key_table,
+                         key_ids=None if self.key_ids is None
+                         else self.key_ids[index])
         return self.entries[index]
 
     def thread_ids(self) -> list[int]:
-        """Distinct thread identifiers, in order of first appearance."""
-        seen: dict[int, None] = {}
-        for entry in self.entries:
-            if entry.tid not in seen:
-                seen[entry.tid] = None
-        return list(seen)
+        """Distinct thread identifiers, in order of first appearance
+        (computed once; traces are immutable by convention)."""
+        if self._thread_ids is None:
+            seen: dict[int, None] = {}
+            for entry in self.entries:
+                if entry.tid not in seen:
+                    seen[entry.tid] = None
+            self._thread_ids = list(seen)
+        return list(self._thread_ids)
+
+    def fingerprint(self) -> str:
+        """A cheap content fingerprint (name, length, per-entry thread
+        and event kind), cached after the first call.
+
+        Deliberately *not* a full ``=e`` digest — it is a provenance
+        and cache-validity hint for the store and the key table, priced
+        to be callable on every save.
+        """
+        if self._fingerprint is None:
+            digest = hashlib.blake2b(digest_size=12)
+            digest.update(self.name.encode("utf-8", "replace"))
+            digest.update(len(self.entries).to_bytes(8, "little"))
+            for entry in self.entries:
+                digest.update(b"%d:%s;" % (entry.tid,
+                                           entry.event.kind.encode()))
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
 
     def methods(self) -> set[str]:
         return {entry.method for entry in self.entries}
@@ -98,9 +148,12 @@ class TraceBuilder:
 
     ROOT_METHOD = "<main>"
 
-    def __init__(self, name: str = ""):
+    def __init__(self, name: str = "",
+                 key_table: "KeyTable | None" = None):
         self.name = name
         self.registry = ObjectRegistry()
+        self.key_table = key_table
+        self._key_ids: list[int] | None = None if key_table is None else []
         self._entries: list[TraceEntry] = []
         self._threads: dict[int, _ThreadState] = {}
         self._next_tid = 0
@@ -147,6 +200,10 @@ class TraceBuilder:
             event=event,
         )
         self._entries.append(entry)
+        if self._key_ids is not None:
+            # Ingest-time interning: the ``=e`` key is built exactly
+            # once here and compared as an int everywhere downstream.
+            self._key_ids.append(self.key_table.intern_entry(entry))
         return entry
 
     # -- object creation ----------------------------------------------------
@@ -234,4 +291,8 @@ class TraceBuilder:
         return len(self._entries)
 
     def build(self, metadata: dict | None = None) -> Trace:
-        return Trace(self._entries, name=self.name, metadata=metadata)
+        if self._key_ids is None:
+            return Trace(self._entries, name=self.name, metadata=metadata)
+        return Trace(self._entries, name=self.name, metadata=metadata,
+                     key_table=self.key_table,
+                     key_ids=array("I", self._key_ids))

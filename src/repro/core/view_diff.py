@@ -34,9 +34,10 @@ from dataclasses import dataclass, field
 
 from repro.core.correlation import ViewCorrelator
 from repro.core.diffs import DiffResult, DifferenceSequence, build_sequences
+from repro.core.keytable import KeyTable
 from repro.core.lcs import OpCounter, lcs_dp
 from repro.core.traces import Trace
-from repro.core.views import NAME_MAPPINGS, View, ViewType
+from repro.core.views import KEY_MAPPINGS, View, ViewType
 from repro.core.web import ViewWeb
 
 
@@ -66,6 +67,10 @@ class ViewDiffConfig:
     #: region).  Each entry joins at most one such LCS, so the pass stays
     #: linear; 0 disables it.
     skip_lcs_cells: int = 4096
+    #: Compare interned key-table ids instead of ``=e`` key tuples.
+    #: Interning is a bijection on keys, so the similarity sets are
+    #: identical either way; ``False`` restores the tuple path.
+    interned: bool = True
 
 
 class _ThreadPairDiffer:
@@ -75,7 +80,10 @@ class _ThreadPairDiffer:
                  web_r: ViewWeb, correlator: ViewCorrelator,
                  config: ViewDiffConfig, counter: OpCounter,
                  similar_left: set[int], similar_right: set[int],
-                 anchor_pairs: list[tuple[int, int]]):
+                 anchor_pairs: list[tuple[int, int]],
+                 ids_l=None, ids_r=None,
+                 window_keys_l: dict | None = None,
+                 window_keys_r: dict | None = None):
         self.lv = left_view
         self.rv = right_view
         self.web_l = web_l
@@ -86,11 +94,24 @@ class _ThreadPairDiffer:
         self.similar_left = similar_left
         self.similar_right = similar_right
         self.anchor_pairs = anchor_pairs
-        # Per-view key caches: position -> =e key.
-        entries_l = web_l.trace.entries
-        entries_r = web_r.trace.entries
-        self.lkeys = [entries_l[i].key() for i in left_view.indices]
-        self.rkeys = [entries_r[i].key() for i in right_view.indices]
+        # Full-trace interned id columns (None on the tuple-key path).
+        self.ids_l = ids_l
+        self.ids_r = ids_r
+        # Secondary-view window key caches, shared across the pair's
+        # thread differs: (view name, lo, hi) -> key list.
+        self._window_keys_l = window_keys_l if window_keys_l is not None \
+            else {}
+        self._window_keys_r = window_keys_r if window_keys_r is not None \
+            else {}
+        # Per-view key caches: position -> =e key (interned id or tuple).
+        if ids_l is not None:
+            self.lkeys = [ids_l[i] for i in left_view.indices]
+            self.rkeys = [ids_r[i] for i in right_view.indices]
+        else:
+            entries_l = web_l.trace.entries
+            entries_r = web_r.trace.entries
+            self.lkeys = [entries_l[i].key() for i in left_view.indices]
+            self.rkeys = [entries_r[i].key() for i in right_view.indices]
         # key -> sorted positions, for the next-correspondence search.
         self.rpos: dict = {}
         for pos, key in enumerate(self.rkeys):
@@ -180,32 +201,32 @@ class _ThreadPairDiffer:
                     return
                 tau6 = entries_r[rv.indices[pr]]
                 for vtype in config.view_types:
-                    names = self.correlator.correlate(tau5, tau6, vtype)
-                    if names is None and config.relaxed and (pl - i) == (pr - j):
+                    keys = self.correlator.correlate_keys(tau5, tau6, vtype)
+                    if keys is None and config.relaxed and (pl - i) == (pr - j):
                         # Relaxed correlation: same distance from the
                         # current (correlated) positions.
-                        names = self._relaxed_names(tau5, tau6, vtype)
-                    if names is None:
+                        keys = self._relaxed_keys(tau5, tau6, vtype)
+                    if keys is None:
                         continue
-                    if self._explore_view_pair(names[0], names[1],
+                    if self._explore_view_pair(vtype, keys[0], keys[1],
                                                tau5.eid, tau6.eid):
                         explored_now += 1
 
-    def _relaxed_names(self, tau5, tau6, vtype: ViewType):
-        name_l = NAME_MAPPINGS[vtype](tau5)
-        name_r = NAME_MAPPINGS[vtype](tau6)
-        if name_l is None or name_r is None:
+    def _relaxed_keys(self, tau5, tau6, vtype: ViewType):
+        key_l = KEY_MAPPINGS[vtype](tau5)
+        key_r = KEY_MAPPINGS[vtype](tau6)
+        if key_l is None or key_r is None:
             return None
-        return (name_l, name_r)
+        return (key_l, key_r)
 
-    def _explore_view_pair(self, name_l, name_r, center_eid_l: int,
-                           center_eid_r: int) -> bool:
+    def _explore_view_pair(self, vtype: ViewType, key_l, key_r,
+                           center_eid_l: int, center_eid_r: int) -> bool:
         """Windowed LCS over one correlated secondary-view pair.
 
         Returns True if a (new) exploration was performed.
         """
-        view_l = self.web_l.view(name_l)
-        view_r = self.web_r.view(name_r)
+        view_l = self.web_l.typed_view(vtype, key_l)
+        view_r = self.web_r.typed_view(vtype, key_r)
         if view_l is None or view_r is None:
             return False
         pos_l = view_l.position_of(center_eid_l)
@@ -213,20 +234,25 @@ class _ThreadPairDiffer:
         if pos_l < 0 or pos_r < 0:
             return False
         omega = self.config.window
-        bucket = (name_l, name_r, pos_l // max(omega, 1),
+        bucket = (vtype.value, key_l, key_r, pos_l // max(omega, 1),
                   pos_r // max(omega, 1))
         if bucket in self._explored:
             return False
         self._explored.add(bucket)
-        window_l = view_l.window_around_position(pos_l, omega)
-        window_r = view_r.window_around_position(pos_r, omega)
-        if not window_l or not window_r:
+        index_l, keys_l = self._window_keys(view_l, pos_l, omega,
+                                            self.ids_l, self.web_l,
+                                            self._window_keys_l)
+        index_r, keys_r = self._window_keys(view_r, pos_r, omega,
+                                            self.ids_r, self.web_r,
+                                            self._window_keys_r)
+        if not keys_l or not keys_r:
             return True
-        lcs = lcs_dp(window_l, window_r, key=lambda e: e.key(),
-                     counter=self.counter)
+        lcs = lcs_dp(keys_l, keys_r, counter=self.counter)
+        entries_l = self.web_l.trace.entries
+        entries_r = self.web_r.trace.entries
         for wi, wj in lcs.pairs:
-            entry_l = window_l[wi]
-            entry_r = window_r[wj]
+            entry_l = entries_l[index_l[wi]]
+            entry_r = entries_r[index_r[wj]]
             self.similar_left.add(entry_l.eid)
             self.similar_right.add(entry_r.eid)
             self.anchor_pairs.append((entry_l.eid, entry_r.eid))
@@ -237,6 +263,28 @@ class _ThreadPairDiffer:
             if apl is not None and apr is not None:
                 self._pending_anchors.append((apl, apr))
         return True
+
+    def _window_keys(self, view: View, position: int, omega: int,
+                     ids, web: ViewWeb, cache: dict):
+        """The (index slice, key list) of one secondary-view window,
+        memoised per (view, lo, hi) across every thread-pair differ of
+        the trace pair."""
+        lo = max(0, position - omega)
+        hi = min(len(view.indices), position + omega + 1)
+        # Views are owned by their web for the differ's whole lifetime,
+        # so id() is a stable (and cheap) cache token here.
+        token = (id(view), lo, hi)
+        got = cache.get(token)
+        if got is None:
+            index = view.indices[lo:hi]
+            if ids is not None:
+                keys = [ids[i] for i in index]
+            else:
+                entries = web.trace.entries
+                keys = [entries[i].key() for i in index]
+            got = (index, keys)
+            cache[token] = got
+        return got
 
     # -- next point of correspondence -----------------------------------------
 
@@ -286,7 +334,8 @@ def view_diff(left: Trace, right: Trace,
               config: ViewDiffConfig | None = None,
               counter: OpCounter | None = None,
               web_left: ViewWeb | None = None,
-              web_right: ViewWeb | None = None) -> DiffResult:
+              web_right: ViewWeb | None = None,
+              key_table: KeyTable | None = None) -> DiffResult:
     """Difference two traces with the views-based semantics of Fig. 12.
 
     Every pair of correlated thread views (X_TH) is evaluated under the
@@ -294,6 +343,12 @@ def view_diff(left: Trace, right: Trace,
     final ``sigma`` and the differences derived by subtraction.  Threads
     with no correlated partner contribute all their entries as
     insertions/deletions.
+
+    With ``config.interned`` (the default) both traces are expressed as
+    dense id columns of one shared :class:`KeyTable` — ``key_table`` if
+    given, the table the traces already carry when it is common to both,
+    a fresh pair table otherwise — and every ``=e`` compare below is an
+    int compare.  The similarity sets are identical to the tuple path's.
     """
     if config is None:
         config = ViewDiffConfig()
@@ -302,6 +357,13 @@ def view_diff(left: Trace, right: Trace,
     started = time.perf_counter()
     web_l = web_left if web_left is not None else ViewWeb(left)
     web_r = web_right if web_right is not None else ViewWeb(right)
+    if config.interned:
+        table = key_table if key_table is not None \
+            else KeyTable.for_pair(left, right)
+        ids_l = table.ids_for(left)
+        ids_r = table.ids_for(right)
+    else:
+        table = ids_l = ids_r = None
     correlator = ViewCorrelator(web_l, web_r)
 
     similar_left: set[int] = set()
@@ -309,6 +371,8 @@ def view_diff(left: Trace, right: Trace,
     anchor_pairs: list[tuple[int, int]] = []
     all_match_pairs: list[tuple[int, int]] = []
     sequences: list[DifferenceSequence] = []
+    window_keys_l: dict = {}
+    window_keys_r: dict = {}
 
     matched_left_tids: set[int] = set()
     matched_right_tids: set[int] = set()
@@ -322,7 +386,9 @@ def view_diff(left: Trace, right: Trace,
         matched_right_tids.add(rtid)
         differ = _ThreadPairDiffer(lv, rv, web_l, web_r, correlator, config,
                                    counter, similar_left, similar_right,
-                                   anchor_pairs)
+                                   anchor_pairs, ids_l=ids_l, ids_r=ids_r,
+                                   window_keys_l=window_keys_l,
+                                   window_keys_r=window_keys_r)
         pairs = differ.run()
         all_match_pairs.extend(pairs)
         per_pair.append((lv, rv, pairs))

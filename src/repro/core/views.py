@@ -95,6 +95,39 @@ NAME_MAPPINGS: dict[ViewType, Callable[[TraceEntry], ViewName | None]] = {
 }
 
 
+def _key_thread(entry: TraceEntry):
+    return entry.tid
+
+
+def _key_method(entry: TraceEntry):
+    return entry.method
+
+
+def _key_target_object(entry: TraceEntry):
+    target = entry.event.target()
+    if target is None:
+        return None
+    return target.location
+
+
+def _key_active_object(entry: TraceEntry):
+    if entry.active is None:
+        return None
+    return entry.active.location
+
+
+#: Raw-key variants of the ``nu_chi`` mappings: the type-specific key
+#: alone (``kappa``), without wrapping it in a :class:`ViewName`.  The
+#: hot paths use these — constructing and hashing name objects per
+#: lookup is measurable at trace scale.
+KEY_MAPPINGS: dict[ViewType, Callable[[TraceEntry], object]] = {
+    ViewType.THREAD: _key_thread,
+    ViewType.METHOD: _key_method,
+    ViewType.TARGET_OBJECT: _key_target_object,
+    ViewType.ACTIVE_OBJECT: _key_active_object,
+}
+
+
 def view_names(entry: TraceEntry) -> list[ViewName]:
     """Union of all mapping functions for one entry (Sec. 2.4)."""
     names = []
@@ -112,11 +145,15 @@ class View:
     Because views retain original indices, ``position_of`` implements the
     link-navigation of Sec. 2.4: given an entry's eid, find where it sits
     inside this view.
+
+    ``indices`` is an index *column*: any integer sequence works, and
+    the web builds ``array('I')`` columns (4 bytes per member instead of
+    a list of boxed ints).
     """
 
     __slots__ = ("name", "trace", "indices", "_index_positions")
 
-    def __init__(self, name: ViewName, trace: Trace, indices: list[int]):
+    def __init__(self, name: ViewName, trace: Trace, indices):
         self.name = name
         self.trace = trace
         self.indices = indices

@@ -1,21 +1,26 @@
 """The view web: every view of a trace, linked through trace indices.
 
-Building the web is a single O(n) pass: each entry's view names are
-computed by the Fig. 7 mapping functions and the entry's index is appended
-to each named view's index list.  The web also gathers the per-object
-metadata (class name, creation sequence number, first-seen serialisation,
-init eid) that the correlation functions of Sec. 3.1 need.
+The web is *lazy and columnar*: views of a type are materialised only
+when something asks for that type — one O(n) pass per demanded
+:class:`~repro.core.views.ViewType`, each view storing its member
+indices as an ``array('I')`` column — and the per-object / per-thread
+correlation metadata of Sec. 3.1 is gathered in its own single pass on
+first access.  A diff that never explores, say, active-object views
+never pays for building them; ``built_view_types()`` exposes what has
+actually been materialised (the laziness contract the tests pin down).
 """
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass
 
 from repro.core.entries import TraceEntry
 from repro.core.events import Fork, Init, StackFrame
 from repro.core.traces import Trace
 from repro.core.values import ValueRep
-from repro.core.views import View, ViewName, ViewType, view_names
+from repro.core.views import (KEY_MAPPINGS, View, ViewName, ViewType,
+                              view_names)
 
 
 @dataclass(frozen=True, slots=True)
@@ -41,40 +46,110 @@ class ThreadInfo:
 
 
 class ViewWeb:
-    """All views of a single trace, plus object/thread metadata."""
+    """All views of a single trace, plus object/thread metadata.
+
+    Views materialise per type on first demand; ``objects`` / ``threads``
+    materialise together on first access.  All public accessors behave
+    exactly as they did when construction was eager.
+    """
 
     def __init__(self, trace: Trace):
         self.trace = trace
         self._views: dict[ViewName, View] = {}
-        self.objects: dict[int, ObjectInfo] = {}
-        self.threads: dict[int, ThreadInfo] = {}
-        self._build()
+        #: Per-type raw-key lookup tables (``kappa -> View``), one per
+        #: materialised type.  The hot paths go through these: hashing a
+        #: tid/method/location is much cheaper than hashing a ViewName.
+        self._thread_views: dict | None = None
+        self._method_views: dict | None = None
+        self._target_views: dict | None = None
+        self._active_views: dict | None = None
+        self._objects: dict[int, ObjectInfo] | None = None
+        self._threads: dict[int, ThreadInfo] | None = None
 
-    # -- construction -----------------------------------------------------
+    # -- lazy construction -------------------------------------------------
 
-    def _build(self) -> None:
-        indices: dict[ViewName, list[int]] = {}
-        seen_tids: dict[int, ThreadInfo] = {}
+    def built_view_types(self) -> frozenset[ViewType]:
+        """The view types materialised so far (laziness introspection)."""
+        return frozenset(vtype for vtype in ViewType
+                         if self._typed(vtype) is not None)
+
+    def _typed(self, vtype: ViewType) -> dict | None:
+        if vtype is ViewType.THREAD:
+            return self._thread_views
+        if vtype is ViewType.METHOD:
+            return self._method_views
+        if vtype is ViewType.TARGET_OBJECT:
+            return self._target_views
+        if vtype is ViewType.ACTIVE_OBJECT:
+            return self._active_views
+        raise ValueError(f"unknown view type: {vtype!r}")
+
+    def _ensure_type(self, vtype: ViewType) -> dict:
+        typed = self._typed(vtype)
+        if typed is not None:
+            return typed
+        key_of = KEY_MAPPINGS[vtype]
+        columns: dict[object, array] = {}
         for position, entry in enumerate(self.trace.entries):
-            for name in view_names(entry):
-                indices.setdefault(name, []).append(position)
-            self._note_metadata(position, entry, seen_tids)
-        for name, index_list in indices.items():
-            self._views[name] = View(name, self.trace, index_list)
+            key = key_of(entry)
+            if key is None:
+                continue
+            column = columns.get(key)
+            if column is None:
+                columns[key] = column = array("I")
+            column.append(position)
+        typed = {}
+        for key, column in columns.items():
+            name = ViewName(vtype, key)
+            typed[key] = self._views[name] = View(name, self.trace, column)
+        if vtype is ViewType.THREAD:
+            self._thread_views = typed
+        elif vtype is ViewType.METHOD:
+            self._method_views = typed
+        elif vtype is ViewType.TARGET_OBJECT:
+            self._target_views = typed
+        else:  # _typed() has already rejected non-members
+            self._active_views = typed
+        return typed
+
+    def _ensure_all(self) -> None:
+        for vtype in ViewType:
+            self._ensure_type(vtype)
+
+    @property
+    def objects(self) -> dict[int, ObjectInfo]:
+        if self._objects is None:
+            self._build_metadata()
+        return self._objects
+
+    @property
+    def threads(self) -> dict[int, ThreadInfo]:
+        if self._threads is None:
+            self._build_metadata()
+        return self._threads
+
+    def _build_metadata(self) -> None:
+        objects: dict[int, ObjectInfo] = {}
+        seen_tids: dict[int, ThreadInfo] = {}
+        for entry in self.trace.entries:
+            self._note_metadata(entry, objects, seen_tids)
         # Threads that never appear in a fork event (e.g. the main thread)
         # still deserve ThreadInfo records.
         for tid in self.trace.thread_ids():
             if tid not in seen_tids:
-                seen_tids[tid] = ThreadInfo(tid=tid, ancestry=(), fork_eid=None)
-        self.threads = seen_tids
+                seen_tids[tid] = ThreadInfo(tid=tid, ancestry=(),
+                                            fork_eid=None)
+        self._objects = objects
+        self._threads = seen_tids
 
-    def _note_metadata(self, position: int, entry: TraceEntry,
+    def _note_metadata(self, entry: TraceEntry,
+                       objects: dict[int, ObjectInfo],
                        seen_tids: dict[int, ThreadInfo]) -> None:
         event = entry.event
         if isinstance(event, Init):
             obj = event.obj
-            if obj.location is not None and obj.location not in self.objects:
-                self.objects[obj.location] = ObjectInfo(
+            if obj.location is not None and obj.location not in objects:
+                objects[obj.location] = ObjectInfo(
                     location=obj.location,
                     class_name=obj.class_name,
                     creation_seq=obj.creation_seq,
@@ -91,8 +166,8 @@ class ViewWeb:
         # receivers) are registered lazily from any event target.
         target = event.target()
         if (target is not None and target.location is not None
-                and target.location not in self.objects):
-            self.objects[target.location] = ObjectInfo(
+                and target.location not in objects):
+            objects[target.location] = ObjectInfo(
                 location=target.location,
                 class_name=target.class_name,
                 creation_seq=target.creation_seq,
@@ -103,34 +178,40 @@ class ViewWeb:
     # -- lookup -----------------------------------------------------------
 
     def view(self, name: ViewName) -> View | None:
-        return self._views.get(name)
+        return self._ensure_type(name.vtype).get(name.key)
+
+    def typed_view(self, vtype: ViewType, key) -> View | None:
+        """Raw-key lookup (``<chi, kappa>`` without a ViewName object);
+        the differencing hot paths resolve views through this."""
+        return self._ensure_type(vtype).get(key)
 
     def views_of_type(self, vtype: ViewType) -> list[View]:
-        return [v for n, v in self._views.items() if n.vtype is vtype]
+        return list(self._ensure_type(vtype).values())
 
     def view_names_of_type(self, vtype: ViewType) -> list[ViewName]:
-        return [n for n in self._views if n.vtype is vtype]
+        return [view.name for view in self._ensure_type(vtype).values()]
 
     def all_views(self) -> list[View]:
+        self._ensure_all()
         return list(self._views.values())
 
     def thread_view(self, tid: int) -> View | None:
-        return self.view(ViewName(ViewType.THREAD, tid))
+        return self.typed_view(ViewType.THREAD, tid)
 
     def method_view(self, method: str) -> View | None:
-        return self.view(ViewName(ViewType.METHOD, method))
+        return self.typed_view(ViewType.METHOD, method)
 
     def target_object_view(self, location: int) -> View | None:
-        return self.view(ViewName(ViewType.TARGET_OBJECT, location))
+        return self.typed_view(ViewType.TARGET_OBJECT, location)
 
     def active_object_view(self, location: int) -> View | None:
-        return self.view(ViewName(ViewType.ACTIVE_OBJECT, location))
+        return self.typed_view(ViewType.ACTIVE_OBJECT, location)
 
     def views_of_entry(self, entry: TraceEntry) -> list[View]:
         """Navigate the web: all views an entry belongs to (Sec. 2.4)."""
         found = []
         for name in view_names(entry):
-            view = self._views.get(name)
+            view = self.view(name)
             if view is not None:
                 found.append(view)
         return found
@@ -144,6 +225,7 @@ class ViewWeb:
 
     def counts(self) -> dict[str, int]:
         """View counts in the shape of the paper's Table 2."""
+        self._ensure_all()
         by_type = {vtype: 0 for vtype in ViewType}
         for name in self._views:
             by_type[name.vtype] += 1

@@ -113,3 +113,97 @@ class TestBuiltinEngines:
     def test_lcs_engine_rejects_unknown_algorithm(self):
         with pytest.raises(ValueError):
             LcsEngine("bogus")
+
+
+class TestKeyTablePlumbing:
+    def test_accepts_key_table_detection(self):
+        from repro.api.engines import accepts_key_table
+
+        class Legacy:
+            name = "legacy"
+
+            def diff(self, left, right, *, config=None, counter=None,
+                     budget=None):  # pragma: no cover - signature only
+                raise NotImplementedError
+
+        class VarKw:
+            name = "varkw"
+
+            def diff(self, left, right, **kwargs):  # pragma: no cover
+                raise NotImplementedError
+
+        assert not accepts_key_table(Legacy())
+        assert accepts_key_table(VarKw())
+        assert accepts_key_table(ViewsEngine())
+        assert accepts_key_table(LcsEngine("dp"))
+
+    def test_session_feeds_legacy_engine_without_key_table(self, trace_pair):
+        from repro.api.session import Session
+
+        seen = {}
+
+        class Legacy:
+            name = "legacy-probe"
+
+            def diff(self, left, right, *, config=None, counter=None,
+                     budget=None):
+                seen["kwargs"] = True
+                return view_diff(left, right, config=config,
+                                 counter=counter)
+
+        result = Session(engine=Legacy()).diff(*trace_pair)
+        assert seen["kwargs"] and result.num_diffs() > 0
+
+    def test_session_shares_pair_table(self, trace_pair):
+        from repro.api.session import Session
+        from repro.core.keytable import KeyTable
+
+        captured = {}
+
+        class Probe:
+            name = "table-probe"
+
+            def diff(self, left, right, *, config=None, counter=None,
+                     budget=None, key_table=None):
+                captured["table"] = key_table
+                return view_diff(left, right, config=config,
+                                 counter=counter, key_table=key_table)
+
+        session = Session(engine=Probe())
+        session.diff(*trace_pair)
+        assert isinstance(captured["table"], KeyTable)
+        session.with_config(interned=False)
+        captured.clear()
+        session.diff(*trace_pair)
+        assert captured["table"] is None
+
+    def test_interned_toggle_preserves_results(self, trace_pair):
+        old, new = trace_pair
+        for engine in ("views", *ALGORITHMS):
+            tupled = get_engine(engine).diff(
+                old, new, config=ViewDiffConfig(interned=False),
+                counter=OpCounter())
+            interned = get_engine(engine).diff(
+                old, new, config=ViewDiffConfig(interned=True),
+                counter=OpCounter())
+            assert tupled.similar_left == interned.similar_left
+            assert tupled.similar_right == interned.similar_right
+
+    def test_session_capture_interns_at_ingest(self):
+        from repro.api.session import Session
+
+        def workload(payload):
+            return sum(range(payload))
+
+        session = Session()
+        trace = session.trace_call(workload, 5, name="w")
+        assert trace.key_table is session.key_table
+        assert trace.key_ids is not None
+        assert len(trace.key_ids) == len(trace)
+
+    def test_derived_session_shares_key_table(self):
+        from repro.api.session import Session
+
+        base = Session()
+        derived = base.derive(engine="dp")
+        assert derived.key_table is base.key_table

@@ -100,7 +100,7 @@ class TestViewInvariants:
     def test_view_indices_sorted(self, program):
         web = ViewWeb(build_trace(program))
         for view in web.all_views():
-            assert view.indices == sorted(view.indices)
+            assert list(view.indices) == sorted(view.indices)
 
 
 class TestDiffProperties:

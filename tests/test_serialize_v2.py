@@ -1,0 +1,189 @@
+"""Streaming serialisation v2: key tables on disk, v1 read-compat,
+version validation, and mixed-version stores."""
+
+import json
+
+import pytest
+
+from repro.analysis.serialize import (FORMAT_VERSION, iter_entries,
+                                      load_trace, read_header,
+                                      read_key_table, save_entries,
+                                      save_trace)
+from repro.api.store import TraceStore
+from repro.core.entries import entries_equal
+from repro.core.keytable import KeyTable
+from repro.core.view_diff import view_diff
+
+from helpers import myfaces_trace
+
+
+def entries_match(a, b):
+    assert len(a) == len(b)
+    for entry_a, entry_b in zip(a.entries, b.entries):
+        assert entry_a.eid == entry_b.eid
+        assert entry_a.tid == entry_b.tid
+        assert entry_a.method == entry_b.method
+        assert entries_equal(entry_a, entry_b)
+
+
+class TestFormatV2:
+    def test_default_writes_v2_with_key_table(self, tmp_path):
+        trace = myfaces_trace(name="t")
+        path = tmp_path / "t.jsonl"
+        save_trace(trace, path)
+        header = read_header(path)
+        assert header["format"] == FORMAT_VERSION == 2
+        assert header["keys"] > 0
+        loaded = load_trace(path)
+        entries_match(trace, loaded)
+        # The trace comes back interned: its column matches its table.
+        assert loaded.key_table is not None
+        assert len(loaded.key_ids) == len(loaded)
+        for entry, kid in zip(loaded.entries, loaded.key_ids):
+            assert loaded.key_table.key_of(kid) == entry.key()
+
+    def test_v1_to_v2_round_trip(self, tmp_path):
+        trace = myfaces_trace(new_version=True, name="t")
+        v1 = tmp_path / "v1.jsonl"
+        v2 = tmp_path / "v2.jsonl"
+        save_trace(trace, v1, version=1)
+        assert read_header(v1)["format"] == 1
+        from_v1 = load_trace(v1)
+        assert from_v1.key_table is None  # v1 carries no table
+        entries_match(trace, from_v1)
+        save_trace(from_v1, v2)
+        from_v2 = load_trace(v2)
+        entries_match(trace, from_v2)
+        # =e keys survive the v1 -> v2 migration exactly.
+        for entry_a, entry_b in zip(from_v1.entries, from_v2.entries):
+            assert entry_a.key() == entry_b.key()
+
+    def test_unknown_version_raises_clear_error(self, tmp_path):
+        path = tmp_path / "future.jsonl"
+        path.write_text(json.dumps({"format": 99, "name": "x"}) + "\n",
+                        encoding="utf-8")
+        with pytest.raises(ValueError, match="version 99"):
+            read_header(path)
+        with pytest.raises(ValueError, match="version 99"):
+            load_trace(path)
+        with pytest.raises(ValueError, match="version 99"):
+            list(iter_entries(path))
+
+    def test_duplicate_key_table_line_rejected(self, tmp_path):
+        trace = myfaces_trace(name="t")
+        path = tmp_path / "t.jsonl"
+        save_trace(trace, path)
+        lines = path.read_text(encoding="utf-8").splitlines()
+        lines[2] = lines[1]  # duplicate one key line: ids would shift
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        with pytest.raises(ValueError, match="corrupt key table"):
+            load_trace(path)
+
+    def test_out_of_range_kid_rejected(self, tmp_path):
+        trace = myfaces_trace(name="t")
+        path = tmp_path / "t.jsonl"
+        save_trace(trace, path)
+        header = read_header(path)
+        lines = path.read_text(encoding="utf-8").splitlines()
+        row = json.loads(lines[-1])
+        row["kid"] = header["keys"] + 5
+        lines[-1] = json.dumps(row)
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        with pytest.raises(ValueError, match="outside"):
+            load_trace(path)
+
+    def test_missing_version_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps({"name": "x"}) + "\n", encoding="utf-8")
+        with pytest.raises(ValueError, match="unsupported trace format"):
+            read_header(path)
+
+    def test_read_key_table_streams_both_formats(self, tmp_path):
+        trace = myfaces_trace(name="t")
+        v1 = tmp_path / "v1.jsonl"
+        v2 = tmp_path / "v2.jsonl"
+        save_trace(trace, v1, version=1)
+        save_trace(trace, v2)
+        expected = {entry.key() for entry in trace.entries}
+        for path in (v1, v2):
+            _header, table = read_key_table(path)
+            assert set(table.keys()) == expected
+
+    def test_iter_entries_skips_key_table(self, tmp_path):
+        trace = myfaces_trace(name="t")
+        path = tmp_path / "t.jsonl"
+        save_trace(trace, path)
+        streamed = list(iter_entries(path))
+        assert len(streamed) == len(trace)
+        for entry_a, entry_b in zip(trace.entries, streamed):
+            assert entries_equal(entry_a, entry_b)
+
+    def test_save_entries_v2_round_trip(self, tmp_path):
+        trace = myfaces_trace(name="t")
+        path = tmp_path / "seg.jsonl"
+        count = save_entries(trace.entries, path, name="seg")
+        assert count == len(trace)
+        assert read_header(path)["keys"] > 0
+        streamed = list(iter_entries(path))
+        assert len(streamed) == len(trace)
+
+    def test_shared_ingest_table_round_trips_local_ids(self, tmp_path):
+        """A trace interned into a big shared table is written with a
+        compact file-local table, and loads back consistent."""
+        shared = KeyTable()
+        for filler in range(100):
+            shared.intern(("filler", filler))
+        from repro.core.traces import TraceBuilder
+        from repro.core.values import prim
+        builder = TraceBuilder(name="t", key_table=shared)
+        tid = builder.main_tid
+        obj = builder.record_init(tid, "A", (), serialization=("A", 1))
+        builder.record_set(tid, obj, "f", prim(1))
+        builder.record_set(tid, obj, "f", prim(1))
+        builder.record_end(tid)
+        trace = builder.build()
+        path = tmp_path / "t.jsonl"
+        save_trace(trace, path)
+        header = read_header(path)
+        assert header["keys"] == len(set(trace.key_ids))  # compact
+        loaded = load_trace(path)
+        entries_match(trace, loaded)
+        for entry, kid in zip(loaded.entries, loaded.key_ids):
+            assert loaded.key_table.key_of(kid) == entry.key()
+
+
+class TestMixedStore:
+    def test_store_lists_and_loads_mixed_versions(self, tmp_path):
+        store = TraceStore(tmp_path / "store")
+        new_style = myfaces_trace(name="new-style")
+        store.save(new_style, key="pair/new")
+        # A v1 file dropped in by an older tool, picked up as loose.
+        old_style = myfaces_trace(new_version=True, name="old-style")
+        save_trace(old_style, store.root / "legacy.jsonl", version=1)
+
+        keys = store.keys()
+        assert "pair/new" in keys and "legacy" in keys
+        records = {record.key: record for record in store.records()}
+        assert records["pair/new"].entries == len(new_style)
+        assert records["legacy"].entries == len(old_style)
+
+        left = store.load("pair/new")
+        right = store.load("legacy")
+        assert left.key_table is not None
+        assert right.key_table is None
+        # Interned diffing bridges a v2/v1 pair transparently.
+        result = view_diff(left, right)
+        assert result.num_diffs() > 0
+
+    def test_store_save_records_fingerprint(self, tmp_path):
+        store = TraceStore(tmp_path / "store")
+        trace = myfaces_trace(name="t")
+        record = store.save(trace, key="t")
+        assert record.metadata["fingerprint"] == trace.fingerprint()
+
+    def test_load_key_table_from_store(self, tmp_path):
+        store = TraceStore(tmp_path / "store")
+        trace = myfaces_trace(name="t")
+        store.save(trace, key="t")
+        table = store.load_key_table("t")
+        assert set(table.keys()) == {e.key() for e in trace.entries}
