@@ -1,0 +1,154 @@
+"""Capture throughput: process workers vs the global capture lock.
+
+The motivating number for the execution layer: a batch of capture-heavy
+scenarios run through
+
+* the **locked baseline** — a thread pool whose captures all contend on
+  the process-wide ``CAPTURE_LOCK`` (one ``sys.settrace`` weaver per
+  interpreter, the seed's only option), and
+* **process workers** — each capture dispatched to a worker process
+  owning its own weaver, traces shipped home as serialization-v2 text.
+
+The workload models the paper's capture profile: traced method calls
+around I/O waits (RPRISM traces servlet containers and databases — real
+captures block on requests and disk, and the lock serialises those
+waits along with the CPU work).  Under the lock the batch's wall-clock
+is the *sum* of every capture; process workers overlap them, so
+throughput scales with workers even on a single core.  A CPU-bound
+variant is reported too for honesty on GIL-free-core-less boxes.
+
+One JSON document lands in ``results/executors.json`` (the CI uploads
+it as a workflow artifact).  Environment knobs (the CI smoke job
+shrinks everything):
+
+* ``BENCH_EXEC_SCENARIOS`` — captures per batch (default 6).
+* ``BENCH_EXEC_WORKERS`` — pool size for both executors (default 3).
+* ``BENCH_EXEC_OPS`` — traced calls per capture (default 40).
+* ``BENCH_EXEC_SLEEP`` — total I/O-wait seconds per capture (0.3).
+
+The ≥2x acceptance assertion fires only at full size (≥4 scenarios
+with real waits); result-identity assertions always run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from conftest import write_result
+
+from repro.capture.filters import TraceFilter
+from repro.exec import (CaptureTask, ProcessExecutor, ThreadExecutor,
+                        run_capture_tasks)
+
+SCENARIOS = int(os.environ.get("BENCH_EXEC_SCENARIOS", "6"))
+WORKERS = int(os.environ.get("BENCH_EXEC_WORKERS", "3"))
+OPS = int(os.environ.get("BENCH_EXEC_OPS", "40"))
+SLEEP = float(os.environ.get("BENCH_EXEC_SLEEP", "0.3"))
+
+#: The acceptance assertion only fires at full scale.
+ASSERT_MIN_SCENARIOS = 4
+ASSERT_MIN_SLEEP = 0.2
+
+FILTER = TraceFilter(include_modules=("bench_executors",))
+
+
+class RequestHandler:
+    """The traced service: each request does a little work and blocks
+    on simulated I/O (the part the capture lock needlessly serialises)."""
+
+    def __init__(self, scenario: int):
+        self.scenario = scenario
+        self.handled = 0
+
+    def handle(self, request: int, wait: float) -> int:
+        self.handled += 1
+        if wait:
+            time.sleep(wait)
+        return request * 2 + self.scenario % 7
+
+
+def io_scenario(spec: tuple) -> int:
+    """One capture-heavy scenario: OPS traced calls with I/O waits."""
+    scenario, ops, total_sleep = spec
+    handler = RequestHandler(scenario)
+    wait = total_sleep / max(ops, 1)
+    for request in range(ops):
+        handler.handle(request, wait)
+    return handler.handled
+
+
+def cpu_scenario(spec: tuple) -> int:
+    """The all-CPU variant (no waits) for the honesty row."""
+    scenario, ops, _ = spec
+    handler = RequestHandler(scenario)
+    for request in range(ops):
+        handler.handle(request, 0.0)
+    return handler.handled
+
+
+def _tasks(func, total_sleep: float) -> list[CaptureTask]:
+    return [CaptureTask(func=func, args=((scenario, OPS, total_sleep),),
+                        name=f"scenario-{scenario}", filter=FILTER)
+            for scenario in range(SCENARIOS)]
+
+
+def _timed_batch(tasks, executor) -> tuple[float, list]:
+    started = time.perf_counter()
+    outcomes = run_capture_tasks(tasks, executor)
+    return time.perf_counter() - started, outcomes
+
+
+def _keys(trace):
+    return [entry.key() for entry in trace.entries]
+
+
+def test_process_workers_beat_the_capture_lock():
+    rows = []
+    ratios = {}
+    with ThreadExecutor(max_workers=WORKERS) as locked, \
+            ProcessExecutor(max_workers=WORKERS) as processes:
+        for profile, func, total_sleep in (
+                ("io_bound", io_scenario, SLEEP),
+                ("cpu_bound", cpu_scenario, 0.0)):
+            tasks = _tasks(func, total_sleep)
+            locked_seconds, locked_out = _timed_batch(tasks, locked)
+            process_seconds, process_out = _timed_batch(tasks, processes)
+
+            # Identity: a process worker's trace is =e-identical to the
+            # locked capture of the same deterministic scenario.
+            assert all(o.ok for o in locked_out + process_out)
+            for local, remote in zip(locked_out, process_out):
+                assert _keys(local.trace) == _keys(remote.trace), profile
+            assert {o.worker.split(":")[0] for o in process_out} == {"pid"}
+
+            ratio = locked_seconds / max(process_seconds, 1e-9)
+            ratios[profile] = ratio
+            for mode, seconds in (("locked", locked_seconds),
+                                  ("processes", process_seconds)):
+                rows.append({
+                    "profile": profile,
+                    "mode": mode,
+                    "scenarios": SCENARIOS,
+                    "workers": WORKERS,
+                    "ops_per_capture": OPS,
+                    "sleep_per_capture": total_sleep,
+                    "seconds": round(seconds, 4),
+                    "captures_per_sec": round(SCENARIOS / seconds, 3)
+                    if seconds else 0.0,
+                })
+
+    document = {
+        "bench": "executors",
+        "rows": rows,
+        "speedups": {profile: round(ratio, 3)
+                     for profile, ratio in ratios.items()},
+    }
+    write_result("executors.json", json.dumps(document, indent=1,
+                                              sort_keys=True))
+
+    # The acceptance bar: >=2x capture throughput over the locked
+    # baseline on a capture-heavy (I/O-waiting) batch of >=4 scenarios.
+    if SCENARIOS >= ASSERT_MIN_SCENARIOS and SLEEP >= ASSERT_MIN_SLEEP:
+        assert ratios["io_bound"] >= 2.0, ratios

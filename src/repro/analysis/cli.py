@@ -11,7 +11,9 @@ while the program runs, then analysed later.  This CLI covers that side::
         --suspected-new new_bad.jsonl [--expected-old ... --expected-new ...]
         [--regression-left ... --regression-right ...] [--mode intersect]
     python -m repro.analysis.cli store add|list|show|tag|rm DIR ...
-    python -m repro.analysis.cli batch scenarios.json --store DIR [--jobs 4]
+    python -m repro.analysis.cli store diff DIR KEY1 KEY2 [--engine ...]
+    python -m repro.analysis.cli batch scenarios.json --store DIR \\
+        [--jobs 4] [--executor processes]
 
 Differencing is routed through the :mod:`repro.api.engines` registry
 (``--engine`` accepts any registered name; ``--algorithm`` remains as a
@@ -31,6 +33,7 @@ from repro.api.engines import available_engines, get_engine
 from repro.api.pipeline import StoredScenarioJob, run_pipeline
 from repro.api.session import Session
 from repro.api.store import TraceStore
+from repro.exec.executors import available_executors, get_executor
 from repro.analysis.report import render_diff_report, render_trace_tree
 from repro.analysis.serialize import load_trace
 from repro.core.regression import (MODE_INTERSECT, MODE_SUBTRACT,
@@ -216,6 +219,34 @@ def cmd_store_tag(args) -> int:
     return 0
 
 
+def cmd_store_diff(args) -> int:
+    """Diff two stored traces directly — no re-capture.
+
+    v2 store files carry their interned ``=e`` key tables, so the
+    loaded traces diff without recomputing a single key; the stored
+    fingerprints give a cheap identical-shape hint up front.
+    """
+    store = _open_store(args.store)
+    for key in (args.left, args.right):
+        if key not in store:
+            # Exit 2, not 1: callers (the CI smoke) read 1 as
+            # "differences found" — a missing key must stay distinct.
+            _missing_key(store, key)
+            return 2
+    left_record = store.get(args.left)
+    right_record = store.get(args.right)
+    fp_l = left_record.metadata.get("fingerprint")
+    fp_r = right_record.metadata.get("fingerprint")
+    if fp_l and fp_r:
+        note = "identical" if fp_l == fp_r else "differ"
+        print(f"fingerprints: {fp_l} vs {fp_r} ({note})")
+    session = Session(store=store, engine=_engine_name(args),
+                      config=parse_config_flags(args.config))
+    result = session.diff(args.left, args.right)
+    print(render_diff_report(result, max_sequences=args.limit))
+    return 0 if result.num_diffs() == 0 else 1
+
+
 def cmd_store_rm(args) -> int:
     store = _open_store(args.store)
     if args.key not in store:
@@ -266,10 +297,19 @@ def cmd_batch(args) -> int:
         raise SystemExit(f"batch spec {args.spec} is not valid JSON: "
                          f"{error}")
     jobs = _jobs_from_spec(spec)
-    session = Session(store=_open_store(args.store),
-                      engine=_engine_name(args),
-                      config=parse_config_flags(args.config))
-    result = run_pipeline(jobs, session=session, max_workers=args.jobs)
+    try:
+        executor = get_executor(args.executor)
+    except (KeyError, ValueError) as error:
+        # args[0], not str(): str(KeyError) wraps the message in quotes.
+        raise SystemExit(error.args[0])
+    try:
+        session = Session(store=_open_store(args.store),
+                          engine=_engine_name(args),
+                          config=parse_config_flags(args.config),
+                          executor=executor)
+        result = run_pipeline(jobs, session=session, max_workers=args.jobs)
+    finally:
+        executor.close()
     print(result.render())
     return 0 if not result.failed() else 1
 
@@ -354,6 +394,15 @@ def build_parser() -> argparse.ArgumentParser:
     store_rm.add_argument("key")
     store_rm.set_defaults(func=cmd_store_rm)
 
+    store_diff = store_cmds.add_parser(
+        "diff", help="semantic diff of two stored traces (no re-capture)")
+    store_diff.add_argument("store")
+    store_diff.add_argument("left", help="store key of the left trace")
+    store_diff.add_argument("right", help="store key of the right trace")
+    _add_engine_options(store_diff)
+    store_diff.add_argument("--limit", type=int, default=10)
+    store_diff.set_defaults(func=cmd_store_diff)
+
     batch = commands.add_parser(
         "batch",
         help="run many stored regression scenarios through the pipeline")
@@ -365,6 +414,13 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--jobs", type=int, default=None,
                        help="worker threads (default: one per scenario, "
                             "capped)")
+    batch.add_argument("--executor", default=None, metavar="NAME[:N]",
+                       help="execution backend for each job's captures "
+                            "and parallelisable diffs, with optional "
+                            "worker count (one of: "
+                            f"{', '.join(available_executors())}; "
+                            "processes breaks the capture lock; "
+                            "default: serial)")
     _add_engine_options(batch)
     batch.set_defaults(func=cmd_batch)
     return parser

@@ -26,6 +26,7 @@ tuples on read — round-tripping preserves ``=e`` keys exactly.
 
 from __future__ import annotations
 
+import io
 import json
 from array import array
 from pathlib import Path
@@ -188,30 +189,61 @@ def save_trace(trace: Trace, path: str | Path,
     emits the legacy table-less format.
     """
     if version not in SUPPORTED_VERSIONS:
+        # Validate before open("w") truncates an existing file.
         raise ValueError(f"cannot write trace format version {version!r} "
                          f"(supported: {SUPPORTED_VERSIONS})")
     path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        write_trace(handle, trace, extra_metadata=extra_metadata,
+                    version=version)
+
+
+def write_trace(handle, trace: Trace,
+                extra_metadata: dict | None = None,
+                version: int = FORMAT_VERSION) -> None:
+    """Write a trace to an open text handle (the body of
+    :func:`save_trace`, reusable for in-memory wire encoding)."""
+    if version not in SUPPORTED_VERSIONS:
+        raise ValueError(f"cannot write trace format version {version!r} "
+                         f"(supported: {SUPPORTED_VERSIONS})")
     metadata = dict(trace.metadata)
     if extra_metadata:
         metadata.update(extra_metadata)
-    with path.open("w", encoding="utf-8") as handle:
-        if version == 1:
-            header = {"format": 1, "name": trace.name,
-                      "entries": len(trace), "metadata": metadata}
-            handle.write(json.dumps(header) + "\n")
-            for entry in trace.entries:
-                handle.write(json.dumps(entry_to_json(entry)) + "\n")
-            return
-        local_keys, column = _local_key_column(trace)
-        header = {"format": 2, "name": trace.name, "entries": len(trace),
-                  "keys": len(local_keys), "metadata": metadata}
+    if version == 1:
+        header = {"format": 1, "name": trace.name,
+                  "entries": len(trace), "metadata": metadata}
         handle.write(json.dumps(header) + "\n")
-        for key in local_keys:
-            handle.write(json.dumps({"key": _plain(key)}) + "\n")
-        for entry, kid in zip(trace.entries, column):
-            row = entry_to_json(entry)
-            row["kid"] = kid
-            handle.write(json.dumps(row) + "\n")
+        for entry in trace.entries:
+            handle.write(json.dumps(entry_to_json(entry)) + "\n")
+        return
+    local_keys, column = _local_key_column(trace)
+    header = {"format": 2, "name": trace.name, "entries": len(trace),
+              "keys": len(local_keys), "metadata": metadata}
+    handle.write(json.dumps(header) + "\n")
+    for key in local_keys:
+        handle.write(json.dumps({"key": _plain(key)}) + "\n")
+    for entry, kid in zip(trace.entries, column):
+        row = entry_to_json(entry)
+        row["kid"] = kid
+        handle.write(json.dumps(row) + "\n")
+
+
+def dumps_trace(trace: Trace, extra_metadata: dict | None = None,
+                version: int = FORMAT_VERSION) -> str:
+    """The trace as serialisation-v2 text — the wire format process
+    capture/diff workers ship traces back through (key table included,
+    so the receiving side never recomputes an ``=e`` key)."""
+    buffer = io.StringIO()
+    write_trace(buffer, trace, extra_metadata=extra_metadata,
+                version=version)
+    return buffer.getvalue()
+
+
+def loads_trace(data: str | bytes) -> Trace:
+    """Inverse of :func:`dumps_trace`."""
+    if isinstance(data, bytes):
+        data = data.decode("utf-8")
+    return _read_trace(io.StringIO(data), Path("<wire>"))
 
 
 def read_header(path: str | Path) -> dict:
@@ -283,33 +315,37 @@ def load_trace(path: str | Path) -> Trace:
     """
     path = Path(path)
     with path.open("r", encoding="utf-8") as handle:
-        header = _parse_header(handle.readline(), path)
-        if header["format"] >= 2:
-            table = _read_table(handle, header)
-            entries: list[TraceEntry] = []
-            column = array("I")
-            have_kids = True
-            table_size = len(table)
-            for line in handle:
-                if not line.strip():
-                    continue
-                data = json.loads(line)
-                entries.append(entry_from_json(data))
-                kid = data.get("kid")
-                if kid is None:
-                    have_kids = False
-                elif not isinstance(kid, int) or not 0 <= kid < table_size:
-                    raise ValueError(
-                        f"corrupt trace row: kid {kid!r} outside the "
-                        f"{table_size}-entry key table")
-                elif have_kids:
-                    column.append(kid)
-            return Trace(entries, name=header.get("name", ""),
-                         metadata=header.get("metadata") or {},
-                         key_table=table if have_kids else None,
-                         key_ids=column if have_kids else None)
-        entries = [entry_from_json(json.loads(line))
-                   for line in handle if line.strip()]
+        return _read_trace(handle, path)
+
+
+def _read_trace(handle, path: Path) -> Trace:
+    header = _parse_header(handle.readline(), path)
+    if header["format"] >= 2:
+        table = _read_table(handle, header)
+        entries: list[TraceEntry] = []
+        column = array("I")
+        have_kids = True
+        table_size = len(table)
+        for line in handle:
+            if not line.strip():
+                continue
+            data = json.loads(line)
+            entries.append(entry_from_json(data))
+            kid = data.get("kid")
+            if kid is None:
+                have_kids = False
+            elif not isinstance(kid, int) or not 0 <= kid < table_size:
+                raise ValueError(
+                    f"corrupt trace row: kid {kid!r} outside the "
+                    f"{table_size}-entry key table")
+            elif have_kids:
+                column.append(kid)
+        return Trace(entries, name=header.get("name", ""),
+                     metadata=header.get("metadata") or {},
+                     key_table=table if have_kids else None,
+                     key_ids=column if have_kids else None)
+    entries = [entry_from_json(json.loads(line))
+               for line in handle if line.strip()]
     return Trace(entries, name=header.get("name", ""),
                  metadata=header.get("metadata") or {})
 

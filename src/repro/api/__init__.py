@@ -11,17 +11,28 @@ Four pieces, designed to grow independently:
 * :class:`TraceStore` — persistent JSONL trace storage (capture now,
   diff later: the paper's offline workflow).
 * :class:`ScenarioPipeline` — batch execution of many regression
-  scenarios over a worker pool, with per-job op/timing aggregation.
+  scenarios over a worker pool, with per-job op/timing/worker
+  aggregation.
+
+How work *runs* is the execution layer's job (:mod:`repro.exec`):
+sessions and pipelines take an ``executor`` (``serial`` / ``threads`` /
+``processes``) that decides whether captures serialise under the
+process-wide lock or fan out across worker processes, and whether
+views-based diffs evaluate their thread pairs inline or in parallel.
 
 The legacy ``repro.RPrism`` facade remains as a thin shim over
 :class:`Session`.
 """
 
 from repro.api.engines import (DiffEngine, LcsEngine, ViewsEngine,
-                               accepts_key_table, available_engines,
+                               accepts_executor, accepts_key_table,
+                               accepts_kwarg, available_engines,
                                get_engine, register_engine,
                                unregister_engine)
 from repro.core.keytable import KeyTable
+from repro.exec.capture import CaptureOutcome, CaptureTask
+from repro.exec.executors import (Executor, available_executors,
+                                  get_executor)
 from repro.api.pipeline import (JobOutcome, PipelineResult, ScenarioJob,
                                 ScenarioPipeline, StoredScenarioJob,
                                 run_pipeline)
@@ -30,9 +41,12 @@ from repro.api.session import (CAPTURE_LOCK, SCENARIO_ROLES, Session,
 from repro.api.store import TraceRecord, TraceStore
 
 __all__ = [
-    "CAPTURE_LOCK", "DiffEngine", "JobOutcome", "KeyTable", "LcsEngine",
-    "PipelineResult", "SCENARIO_ROLES", "ScenarioJob", "ScenarioPipeline",
-    "Session", "SessionResult", "StoredScenarioJob", "TraceRecord",
-    "TraceStore", "ViewsEngine", "accepts_key_table", "available_engines",
-    "get_engine", "register_engine", "run_pipeline", "unregister_engine",
+    "CAPTURE_LOCK", "CaptureOutcome", "CaptureTask", "DiffEngine",
+    "Executor", "JobOutcome", "KeyTable", "LcsEngine", "PipelineResult",
+    "SCENARIO_ROLES", "ScenarioJob", "ScenarioPipeline", "Session",
+    "SessionResult", "StoredScenarioJob", "TraceRecord", "TraceStore",
+    "ViewsEngine", "accepts_executor", "accepts_key_table",
+    "accepts_kwarg", "available_engines", "available_executors",
+    "get_engine", "get_executor", "register_engine", "run_pipeline",
+    "unregister_engine",
 ]

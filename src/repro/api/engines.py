@@ -45,9 +45,11 @@ class DiffEngine(Protocol):
     must accept and ignore it); ``counter`` accumulates entry-compare
     operations; ``budget`` caps DP memory for engines that allocate
     quadratic tables; ``key_table`` is the diff pair's shared interned
-    ``=e`` symbol table.  Engines written before interning (without the
-    ``key_table`` parameter) remain valid — drivers feed the table only
-    to engines whose signature accepts it (:func:`accepts_key_table`).
+    ``=e`` symbol table; ``executor`` is the execution layer's backend
+    for engines whose work parallelises.  Engines written before a
+    parameter existed (without ``key_table`` or ``executor``) remain
+    valid — drivers feed each kwarg only to engines whose signature
+    accepts it (:func:`accepts_kwarg` and friends).
     """
 
     name: str
@@ -56,25 +58,48 @@ class DiffEngine(Protocol):
              config: ViewDiffConfig | None = None,
              counter: OpCounter | None = None,
              budget: MemoryBudget | None = None,
-             key_table: KeyTable | None = None) -> DiffResult:
+             key_table: KeyTable | None = None,
+             executor=None) -> DiffResult:
         ...
 
 
-def accepts_key_table(engine: DiffEngine) -> bool:
-    """Whether ``engine.diff`` can be handed a ``key_table`` kwarg
-    (pre-interning engines are still supported without one)."""
+def accepts_kwarg(engine: DiffEngine, name: str) -> bool:
+    """Whether ``engine.diff`` can be handed the keyword ``name``.
+
+    Drivers grow new optional diff parameters over time (``key_table``
+    with the interned data layer, ``executor`` with the execution
+    layer); engines written before a parameter existed remain valid —
+    drivers feed a kwarg only to engines whose signature accepts it.
+    """
     try:
         parameters = inspect.signature(engine.diff).parameters
     except (TypeError, ValueError):  # pragma: no cover - exotic callables
         return False
-    if "key_table" in parameters:
+    if name in parameters:
         return True
     return any(p.kind is inspect.Parameter.VAR_KEYWORD
                for p in parameters.values())
 
 
+def accepts_key_table(engine: DiffEngine) -> bool:
+    """Whether ``engine.diff`` can be handed a ``key_table`` kwarg
+    (pre-interning engines are still supported without one)."""
+    return accepts_kwarg(engine, "key_table")
+
+
+def accepts_executor(engine: DiffEngine) -> bool:
+    """Whether ``engine.diff`` can be handed an ``executor`` kwarg
+    (engines without one always run their diff inline)."""
+    return accepts_kwarg(engine, "executor")
+
+
 class ViewsEngine:
-    """The paper's contribution: linear-time views-based differencing."""
+    """The paper's contribution: linear-time views-based differencing.
+
+    ``executor`` routes the per-thread-pair execution phase through the
+    execution layer (serial / threads / processes); results are
+    bit-identical to the inline path for every executor.
+    """
 
     name = "views"
 
@@ -82,9 +107,15 @@ class ViewsEngine:
              config: ViewDiffConfig | None = None,
              counter: OpCounter | None = None,
              budget: MemoryBudget | None = None,
-             key_table: KeyTable | None = None) -> DiffResult:
-        return view_diff(left, right, config=config, counter=counter,
-                         key_table=key_table)
+             key_table: KeyTable | None = None,
+             executor=None) -> DiffResult:
+        if executor is None:
+            return view_diff(left, right, config=config, counter=counter,
+                             key_table=key_table)
+        from repro.exec.diffing import executed_view_diff
+        return executed_view_diff(left, right, config=config,
+                                  counter=counter, key_table=key_table,
+                                  executor=executor)
 
 
 class LcsEngine:

@@ -11,16 +11,20 @@ across a ``concurrent.futures`` thread pool:
   over trace pairs already in a :class:`~repro.api.store.TraceStore`
   (``Session.run_stored_scenario``).
 
-Capture is inherently serial (one ``sys.settrace`` weaver per process;
-see :data:`repro.api.session.CAPTURE_LOCK`), so parallelism buys its
-speedup on the diff/analysis side — which is where the paper's costs
-live.  Each job runs in a session derived from the pipeline's base
-session, so per-job engine/config/mode overrides compose with shared
-configuration — including the base session's ``=e``
+With the default in-process execution, capture is serial (one
+``sys.settrace`` weaver per process; see
+:data:`repro.exec.capture.CAPTURE_LOCK`) and parallelism buys its
+speedup on the diff/analysis side.  Give the pipeline a *process*
+executor (``executor="processes"``) and the capture half scales too:
+each job's capture batch dispatches to worker processes owning their
+own weavers, so N captures proceed truly concurrently while the job
+threads overlap diff/analysis.  Each job runs in a session derived from
+the pipeline's base session, so per-job engine/config/mode overrides
+compose with shared configuration — including the base session's ``=e``
 :class:`~repro.core.keytable.KeyTable`, so every trace a batch captures
 is interned into one shared id space at ingest — and every job reports
-an :class:`OpCounter` total and wall-clock seconds for the benchmark
-tables.
+an :class:`OpCounter` total, wall-clock seconds, and the worker it ran
+on for the benchmark tables and parallel-run debugging.
 """
 
 from __future__ import annotations
@@ -35,6 +39,8 @@ from repro.api.engines import DiffEngine
 from repro.api.session import Session, SessionResult
 from repro.capture.filters import TraceFilter
 from repro.core.view_diff import ViewDiffConfig
+from repro.exec.executors import (Executor, prewarm_thread_pool,
+                                  resolve_executor)
 
 #: Upper bound on pool size when ``max_workers`` is not given.
 DEFAULT_MAX_WORKERS = 8
@@ -47,13 +53,11 @@ def prewarm_pool(pool: ThreadPoolExecutor, workers: int) -> None:
     capture layer's active :class:`~repro.capture.tracer.Tracer` wraps
     ``threading.Thread.start`` process-wide — a worker spawned while
     some job's capture holds the weaver would be recorded as a spurious
-    fork event inside that workload's trace.  A barrier task per worker
-    makes every pool thread exist before the first capture starts.
+    fork event inside that workload's trace.  Delegates to the
+    execution layer's :func:`~repro.exec.executors.prewarm_thread_pool`
+    (one implementation of the barrier trick).
     """
-    barrier = threading.Barrier(workers)
-    warmups = [pool.submit(barrier.wait) for _ in range(workers)]
-    for warmup in warmups:
-        warmup.result()
+    prewarm_thread_pool(pool, workers)
 
 
 @dataclass(slots=True)
@@ -87,12 +91,19 @@ class StoredScenarioJob:
 
 @dataclass(slots=True)
 class JobOutcome:
-    """What one pipeline job produced (or the error that stopped it)."""
+    """What one pipeline job produced (or the error that stopped it).
+
+    ``worker`` names the pipeline worker the job ran on; capture
+    workers (pids under a process executor) are listed per-job via
+    ``SessionResult.workers`` — both surface in :meth:`brief` so
+    parallel runs are debuggable.
+    """
 
     name: str
     result: SessionResult | None = None
     error: str | None = None
     seconds: float = 0.0
+    worker: str = ""
 
     @property
     def ok(self) -> bool:
@@ -101,13 +112,21 @@ class JobOutcome:
     def compares(self) -> int:
         return self.result.compares() if self.result is not None else 0
 
+    def _where(self) -> str:
+        where = self.worker or "?"
+        if self.result is not None and self.result.workers:
+            where += " capture=" + ",".join(self.result.workers)
+        return where
+
     def brief(self) -> str:
         if not self.ok:
-            return f"{self.name:24} FAILED: {self.error}"
+            return (f"{self.name:24} FAILED: {self.error} "
+                    f"[{self.seconds:.3f}s on {self._where()}]")
         sizes = self.result.report.set_sizes()
         return (f"{self.name:24} engine={self.result.engine:10} "
                 f"|A|={sizes['A']:<4} |D|={sizes['D']:<4} "
-                f"{self.compares()} compares  {self.seconds:.3f}s")
+                f"{self.compares()} compares  {self.seconds:.3f}s "
+                f"[{self._where()}]")
 
 
 @dataclass(slots=True)
@@ -154,12 +173,39 @@ class PipelineResult:
 
 
 class ScenarioPipeline:
-    """Execute scenario jobs across a thread pool."""
+    """Execute scenario jobs across a thread pool.
+
+    ``executor`` selects the execution backend job sessions run their
+    captures and parallelisable diffs on (``"processes"`` breaks the
+    capture lock; see :mod:`repro.exec`).  The job fan-out itself stays
+    a thread pool — threads block cheaply on the shared process pool,
+    so ``max_workers`` job threads drive ``executor``'s workers.
+    """
 
     def __init__(self, session: Session | None = None, *,
-                 max_workers: int | None = None):
+                 max_workers: int | None = None,
+                 executor: "Executor | str | None" = None):
         self.session = session if session is not None else Session()
+        self._owned_executor: Executor | None = None
+        if executor is not None:
+            resolved, owned = resolve_executor(executor)
+            if owned:
+                self._owned_executor = resolved
+            self.session = self.session.derive(executor=resolved)
         self.max_workers = max_workers
+
+    def close(self) -> None:
+        """Shut down a pool this pipeline built from an executor name
+        spec (instances stay with their creator)."""
+        if self._owned_executor is not None:
+            self._owned_executor.close()
+            self._owned_executor = None
+
+    def __enter__(self) -> "ScenarioPipeline":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def _workers_for(self, jobs: Sequence) -> int:
         if self.max_workers is not None:
@@ -168,6 +214,7 @@ class ScenarioPipeline:
 
     def _run_job(self, job: ScenarioJob | StoredScenarioJob) -> JobOutcome:
         started = time.perf_counter()
+        worker = threading.current_thread().name
         try:
             session = self.session.derive(engine=job.engine,
                                           config=job.config,
@@ -184,11 +231,13 @@ class ScenarioPipeline:
                     job.regressing_input, job.correct_input,
                     name=job.name, store_prefix=job.store_prefix)
             return JobOutcome(name=job.name, result=result,
-                              seconds=time.perf_counter() - started)
+                              seconds=time.perf_counter() - started,
+                              worker=worker)
         except Exception as exc:  # noqa: BLE001 - jobs fail independently
             return JobOutcome(name=job.name,
                               error=f"{type(exc).__name__}: {exc}",
-                              seconds=time.perf_counter() - started)
+                              seconds=time.perf_counter() - started,
+                              worker=worker)
 
     def run(self, jobs: Sequence[ScenarioJob | StoredScenarioJob]
             ) -> PipelineResult:
@@ -209,6 +258,12 @@ class ScenarioPipeline:
 
 def run_pipeline(jobs: Sequence[ScenarioJob | StoredScenarioJob], *,
                  session: Session | None = None,
-                 max_workers: int | None = None) -> PipelineResult:
-    """One-shot convenience over :class:`ScenarioPipeline`."""
-    return ScenarioPipeline(session, max_workers=max_workers).run(jobs)
+                 max_workers: int | None = None,
+                 executor: "Executor | str | None" = None
+                 ) -> PipelineResult:
+    """One-shot convenience over :class:`ScenarioPipeline` — a pool
+    built from an ``executor`` name spec is closed when the batch
+    ends."""
+    with ScenarioPipeline(session, max_workers=max_workers,
+                          executor=executor) as pipeline:
+        return pipeline.run(jobs)

@@ -19,25 +19,31 @@ The full Sec. 4 recipe is one call::
                             regressing_input=bad, correct_input=ok))
     print(result.render())
 
-Capture is serialised process-wide: the ``sys.settrace`` weaver admits a
-single active :class:`~repro.capture.tracer.Tracer`, so concurrent
-sessions (e.g. the parallel pipeline) interleave their capture phases
-under :data:`CAPTURE_LOCK` while overlapping the diff/analysis work.
+How a session *executes* is pluggable (:mod:`repro.exec`): with the
+default ``serial``/``threads`` executors capture is serialised
+process-wide — the ``sys.settrace`` weaver admits a single active
+:class:`~repro.capture.tracer.Tracer`, so concurrent sessions (e.g. the
+parallel pipeline) interleave their capture phases under
+:data:`CAPTURE_LOCK` while overlapping the diff/analysis work.  With
+``executor="processes"`` captures dispatch to worker processes that
+each own their own weaver — N captures proceed truly concurrently and
+the lock never enters the picture — and views-based diffs run their
+per-thread-pair execution phase through the same pool.
 """
 
 from __future__ import annotations
 
 import dataclasses
-import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable
 
-from repro.api.engines import DiffEngine, accepts_key_table, get_engine
+from repro.api.engines import (DiffEngine, accepts_executor,
+                               accepts_key_table, get_engine)
 from repro.api.store import TraceStore
 from repro.capture.filters import TraceFilter
-from repro.capture.tracer import CaptureResult, trace_call
+from repro.capture.tracer import CaptureResult
 from repro.core.diffs import DiffResult
 from repro.core.keytable import KeyTable
 from repro.core.lcs import MemoryBudget, OpCounter
@@ -46,10 +52,11 @@ from repro.core.regression import (MODE_INTERSECT, RegressionReport,
 from repro.core.traces import Trace
 from repro.core.view_diff import ViewDiffConfig
 from repro.core.web import ViewWeb
+from repro.exec.capture import (CAPTURE_LOCK, CaptureOutcome, CaptureTask,
+                                run_capture_tasks)
+from repro.exec.executors import Executor, resolve_executor
 
-#: Process-wide capture serialisation (re-entrant so a nested capture
-#: attempt still reaches the Tracer's own "already active" diagnostic).
-CAPTURE_LOCK = threading.RLock()
+__all__ = ["CAPTURE_LOCK", "SCENARIO_ROLES", "Session", "SessionResult"]
 
 #: The four trace roles of the Sec. 4 recipe, in capture order.
 SCENARIO_ROLES = ("old/regressing", "new/regressing",
@@ -74,6 +81,9 @@ class SessionResult:
     engine: str = "views"
     scenario: str = ""
     store_keys: tuple[str, ...] = ()
+    #: Distinct workers the captures ran on (``pid:N`` under a process
+    #: executor, ``thread:NAME`` in-process), in first-use order.
+    workers: tuple[str, ...] = ()
 
     def diffs(self) -> list[DiffResult]:
         """The diffs actually computed (A, and B/C when present)."""
@@ -112,7 +122,8 @@ class Session:
                  engine: str | DiffEngine = "views",
                  mode: str = MODE_INTERSECT,
                  record_fields: bool = True,
-                 key_table: KeyTable | None = None):
+                 key_table: KeyTable | None = None,
+                 executor: "Executor | str | None" = None):
         self.config = config if config is not None else ViewDiffConfig()
         self.filter = filter
         self.store = self._as_store(store)
@@ -124,6 +135,13 @@ class Session:
         #: (or its derived siblings — the pipeline's per-job sessions)
         #: already share one id space when they meet in :meth:`diff`.
         self.key_table = key_table if key_table is not None else KeyTable()
+        #: How this session's captures and parallelisable diffs run
+        #: (:mod:`repro.exec`): ``serial`` by default; ``"processes"``
+        #: isolates each capture in a worker process with its own
+        #: settrace weaver.  A pool built here from a name spec is
+        #: *owned* — :meth:`close` (or the context manager) shuts it
+        #: down; instances stay with their creator.
+        self.executor, self._owns_executor = resolve_executor(executor)
 
     @staticmethod
     def _as_store(store) -> TraceStore | None:
@@ -169,13 +187,41 @@ class Session:
         self.mode = mode
         return self
 
+    def with_executor(self, executor: "Executor | str",
+                      max_workers: int | None = None) -> "Session":
+        """Select the execution backend (``serial`` / ``threads`` /
+        ``processes``, optionally ``"processes:4"``-style, or an
+        executor instance to share a pool)."""
+        # Resolve first: a bad spec must not leave the session with a
+        # closed (unusable) executor.
+        resolved, owned = resolve_executor(executor,
+                                           max_workers=max_workers)
+        if self._owns_executor:
+            self.executor.close()
+        self.executor, self._owns_executor = resolved, owned
+        return self
+
+    def close(self) -> None:
+        """Shut down the executor pool this session owns (one built
+        from a name spec); shared instances are left to their owner."""
+        if self._owns_executor:
+            self.executor.close()
+            self._owns_executor = False
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
     def derive(self, *, engine: str | DiffEngine | None = None,
                config: ViewDiffConfig | None = None,
                filter: TraceFilter | None = None,
-               mode: str | None = None) -> "Session":
-        """A sibling session sharing this one's store and key table,
-        with overrides (the pipeline gives each job its own derived
-        session)."""
+               mode: str | None = None,
+               executor: "Executor | str | None" = None) -> "Session":
+        """A sibling session sharing this one's store, key table, and
+        executor (pool included), with overrides (the pipeline gives
+        each job its own derived session)."""
         return Session(
             config=config if config is not None else self.config,
             filter=filter if filter is not None else self.filter,
@@ -184,29 +230,47 @@ class Session:
             mode=mode if mode is not None else self.mode,
             record_fields=self.record_fields,
             key_table=self.key_table,
+            executor=executor if executor is not None else self.executor,
         )
 
     # -- lifecycle: capture / ingest ---------------------------------------
+
+    def _capture_task(self, func: Callable, args: tuple, kwargs: dict,
+                      name: str) -> CaptureTask:
+        return CaptureTask(func=func, args=args, kwargs=kwargs, name=name,
+                           filter=self.filter,
+                           record_fields=self.record_fields)
+
+    def _ingest_table(self) -> KeyTable | None:
+        return self.key_table if self.config.interned else None
 
     def capture(self, func: Callable, *args, name: str = "",
                 store_as: str | None = None,
                 tags: tuple[str, ...] = (), **kwargs) -> CaptureResult:
         """Trace one run under this session's filter.
 
-        ``store_as`` persists the trace to the session store immediately
-        (requires :meth:`with_store`).
+        The session's executor decides where the capture runs: under
+        :data:`CAPTURE_LOCK` in-process (serial / threads), or in a
+        worker process owning its own weaver (``processes`` — ``func``
+        and its arguments must then be picklable).  ``store_as``
+        persists the trace to the session store immediately (requires
+        :meth:`with_store`).
         """
-        with CAPTURE_LOCK:
-            captured = trace_call(func, *args, name=name,
-                                  filter=self.filter,
-                                  record_fields=self.record_fields,
-                                  key_table=self.key_table
-                                  if self.config.interned else None,
-                                  **kwargs)
+        task = self._capture_task(func, args, kwargs, name)
+        outcome = run_capture_tasks([task], self.executor,
+                                    key_table=self._ingest_table())[0]
         if store_as is not None:
-            self._store_required().save(captured.trace, key=store_as,
+            self._store_required().save(outcome.trace, key=store_as,
                                         tags=tags)
-        return captured
+        return outcome.capture_result()
+
+    def capture_batch(self, tasks: "list[CaptureTask]"
+                      ) -> "list[CaptureOutcome]":
+        """Evaluate many capture tasks through the session's executor
+        (truly concurrently under a process executor), interning every
+        trace into the session's key table."""
+        return run_capture_tasks(tasks, self.executor,
+                                 key_table=self._ingest_table())
 
     def trace_call(self, func: Callable, *args, name: str = "",
                    **kwargs) -> Trace:
@@ -267,6 +331,8 @@ class Session:
         kwargs = {}
         if self.config.interned and accepts_key_table(backend):
             kwargs["key_table"] = KeyTable.for_pair(left_trace, right_trace)
+        if self.executor.name != "serial" and accepts_executor(backend):
+            kwargs["executor"] = self.executor
         return backend.diff(left_trace, right_trace,
                             config=self.config, counter=counter,
                             budget=budget, **kwargs)
@@ -305,33 +371,44 @@ class Session:
         store under ``<prefix>/<role>`` keys, so the scenario can be
         re-analysed offline (``run_stored_scenario``).
 
+        The whole capture phase runs as one batch through the session's
+        executor — under a process executor the four roles are captured
+        truly concurrently, each in a worker owning its own weaver.
+
         Version callables receive the input as their single argument.
         """
         started = time.perf_counter()
         traces: dict[str, Trace] = {}
         store_keys: list[str] = []
+        workers: list[str] = []
 
-        def grab(runner: Callable, payload, role: str) -> Trace:
-            key = None
+        roles: list[tuple[str, Callable, object]] = [
+            ("old/regressing", old_version, regressing_input),
+            ("new/regressing", new_version, regressing_input)]
+        if correct_input is not None:
+            roles.append(("old/correct", old_version, correct_input))
+            roles.append(("new/correct", new_version, correct_input))
+        outcomes = self.capture_batch(
+            [self._capture_task(runner, (payload,), {}, role)
+             for role, runner, payload in roles])
+        for (role, _runner, _payload), outcome in zip(roles, outcomes):
+            traces[role] = outcome.trace
+            if outcome.worker and outcome.worker not in workers:
+                workers.append(outcome.worker)
             if store_prefix is not None:
                 key = f"{store_prefix}/{role}"
                 store_keys.append(key)
-            trace = self.capture(runner, payload, name=role,
-                                 store_as=key).trace
-            traces[role] = trace
-            return trace
+                self._store_required().save(outcome.trace, key=key)
 
-        old_bad = grab(old_version, regressing_input, "old/regressing")
-        new_bad = grab(new_version, regressing_input, "new/regressing")
-        suspected = self.diff(old_bad, new_bad, engine=engine)
-
+        suspected = self.diff(traces["old/regressing"],
+                              traces["new/regressing"], engine=engine)
         expected = None
         regression = None
         if correct_input is not None:
-            old_ok = grab(old_version, correct_input, "old/correct")
-            new_ok = grab(new_version, correct_input, "new/correct")
-            expected = self.diff(old_ok, new_ok, engine=engine)
-            regression = self.diff(new_ok, new_bad, engine=engine)
+            expected = self.diff(traces["old/correct"],
+                                 traces["new/correct"], engine=engine)
+            regression = self.diff(traces["new/correct"],
+                                   traces["new/regressing"], engine=engine)
 
         report = self.analyze(suspected, expected=expected,
                               regression=regression, mode=mode)
@@ -346,6 +423,7 @@ class Session:
             engine=backend.name,
             scenario=name,
             store_keys=tuple(store_keys),
+            workers=tuple(workers),
         )
 
     def run_stored_scenario(self, suspected: tuple[str, str],

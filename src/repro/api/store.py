@@ -17,15 +17,30 @@ Keys may contain ``/`` (sessions namespace the four-trace recipe as
 names on disk.  Trace name and entry counts are always read from the
 file headers, so files dropped into the directory by other tools are
 picked up; only tags live in the index.
+
+Writes are safe under concurrent writers — threads of one process *and*
+separate processes (the execution layer's capture workers persist
+traces from wherever they run).  Every file lands via write-to-unique-
+temp + ``os.replace`` (readers never observe a half-written trace or
+index), and index read-modify-writes are serialised through an advisory
+``flock`` on a sidecar lock file where the platform provides one.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import os
 import threading
+from contextlib import contextmanager
 from dataclasses import dataclass, field
+from itertools import count
 from pathlib import Path
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
 
 from repro.analysis.serialize import (load_trace, read_header,
                                       read_key_table, save_trace)
@@ -33,8 +48,13 @@ from repro.core.keytable import KeyTable
 from repro.core.traces import Trace
 
 INDEX_NAME = "store.json"
+LOCK_NAME = "store.lock"
 INDEX_VERSION = 1
 _SUFFIX = ".jsonl"
+
+#: Per-process uniquifier for temp file names (pid alone is not enough:
+#: one process may write the same target from several threads).
+_TMP_SEQ = count()
 
 #: Characters allowed verbatim in on-disk file stems.
 _SAFE = set("abcdefghijklmnopqrstuvwxyz"
@@ -81,6 +101,41 @@ class TraceStore:
             raise FileNotFoundError(f"no trace store at {self.root}")
         self._lock = threading.Lock()
 
+    # -- write serialisation -------------------------------------------------
+
+    def _tmp_path(self, target: Path) -> Path:
+        """A writer-unique sibling temp path for ``target`` (unique
+        across processes *and* threads, so concurrent writers never
+        clobber each other's in-flight bytes)."""
+        return target.with_name(
+            f".{target.name}.{os.getpid()}.{next(_TMP_SEQ)}.tmp")
+
+    @contextmanager
+    def _locked(self):
+        """Serialise an index read-modify-write against every other
+        writer: the instance lock covers this process's threads, an
+        advisory ``flock`` on a sidecar file covers other processes."""
+        with self._lock:
+            if fcntl is None:  # pragma: no cover - non-POSIX platforms
+                yield
+                return
+            with (self.root / LOCK_NAME).open("a") as handle:
+                fcntl.flock(handle, fcntl.LOCK_EX)
+                try:
+                    yield
+                finally:
+                    fcntl.flock(handle, fcntl.LOCK_UN)
+
+    def _atomic_write(self, target: Path, writer) -> None:
+        """Run ``writer(tmp_path)`` then atomically publish the file."""
+        tmp = self._tmp_path(target)
+        try:
+            writer(tmp)
+            os.replace(tmp, target)
+        finally:
+            if tmp.exists():
+                tmp.unlink()
+
     # -- index (tags + key<->file mapping) ---------------------------------
 
     def _index_path(self) -> Path:
@@ -96,10 +151,10 @@ class TraceStore:
         return index
 
     def _write_index(self, index: dict) -> None:
-        tmp = self._index_path().with_suffix(".tmp")
-        tmp.write_text(json.dumps(index, indent=1, sort_keys=True) + "\n",
-                       encoding="utf-8")
-        tmp.replace(self._index_path())
+        text = json.dumps(index, indent=1, sort_keys=True) + "\n"
+        self._atomic_write(
+            self._index_path(),
+            lambda tmp: tmp.write_text(text, encoding="utf-8"))
 
     def _entry_for(self, index: dict, key: str) -> dict:
         entry = index["traces"].get(key)
@@ -157,16 +212,24 @@ class TraceStore:
             key = trace.name
         if not key:
             raise ValueError("a store key is required for unnamed traces")
-        with self._lock:
-            index = self._read_index()
-            entry = self._entry_for(index, key)
-            entry["tags"] = sorted(set(entry["tags"]) | set(tags))
-            path = self.root / entry["file"]
-            save_trace(trace, path, extra_metadata={
+        # Serialise the (possibly large) trace body *outside* the lock
+        # — concurrent writers only serialise on the index RMW and a
+        # rename, not on each other's O(trace) JSON dumps.
+        tmp = self._tmp_path(self.root / "trace")
+        try:
+            save_trace(trace, tmp, extra_metadata={
                 "store_key": key,
                 "fingerprint": trace.fingerprint(),
             })
-            self._write_index(index)
+            with self._locked():
+                index = self._read_index()
+                entry = self._entry_for(index, key)
+                entry["tags"] = sorted(set(entry["tags"]) | set(tags))
+                os.replace(tmp, self.root / entry["file"])
+                self._write_index(index)
+        finally:
+            if tmp.exists():
+                tmp.unlink()
         return self.get(key)
 
     def ingest_file(self, source: str | Path, key: str | None = None,
@@ -179,7 +242,7 @@ class TraceStore:
                          tags=tags)
 
     def tag(self, key: str, *tags: str) -> TraceRecord:
-        with self._lock:
+        with self._locked():
             index = self._read_index()
             if key not in index["traces"]:
                 self._require(key)
@@ -190,7 +253,7 @@ class TraceStore:
         return self.get(key)
 
     def untag(self, key: str, *tags: str) -> TraceRecord:
-        with self._lock:
+        with self._locked():
             index = self._read_index()
             entry = index["traces"].get(key)
             if entry is not None:
@@ -199,7 +262,7 @@ class TraceStore:
         return self.get(key)
 
     def delete(self, key: str) -> None:
-        with self._lock:
+        with self._locked():
             index = self._read_index()
             entry = index["traces"].pop(key, None)
             path = (self.root / entry["file"] if entry is not None

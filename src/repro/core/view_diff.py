@@ -28,6 +28,7 @@ refactorings.
 
 from __future__ import annotations
 
+import threading
 import time
 from bisect import bisect_left
 from dataclasses import dataclass, field
@@ -330,12 +331,195 @@ class _ThreadPairDiffer:
         return best
 
 
+@dataclass(slots=True)
+class PairMarks:
+    """Everything one correlated thread pair's evaluation produced.
+
+    Marks are *independent* per pair — the lock-step evaluation only
+    ever writes into the similarity sets, never reads them — which is
+    what lets the execution phase run pairs in any order (or in other
+    threads/processes) and still merge to a result bit-identical to the
+    serial evaluation.  ``compares`` carries the pair's entry-compare
+    count so counters aggregate order-independently.
+    """
+
+    ltid: int
+    rtid: int
+    similar_left: set[int] = field(default_factory=set)
+    similar_right: set[int] = field(default_factory=set)
+    match_pairs: list[tuple[int, int]] = field(default_factory=list)
+    anchor_pairs: list[tuple[int, int]] = field(default_factory=list)
+    compares: int = 0
+
+
+class ViewDiffPlan:
+    """The planning phase of a views-based diff.
+
+    Construction does all the pair-independent work: build (or adopt)
+    the two view webs, intern the ``=e`` id columns, correlate the
+    webs' views, and enumerate the correlated thread pairs
+    (``plan.pairs``).  The execution phase is then embarrassingly
+    parallel — :meth:`run_pair` per enumerated pair, in any order,
+    through any executor — and :meth:`merge` folds the
+    :class:`PairMarks` back together deterministically (always in
+    ``plan.pairs`` order, regardless of completion order).
+    """
+
+    def __init__(self, left: Trace, right: Trace,
+                 config: ViewDiffConfig | None = None,
+                 web_left: ViewWeb | None = None,
+                 web_right: ViewWeb | None = None,
+                 key_table: KeyTable | None = None):
+        self.left = left
+        self.right = right
+        self.config = config if config is not None else ViewDiffConfig()
+        self.web_l = web_left if web_left is not None else ViewWeb(left)
+        self.web_r = web_right if web_right is not None else ViewWeb(right)
+        # Interning the two id columns is deferred to the first local
+        # run_pair: a parent plan whose execution phase runs entirely
+        # in worker processes (which re-intern from the wire) never
+        # pays the two O(n) passes.
+        self.ids_l = self.ids_r = None
+        self._key_table = key_table
+        self._ids_built = not self.config.interned
+        self._ids_lock = threading.Lock()
+        self.correlator = ViewCorrelator(self.web_l, self.web_r)
+        #: Correlated thread pairs with a materialised view on both
+        #: sides — the execution phase's work list.
+        self.pairs: list[tuple[int, int]] = [
+            (ltid, rtid)
+            for ltid, rtid in self.correlator.thread_pairs()
+            if self.web_l.thread_view(ltid) is not None
+            and self.web_r.thread_view(rtid) is not None]
+        # Secondary-view window key caches, shared across this plan's
+        # pair evaluations (pure memoisation: values are deterministic,
+        # so concurrent fills are benign).
+        self._window_keys_l: dict = {}
+        self._window_keys_r: dict = {}
+
+    def _ensure_ids(self) -> None:
+        """Intern both traces' ``=e`` id columns once, on first local
+        pair evaluation (thread-safe: pairs may run concurrently)."""
+        if self._ids_built:
+            return
+        with self._ids_lock:
+            if self._ids_built:
+                return
+            table = self._key_table if self._key_table is not None \
+                else KeyTable.for_pair(self.left, self.right)
+            self.ids_l = table.ids_for(self.left)
+            self.ids_r = table.ids_for(self.right)
+            self._ids_built = True
+
+    def run_pair(self, pair: tuple[int, int]) -> PairMarks:
+        """Execution phase for one correlated thread pair: the
+        lock-step evaluation, into pair-private marks."""
+        self._ensure_ids()
+        ltid, rtid = pair
+        marks = PairMarks(ltid=ltid, rtid=rtid)
+        counter = OpCounter()
+        differ = _ThreadPairDiffer(
+            self.web_l.thread_view(ltid), self.web_r.thread_view(rtid),
+            self.web_l, self.web_r, self.correlator, self.config,
+            counter, marks.similar_left, marks.similar_right,
+            marks.anchor_pairs, ids_l=self.ids_l, ids_r=self.ids_r,
+            window_keys_l=self._window_keys_l,
+            window_keys_r=self._window_keys_r)
+        marks.match_pairs = differ.run()
+        marks.compares = counter.total
+        return marks
+
+    def merge(self, marks: "list[PairMarks]",
+              counter: OpCounter | None = None,
+              started: float | None = None) -> DiffResult:
+        """Fold per-pair marks into the final :class:`DiffResult`.
+
+        ``marks`` must be ordered like ``plan.pairs`` (executors
+        preserve submission order); the union/concatenation below then
+        reproduces the serial evaluation exactly.
+        """
+        if counter is None:
+            counter = OpCounter()
+        similar_left: set[int] = set()
+        similar_right: set[int] = set()
+        anchor_pairs: list[tuple[int, int]] = []
+        all_match_pairs: list[tuple[int, int]] = []
+        for mark in marks:
+            similar_left |= mark.similar_left
+            similar_right |= mark.similar_right
+            anchor_pairs.extend(mark.anchor_pairs)
+            all_match_pairs.extend(mark.match_pairs)
+            counter.bump(mark.compares)
+        # Sequences are segmented only after every thread pair has
+        # contributed to sigma, so cross-thread anchors are honoured
+        # everywhere.
+        sequences: list[DifferenceSequence] = []
+        for mark in marks:
+            lv = self.web_l.thread_view(mark.ltid)
+            rv = self.web_r.thread_view(mark.rtid)
+            sequences.extend(build_sequences(
+                self.left, self.right, mark.match_pairs,
+                similar_left, similar_right,
+                left_eids=list(lv.indices), right_eids=list(rv.indices)))
+
+        # Uncorrelated threads: every entry is a difference.
+        matched_left_tids = {mark.ltid for mark in marks}
+        matched_right_tids = {mark.rtid for mark in marks}
+        for tid in self.left.thread_ids():
+            if tid in matched_left_tids:
+                continue
+            lv = self.web_l.thread_view(tid)
+            if lv is None:
+                continue
+            entries = [e for e in lv if e.eid not in similar_left]
+            if entries:
+                sequences.append(DifferenceSequence(
+                    kind="delete", left_entries=entries, right_entries=[]))
+        for tid in self.right.thread_ids():
+            if tid in matched_right_tids:
+                continue
+            rv = self.web_r.thread_view(tid)
+            if rv is None:
+                continue
+            entries = [e for e in rv if e.eid not in similar_right]
+            if entries:
+                sequences.append(DifferenceSequence(
+                    kind="insert", left_entries=[], right_entries=entries))
+
+        elapsed = 0.0 if started is None else time.perf_counter() - started
+        return DiffResult(
+            left=self.left,
+            right=self.right,
+            similar_left=similar_left,
+            similar_right=similar_right,
+            match_pairs=sorted(all_match_pairs),
+            anchor_pairs=anchor_pairs,
+            sequences=sequences,
+            counter=counter,
+            algorithm="views",
+            seconds=elapsed,
+        )
+
+
+def plan_view_diff(left: Trace, right: Trace,
+                   config: ViewDiffConfig | None = None,
+                   web_left: ViewWeb | None = None,
+                   web_right: ViewWeb | None = None,
+                   key_table: KeyTable | None = None) -> ViewDiffPlan:
+    """The planning phase alone (webs + interning + correlation + the
+    correlated-thread-pair work list), for callers that drive the
+    execution phase themselves."""
+    return ViewDiffPlan(left, right, config=config, web_left=web_left,
+                        web_right=web_right, key_table=key_table)
+
+
 def view_diff(left: Trace, right: Trace,
               config: ViewDiffConfig | None = None,
               counter: OpCounter | None = None,
               web_left: ViewWeb | None = None,
               web_right: ViewWeb | None = None,
-              key_table: KeyTable | None = None) -> DiffResult:
+              key_table: KeyTable | None = None,
+              executor=None) -> DiffResult:
     """Difference two traces with the views-based semantics of Fig. 12.
 
     Every pair of correlated thread views (X_TH) is evaluated under the
@@ -349,88 +533,23 @@ def view_diff(left: Trace, right: Trace,
     given, the table the traces already carry when it is common to both,
     a fresh pair table otherwise — and every ``=e`` compare below is an
     int compare.  The similarity sets are identical to the tuple path's.
+
+    ``executor`` runs the per-thread-pair execution phase through an
+    *in-process* executor (anything with an order-preserving
+    ``map(fn, items)``); the merged result is bit-identical to the
+    serial evaluation.  Process executors cannot share the in-memory
+    webs — route those through
+    :func:`repro.exec.diffing.executed_view_diff`.
     """
-    if config is None:
-        config = ViewDiffConfig()
-    if counter is None:
-        counter = OpCounter()
     started = time.perf_counter()
-    web_l = web_left if web_left is not None else ViewWeb(left)
-    web_r = web_right if web_right is not None else ViewWeb(right)
-    if config.interned:
-        table = key_table if key_table is not None \
-            else KeyTable.for_pair(left, right)
-        ids_l = table.ids_for(left)
-        ids_r = table.ids_for(right)
+    plan = ViewDiffPlan(left, right, config=config, web_left=web_left,
+                        web_right=web_right, key_table=key_table)
+    if executor is None:
+        marks = [plan.run_pair(pair) for pair in plan.pairs]
     else:
-        table = ids_l = ids_r = None
-    correlator = ViewCorrelator(web_l, web_r)
-
-    similar_left: set[int] = set()
-    similar_right: set[int] = set()
-    anchor_pairs: list[tuple[int, int]] = []
-    all_match_pairs: list[tuple[int, int]] = []
-    sequences: list[DifferenceSequence] = []
-    window_keys_l: dict = {}
-    window_keys_r: dict = {}
-
-    matched_left_tids: set[int] = set()
-    matched_right_tids: set[int] = set()
-    per_pair: list[tuple[View, View, list[tuple[int, int]]]] = []
-    for ltid, rtid in correlator.thread_pairs():
-        lv = web_l.thread_view(ltid)
-        rv = web_r.thread_view(rtid)
-        if lv is None or rv is None:
-            continue
-        matched_left_tids.add(ltid)
-        matched_right_tids.add(rtid)
-        differ = _ThreadPairDiffer(lv, rv, web_l, web_r, correlator, config,
-                                   counter, similar_left, similar_right,
-                                   anchor_pairs, ids_l=ids_l, ids_r=ids_r,
-                                   window_keys_l=window_keys_l,
-                                   window_keys_r=window_keys_r)
-        pairs = differ.run()
-        all_match_pairs.extend(pairs)
-        per_pair.append((lv, rv, pairs))
-    # Sequences are segmented only after every thread pair has contributed
-    # to sigma, so cross-thread anchors are honoured everywhere.
-    for lv, rv, pairs in per_pair:
-        sequences.extend(build_sequences(
-            left, right, pairs, similar_left, similar_right,
-            left_eids=list(lv.indices), right_eids=list(rv.indices)))
-
-    # Uncorrelated threads: every entry is a difference.
-    for tid in left.thread_ids():
-        if tid in matched_left_tids:
-            continue
-        lv = web_l.thread_view(tid)
-        if lv is None:
-            continue
-        entries = [e for e in lv if e.eid not in similar_left]
-        if entries:
-            sequences.append(DifferenceSequence(
-                kind="delete", left_entries=entries, right_entries=[]))
-    for tid in right.thread_ids():
-        if tid in matched_right_tids:
-            continue
-        rv = web_r.thread_view(tid)
-        if rv is None:
-            continue
-        entries = [e for e in rv if e.eid not in similar_right]
-        if entries:
-            sequences.append(DifferenceSequence(
-                kind="insert", left_entries=[], right_entries=entries))
-
-    elapsed = time.perf_counter() - started
-    return DiffResult(
-        left=left,
-        right=right,
-        similar_left=similar_left,
-        similar_right=similar_right,
-        match_pairs=sorted(all_match_pairs),
-        anchor_pairs=anchor_pairs,
-        sequences=sequences,
-        counter=counter,
-        algorithm="views",
-        seconds=elapsed,
-    )
+        if not getattr(executor, "in_process", True):
+            raise ValueError(
+                "process executors cannot share in-memory view webs; "
+                "use repro.exec.diffing.executed_view_diff instead")
+        marks = executor.map(plan.run_pair, plan.pairs)
+    return plan.merge(marks, counter=counter, started=started)

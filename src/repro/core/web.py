@@ -12,6 +12,7 @@ actually been materialised (the laziness contract the tests pin down).
 
 from __future__ import annotations
 
+import threading
 from array import array
 from dataclasses import dataclass
 
@@ -65,6 +66,11 @@ class ViewWeb:
         self._active_views: dict | None = None
         self._objects: dict[int, ObjectInfo] | None = None
         self._threads: dict[int, ThreadInfo] | None = None
+        # Lazy builds are guarded so concurrent thread-pair evaluations
+        # (the parallel diff execution phase) materialise each view
+        # type exactly once — View identity matters downstream (the
+        # window-key caches token views by id()).
+        self._build_lock = threading.RLock()
 
     # -- lazy construction -------------------------------------------------
 
@@ -87,6 +93,13 @@ class ViewWeb:
     def _ensure_type(self, vtype: ViewType) -> dict:
         typed = self._typed(vtype)
         if typed is not None:
+            return typed
+        with self._build_lock:
+            return self._build_type(vtype)
+
+    def _build_type(self, vtype: ViewType) -> dict:
+        typed = self._typed(vtype)
+        if typed is not None:  # raced: another thread built it first
             return typed
         key_of = KEY_MAPPINGS[vtype]
         columns: dict[object, array] = {}
@@ -129,6 +142,12 @@ class ViewWeb:
         return self._threads
 
     def _build_metadata(self) -> None:
+        with self._build_lock:
+            if self._objects is not None:  # raced: already built
+                return
+            self._build_metadata_locked()
+
+    def _build_metadata_locked(self) -> None:
         objects: dict[int, ObjectInfo] = {}
         seen_tids: dict[int, ThreadInfo] = {}
         for entry in self.trace.entries:

@@ -1,0 +1,39 @@
+"""``repro.exec`` — the execution layer.
+
+Work above this package (sessions, pipelines, the harness, the CLI) is
+expressed as ordered task batches; an :class:`Executor` decides how a
+batch runs — ``serial`` inline, ``threads`` across a prewarmed thread
+pool, ``processes`` across a prewarmed process pool whose workers each
+own their own ``sys.settrace`` weaver.
+
+Two task kinds ride the layer today:
+
+* capture (:mod:`repro.exec.capture`) — :class:`CaptureTask` batches
+  through :func:`run_capture_tasks`; process workers capture lock-free
+  and ship traces back as serialization-v2 text.  The process-wide
+  :data:`CAPTURE_LOCK` now lives here and applies only to in-process
+  execution.
+* diff (:mod:`repro.exec.diffing`) — the views-based diff's execution
+  phase (independent correlated-thread-pair evaluations) through
+  :func:`executed_view_diff`, bit-identical to the serial path.
+"""
+
+from repro.exec.capture import (CAPTURE_LOCK, CaptureOutcome, CaptureTask,
+                                RemoteCaptureError, capture_call,
+                                capture_task_locally, ensure_portable,
+                                resolve_callable, run_capture_tasks)
+from repro.exec.diffing import executed_view_diff
+from repro.exec.executors import (DEFAULT_MAX_WORKERS, Executor,
+                                  ProcessExecutor, SerialExecutor,
+                                  ThreadExecutor, available_executors,
+                                  chunk_evenly, get_executor,
+                                  prewarm_thread_pool, resolve_executor)
+
+__all__ = [
+    "CAPTURE_LOCK", "CaptureOutcome", "CaptureTask", "DEFAULT_MAX_WORKERS",
+    "Executor", "ProcessExecutor", "RemoteCaptureError", "SerialExecutor",
+    "ThreadExecutor", "available_executors", "capture_call",
+    "capture_task_locally", "chunk_evenly", "ensure_portable",
+    "executed_view_diff", "get_executor", "prewarm_thread_pool",
+    "resolve_callable", "resolve_executor", "run_capture_tasks",
+]

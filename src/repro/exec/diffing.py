@@ -1,0 +1,92 @@
+"""Diff execution over the executor layer.
+
+The views-based diff is split (in :mod:`repro.core.view_diff`) into a
+*planning* phase — build webs, intern columns, correlate views,
+enumerate the correlated thread pairs — and an embarrassingly parallel
+*execution* phase that evaluates each pair independently.  This module
+routes the execution phase through an :class:`~repro.exec.executors.Executor`:
+
+* serial — the plain :func:`~repro.core.view_diff.view_diff` path;
+* threads — pair evaluations fan out across the pool, sharing the
+  in-memory webs and window-key caches;
+* processes — both traces are shipped once per worker chunk as
+  serialisation-v2 text; each worker rebuilds the (deterministic) plan
+  locally, evaluates its contiguous chunk of thread pairs, and sends
+  the pair marks back.  The parent merges all marks in plan order.
+
+Every route merges through :meth:`ViewDiffPlan.merge`, so the result is
+bit-identical to the serial evaluation — similarity sets, match and
+anchor pairs, sequences, and compare totals (property-tested in
+``tests/test_exec_diffing.py``).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis.serialize import dumps_trace, loads_trace
+from repro.core.diffs import DiffResult
+from repro.core.keytable import KeyTable
+from repro.core.lcs import OpCounter
+from repro.core.traces import Trace
+from repro.core.view_diff import (PairMarks, ViewDiffConfig, ViewDiffPlan,
+                                  view_diff)
+from repro.exec.executors import Executor, chunk_evenly, resolve_executor
+
+
+def run_diff_chunk_worker(payload: tuple) -> list[PairMarks]:
+    """Evaluate one chunk of correlated thread pairs in a worker.
+
+    ``payload`` is ``(left_text, right_text, config, pairs)`` — both
+    traces as v2 wire text (key tables included, so the worker interns
+    nothing at ingest).  The worker's plan is rebuilt locally; planning
+    (correlation, interning) is deterministic, so its pair marks are
+    exactly the ones the parent's plan would have produced.
+    """
+    left_text, right_text, config, pairs = payload
+    plan = ViewDiffPlan(loads_trace(left_text), loads_trace(right_text),
+                        config=config)
+    return [plan.run_pair(pair) for pair in pairs]
+
+
+def executed_view_diff(left: Trace, right: Trace, *,
+                       config: ViewDiffConfig | None = None,
+                       counter: OpCounter | None = None,
+                       key_table: KeyTable | None = None,
+                       executor: "Executor | str | None" = None
+                       ) -> DiffResult:
+    """Views-based diff with the execution phase run by ``executor``.
+
+    Results are bit-identical to :func:`~repro.core.view_diff.view_diff`
+    for every executor; only wall-clock distribution changes.  As with
+    capture batches, a name spec builds a pool for this one diff and
+    closes it after; pass an instance to amortise.
+    """
+    executor, owned = resolve_executor(executor)
+    try:
+        if executor.in_process:
+            return view_diff(left, right, config=config, counter=counter,
+                             key_table=key_table,
+                             executor=None if executor.name == "serial"
+                             else executor)
+        started = time.perf_counter()
+        plan = ViewDiffPlan(left, right, config=config,
+                            key_table=key_table)
+        if len(plan.pairs) <= 1:
+            # Nothing to distribute — shipping both traces to a worker
+            # would only add wire cost.
+            marks = [plan.run_pair(pair) for pair in plan.pairs]
+            return plan.merge(marks, counter=counter, started=started)
+        chunks = chunk_evenly(plan.pairs,
+                              getattr(executor, "max_workers", 1))
+        left_text = dumps_trace(left)
+        right_text = dumps_trace(right)
+        payloads = [(left_text, right_text, plan.config, chunk)
+                    for chunk in chunks]
+        marks = [mark for chunk_marks in
+                 executor.map(run_diff_chunk_worker, payloads)
+                 for mark in chunk_marks]
+        return plan.merge(marks, counter=counter, started=started)
+    finally:
+        if owned:
+            executor.close()

@@ -1,0 +1,267 @@
+"""The execution layer: where work actually runs.
+
+Everything above this module (sessions, pipelines, the harness, the
+CLI) expresses work as *ordered task batches*; an :class:`Executor`
+decides how a batch is evaluated:
+
+* ``serial`` — inline, in submission order (the zero-dependency
+  default; also what the tests compare every parallel result against).
+* ``threads`` — a prewarmed ``ThreadPoolExecutor``.  In-process, so
+  captures still contend on the process-wide capture lock, but diff and
+  analysis work overlaps.
+* ``processes`` — a prewarmed ``ProcessPoolExecutor``.  Each worker
+  process owns its *own* ``sys.settrace`` weaver, so captures proceed
+  truly concurrently; task functions and arguments must be picklable,
+  and results come back over the serialization-v2 wire format (see
+  :mod:`repro.exec.capture`).
+
+Executors are deliberately tiny: ``map(fn, items)`` with ordered
+results is the whole contract, plus ``in_process`` so drivers know
+whether tasks cross a pickle boundary.  Both pool executors spawn every
+worker *at construction time*: a lazily-spawned thread would be
+recorded as a stray fork by any capture already holding the weaver, and
+a lazily-forked process could inherit a mid-capture interpreter.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, Iterable, Protocol, Sequence, runtime_checkable
+
+#: Upper bound on pool size when none is requested.
+DEFAULT_MAX_WORKERS = 8
+
+#: The registry names, in documentation order.
+EXECUTOR_NAMES = ("serial", "threads", "processes")
+
+
+@runtime_checkable
+class Executor(Protocol):
+    """What an execution backend must provide.
+
+    ``map`` evaluates ``fn`` over ``items`` and returns the results in
+    item order (raising the first task exception, like ``pool.map``).
+    ``in_process`` tells drivers whether tasks run in this interpreter
+    (closures welcome, capture lock required) or cross a process
+    boundary (everything pickled, captures lock-free).
+    """
+
+    name: str
+    in_process: bool
+
+    def map(self, fn: Callable, items: Iterable) -> list:
+        ...
+
+    def close(self) -> None:
+        ...
+
+
+class SerialExecutor:
+    """Inline execution, in order — the baseline every result is
+    compared against."""
+
+    name = "serial"
+    in_process = True
+
+    def __init__(self, max_workers: int | None = None):
+        self.max_workers = 1
+
+    def map(self, fn: Callable, items: Iterable) -> list:
+        return [fn(item) for item in items]
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "SerialExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "SerialExecutor()"
+
+
+def prewarm_thread_pool(pool: ThreadPoolExecutor, workers: int) -> None:
+    """Force every pool thread to exist now.
+
+    The capture layer's active tracer wraps ``threading.Thread.start``
+    process-wide; a worker spawned while some capture holds the weaver
+    would be recorded as a spurious fork inside that workload's trace.
+    A barrier task per worker makes the pool fully populated before the
+    executor is handed to anyone.
+    """
+    barrier = threading.Barrier(workers)
+    for warmup in [pool.submit(barrier.wait) for _ in range(workers)]:
+        warmup.result()
+
+
+class ThreadExecutor:
+    """A prewarmed thread pool (in-process: overlaps diff/analysis;
+    captures still serialise on the capture lock)."""
+
+    name = "threads"
+    in_process = True
+
+    def __init__(self, max_workers: int | None = None):
+        self.max_workers = max(1, max_workers if max_workers is not None
+                               else DEFAULT_MAX_WORKERS)
+        self._pool = ThreadPoolExecutor(max_workers=self.max_workers)
+        prewarm_thread_pool(self._pool, self.max_workers)
+
+    def map(self, fn: Callable, items: Iterable) -> list:
+        return list(self._pool.map(fn, items))
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ThreadExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ThreadExecutor(max_workers={self.max_workers})"
+
+
+def _worker_pid(delay: float = 0.0) -> int:
+    """Prewarm task: spawns the worker and reports its pid.  The delay
+    holds the worker long enough for its siblings to take the other
+    prewarm tasks, so every worker reports."""
+    if delay:
+        time.sleep(delay)
+    return os.getpid()
+
+
+class ProcessExecutor:
+    """A prewarmed process pool — each worker owns its own settrace
+    weaver, so captures proceed truly concurrently.
+
+    Tasks and results are pickled; callables must therefore be
+    module-level.  The pool is fully spawned at construction (the
+    ``fork`` start method where available, so workers are cheap and
+    inherit imported modules), which keeps later ``map`` calls free of
+    mid-capture forking.
+    """
+
+    name = "processes"
+    in_process = False
+
+    def __init__(self, max_workers: int | None = None):
+        import multiprocessing
+
+        self.max_workers = max(1, max_workers if max_workers is not None
+                               else DEFAULT_MAX_WORKERS)
+        context = None
+        if "fork" in multiprocessing.get_all_start_methods():
+            context = multiprocessing.get_context("fork")
+        self._pool = ProcessPoolExecutor(max_workers=self.max_workers,
+                                         mp_context=context)
+        # One submit per worker forces the pool to spawn all of them
+        # now; sleep-staggered rounds make every worker take (and
+        # report) a prewarm task, doubling as a liveness check.
+        pids: set[int] = set()
+        for _ in range(10):
+            futures = [self._pool.submit(_worker_pid, 0.05)
+                       for _ in range(self.max_workers)]
+            pids.update(future.result() for future in futures)
+            if len(pids) >= self.max_workers:
+                break
+        self.worker_pids = tuple(sorted(pids))
+
+    def map(self, fn: Callable, items: Iterable) -> list:
+        return list(self._pool.map(fn, items))
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ProcessExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ProcessExecutor(max_workers={self.max_workers})"
+
+
+_FACTORIES: dict[str, type] = {
+    "serial": SerialExecutor,
+    "threads": ThreadExecutor,
+    "processes": ProcessExecutor,
+}
+
+
+def available_executors() -> tuple[str, ...]:
+    """The selectable executor names (stable, documentation order)."""
+    return EXECUTOR_NAMES
+
+
+def get_executor(spec: "str | Executor | None",
+                 max_workers: int | None = None) -> Executor:
+    """Resolve an executor.
+
+    ``spec`` may be an executor instance (passed through), ``None``
+    (serial), or a registry name — optionally with a worker count
+    suffix, e.g. ``"processes:4"``.  An explicit ``max_workers``
+    argument overrides a suffix.
+    """
+    if spec is None:
+        return SerialExecutor()
+    if not isinstance(spec, str):
+        if isinstance(spec, Executor):
+            return spec
+        raise TypeError(f"not an executor: {spec!r}")
+    name, sep, suffix = spec.partition(":")
+    workers = max_workers
+    if sep:
+        try:
+            suffix_workers = int(suffix)
+        except ValueError:
+            # Validate even when max_workers overrides — a typo'd spec
+            # must never be silently accepted.
+            raise ValueError(f"bad executor worker count in {spec!r}")
+        if workers is None:
+            workers = suffix_workers
+    factory = _FACTORIES.get(name)
+    if factory is None:
+        raise KeyError(f"unknown executor {spec!r}; available: "
+                       f"{', '.join(available_executors())}")
+    return factory(max_workers=workers)
+
+
+def resolve_executor(spec: "str | Executor | None",
+                     max_workers: int | None = None
+                     ) -> tuple[Executor, bool]:
+    """:func:`get_executor` plus an *ownership* flag.
+
+    ``owned`` is True when this call constructed the executor from a
+    spec (name string or ``None``) — the caller is then responsible for
+    closing it once the batch is done, so one-shot drivers never strand
+    worker pools.  Instances pass through unowned (the caller who built
+    the pool keeps its lifecycle).
+    """
+    owned = not isinstance(spec, Executor)
+    return get_executor(spec, max_workers=max_workers), owned
+
+
+def chunk_evenly(items: Sequence, chunks: int) -> list[list]:
+    """Split ``items`` into at most ``chunks`` contiguous, non-empty
+    runs of near-equal length, preserving order (deterministic — the
+    parallel diff path relies on chunk order for result identity)."""
+    items = list(items)
+    if not items:
+        return []
+    chunks = max(1, min(chunks, len(items)))
+    size, extra = divmod(len(items), chunks)
+    out: list[list] = []
+    at = 0
+    for index in range(chunks):
+        width = size + (1 if index < extra else 0)
+        out.append(items[at:at + width])
+        at += width
+    return out

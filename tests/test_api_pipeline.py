@@ -162,3 +162,38 @@ class TestConcurrentCapture:
         pipeline = ScenarioPipeline()
         assert pipeline._workers_for([None] * 100) <= 8
         assert pipeline._workers_for([]) == 1
+
+
+class TestWorkerVisibility:
+    def test_brief_surfaces_wall_time_and_worker(self):
+        result = run_pipeline([_live_job("only")], max_workers=1)
+        brief = result["only"].brief()
+        assert result["only"].worker
+        assert result["only"].worker in brief
+        assert f"{result['only'].seconds:.3f}s" in brief
+        assert "capture=thread:" in brief
+
+    def test_failed_brief_surfaces_wall_time_and_worker(self,
+                                                        stored_session):
+        result = run_pipeline(
+            [_stored_job("broken", suspected=("ob", "missing"))],
+            session=stored_session)
+        brief = result["broken"].brief()
+        assert "FAILED" in brief
+        assert result["broken"].worker in brief
+        assert "s on " in brief
+
+    def test_render_includes_per_job_workers(self):
+        jobs = [_live_job(f"job-{i}") for i in range(3)]
+        result = run_pipeline(jobs, max_workers=3)
+        rendered = result.render()
+        for outcome in result:
+            assert outcome.worker in rendered
+
+    def test_pipeline_executor_reaches_job_sessions(self):
+        # The executor spec on the pipeline derives into job sessions;
+        # with the in-process default nothing else changes.
+        pipeline = ScenarioPipeline(executor="serial")
+        assert pipeline.session.executor.name == "serial"
+        result = pipeline.run([_live_job("one")])
+        assert result["one"].ok

@@ -228,6 +228,43 @@ class TestStore:
             main(["store", "list", str(tmp_path / "nowhere")])
 
 
+class TestStoreDiff:
+    def test_diff_stored_traces_without_recapture(self, populated_store,
+                                                  capsys):
+        status = main(["store", "diff", str(populated_store), "ob", "nb"])
+        out = capsys.readouterr().out
+        assert status == 1  # differences found
+        assert "fingerprints:" in out and "differ" in out
+        assert "_minCharRange" in out
+
+    def test_identical_stored_traces_exit_zero(self, populated_store,
+                                               capsys):
+        status = main(["store", "diff", str(populated_store), "ob", "oo"])
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "fingerprints:" in out
+
+    def test_equal_fingerprints_flagged(self, populated_store, capsys):
+        from repro.api.store import TraceStore
+        store = TraceStore(populated_store, create=False)
+        store.save(store.load("ob"), key="ob-copy")
+        assert main(["store", "diff", str(populated_store), "ob",
+                     "ob-copy"]) == 0
+        assert "identical" in capsys.readouterr().out
+
+    def test_engine_and_config_flags(self, populated_store, capsys):
+        assert main(["store", "diff", str(populated_store), "ob", "oo",
+                     "--engine", "optimized",
+                     "--config", "window=4"]) == 0
+        assert "0 difference" in capsys.readouterr().out
+
+    def test_missing_key_exits_two_not_one(self, populated_store, capsys):
+        # 1 means "differences found"; a missing key must be distinct.
+        assert main(["store", "diff", str(populated_store), "ob",
+                     "nope"]) == 2
+        assert "no trace" in capsys.readouterr().err
+
+
 class TestBatch:
     def _spec(self, tmp_path, scenarios):
         path = tmp_path / "spec.json"
@@ -300,6 +337,23 @@ class TestBatch:
         spec = self._spec(tmp_path, [{"suspected": ["a", "b"]}])
         with pytest.raises(SystemExit, match="no trace store"):
             main(["batch", spec, "--store", str(tmp_path / "nowhere")])
+
+    @pytest.mark.parametrize("executor", ["serial", "threads", "processes"])
+    def test_executor_flag(self, tmp_path, populated_store, capsys,
+                           executor):
+        spec = self._spec(tmp_path, [
+            {"name": "full", "suspected": ["ob", "nb"],
+             "expected": ["oo", "no"], "regression": ["no", "nb"]},
+        ])
+        assert main(["batch", spec, "--store", str(populated_store),
+                     "--executor", f"{executor}:2"]) == 0
+        assert "1/1 scenarios ok" in capsys.readouterr().out
+
+    def test_unknown_executor_rejected(self, tmp_path, populated_store):
+        spec = self._spec(tmp_path, [{"suspected": ["ob", "nb"]}])
+        with pytest.raises(SystemExit):
+            main(["batch", spec, "--store", str(populated_store),
+                  "--executor", "gpu"])
 
 
 class TestSerializeRoundTripProperty:

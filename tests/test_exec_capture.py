@@ -1,0 +1,267 @@
+"""Tests for capture execution over the executor layer — including the
+process-isolated workers that break the global capture lock."""
+
+import os
+import threading
+
+import pytest
+
+from repro.api.session import CAPTURE_LOCK, Session
+from repro.capture.filters import TraceFilter
+from repro.core.keytable import KeyTable
+from repro.exec import (CaptureOutcome, CaptureTask, ProcessExecutor,
+                        RemoteCaptureError, SerialExecutor, ThreadExecutor,
+                        capture_call, run_capture_tasks)
+from repro.exec.capture import ensure_portable, resolve_callable
+
+
+class Service:
+    """A small traced workload (module-level, so it pickles)."""
+
+    def __init__(self, seed):
+        self.total = seed
+
+    def step(self, value):
+        self.total += value
+        return self.total
+
+
+def run_service(values):
+    svc = Service(0)
+    for value in values:
+        svc.step(value)
+    return svc.total
+
+
+def run_failing(values):
+    run_service(values)
+    raise ValueError("workload exploded")
+
+
+def run_unpicklable_result(values):
+    run_service(values)
+    return threading.Lock()  # locks cannot ride the wire home
+
+
+FILTER = TraceFilter(include_modules=("test_exec_capture",))
+
+
+def _task(values=(1, 2, 3), func=run_service, name="svc"):
+    return CaptureTask(func=func, args=(tuple(values),), name=name,
+                       filter=FILTER)
+
+
+def _keys(trace):
+    return [entry.key() for entry in trace.entries]
+
+
+@pytest.fixture(scope="module")
+def process_pool():
+    with ProcessExecutor(max_workers=2) as ex:
+        yield ex
+
+
+class TestSerialCapture:
+    def test_captures_under_lock(self):
+        outcome = run_capture_tasks([_task()], "serial")[0]
+        assert outcome.ok
+        assert outcome.name == "svc"
+        assert outcome.worker.startswith("thread:")
+        assert outcome.seconds > 0
+        assert any(getattr(e.event, "method", None) == "Service.step"
+                   for e in outcome.trace.entries)
+
+    def test_interns_into_caller_table(self):
+        table = KeyTable()
+        outcome = run_capture_tasks([_task()], None, key_table=table)[0]
+        assert outcome.trace.key_table is table
+        assert len(outcome.trace.key_ids) == len(outcome.trace)
+
+    def test_result_value_preserved(self):
+        outcome = run_capture_tasks([_task(values=(5, 7))], "serial")[0]
+        assert outcome.result == 12
+
+    def test_workload_error_captured_not_raised(self):
+        outcome = run_capture_tasks([_task(func=run_failing)], "serial")[0]
+        assert not outcome.ok
+        assert isinstance(outcome.error, ValueError)
+        assert outcome.trace is not None
+        assert any(getattr(e.event, "method", None) == "Service.step"
+                   for e in outcome.trace.entries)
+
+
+class TestProcessCapture:
+    def test_captures_in_worker_process(self, process_pool):
+        outcome = run_capture_tasks([_task()], process_pool)[0]
+        assert outcome.ok
+        assert outcome.worker.startswith("pid:")
+        assert int(outcome.worker.split(":")[1]) != os.getpid()
+        assert outcome.result == 6
+
+    def test_trace_identical_to_in_process_capture(self, process_pool):
+        local = run_capture_tasks([_task()], "serial")[0]
+        remote = run_capture_tasks([_task()], process_pool)[0]
+        assert _keys(remote.trace) == _keys(local.trace)
+
+    def test_batch_runs_on_distinct_workers(self, process_pool):
+        tasks = [_task(name=f"svc{i}") for i in range(4)]
+        outcomes = run_capture_tasks(tasks, process_pool)
+        assert [o.name for o in outcomes] == [f"svc{i}" for i in range(4)]
+        assert all(o.ok for o in outcomes)
+        assert {o.worker for o in outcomes} <= {
+            f"pid:{pid}" for pid in process_pool.worker_pids}
+
+    def test_rehomes_key_column_into_caller_table(self, process_pool):
+        table = KeyTable()
+        outcome = run_capture_tasks([_task()], process_pool,
+                                    key_table=table)[0]
+        trace = outcome.trace
+        assert trace.key_table is table
+        keys = table.keys()
+        assert [keys[kid] for kid in trace.key_ids] == _keys(trace)
+
+    def test_two_captures_share_one_id_space(self, process_pool):
+        table = KeyTable()
+        outcomes = run_capture_tasks(
+            [_task(values=(1, 2)), _task(values=(1, 9))],
+            process_pool, key_table=table)
+        ids_a = list(table.ids_for(outcomes[0].trace))
+        ids_b = list(table.ids_for(outcomes[1].trace))
+        # Equal =e keys across the two traces got equal dense ids.
+        keys_a, keys_b = _keys(outcomes[0].trace), _keys(outcomes[1].trace)
+        for i, ka in enumerate(keys_a):
+            for j, kb in enumerate(keys_b):
+                assert (ka == kb) == (ids_a[i] == ids_b[j])
+
+    def test_remote_error_round_trips_as_remote_capture_error(
+            self, process_pool):
+        outcome = run_capture_tasks([_task(func=run_failing)],
+                                    process_pool)[0]
+        assert not outcome.ok
+        assert isinstance(outcome.error, RemoteCaptureError)
+        assert outcome.error.error_type == "ValueError"
+        assert "workload exploded" in str(outcome.error)
+        assert outcome.trace is not None
+
+    def test_unpicklable_result_dropped_not_fatal(self, process_pool):
+        outcome = run_capture_tasks([_task(func=run_unpicklable_result)],
+                                    process_pool)[0]
+        assert outcome.ok
+        assert outcome.result is None
+        assert outcome.trace is not None
+
+    def test_unpicklable_task_fails_fast_with_guidance(self, process_pool):
+        task = CaptureTask(func=lambda x: x, name="closure")
+        with pytest.raises(TypeError, match="not picklable"):
+            run_capture_tasks([task], process_pool)
+
+    def test_capture_lock_not_needed_by_workers(self, process_pool):
+        # Holding the in-process lock must not stall process captures.
+        with CAPTURE_LOCK:
+            outcome = run_capture_tasks([_task()], process_pool)[0]
+        assert outcome.ok
+
+    def test_callable_by_reference(self, process_pool):
+        task = CaptureTask(func="test_exec_capture:run_service",
+                           args=((2, 3),), name="ref", filter=FILTER)
+        outcome = run_capture_tasks([task], process_pool)[0]
+        assert outcome.ok
+        assert outcome.result == 5
+
+
+class TestThreadCapture:
+    def test_threads_serialise_on_the_lock(self):
+        tasks = [_task(name=f"svc{i}") for i in range(3)]
+        with ThreadExecutor(max_workers=3) as ex:
+            outcomes = run_capture_tasks(tasks, ex)
+        assert all(o.ok for o in outcomes)
+        for outcome in outcomes:
+            assert _keys(outcome.trace) == _keys(outcomes[0].trace)
+
+
+class TestResolveCallable:
+    def test_callables_pass_through(self):
+        assert resolve_callable(run_service) is run_service
+
+    def test_dotted_reference(self):
+        ref = resolve_callable("repro.core.keytable:KeyTable.for_pair")
+        assert callable(ref)
+
+    def test_malformed_reference_rejected(self):
+        with pytest.raises(ValueError, match="package.module:attr"):
+            resolve_callable("no-colon-here")
+
+    def test_non_callable_target_rejected(self):
+        with pytest.raises(TypeError, match="does not name a callable"):
+            resolve_callable("repro.analysis.serialize:FORMAT_VERSION")
+
+
+class TestEnsurePortable:
+    def test_portable_task_passes(self):
+        ensure_portable(_task())
+
+    def test_closure_rejected_with_actionable_message(self):
+        with pytest.raises(TypeError, match="module-level callables"):
+            ensure_portable(CaptureTask(func=lambda: None, name="lam"))
+
+
+class TestCaptureCall:
+    def test_one_shot_serial(self):
+        result = capture_call(run_service, (1, 2), name="one",
+                              filter=FILTER)
+        assert result.ok
+        assert result.result == 3
+        assert result.trace.name == "one"
+
+
+class TestSessionExecutorIntegration:
+    def test_session_capture_through_processes(self, process_pool):
+        session = (Session(executor=process_pool)
+                   .with_filter(include_modules=("test_exec_capture",)))
+        captured = session.capture(run_service, (4, 5), name="s")
+        assert captured.result == 9
+        assert captured.trace.key_table is session.key_table
+
+    def test_session_default_is_serial(self):
+        assert Session().executor.name == "serial"
+
+    def test_with_executor_and_derive_share_pool(self, process_pool):
+        session = Session().with_executor(process_pool)
+        assert session.derive().executor is process_pool
+
+    def test_capture_batch_outcomes(self, process_pool):
+        session = (Session(executor=process_pool)
+                   .with_filter(include_modules=("test_exec_capture",)))
+        outcomes = session.capture_batch(
+            [_task(name="a"), _task(name="b")])
+        assert [o.name for o in outcomes] == ["a", "b"]
+        assert all(isinstance(o, CaptureOutcome) and o.ok
+                   for o in outcomes)
+        for outcome in outcomes:
+            assert outcome.trace.key_table is session.key_table
+
+    def test_run_scenario_matches_serial(self, process_pool):
+        from repro.workloads.minixslt import scenario as xalan
+        flt = TraceFilter(include_modules=("repro.workloads.minixslt",))
+        parallel = Session(executor=process_pool, filter=flt).run_scenario(
+            xalan.run_1725_old, xalan.run_1725_new,
+            regressing_input=xalan.REGRESSING_INPUT_1725,
+            correct_input=xalan.CORRECT_INPUT_1725)
+        serial = Session(filter=flt).run_scenario(
+            xalan.run_1725_old, xalan.run_1725_new,
+            regressing_input=xalan.REGRESSING_INPUT_1725,
+            correct_input=xalan.CORRECT_INPUT_1725)
+        assert parallel.report.set_sizes() == serial.report.set_sizes()
+        assert sorted(parallel.suspected.similar_left) == \
+            sorted(serial.suspected.similar_left)
+        assert parallel.workers
+        assert all(worker.startswith("pid:")
+                   for worker in parallel.workers)
+
+    def test_serial_scenario_reports_thread_workers(self):
+        session = (Session()
+                   .with_filter(include_modules=("test_exec_capture",)))
+        result = session.run_scenario(run_service, run_service, (1, 2))
+        assert result.workers
+        assert all(worker.startswith("thread:")
+                   for worker in result.workers)

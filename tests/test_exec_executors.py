@@ -1,0 +1,211 @@
+"""Tests for the execution layer's executor abstraction."""
+
+import os
+import threading
+
+import pytest
+
+from repro.exec.executors import (DEFAULT_MAX_WORKERS, Executor,
+                                  ProcessExecutor, SerialExecutor,
+                                  ThreadExecutor, available_executors,
+                                  chunk_evenly, get_executor)
+
+
+def _square(x):
+    return x * x
+
+
+def _pid_of(_):
+    return os.getpid()
+
+
+class TestSerialExecutor:
+    def test_maps_in_order(self):
+        ex = SerialExecutor()
+        assert ex.map(_square, [1, 2, 3]) == [1, 4, 9]
+
+    def test_runs_inline(self):
+        ex = SerialExecutor()
+        idents = ex.map(lambda _: threading.get_ident(), range(3))
+        assert set(idents) == {threading.get_ident()}
+
+    def test_propagates_exceptions(self):
+        with pytest.raises(ZeroDivisionError):
+            SerialExecutor().map(lambda x: 1 // x, [1, 0])
+
+    def test_protocol(self):
+        assert isinstance(SerialExecutor(), Executor)
+        assert SerialExecutor().in_process
+
+
+class TestThreadExecutor:
+    def test_maps_in_order(self):
+        with ThreadExecutor(max_workers=3) as ex:
+            assert ex.map(_square, range(10)) == [x * x for x in range(10)]
+
+    def test_pool_prewarmed(self):
+        with ThreadExecutor(max_workers=3) as ex:
+            # All worker threads exist before the first real map call.
+            assert len(ex._pool._threads) == 3
+
+    def test_closures_welcome(self):
+        sink = []
+        with ThreadExecutor(max_workers=2) as ex:
+            ex.map(sink.append, [1, 2, 3])
+        assert sorted(sink) == [1, 2, 3]
+
+    def test_in_process(self):
+        with ThreadExecutor(max_workers=1) as ex:
+            assert ex.in_process
+            assert isinstance(ex, Executor)
+
+
+class TestProcessExecutor:
+    def test_maps_in_order_across_processes(self):
+        with ProcessExecutor(max_workers=2) as ex:
+            assert ex.map(_square, range(8)) == [x * x for x in range(8)]
+
+    def test_workers_prespawned_with_distinct_pids(self):
+        with ProcessExecutor(max_workers=2) as ex:
+            assert len(ex.worker_pids) == 2
+            assert os.getpid() not in ex.worker_pids
+
+    def test_tasks_run_out_of_process(self):
+        with ProcessExecutor(max_workers=1) as ex:
+            (pid,) = set(ex.map(_pid_of, range(4)))
+            assert pid != os.getpid()
+
+    def test_not_in_process(self):
+        with ProcessExecutor(max_workers=1) as ex:
+            assert not ex.in_process
+            assert isinstance(ex, Executor)
+
+
+class TestGetExecutor:
+    def test_none_is_serial(self):
+        assert get_executor(None).name == "serial"
+
+    def test_names(self):
+        assert get_executor("serial").name == "serial"
+        ex = get_executor("threads", max_workers=2)
+        assert ex.name == "threads" and ex.max_workers == 2
+        ex.close()
+
+    def test_worker_suffix(self):
+        ex = get_executor("threads:3")
+        assert ex.max_workers == 3
+        ex.close()
+
+    def test_explicit_max_workers_beats_suffix(self):
+        ex = get_executor("threads:3", max_workers=2)
+        assert ex.max_workers == 2
+        ex.close()
+
+    def test_instances_pass_through(self):
+        ex = SerialExecutor()
+        assert get_executor(ex) is ex
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError, match="unknown executor"):
+            get_executor("gpu")
+
+    def test_bad_suffix_rejected(self):
+        with pytest.raises(ValueError, match="worker count"):
+            get_executor("threads:lots")
+
+    def test_bad_suffix_rejected_even_when_overridden(self):
+        with pytest.raises(ValueError, match="worker count"):
+            get_executor("threads:lots", max_workers=2)
+
+    def test_non_executor_rejected(self):
+        with pytest.raises(TypeError, match="not an executor"):
+            get_executor(42)
+
+    def test_available_names(self):
+        assert available_executors() == ("serial", "threads", "processes")
+
+    def test_default_worker_cap(self):
+        ex = get_executor("threads")
+        assert ex.max_workers == DEFAULT_MAX_WORKERS
+        ex.close()
+
+
+class TestOwnership:
+    def test_resolve_executor_marks_specs_owned(self):
+        from repro.exec.executors import resolve_executor
+        ex, owned = resolve_executor("serial")
+        assert owned
+        ex, owned = resolve_executor(None)
+        assert owned
+        instance = SerialExecutor()
+        ex, owned = resolve_executor(instance)
+        assert ex is instance and not owned
+
+    def test_run_capture_tasks_closes_spec_built_pools(self):
+        from repro.exec.capture import CaptureTask, run_capture_tasks
+        closed = []
+
+        class Probe(ThreadExecutor):
+            def close(self):
+                closed.append(True)
+                super().close()
+
+        probe = Probe(max_workers=1)
+        run_capture_tasks([CaptureTask(func=_square, args=(2,))], probe)
+        assert not closed  # instances stay with their creator
+        probe.close()
+
+    def test_session_owns_spec_built_executor(self):
+        from repro.api import Session
+        with Session(executor="threads:2") as session:
+            assert session._owns_executor
+            assert session.derive()._owns_executor is False
+        assert session._owns_executor is False  # closed
+
+    def test_with_executor_bad_spec_leaves_session_usable(self):
+        from repro.api import Session
+        with Session(executor="threads:2") as session:
+            with pytest.raises(KeyError):
+                session.with_executor("gpu")
+            # The owned pool must not have been closed by the failure.
+            assert session.executor.map(_square, [4]) == [16]
+
+    def test_session_does_not_own_instances(self):
+        from repro.api import Session
+        with ThreadExecutor(max_workers=1) as ex:
+            session = Session(executor=ex)
+            assert not session._owns_executor
+            session.close()
+            assert ex.map(_square, [3]) == [9]  # still usable
+
+    def test_run_pipeline_closes_spec_built_pool(self):
+        from repro.api import ScenarioPipeline
+        pipeline = ScenarioPipeline(executor="threads:2")
+        assert pipeline._owned_executor is not None
+        pipeline.close()
+        assert pipeline._owned_executor is None
+
+
+class TestChunkEvenly:
+    def test_empty(self):
+        assert chunk_evenly([], 4) == []
+
+    def test_fewer_items_than_chunks(self):
+        assert chunk_evenly([1, 2], 5) == [[1], [2]]
+
+    def test_even_split_preserves_order(self):
+        assert chunk_evenly(list(range(6)), 3) == [[0, 1], [2, 3], [4, 5]]
+
+    def test_uneven_split_front_loads_extras(self):
+        assert chunk_evenly(list(range(7)), 3) == [[0, 1, 2], [3, 4], [5, 6]]
+
+    def test_single_chunk(self):
+        assert chunk_evenly([1, 2, 3], 1) == [[1, 2, 3]]
+
+    def test_no_empty_chunks(self):
+        for items in range(1, 9):
+            for chunks in range(1, 9):
+                out = chunk_evenly(list(range(items)), chunks)
+                assert all(out)
+                assert [x for chunk in out for x in chunk] == \
+                    list(range(items))

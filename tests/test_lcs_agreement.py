@@ -1,0 +1,134 @@
+"""Cross-algorithm LCS agreement over interned-id sequences.
+
+All the baselines must agree on the LCS *length* whenever they are
+exact: ``lcs_dp`` is the reference; ``lcs_hirschberg`` is exact by
+construction, ``myers_lcs_length`` computes the length directly, and
+``lcs_fast`` / ``lcs_optimized`` are exact whenever their recursion
+bottoms out in DP cores (always true at these sizes and budgets).  The
+sequences are small dense ints — exactly what the interned data layer
+feeds the hot loops — and the edge cases cover trimming overlap and the
+budget/cap failure modes.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.lcs import (LcsBudgetExceeded, LcsMemoryError, MemoryBudget,
+                            lcs_dp, lcs_fast, lcs_hirschberg, lcs_length,
+                            lcs_optimized, myers_lcs_length, trim_common)
+
+# Interned-id sequences: small alphabets force repeats (the interesting
+# LCS structure), larger ones exercise the unique-anchor path.
+ids = st.lists(st.integers(0, 6), max_size=40)
+wide_ids = st.lists(st.integers(0, 1000), max_size=40)
+
+
+def _is_subsequence(pairs, a, b):
+    last_i = last_j = -1
+    for i, j in pairs:
+        if not (i > last_i and j > last_j):
+            return False
+        if a[i] != b[j]:
+            return False
+        last_i, last_j = i, j
+    return True
+
+
+class TestAlgorithmAgreement:
+    @given(ids, ids)
+    @settings(max_examples=120, deadline=None)
+    def test_all_exact_algorithms_agree_with_dp_length(self, a, b):
+        reference = len(lcs_dp(a, b).pairs)
+        assert len(lcs_hirschberg(a, b).pairs) == reference
+        assert len(lcs_fast(a, b).pairs) == reference
+        assert len(lcs_optimized(a, b).pairs) == reference
+        assert myers_lcs_length(a, b) == reference
+        assert lcs_length(a, b) == reference
+
+    @given(wide_ids, wide_ids)
+    @settings(max_examples=60, deadline=None)
+    def test_agreement_on_mostly_unique_ids(self, a, b):
+        reference = len(lcs_dp(a, b).pairs)
+        assert len(lcs_hirschberg(a, b).pairs) == reference
+        assert len(lcs_fast(a, b).pairs) == reference
+        assert myers_lcs_length(a, b) == reference
+
+    @given(ids, ids)
+    @settings(max_examples=60, deadline=None)
+    def test_every_result_is_a_common_subsequence(self, a, b):
+        for algorithm in (lcs_dp, lcs_hirschberg, lcs_fast, lcs_optimized):
+            assert _is_subsequence(algorithm(a, b).pairs, a, b), algorithm
+
+    @given(ids)
+    @settings(max_examples=40, deadline=None)
+    def test_identical_sequences_match_fully(self, a):
+        assert myers_lcs_length(a, a) == len(a)
+        assert len(lcs_fast(a, a).pairs) == len(a)
+        assert len(lcs_optimized(a, a).pairs) == len(a)
+
+    @given(st.lists(st.integers(0, 3), max_size=12),
+           st.integers(1, 6), st.integers(1, 6))
+    @settings(max_examples=60, deadline=None)
+    def test_trim_overlap_edge_cases(self, core, prefix_n, suffix_n):
+        # Sequences like "aaa" vs "aa" where prefix and suffix trimming
+        # regions overlap — the classic off-by-one breeding ground.
+        a = [9] * prefix_n + core + [9] * suffix_n
+        b = [9] * prefix_n + [9] * suffix_n
+        reference = len(lcs_dp(a, b).pairs)
+        assert myers_lcs_length(a, b) == reference
+        assert len(lcs_fast(a, b).pairs) == reference
+        assert len(lcs_optimized(a, b).pairs) == reference
+
+
+class TestEdgeCases:
+    def test_empty_sequences(self):
+        for algorithm in (lcs_dp, lcs_hirschberg, lcs_fast, lcs_optimized):
+            assert algorithm([], []).pairs == []
+            assert algorithm([1, 2], []).pairs == []
+            assert algorithm([], [1, 2]).pairs == []
+        assert myers_lcs_length([], [1, 2]) == 0
+
+    def test_disjoint_alphabets(self):
+        a, b = [1, 2, 3], [4, 5, 6]
+        assert len(lcs_dp(a, b).pairs) == 0
+        assert myers_lcs_length(a, b) == 0
+        assert len(lcs_fast(a, b).pairs) == 0
+
+    def test_trim_common_overlap(self):
+        # "aaa" vs "aa": prefix claims 2, the suffix scan must not
+        # double-count the shared middle.
+        prefix, a_mid, b_mid = trim_common([1, 1, 1], [1, 1])
+        assert prefix + (3 - prefix - a_mid) <= 3
+        assert a_mid >= 0 and b_mid >= 0
+        assert len(lcs_dp([1, 1, 1], [1, 1]).pairs) == 2
+
+    def test_fast_small_cell_limit_still_common_subsequence(self):
+        # Below the DP budget the anchored differ approximates; the
+        # result must still be a valid common subsequence.
+        a = [i % 5 for i in range(30)]
+        b = [(i * 3) % 5 for i in range(30)]
+        result = lcs_fast(a, b, dp_cell_limit=4)
+        assert _is_subsequence(result.pairs, a, b)
+
+    def test_myers_budget_cap_raises(self):
+        a = list(range(0, 20))
+        b = list(range(100, 120))
+        with pytest.raises(LcsBudgetExceeded):
+            myers_lcs_length(a, b, max_d=3)
+
+    def test_dp_memory_budget_raises(self):
+        budget = MemoryBudget(max_cells=10)
+        with pytest.raises(LcsMemoryError):
+            lcs_dp(list(range(10)), list(range(10)), budget=budget)
+
+    def test_optimized_budget_applies_to_trimmed_core_only(self):
+        # Equal prefixes/suffixes shrink the budgeted region: a pair
+        # that would blow a tiny budget untrimmed passes when only the
+        # middle differs.
+        budget = MemoryBudget(max_cells=16)
+        a = [1, 2, 3, 4, 9, 5, 6, 7, 8]
+        b = [1, 2, 3, 4, 0, 5, 6, 7, 8]
+        result = lcs_optimized(a, b, budget=budget)
+        assert len(result.pairs) == 8
+        assert budget.peak_cells <= 16

@@ -1,0 +1,149 @@
+"""TraceStore atomicity under concurrent writers.
+
+Process capture workers persist traces from wherever they run, so the
+store must stay consistent when many threads *and* many processes write
+at once: every file lands via write-to-unique-temp + ``os.replace``,
+and index read-modify-writes serialise through an advisory ``flock``.
+"""
+
+import json
+import multiprocessing
+import threading
+
+import pytest
+
+from repro.api.store import INDEX_NAME, LOCK_NAME, TraceStore
+
+from helpers import simple_trace
+
+
+def _no_temp_litter(root):
+    return [p.name for p in root.iterdir()
+            if p.name.endswith(".tmp")] == []
+
+
+def _write_burst(root, writer_id, keys_per_writer):
+    store = TraceStore(root)
+    for at in range(keys_per_writer):
+        trace = simple_trace([writer_id, at], name=f"w{writer_id}-{at}")
+        store.save(trace, key=f"w{writer_id}/t{at}",
+                   tags=(f"writer-{writer_id}",))
+
+
+class TestAtomicWrites:
+    def test_save_leaves_no_temp_files(self, tmp_path):
+        store = TraceStore(tmp_path / "store")
+        store.save(simple_trace([1, 2]), key="a")
+        assert _no_temp_litter(store.root)
+
+    def test_failed_write_leaves_target_intact(self, tmp_path):
+        store = TraceStore(tmp_path / "store")
+        store.save(simple_trace([1, 2], name="keep"), key="a")
+        with pytest.raises(RuntimeError, match="boom"):
+            def _explode(tmp):
+                tmp.write_text("partial", encoding="utf-8")
+                raise RuntimeError("boom")
+            store._atomic_write(store._path_for("a"), _explode)
+        assert store.load("a").name == "keep"
+        assert _no_temp_litter(store.root)
+
+    def test_lock_file_is_not_listed_as_a_trace(self, tmp_path):
+        store = TraceStore(tmp_path / "store")
+        store.save(simple_trace([1]), key="a")
+        store.tag("a", "x")  # takes the flock, creating the lock file
+        assert (store.root / LOCK_NAME).exists()
+        assert store.keys() == ["a"]
+
+    def test_overwrite_is_atomic_for_readers(self, tmp_path):
+        store = TraceStore(tmp_path / "store")
+        store.save(simple_trace(list(range(50)), name="v1"), key="a")
+        stop = threading.Event()
+        failures = []
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    trace = store.load("a")
+                    assert trace.name in ("v1", "v2")
+                    assert len(trace) in (52, 102)
+                except Exception as exc:  # noqa: BLE001
+                    failures.append(exc)
+                    return
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        try:
+            for _ in range(10):
+                store.save(simple_trace(list(range(100)), name="v2"),
+                           key="a")
+                store.save(simple_trace(list(range(50)), name="v1"),
+                           key="a")
+        finally:
+            stop.set()
+            thread.join()
+        assert not failures
+
+
+class TestConcurrentWriters:
+    WRITERS = 4
+    KEYS_EACH = 5
+
+    def _verify(self, root):
+        store = TraceStore(root, create=False)
+        expected = {f"w{w}/t{k}" for w in range(self.WRITERS)
+                    for k in range(self.KEYS_EACH)}
+        assert set(store.keys()) == expected
+        index = json.loads((root / INDEX_NAME).read_text(encoding="utf-8"))
+        assert set(index["traces"]) == expected
+        for key in expected:
+            record = store.get(key)
+            assert record.tags == (f"writer-{key[1]}",)
+            assert store.load(key).name
+        assert _no_temp_litter(root)
+
+    def test_concurrent_thread_writers(self, tmp_path):
+        root = tmp_path / "store"
+        TraceStore(root)
+        threads = [threading.Thread(target=_write_burst,
+                                    args=(root, w, self.KEYS_EACH))
+                   for w in range(self.WRITERS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        self._verify(root)
+
+    def test_concurrent_process_writers(self, tmp_path):
+        root = tmp_path / "store"
+        TraceStore(root)
+        context = multiprocessing.get_context(
+            "fork" if "fork" in multiprocessing.get_all_start_methods()
+            else None)
+        workers = [context.Process(target=_write_burst,
+                                   args=(root, w, self.KEYS_EACH))
+                   for w in range(self.WRITERS)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert all(worker.exitcode == 0 for worker in workers)
+        self._verify(root)
+
+    def test_mixed_writers_one_key_each_tag_set_survives(self, tmp_path):
+        # Many writers tagging the *same* key: all tags must survive
+        # the read-modify-write races.
+        root = tmp_path / "store"
+        store = TraceStore(root)
+        store.save(simple_trace([1]), key="shared")
+
+        def tagger(n):
+            TraceStore(root).tag("shared", f"tag-{n}")
+
+        threads = [threading.Thread(target=tagger, args=(n,))
+                   for n in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert set(store.get("shared").tags) == {
+            f"tag-{n}" for n in range(8)}
