@@ -14,6 +14,12 @@ while the program runs, then analysed later.  This CLI covers that side::
     python -m repro.analysis.cli store diff DIR KEY1 KEY2 [--engine ...]
     python -m repro.analysis.cli batch scenarios.json --store DIR \\
         [--jobs 4] [--executor processes]
+    python -m repro.analysis.cli cache stats|prune|clear DIR ...
+
+Stored-trace differencing (``store diff``, ``batch``) memoises results
+in a ``diffcache`` directory beside the store (``--no-cache`` bypasses,
+``--cache DIR`` relocates); plain ``diff`` caches only when given an
+explicit ``--cache DIR``.
 
 Differencing is routed through the :mod:`repro.api.engines` registry
 (``--engine`` accepts any registered name; ``--algorithm`` remains as a
@@ -28,11 +34,13 @@ import argparse
 import dataclasses
 import json
 import sys
+from pathlib import Path
 
 from repro.api.engines import available_engines, get_engine
 from repro.api.pipeline import StoredScenarioJob, run_pipeline
 from repro.api.session import Session
-from repro.api.store import TraceStore
+from repro.api.store import INDEX_NAME, TraceStore
+from repro.cache import DiffCache, cached_engine_diff
 from repro.exec.executors import available_executors, get_executor
 from repro.analysis.report import render_diff_report, render_trace_tree
 from repro.analysis.serialize import load_trace
@@ -105,11 +113,34 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
                              "--config relaxed=false (repeatable)")
 
 
+def _add_cache_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--cache", metavar="DIR", default=None,
+                        help="diff cache directory (default: the "
+                             "'diffcache' directory beside the trace "
+                             "store, when the command has one)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the diff cache entirely")
+
+
+def _resolve_cache(args, store_path: str | None = None) -> DiffCache | None:
+    """The cache a command should use: ``--no-cache`` wins, then an
+    explicit ``--cache DIR``, then the store's sidecar directory."""
+    if args.no_cache:
+        return None
+    if args.cache:
+        return DiffCache(args.cache)
+    if store_path is not None:
+        return DiffCache(Path(store_path) / "diffcache")
+    return None
+
+
 def _diff(left_path: str, right_path: str, engine: str,
-          config: ViewDiffConfig | None):
+          config: ViewDiffConfig | None,
+          cache: DiffCache | None = None):
     left = load_trace(left_path)
     right = load_trace(right_path)
-    return get_engine(engine).diff(left, right, config=config)
+    return cached_engine_diff(cache, get_engine(engine), left, right,
+                              config=config)
 
 
 def cmd_info(args) -> int:
@@ -140,7 +171,8 @@ def cmd_views(args) -> int:
 
 def cmd_diff(args) -> int:
     result = _diff(args.left, args.right, _engine_name(args),
-                   parse_config_flags(args.config))
+                   parse_config_flags(args.config),
+                   cache=_resolve_cache(args))
     print(render_diff_report(result, max_sequences=args.limit))
     return 0 if result.num_diffs() == 0 else 1
 
@@ -224,7 +256,10 @@ def cmd_store_diff(args) -> int:
 
     v2 store files carry their interned ``=e`` key tables, so the
     loaded traces diff without recomputing a single key; the stored
-    fingerprints give a cheap identical-shape hint up front.
+    content digests give a sound identical-content hint up front (the
+    cheap shape fingerprint is provenance-only — it collides across
+    traces with equal shape but different content, so it is never
+    compared here).
     """
     store = _open_store(args.store)
     for key in (args.left, args.right):
@@ -235,13 +270,14 @@ def cmd_store_diff(args) -> int:
             return 2
     left_record = store.get(args.left)
     right_record = store.get(args.right)
-    fp_l = left_record.metadata.get("fingerprint")
-    fp_r = right_record.metadata.get("fingerprint")
-    if fp_l and fp_r:
-        note = "identical" if fp_l == fp_r else "differ"
-        print(f"fingerprints: {fp_l} vs {fp_r} ({note})")
+    digest_l = left_record.metadata.get("digest")
+    digest_r = right_record.metadata.get("digest")
+    if digest_l and digest_r:
+        note = "identical" if digest_l == digest_r else "differ"
+        print(f"content digests: {digest_l} vs {digest_r} ({note})")
     session = Session(store=store, engine=_engine_name(args),
-                      config=parse_config_flags(args.config))
+                      config=parse_config_flags(args.config),
+                      cache=_resolve_cache(args, args.store))
     result = session.diff(args.left, args.right)
     print(render_diff_report(result, max_sequences=args.limit))
     return 0 if result.num_diffs() == 0 else 1
@@ -253,6 +289,40 @@ def cmd_store_rm(args) -> int:
         return _missing_key(store, args.key)
     store.delete(args.key)
     print(f"removed {args.key}")
+    return 0
+
+
+# -- cache ------------------------------------------------------------------
+
+
+def _cache_dir(path: str) -> Path:
+    """A cache directory argument: a trace store directory means its
+    ``diffcache`` sidecar, anything else is the cache itself."""
+    directory = Path(path)
+    if (directory / INDEX_NAME).exists():
+        return directory / "diffcache"
+    return directory
+
+
+def cmd_cache_stats(args) -> int:
+    print(DiffCache(_cache_dir(args.path)).stats().render())
+    return 0
+
+
+def cmd_cache_prune(args) -> int:
+    if args.keep is None and args.max_age is None:
+        raise SystemExit("cache prune needs --keep and/or --max-age")
+    cache = DiffCache(_cache_dir(args.path))
+    removed = cache.prune(max_entries=args.keep,
+                          max_age_seconds=args.max_age)
+    print(f"pruned {removed} entr(ies) from {cache.path}")
+    return 0
+
+
+def cmd_cache_clear(args) -> int:
+    cache = DiffCache(_cache_dir(args.path))
+    removed = cache.clear()
+    print(f"cleared {removed} entr(ies) from {cache.path}")
     return 0
 
 
@@ -302,15 +372,21 @@ def cmd_batch(args) -> int:
     except (KeyError, ValueError) as error:
         # args[0], not str(): str(KeyError) wraps the message in quotes.
         raise SystemExit(error.args[0])
+    cache = _resolve_cache(args, args.store)
     try:
         session = Session(store=_open_store(args.store),
                           engine=_engine_name(args),
                           config=parse_config_flags(args.config),
-                          executor=executor)
+                          executor=executor,
+                          cache=cache)
         result = run_pipeline(jobs, session=session, max_workers=args.jobs)
     finally:
         executor.close()
     print(result.render())
+    if cache is not None:
+        stats = cache.stats()
+        print(f"cache: {stats.hits} hit(s), {stats.misses} miss(es), "
+              f"{stats.stores} store(s) at {stats.path}")
     return 0 if not result.failed() else 1
 
 
@@ -339,6 +415,7 @@ def build_parser() -> argparse.ArgumentParser:
     diff.add_argument("left")
     diff.add_argument("right")
     _add_engine_options(diff)
+    _add_cache_options(diff)
     diff.add_argument("--limit", type=int, default=10)
     diff.set_defaults(func=cmd_diff)
 
@@ -400,8 +477,37 @@ def build_parser() -> argparse.ArgumentParser:
     store_diff.add_argument("left", help="store key of the left trace")
     store_diff.add_argument("right", help="store key of the right trace")
     _add_engine_options(store_diff)
+    _add_cache_options(store_diff)
     store_diff.add_argument("--limit", type=int, default=10)
     store_diff.set_defaults(func=cmd_store_diff)
+
+    cache = commands.add_parser(
+        "cache", help="manage a persistent diff cache directory")
+    cache_cmds = cache.add_subparsers(dest="cache_command", required=True)
+
+    cache_stats = cache_cmds.add_parser(
+        "stats", help="entry count and footprint of a cache")
+    cache_stats.add_argument("path", help="cache directory (a trace "
+                                          "store means its diffcache/)")
+    cache_stats.set_defaults(func=cmd_cache_stats)
+
+    cache_prune = cache_cmds.add_parser(
+        "prune", help="drop old cache entries")
+    cache_prune.add_argument("path", help="cache directory (a trace "
+                                          "store means its diffcache/)")
+    cache_prune.add_argument("--keep", type=int, default=None,
+                             metavar="N",
+                             help="keep at most N newest entries")
+    cache_prune.add_argument("--max-age", type=float, default=None,
+                             metavar="SECONDS",
+                             help="drop entries older than SECONDS")
+    cache_prune.set_defaults(func=cmd_cache_prune)
+
+    cache_clear = cache_cmds.add_parser(
+        "clear", help="remove every cache entry")
+    cache_clear.add_argument("path", help="cache directory (a trace "
+                                          "store means its diffcache/)")
+    cache_clear.set_defaults(func=cmd_cache_clear)
 
     batch = commands.add_parser(
         "batch",
@@ -422,6 +528,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "processes breaks the capture lock; "
                             "default: serial)")
     _add_engine_options(batch)
+    _add_cache_options(batch)
     batch.set_defaults(func=cmd_batch)
     return parser
 

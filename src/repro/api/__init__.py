@@ -27,8 +27,9 @@ The legacy ``repro.RPrism`` facade remains as a thin shim over
 from repro.api.engines import (DiffEngine, LcsEngine, ViewsEngine,
                                accepts_executor, accepts_key_table,
                                accepts_kwarg, available_engines,
-                               get_engine, register_engine,
+                               get_engine, is_cacheable, register_engine,
                                unregister_engine)
+from repro.cache import CacheStats, DiffCache, cached_engine_diff
 from repro.core.keytable import KeyTable
 from repro.exec.capture import CaptureOutcome, CaptureTask
 from repro.exec.executors import (Executor, available_executors,
@@ -41,12 +42,13 @@ from repro.api.session import (CAPTURE_LOCK, SCENARIO_ROLES, Session,
 from repro.api.store import TraceRecord, TraceStore
 
 __all__ = [
-    "CAPTURE_LOCK", "CaptureOutcome", "CaptureTask", "DiffEngine",
-    "Executor", "JobOutcome", "KeyTable", "LcsEngine", "PipelineResult",
-    "SCENARIO_ROLES", "ScenarioJob", "ScenarioPipeline", "Session",
-    "SessionResult", "StoredScenarioJob", "TraceRecord", "TraceStore",
-    "ViewsEngine", "accepts_executor", "accepts_key_table",
-    "accepts_kwarg", "available_engines", "available_executors",
-    "get_engine", "get_executor", "register_engine", "run_pipeline",
+    "CAPTURE_LOCK", "CacheStats", "CaptureOutcome", "CaptureTask",
+    "DiffCache", "DiffEngine", "Executor", "JobOutcome", "KeyTable",
+    "LcsEngine", "PipelineResult", "SCENARIO_ROLES", "ScenarioJob",
+    "ScenarioPipeline", "Session", "SessionResult", "StoredScenarioJob",
+    "TraceRecord", "TraceStore", "ViewsEngine", "accepts_executor",
+    "accepts_key_table", "accepts_kwarg", "available_engines",
+    "available_executors", "cached_engine_diff", "get_engine",
+    "get_executor", "is_cacheable", "register_engine", "run_pipeline",
     "unregister_engine",
 ]

@@ -50,6 +50,11 @@ class DiffEngine(Protocol):
     parameter existed (without ``key_table`` or ``executor``) remain
     valid — drivers feed each kwarg only to engines whose signature
     accepts it (:func:`accepts_kwarg` and friends).
+
+    Engines whose ``diff`` is a pure function of ``(left, right,
+    config)`` may additionally set ``cacheable = True`` to let the
+    diff cache (:mod:`repro.cache`) memoise their results; see
+    :func:`is_cacheable`.
     """
 
     name: str
@@ -93,6 +98,19 @@ def accepts_executor(engine: DiffEngine) -> bool:
     return accepts_kwarg(engine, "executor")
 
 
+def is_cacheable(engine: DiffEngine) -> bool:
+    """Whether ``engine``'s results may be memoised by the diff cache.
+
+    An engine advertises cacheability with a truthy ``cacheable``
+    attribute, promising its ``diff`` is a pure function of
+    ``(left, right, config)`` — same inputs, same result, no hidden
+    state.  The built-ins all qualify; engines that do not opt in are
+    never cached (a stateful engine silently served stale results would
+    be a correctness bug, so the default is off).
+    """
+    return bool(getattr(engine, "cacheable", False))
+
+
 class ViewsEngine:
     """The paper's contribution: linear-time views-based differencing.
 
@@ -102,6 +120,8 @@ class ViewsEngine:
     """
 
     name = "views"
+    #: Pure function of (traces, config): safe to memoise.
+    cacheable = True
 
     def diff(self, left: Trace, right: Trace, *,
              config: ViewDiffConfig | None = None,
@@ -120,6 +140,9 @@ class ViewsEngine:
 
 class LcsEngine:
     """One LCS baseline variant (Sec. 3.2) under its algorithm name."""
+
+    #: Pure function of (traces, config): safe to memoise.
+    cacheable = True
 
     def __init__(self, algorithm: str):
         if algorithm not in ALGORITHMS:

@@ -184,7 +184,8 @@ class ScenarioPipeline:
 
     def __init__(self, session: Session | None = None, *,
                  max_workers: int | None = None,
-                 executor: "Executor | str | None" = None):
+                 executor: "Executor | str | None" = None,
+                 cache: "object | None" = None):
         self.session = session if session is not None else Session()
         self._owned_executor: Executor | None = None
         if executor is not None:
@@ -192,6 +193,15 @@ class ScenarioPipeline:
             if owned:
                 self._owned_executor = resolved
             self.session = self.session.derive(executor=resolved)
+        if cache is not None:
+            # One DiffCache handle (instance, path, or True) shared by
+            # every job: derived sessions inherit it, so a pair diffed
+            # by one job is a hit for every other — and for the whole
+            # next batch when the cache has a disk tier.  DiffCache is
+            # thread-safe, and under process executors lookups still
+            # happen on the job threads of this process, so the shared
+            # handle is safe for every repro.exec backend.
+            self.session = self.session.derive(cache=cache)
         self.max_workers = max_workers
 
     def close(self) -> None:
@@ -259,11 +269,11 @@ class ScenarioPipeline:
 def run_pipeline(jobs: Sequence[ScenarioJob | StoredScenarioJob], *,
                  session: Session | None = None,
                  max_workers: int | None = None,
-                 executor: "Executor | str | None" = None
-                 ) -> PipelineResult:
+                 executor: "Executor | str | None" = None,
+                 cache: "object | None" = None) -> PipelineResult:
     """One-shot convenience over :class:`ScenarioPipeline` — a pool
     built from an ``executor`` name spec is closed when the batch
-    ends."""
+    ends; ``cache`` attaches one shared diff cache to every job."""
     with ScenarioPipeline(session, max_workers=max_workers,
-                          executor=executor) as pipeline:
+                          executor=executor, cache=cache) as pipeline:
         return pipeline.run(jobs)

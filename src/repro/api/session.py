@@ -42,6 +42,7 @@ from typing import Callable
 from repro.api.engines import (DiffEngine, accepts_executor,
                                accepts_key_table, get_engine)
 from repro.api.store import TraceStore
+from repro.cache import DiffCache, cached_engine_diff
 from repro.capture.filters import TraceFilter
 from repro.capture.tracer import CaptureResult
 from repro.core.diffs import DiffResult
@@ -123,10 +124,18 @@ class Session:
                  mode: str = MODE_INTERSECT,
                  record_fields: bool = True,
                  key_table: KeyTable | None = None,
-                 executor: "Executor | str | None" = None):
+                 executor: "Executor | str | None" = None,
+                 cache: "DiffCache | str | Path | bool | None" = None):
         self.config = config if config is not None else ViewDiffConfig()
         self.filter = filter
         self.store = self._as_store(store)
+        #: Content-addressed diff memoisation (:mod:`repro.cache`).
+        #: ``None`` disables caching; ``True`` builds a cache whose
+        #: disk tier lives beside the session store (memory-only when
+        #: there is no store); a path opens/creates a disk tier there;
+        #: an instance is shared as-is (the pipeline hands one handle
+        #: to every job).
+        self.cache = self._as_cache(cache)
         self.engine = get_engine(engine)
         self.mode = mode
         self.record_fields = record_fields
@@ -148,6 +157,17 @@ class Session:
         if store is None or isinstance(store, TraceStore):
             return store
         return TraceStore(store)
+
+    def _as_cache(self, cache) -> DiffCache | None:
+        if cache is None or cache is False:
+            return None
+        if isinstance(cache, DiffCache):
+            return cache
+        if cache is True:
+            if self.store is not None:
+                return DiffCache(self.store.root / "diffcache")
+            return DiffCache()
+        return DiffCache(cache)
 
     # -- fluent configuration ----------------------------------------------
 
@@ -180,6 +200,14 @@ class Session:
     def with_engine(self, engine: str | DiffEngine) -> "Session":
         """Select the differencing backend by registry name."""
         self.engine = get_engine(engine)
+        return self
+
+    def with_cache(self, cache: "DiffCache | str | Path | bool" = True
+                   ) -> "Session":
+        """Attach a diff cache (``True``: disk tier beside the session
+        store, or memory-only without one; a path names the disk tier;
+        ``False`` detaches)."""
+        self.cache = self._as_cache(cache)
         return self
 
     def with_mode(self, mode: str) -> "Session":
@@ -218,10 +246,14 @@ class Session:
                config: ViewDiffConfig | None = None,
                filter: TraceFilter | None = None,
                mode: str | None = None,
-               executor: "Executor | str | None" = None) -> "Session":
-        """A sibling session sharing this one's store, key table, and
-        executor (pool included), with overrides (the pipeline gives
-        each job its own derived session)."""
+               executor: "Executor | str | None" = None,
+               cache: "DiffCache | str | Path | bool | None" = None
+               ) -> "Session":
+        """A sibling session sharing this one's store, key table,
+        executor (pool included), and diff cache (one handle, so every
+        derived job of a batch hits the same memoisation), with
+        overrides (the pipeline gives each job its own derived
+        session)."""
         return Session(
             config=config if config is not None else self.config,
             filter=filter if filter is not None else self.filter,
@@ -231,6 +263,7 @@ class Session:
             record_fields=self.record_fields,
             key_table=self.key_table,
             executor=executor if executor is not None else self.executor,
+            cache=cache if cache is not None else self.cache,
         )
 
     # -- lifecycle: capture / ingest ---------------------------------------
@@ -316,7 +349,8 @@ class Session:
     def diff(self, left: Trace | str | Path, right: Trace | str | Path,
              *, engine: str | DiffEngine | None = None,
              counter: OpCounter | None = None,
-             budget: MemoryBudget | None = None) -> DiffResult:
+             budget: MemoryBudget | None = None,
+             use_cache: bool = True) -> DiffResult:
         """Difference two traces (objects, store keys, or file paths).
 
         With ``config.interned`` the pair shares one key table: the
@@ -324,6 +358,12 @@ class Session:
         session's captures), a fresh pair table otherwise.  Engines
         registered before interning existed are called without the
         ``key_table`` kwarg.
+
+        When the session carries a :class:`~repro.cache.DiffCache` and
+        the backend advertises ``cacheable``, the cache is consulted
+        *before* any planning (content digests + canonical config);
+        ``use_cache=False`` forces a cold computation without touching
+        the cache (the CLI's ``--no-cache``).
         """
         backend = self.engine if engine is None else get_engine(engine)
         left_trace = self.resolve_trace(left)
@@ -333,9 +373,10 @@ class Session:
             kwargs["key_table"] = KeyTable.for_pair(left_trace, right_trace)
         if self.executor.name != "serial" and accepts_executor(backend):
             kwargs["executor"] = self.executor
-        return backend.diff(left_trace, right_trace,
-                            config=self.config, counter=counter,
-                            budget=budget, **kwargs)
+        cache = self.cache if use_cache else None
+        return cached_engine_diff(cache, backend, left_trace, right_trace,
+                                  config=self.config, counter=counter,
+                                  budget=budget, **kwargs)
 
     def web(self, trace: Trace | str | Path) -> ViewWeb:
         """Build the view web of a trace (for navigation / Table 2)."""

@@ -32,6 +32,7 @@ import hashlib
 import json
 import os
 import threading
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from itertools import count
@@ -59,6 +60,143 @@ _TMP_SEQ = count()
 #: Characters allowed verbatim in on-disk file stems.
 _SAFE = set("abcdefghijklmnopqrstuvwxyz"
             "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789._-")
+
+
+#: Portable lockfile fallback tuning (used where ``fcntl`` is absent).
+LOCK_TIMEOUT_SECONDS = 10.0
+STALE_LOCK_SECONDS = 30.0
+_LOCK_POLL_SECONDS = 0.005
+
+
+@contextmanager
+def locked_file(path: Path, *,
+                timeout: float = LOCK_TIMEOUT_SECONDS,
+                stale: float = STALE_LOCK_SECONDS):
+    """An exclusive advisory cross-process lock on ``path``.
+
+    Where the platform provides ``fcntl``, this is a plain ``flock`` on
+    the file (created if missing).  Elsewhere — and in tests that
+    monkeypatch ``repro.api.store.fcntl`` to ``None`` — it falls back
+    to a portable lockfile protocol: spin on ``O_CREAT|O_EXCL`` of a
+    ``<path>.held`` sidecar, breaking locks whose file is older than
+    ``stale`` seconds (a crashed holder never wedges the store), and
+    raising ``TimeoutError`` after ``timeout`` seconds of contention.
+    ``stale`` is therefore also the holder's deadline: a critical
+    section that outlives it looks crashed to waiters and loses the
+    lock — callers with legitimately long sections must pass a larger
+    ``stale`` (or refresh the held file's mtime); the sections in this
+    repo (index read-modify-writes, cache prune/clear) are bounded far
+    below the default.
+    Both the :class:`TraceStore` and the diff cache
+    (:mod:`repro.cache`) serialise their read-modify-writes through
+    this one discipline.
+    """
+    if fcntl is not None:
+        with path.open("a") as handle:
+            fcntl.flock(handle, fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(handle, fcntl.LOCK_UN)
+        return
+    held = path.with_name(path.name + ".held")
+    deadline = time.monotonic() + timeout
+    while True:
+        try:
+            descriptor = os.open(held, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            try:
+                age = time.time() - held.stat().st_mtime
+            except OSError:  # holder released between open and stat
+                continue
+            if age > stale:
+                _break_stale_lock(held, stale)
+                continue
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"could not acquire lock {held} within {timeout}s "
+                    f"(held for {age:.1f}s)")
+            time.sleep(_LOCK_POLL_SECONDS)
+            continue
+        own = None
+        try:
+            try:
+                own = os.fstat(descriptor)
+                os.write(descriptor, str(os.getpid()).encode())
+            finally:
+                os.close(descriptor)
+            yield
+        finally:
+            # Release only *our own* lock file: if a waiter mistook a
+            # long critical section for a crash and broke our lock, the
+            # path may now name a peer's live lock — deleting that
+            # would cascade the mutual-exclusion loss.
+            try:
+                current = os.stat(held)
+                if own is None or (current.st_ino, current.st_dev) == \
+                        (own.st_ino, own.st_dev):
+                    held.unlink()
+            except OSError:  # pragma: no cover - removed by a peer
+                pass
+        return
+
+
+def _break_stale_lock(held: Path, stale: float) -> None:
+    """Remove a crashed holder's lock file without ever deleting a
+    *live* one.
+
+    A blind ``unlink`` would race: two waiters both judge the file
+    stale, the first breaks it and immediately re-acquires, and the
+    second's unlink then deletes the winner's *fresh* lock — two
+    holders at once.  Instead the break is claimed by an atomic rename
+    to a waiter-unique tombstone (exactly one renamer wins; losers just
+    respin), the tombstone's own mtime is re-checked, and a fresh lock
+    caught in the window is put back via ``os.link`` — which refuses to
+    clobber, so a lock re-acquired meanwhile is never overwritten.
+    """
+    tombstone = held.with_name(
+        f"{held.name}.{os.getpid()}.{next(_TMP_SEQ)}.stale")
+    try:
+        # Re-judge staleness immediately before acting: the caller's
+        # stat may be arbitrarily old by now (another waiter may have
+        # broken and re-acquired in between).
+        if time.time() - held.stat().st_mtime <= stale:
+            return
+        os.rename(held, tombstone)
+    except OSError:  # someone else claimed the break first
+        return
+    try:
+        fresh = time.time() - tombstone.stat().st_mtime <= stale
+    except OSError:
+        return
+    if fresh:
+        # We renamed a lock that was re-acquired between our stat and
+        # the rename: restore it to its owner (unless a third waiter
+        # took the name meanwhile — neither restore path clobbers).
+        # ``link`` preserves the inode, so the owner's identity-checked
+        # release still works; filesystems without hardlinks fall back
+        # to an O_EXCL create-and-copy, where the owner's release skips
+        # the (new-inode) file and the lock ages out over ``stale``
+        # seconds instead of mutual exclusion being lost.
+        try:
+            os.link(tombstone, held)
+        except OSError:
+            try:
+                descriptor = os.open(held,
+                                     os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except OSError:
+                pass
+            else:
+                try:
+                    os.write(descriptor, tombstone.read_bytes())
+                except OSError:
+                    pass
+                finally:
+                    os.close(descriptor)
+    try:
+        tombstone.unlink()
+    except OSError:  # pragma: no cover - cleaned up by a peer
+        pass
 
 
 def _stem_for(key: str) -> str:
@@ -113,18 +251,13 @@ class TraceStore:
     @contextmanager
     def _locked(self):
         """Serialise an index read-modify-write against every other
-        writer: the instance lock covers this process's threads, an
-        advisory ``flock`` on a sidecar file covers other processes."""
+        writer: the instance lock covers this process's threads, and
+        :func:`locked_file` on a sidecar file covers other processes
+        (``flock`` where available, the portable lockfile protocol
+        elsewhere)."""
         with self._lock:
-            if fcntl is None:  # pragma: no cover - non-POSIX platforms
+            with locked_file(self.root / LOCK_NAME):
                 yield
-                return
-            with (self.root / LOCK_NAME).open("a") as handle:
-                fcntl.flock(handle, fcntl.LOCK_EX)
-                try:
-                    yield
-                finally:
-                    fcntl.flock(handle, fcntl.LOCK_UN)
 
     def _atomic_write(self, target: Path, writer) -> None:
         """Run ``writer(tmp_path)`` then atomically publish the file."""
@@ -219,6 +352,11 @@ class TraceStore:
         try:
             save_trace(trace, tmp, extra_metadata={
                 "store_key": key,
+                # The strong identity (cache key material, and what the
+                # `store diff` hint compares); the cheap fingerprint is
+                # kept for provenance only — it collides across traces
+                # with equal shape but different content.
+                "digest": trace.content_digest(),
                 "fingerprint": trace.fingerprint(),
             })
             with self._locked():

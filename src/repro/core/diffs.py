@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.entries import TraceEntry
+from repro.core.entries import EOF, TraceEntry
 from repro.core.lcs import OpCounter
 from repro.core.traces import Trace
 
@@ -141,6 +141,120 @@ class DiffResult:
         if len(self.sequences) > limit:
             lines.append(f"... ({len(self.sequences) - limit} more sequences)")
         return "\n".join(lines)
+
+
+# -- wire codec (the diff cache's disk tier) --------------------------------
+
+#: Version stamp of the :func:`result_to_wire` encoding; bumped whenever
+#: the shape changes so stale cache entries read as misses, not garbage.
+RESULT_WIRE_VERSION = 1
+
+
+def result_to_wire(result: DiffResult,
+                   counter_totals: "tuple[int, int] | None" = None) -> dict:
+    """A :class:`DiffResult` as a JSON-encodable dict.
+
+    Entries are stored *by eid only* — a cached result is always
+    rehydrated against the caller's own trace objects
+    (:func:`result_from_wire`), so the wire form stays small (no trace
+    bodies) and a hit hands back sequences built from the very entries
+    the caller is holding.
+
+    ``counter_totals`` overrides the stored ``(compares, charged)``
+    pair: ``result.counter`` may be a caller's *shared* accumulator
+    spanning several diffs, and a cache entry must record only this
+    diff's own cost (the cache layer passes the measured delta).
+    """
+    if counter_totals is None:
+        counter_totals = (result.counter.compares, result.counter.charged)
+    return {
+        "version": RESULT_WIRE_VERSION,
+        "algorithm": result.algorithm,
+        "seconds": result.seconds,
+        "peak_cells": result.peak_cells,
+        "similar_left": sorted(result.similar_left),
+        "similar_right": sorted(result.similar_right),
+        "match_pairs": [list(pair) for pair in result.match_pairs],
+        "anchor_pairs": [list(pair) for pair in result.anchor_pairs],
+        "sequences": [{"kind": seq.kind,
+                       "left": [e.eid for e in seq.left_entries],
+                       "right": [e.eid for e in seq.right_entries]}
+                      for seq in result.sequences],
+        "counter": {"compares": counter_totals[0],
+                    "charged": counter_totals[1]},
+    }
+
+
+def result_from_wire(wire: dict, left: Trace, right: Trace) -> DiffResult:
+    """Inverse of :func:`result_to_wire`, rehydrated over the caller's
+    ``left``/``right`` traces.
+
+    Raises ``ValueError`` on any mismatch — unknown wire version, or an
+    eid the traces do not contain (a digest collision or a hand-edited
+    cache file) — so cache layers can treat a bad entry as a miss
+    rather than returning a corrupt result.
+    """
+    if not isinstance(wire, dict) \
+            or wire.get("version") != RESULT_WIRE_VERSION:
+        version = wire.get("version") if isinstance(wire, dict) else wire
+        raise ValueError(
+            f"unsupported diff-result wire version: {version!r}")
+
+    def entry_map(trace: Trace) -> dict[int, TraceEntry]:
+        mapping = {entry.eid: entry for entry in trace.entries}
+        mapping[EOF.eid] = EOF  # the differs may pad with the sentinel
+        return mapping
+
+    by_left = entry_map(left)
+    by_right = entry_map(right)
+
+    def pick(mapping: dict[int, TraceEntry], eids) -> list[TraceEntry]:
+        try:
+            return [mapping[eid] for eid in eids]
+        except KeyError as missing:
+            raise ValueError(f"diff-result wire references eid "
+                             f"{missing.args[0]} absent from the trace "
+                             f"pair") from None
+
+    try:
+        sequences = [DifferenceSequence(
+            kind=seq["kind"],
+            left_entries=pick(by_left, seq["left"]),
+            right_entries=pick(by_right, seq["right"]))
+            for seq in wire["sequences"]]
+        counter = OpCounter(compares=wire["counter"]["compares"],
+                            charged=wire["counter"]["charged"])
+        return DiffResult(
+            left=left,
+            right=right,
+            similar_left=set(wire["similar_left"]),
+            similar_right=set(wire["similar_right"]),
+            match_pairs=[tuple(pair) for pair in wire["match_pairs"]],
+            anchor_pairs=[tuple(pair) for pair in wire["anchor_pairs"]],
+            sequences=sequences,
+            counter=counter,
+            algorithm=wire["algorithm"],
+            seconds=wire["seconds"],
+            peak_cells=wire["peak_cells"],
+        )
+    except (KeyError, TypeError) as error:
+        raise ValueError(f"malformed diff-result wire: {error}") from None
+
+
+def result_signature(result: DiffResult) -> tuple:
+    """Everything semantically observable about a result, as one
+    comparable value (wall-clock excluded) — what the cache tests and
+    benchmark mean by "bit-identical"."""
+    wire = result_to_wire(result)
+    wire.pop("seconds")
+    return (tuple(sorted(wire.pop("similar_left"))),
+            tuple(sorted(wire.pop("similar_right"))),
+            tuple(tuple(p) for p in wire.pop("match_pairs")),
+            tuple(tuple(p) for p in wire.pop("anchor_pairs")),
+            tuple((s["kind"], tuple(s["left"]), tuple(s["right"]))
+                  for s in wire.pop("sequences")),
+            tuple(sorted(wire.pop("counter").items())),
+            tuple(sorted(wire.items())))
 
 
 def build_sequences(left: Trace, right: Trace,

@@ -43,7 +43,7 @@ class Trace:
     """
 
     __slots__ = ("name", "entries", "metadata", "key_table", "key_ids",
-                 "_thread_ids", "_fingerprint")
+                 "_thread_ids", "_fingerprint", "_content_digest")
 
     def __init__(self, entries: Iterable[TraceEntry] = (), name: str = "",
                  metadata: dict | None = None,
@@ -56,6 +56,7 @@ class Trace:
         self.key_ids = key_ids
         self._thread_ids: list[int] | None = None
         self._fingerprint: str | None = None
+        self._content_digest: str | None = None
 
     def __len__(self) -> int:
         return len(self.entries)
@@ -65,11 +66,26 @@ class Trace:
 
     def __getitem__(self, index):
         if isinstance(index, slice):
+            # Materialise the selected positions once and apply them to
+            # *both* columns: entries (a list) and key_ids (an array, or
+            # any caller-provided sequence) must select the exact same
+            # positions — including under extended slices (step != 1) —
+            # or interned compares on the sliced trace would silently
+            # use the wrong ids.
+            column = None
+            if self.key_ids is not None:
+                if len(self.key_ids) != len(self.entries):
+                    raise ValueError(
+                        f"trace {self.name!r}: key column carries "
+                        f"{len(self.key_ids)} id(s) for "
+                        f"{len(self.entries)} entries — the trace was "
+                        f"mutated after interning; rebuild it instead")
+                picked = range(*index.indices(len(self.entries)))
+                column = array("I", (self.key_ids[i] for i in picked))
             return Trace(self.entries[index], name=self.name,
                          metadata=dict(self.metadata),
                          key_table=self.key_table,
-                         key_ids=None if self.key_ids is None
-                         else self.key_ids[index])
+                         key_ids=column)
         return self.entries[index]
 
     def thread_ids(self) -> list[int]:
@@ -84,12 +100,17 @@ class Trace:
         return list(self._thread_ids)
 
     def fingerprint(self) -> str:
-        """A cheap content fingerprint (name, length, per-entry thread
-        and event kind), cached after the first call.
+        """A cheap *provenance* fingerprint (name, length, per-entry
+        thread and event kind), cached after the first call.
 
-        Deliberately *not* a full ``=e`` digest — it is a provenance
-        and cache-validity hint for the store and the key table, priced
-        to be callable on every save.
+        **Provenance only** — never an identity.  Two traces with the
+        same shape (equal names, lengths, thread columns, and event
+        kinds) but different methods, arguments, or values share a
+        fingerprint, so it must not be used as a cache key or an
+        equality hint; that is :meth:`content_digest`'s job.  The
+        fingerprint survives in store metadata because it is priced to
+        be callable on every save and is useful for tracing where a
+        file came from.
         """
         if self._fingerprint is None:
             digest = hashlib.blake2b(digest_size=12)
@@ -100,6 +121,44 @@ class Trace:
                                            entry.event.kind.encode()))
             self._fingerprint = digest.hexdigest()
         return self._fingerprint
+
+    def content_digest(self) -> str:
+        """A strong content digest, suitable as a cache key.
+
+        Covers the complete entry sequence: eids, thread ids, methods,
+        active object representations, and the full events — a strict
+        superset of the ``=e`` key (object locations, creation sequence
+        numbers, and the entry identifiers feed the views, the
+        correlators, and the eid-addressed diff results even though
+        ``=e`` excludes them).  Deliberately *excludes* the trace
+        ``name`` and ``metadata`` (provenance, not content), and is
+        independent of whether the trace carries an interned key
+        column — the same content always digests the same, so
+        v2-loaded and freshly captured traces meet in one cache entry.
+        Digest equality therefore implies the traces are
+        indistinguishable to every differencing engine, which is what
+        lets a cached result rehydrate exactly.
+
+        Invalidation semantics: traces are immutable by convention
+        (see the class docstring), so the digest is computed once and
+        cached.  Code that mutates ``entries`` in place violates that
+        convention and must rebuild the trace (``Trace(entries, ...)``)
+        to get a fresh digest; the
+        :class:`~repro.cache.DiffCache` relies on this.
+        """
+        if self._content_digest is None:
+            digest = hashlib.blake2b(digest_size=16)
+            digest.update(b"trace-content-v1;")
+            digest.update(len(self.entries).to_bytes(8, "little"))
+            for entry in self.entries:
+                # Frozen-dataclass reprs are deterministic functions of
+                # the field values (strings, ints, floats, None, and
+                # nested tuples/dataclasses), so equal content yields
+                # equal bytes across processes and sessions.
+                digest.update(repr(entry).encode("utf-8", "replace"))
+                digest.update(b";")
+            self._content_digest = digest.hexdigest()
+        return self._content_digest
 
     def methods(self) -> set[str]:
         return {entry.method for entry in self.entries}

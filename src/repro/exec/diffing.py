@@ -22,7 +22,9 @@ anchor pairs, sequences, and compare totals (property-tested in
 
 from __future__ import annotations
 
+import threading
 import time
+from collections import OrderedDict
 
 from repro.analysis.serialize import dumps_trace, loads_trace
 from repro.core.diffs import DiffResult
@@ -32,6 +34,35 @@ from repro.core.traces import Trace
 from repro.core.view_diff import (PairMarks, ViewDiffConfig, ViewDiffPlan,
                                   view_diff)
 from repro.exec.executors import Executor, chunk_evenly, resolve_executor
+
+
+#: Content-digest-keyed memo of trace wire texts: a batch re-diffing
+#: the same traces (the pipeline's jobs, warm cache-miss re-runs) ships
+#: each trace's serialisation without re-encoding it every diff.  Tiny
+#: and process-local — the capacity bounds memory, the digest key makes
+#: it safe to share across every executor-driven diff of the process
+#: (equal content, equal plan marks; trace names/metadata never reach
+#: the marks the workers send back).
+_WIRE_MEMO_CAPACITY = 8
+_wire_memo: "OrderedDict[str, str]" = OrderedDict()
+_wire_memo_lock = threading.Lock()
+
+
+def _trace_wire(trace: Trace) -> str:
+    """``dumps_trace`` memoised by :meth:`Trace.content_digest`."""
+    digest = trace.content_digest()
+    with _wire_memo_lock:
+        text = _wire_memo.get(digest)
+        if text is not None:
+            _wire_memo.move_to_end(digest)
+            return text
+    text = dumps_trace(trace)
+    with _wire_memo_lock:
+        _wire_memo[digest] = text
+        _wire_memo.move_to_end(digest)
+        while len(_wire_memo) > _WIRE_MEMO_CAPACITY:
+            _wire_memo.popitem(last=False)
+    return text
 
 
 def run_diff_chunk_worker(payload: tuple) -> list[PairMarks]:
@@ -79,8 +110,8 @@ def executed_view_diff(left: Trace, right: Trace, *,
             return plan.merge(marks, counter=counter, started=started)
         chunks = chunk_evenly(plan.pairs,
                               getattr(executor, "max_workers", 1))
-        left_text = dumps_trace(left)
-        right_text = dumps_trace(right)
+        left_text = _trace_wire(left)
+        right_text = _trace_wire(right)
         payloads = [(left_text, right_text, plan.config, chunk)
                     for chunk in chunks]
         marks = [mark for chunk_marks in

@@ -234,7 +234,7 @@ class TestStoreDiff:
         status = main(["store", "diff", str(populated_store), "ob", "nb"])
         out = capsys.readouterr().out
         assert status == 1  # differences found
-        assert "fingerprints:" in out and "differ" in out
+        assert "content digests:" in out and "differ" in out
         assert "_minCharRange" in out
 
     def test_identical_stored_traces_exit_zero(self, populated_store,
@@ -242,9 +242,9 @@ class TestStoreDiff:
         status = main(["store", "diff", str(populated_store), "ob", "oo"])
         out = capsys.readouterr().out
         assert status == 0
-        assert "fingerprints:" in out
+        assert "content digests:" in out
 
-    def test_equal_fingerprints_flagged(self, populated_store, capsys):
+    def test_equal_digests_flagged(self, populated_store, capsys):
         from repro.api.store import TraceStore
         store = TraceStore(populated_store, create=False)
         store.save(store.load("ob"), key="ob-copy")
@@ -421,3 +421,75 @@ class TestParser:
     def test_unknown_engine_rejected(self, tmp_path):
         with pytest.raises(SystemExit):
             main(["diff", "a", "b", "--engine", "bogus"])
+
+
+class TestCacheCli:
+    def test_store_diff_populates_sidecar_cache(self, populated_store,
+                                                capsys):
+        main(["store", "diff", str(populated_store), "ob", "nb"])
+        cache_dir = populated_store / "diffcache"
+        assert len(list(cache_dir.glob("*.json"))) == 1
+        # Warm re-run: same report, still exactly one entry.
+        capsys.readouterr()
+        status = main(["store", "diff", str(populated_store), "ob", "nb"])
+        assert status == 1
+        assert "_minCharRange" in capsys.readouterr().out
+        assert len(list(cache_dir.glob("*.json"))) == 1
+
+    def test_no_cache_flag_skips_the_sidecar(self, populated_store):
+        main(["store", "diff", str(populated_store), "ob", "nb",
+              "--no-cache"])
+        assert not (populated_store / "diffcache").exists()
+
+    def test_diff_caches_only_with_explicit_dir(self, trace_files,
+                                                tmp_path):
+        old_path, new_path = trace_files
+        main(["diff", old_path, new_path])
+        cache_dir = tmp_path / "cli-cache"
+        main(["diff", old_path, new_path, "--cache", str(cache_dir)])
+        assert len(list(cache_dir.glob("*.json"))) == 1
+
+    def test_batch_reports_cache_hits(self, populated_store, tmp_path,
+                                      capsys):
+        spec = {"scenarios": [
+            {"name": "s", "suspected": ["ob", "nb"],
+             "expected": ["oo", "no"]}]}
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(spec))
+        args = ["batch", str(spec_path), "--store", str(populated_store)]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "cache:" in first
+        assert main(args) == 0
+        warm = capsys.readouterr().out
+        assert "2 hit(s)" in warm and "0 miss(es)" in warm
+
+    def test_cache_stats_prune_clear(self, populated_store, capsys):
+        main(["store", "diff", str(populated_store), "ob", "nb"])
+        main(["store", "diff", str(populated_store), "ob", "oo"])
+        capsys.readouterr()
+        # A store path resolves to its diffcache sidecar.
+        assert main(["cache", "stats", str(populated_store)]) == 0
+        assert "2 entr(ies)" in capsys.readouterr().out
+        assert main(["cache", "prune", str(populated_store),
+                     "--keep", "1"]) == 0
+        assert "pruned 1" in capsys.readouterr().out
+        assert main(["cache", "clear", str(populated_store)]) == 0
+        assert "cleared 1" in capsys.readouterr().out
+        assert main(["cache", "stats", str(populated_store)]) == 0
+        assert "0 entr(ies)" in capsys.readouterr().out
+
+    def test_cache_prune_needs_a_criterion(self, populated_store):
+        with pytest.raises(SystemExit, match="--keep"):
+            main(["cache", "prune", str(populated_store)])
+
+    def test_truncated_cache_entry_is_recovered_from(self,
+                                                     populated_store,
+                                                     capsys):
+        main(["store", "diff", str(populated_store), "ob", "nb"])
+        (entry,) = (populated_store / "diffcache").glob("*.json")
+        entry.write_text(entry.read_text()[:40])  # truncate on disk
+        capsys.readouterr()
+        status = main(["store", "diff", str(populated_store), "ob", "nb"])
+        assert status == 1  # recomputed: same differences as cold
+        assert "_minCharRange" in capsys.readouterr().out

@@ -147,3 +147,82 @@ class TestConcurrentWriters:
             thread.join()
         assert set(store.get("shared").tags) == {
             f"tag-{n}" for n in range(8)}
+
+
+class TestPortableLockFallback:
+    """Where ``fcntl`` is unavailable, :func:`repro.api.store.locked_file`
+    must fall back to the O_CREAT|O_EXCL lockfile protocol instead of
+    silently skipping cross-process exclusion."""
+
+    @pytest.fixture()
+    def no_fcntl(self, monkeypatch):
+        from repro.api import store as store_module
+        monkeypatch.setattr(store_module, "fcntl", None)
+        return store_module
+
+    def test_store_operations_work_without_fcntl(self, no_fcntl, tmp_path):
+        store = TraceStore(tmp_path / "store")
+        store.save(simple_trace([1, 2], name="t"), key="a", tags=("x",))
+        store.tag("a", "y")
+        assert set(store.get("a").tags) == {"x", "y"}
+        # The sidecar lock is released (no .held file left behind).
+        assert not (store.root / (LOCK_NAME + ".held")).exists()
+
+    def test_lock_excludes_and_releases(self, no_fcntl, tmp_path):
+        from repro.api.store import locked_file
+        target = tmp_path / "some.lock"
+        held_path = tmp_path / "some.lock.held"
+        with locked_file(target):
+            assert held_path.exists()
+            # A competing acquirer with a tiny timeout must give up.
+            with pytest.raises(TimeoutError):
+                with locked_file(target, timeout=0.05):
+                    pass
+        assert not held_path.exists()
+        with locked_file(target, timeout=0.05):  # reacquirable
+            pass
+
+    def test_stale_lock_is_broken(self, no_fcntl, tmp_path):
+        import os
+        from repro.api.store import locked_file
+        target = tmp_path / "some.lock"
+        held_path = tmp_path / "some.lock.held"
+        held_path.write_text("12345")
+        ancient = 0  # epoch: far older than any stale horizon
+        os.utime(held_path, (ancient, ancient))
+        with locked_file(target, timeout=0.5, stale=5.0):
+            assert held_path.read_text() != "12345"  # ours now
+
+    def test_concurrent_taggers_without_fcntl(self, no_fcntl, tmp_path):
+        root = tmp_path / "store"
+        store = TraceStore(root)
+        store.save(simple_trace([1]), key="shared")
+
+        def tagger(n):
+            TraceStore(root).tag("shared", f"tag-{n}")
+
+        threads = [threading.Thread(target=tagger, args=(n,))
+                   for n in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert set(store.get("shared").tags) == {
+            f"tag-{n}" for n in range(6)}
+
+    def test_break_stale_lock_never_deletes_a_fresh_lock(self, no_fcntl,
+                                                         tmp_path):
+        import os
+        from repro.api.store import _break_stale_lock
+        held = tmp_path / "x.lock.held"
+        # A genuinely stale lock is broken ...
+        held.write_text("dead")
+        os.utime(held, (0, 0))
+        _break_stale_lock(held, stale=5.0)
+        assert not held.exists()
+        # ... but one that turns out fresh at break time (the race the
+        # blind-unlink protocol lost) is restored, not deleted.
+        held.write_text("alive")
+        _break_stale_lock(held, stale=5.0)
+        assert held.exists() and held.read_text() == "alive"
+        assert not list(tmp_path.glob("*.stale"))  # no tombstone litter

@@ -133,3 +133,110 @@ class TestTrace:
         trace = simple_trace(range(10))
         text = trace.render(limit=3)
         assert "more entries" in text
+
+
+def _interned_trace(values, name=""):
+    """A trace carrying a key column (built through a session table)."""
+    from repro.core.keytable import KeyTable
+    b = TraceBuilder(name=name, key_table=KeyTable())
+    tid = b.main_tid
+    obj = b.record_init(tid, "Cell", (), serialization="cell")
+    for value in values:
+        b.record_set(tid, obj, "v", prim(value))
+    b.record_end(tid)
+    return b.build()
+
+
+class TestContentDigest:
+    def test_equal_content_equal_digest(self):
+        assert simple_trace([1, 2]).content_digest() == \
+            simple_trace([1, 2]).content_digest()
+
+    def test_name_and_metadata_are_provenance(self):
+        # Content-addressed: renaming or annotating a trace does not
+        # change what any engine would compute from it.
+        a = simple_trace([1, 2], name="a")
+        b = simple_trace([1, 2], name="b")
+        b.metadata["origin"] = "elsewhere"
+        assert a.content_digest() == b.content_digest()
+        assert a.fingerprint() != b.fingerprint()  # name is in the fp
+
+    def test_digest_tracks_values(self):
+        assert simple_trace([1, 2]).content_digest() != \
+            simple_trace([1, 3]).content_digest()
+
+    def test_interned_and_uninterned_digest_identically(self):
+        assert _interned_trace([1, 2]).content_digest() == \
+            simple_trace([1, 2]).content_digest()
+
+    def test_survives_serialisation(self, tmp_path):
+        from repro.analysis.serialize import load_trace, save_trace
+        trace = simple_trace([1, 2, 3], name="t")
+        path = tmp_path / "t.jsonl"
+        save_trace(trace, path)
+        assert load_trace(path).content_digest() == trace.content_digest()
+
+    def test_fingerprint_collision_regression(self):
+        """The PR-4 bugfix: equal (name, length, tids, kinds) but
+        different methods/values collided under fingerprint() — the
+        strong digest must tell such traces apart (this test fails for
+        any digest built only from the fingerprint's fields)."""
+        b1 = TraceBuilder(name="same")
+        o1 = b1.record_init(b1.main_tid, "A", ())
+        b1.record_call(b1.main_tid, o1, "A.first", ())
+        b1.record_return(b1.main_tid, prim(1))
+        b1.record_end(b1.main_tid)
+        left = b1.build()
+
+        b2 = TraceBuilder(name="same")
+        o2 = b2.record_init(b2.main_tid, "A", ())
+        b2.record_call(b2.main_tid, o2, "A.second", ())
+        b2.record_return(b2.main_tid, prim(2))
+        b2.record_end(b2.main_tid)
+        right = b2.build()
+
+        # Same shape: the cheap fingerprint cannot tell them apart ...
+        assert left.fingerprint() == right.fingerprint()
+        # ... which is exactly why it is provenance-only; the strong
+        # digest (store metadata, cache keys, `store diff` hint) must.
+        assert left.content_digest() != right.content_digest()
+
+    def test_digest_cached_once(self):
+        trace = simple_trace([1])
+        first = trace.content_digest()
+        assert trace.content_digest() is first  # cached string object
+
+
+class TestSliceKeyColumn:
+    def assert_synced(self, sliced):
+        """key_ids[i] must be the interned id of entries[i].key()."""
+        table = sliced.key_table
+        assert len(sliced.key_ids) == len(sliced.entries)
+        for entry, kid in zip(sliced.entries, sliced.key_ids):
+            assert table.key_of(kid) == entry.key()
+
+    def test_plain_slice_keeps_column_synced(self):
+        trace = _interned_trace([1, 2, 3, 4, 5])
+        self.assert_synced(trace[2:5])
+
+    @pytest.mark.parametrize("index", [
+        slice(None, None, 2), slice(1, 6, 2), slice(None, None, -1),
+        slice(6, 1, -2), slice(None, None, 3)])
+    def test_extended_slices_keep_column_synced(self, index):
+        trace = _interned_trace([1, 2, 3, 4, 5])
+        sliced = trace[index]
+        assert [e.eid for e in sliced.entries] == \
+            [e.eid for e in trace.entries[index]]
+        self.assert_synced(sliced)
+
+    def test_uninterned_slice_has_no_column(self):
+        sliced = simple_trace([1, 2, 3])[::2]
+        assert sliced.key_ids is None
+
+    def test_desynchronised_column_is_rejected(self):
+        trace = _interned_trace([1, 2, 3])
+        trace.entries.append(trace.entries[-1])  # convention violation
+        with pytest.raises(ValueError, match="mutated"):
+            trace[::2]
+        with pytest.raises(ValueError, match="mutated"):
+            trace[1:2]
