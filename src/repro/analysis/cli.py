@@ -5,8 +5,10 @@ while the program runs, then analysed later.  This CLI covers that side::
 
     python -m repro.analysis.cli info  trace.jsonl
     python -m repro.analysis.cli views trace.jsonl
+    python -m repro.analysis.cli engines
     python -m repro.analysis.cli diff  old.jsonl new.jsonl \\
-        [--engine views] [--config window=8 --config relaxed=false]
+        [--engine anchored:views] [--anchor-stats] \\
+        [--config window=8 --config relaxed=false]
     python -m repro.analysis.cli analyze --suspected-old old_bad.jsonl \\
         --suspected-new new_bad.jsonl [--expected-old ... --expected-new ...]
         [--regression-left ... --regression-right ...] [--mode intersect]
@@ -22,10 +24,14 @@ in a ``diffcache`` directory beside the store (``--no-cache`` bypasses,
 explicit ``--cache DIR``.
 
 Differencing is routed through the :mod:`repro.api.engines` registry
-(``--engine`` accepts any registered name; ``--algorithm`` remains as a
+(``--engine`` accepts any registered name, including the
+``anchored:<inner>`` meta-engines; ``--algorithm`` remains as a
 deprecated alias), and the view-diff knobs of
 :class:`~repro.core.view_diff.ViewDiffConfig` are exposed as repeatable
-``--config KEY=VALUE`` flags.
+``--config KEY=VALUE`` flags (anchor selection included:
+``--config anchor_min_run=4``).  ``engines`` lists every registered
+engine with its capability flags; ``diff --anchor-stats`` prints the
+pair's anchor segmentation alongside the report.
 """
 
 from __future__ import annotations
@@ -36,7 +42,10 @@ import json
 import sys
 from pathlib import Path
 
-from repro.api.engines import available_engines, get_engine
+from repro.api.engines import (accepts_cache, accepts_executor,
+                               accepts_key_table, available_engines,
+                               get_engine, is_cacheable)
+from repro.core.anchors import AnchorConfig, segment_pair
 from repro.api.pipeline import StoredScenarioJob, run_pipeline
 from repro.api.session import Session
 from repro.api.store import INDEX_NAME, TraceStore
@@ -169,10 +178,37 @@ def cmd_views(args) -> int:
     return 0
 
 
+def cmd_engines(args) -> int:
+    """List registered diff engines with their capability flags
+    (previously only discoverable from Python)."""
+    names = available_engines()
+    width = max(len(name) for name in names)
+    print(f"{len(names)} registered engine(s):")
+    for name in names:
+        engine = get_engine(name)
+        flags = ", ".join(flag for flag, on in (
+            ("cacheable", is_cacheable(engine)),
+            ("accepts_executor", accepts_executor(engine)),
+            ("accepts_key_table", accepts_key_table(engine)),
+            ("accepts_cache", accepts_cache(engine)),
+        ) if on) or "-"
+        print(f"  {name:{width}}  {flags}")
+    return 0
+
+
 def cmd_diff(args) -> int:
-    result = _diff(args.left, args.right, _engine_name(args),
-                   parse_config_flags(args.config),
-                   cache=_resolve_cache(args))
+    left = load_trace(args.left)
+    right = load_trace(args.right)
+    config = parse_config_flags(args.config)
+    result = cached_engine_diff(_resolve_cache(args),
+                                get_engine(_engine_name(args)),
+                                left, right, config=config)
+    if args.anchor_stats:
+        anchor_config = AnchorConfig.from_view_config(
+            config if config is not None else ViewDiffConfig())
+        interned = config.interned if config is not None else True
+        print(segment_pair(left, right, config=anchor_config,
+                           interned=interned).render())
     print(render_diff_report(result, max_sequences=args.limit))
     return 0 if result.num_diffs() == 0 else 1
 
@@ -411,11 +447,18 @@ def build_parser() -> argparse.ArgumentParser:
     views.add_argument("--limit", type=int, default=20)
     views.set_defaults(func=cmd_views)
 
+    engines = commands.add_parser(
+        "engines", help="list registered diff engines and capabilities")
+    engines.set_defaults(func=cmd_engines)
+
     diff = commands.add_parser("diff", help="semantic diff of two traces")
     diff.add_argument("left")
     diff.add_argument("right")
     _add_engine_options(diff)
     _add_cache_options(diff)
+    diff.add_argument("--anchor-stats", action="store_true",
+                      help="print the pair's =e anchor segmentation "
+                           "(runs, gaps, candidate counts)")
     diff.add_argument("--limit", type=int, default=10)
     diff.set_defaults(func=cmd_diff)
 

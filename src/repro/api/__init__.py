@@ -24,12 +24,14 @@ The legacy ``repro.RPrism`` facade remains as a thin shim over
 :class:`Session`.
 """
 
-from repro.api.engines import (DiffEngine, LcsEngine, ViewsEngine,
+from repro.api.engines import (AnchoredEngine, DiffEngine, LcsEngine,
+                               ViewsEngine, accepts_cache,
                                accepts_executor, accepts_key_table,
                                accepts_kwarg, available_engines,
                                get_engine, is_cacheable, register_engine,
                                unregister_engine)
-from repro.cache import CacheStats, DiffCache, cached_engine_diff
+from repro.cache import (CacheStats, DiffCache, SegmentCache,
+                         cached_engine_diff)
 from repro.core.keytable import KeyTable
 from repro.exec.capture import CaptureOutcome, CaptureTask
 from repro.exec.executors import (Executor, available_executors,
@@ -42,11 +44,14 @@ from repro.api.session import (CAPTURE_LOCK, SCENARIO_ROLES, Session,
 from repro.api.store import TraceRecord, TraceStore
 
 __all__ = [
-    "CAPTURE_LOCK", "CacheStats", "CaptureOutcome", "CaptureTask",
+    "AnchoredEngine", "CAPTURE_LOCK", "CacheStats", "CaptureOutcome",
+    "CaptureTask",
     "DiffCache", "DiffEngine", "Executor", "JobOutcome", "KeyTable",
     "LcsEngine", "PipelineResult", "SCENARIO_ROLES", "ScenarioJob",
-    "ScenarioPipeline", "Session", "SessionResult", "StoredScenarioJob",
-    "TraceRecord", "TraceStore", "ViewsEngine", "accepts_executor",
+    "ScenarioPipeline", "SegmentCache", "Session", "SessionResult",
+    "StoredScenarioJob",
+    "TraceRecord", "TraceStore", "ViewsEngine", "accepts_cache",
+    "accepts_executor",
     "accepts_key_table", "accepts_kwarg", "available_engines",
     "available_executors", "cached_engine_diff", "get_engine",
     "get_executor", "is_cacheable", "register_engine", "run_pipeline",

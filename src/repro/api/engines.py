@@ -25,16 +25,21 @@ name, so swapping the analysis behind a stable driver API is one
 
 from __future__ import annotations
 
+import dataclasses
 import inspect
 import threading
 from typing import Protocol, runtime_checkable
 
+from repro.core.anchors import AnchorConfig
 from repro.core.diffs import DiffResult
 from repro.core.keytable import KeyTable
 from repro.core.lcs import MemoryBudget, OpCounter
 from repro.core.lcs_diff import ALGORITHMS, lcs_diff
 from repro.core.traces import Trace
 from repro.core.view_diff import ViewDiffConfig, view_diff
+
+#: Name prefix of the anchored meta-engines (``anchored:<inner>``).
+ANCHORED_PREFIX = "anchored:"
 
 
 @runtime_checkable
@@ -98,6 +103,13 @@ def accepts_executor(engine: DiffEngine) -> bool:
     return accepts_kwarg(engine, "executor")
 
 
+def accepts_cache(engine: DiffEngine) -> bool:
+    """Whether ``engine.diff`` can be handed a ``cache`` kwarg (the
+    anchored meta-engines take the diff-cache handle so whole-result
+    misses can still hit at segment granularity)."""
+    return accepts_kwarg(engine, "cache")
+
+
 def is_cacheable(engine: DiffEngine) -> bool:
     """Whether ``engine``'s results may be memoised by the diff cache.
 
@@ -122,6 +134,11 @@ class ViewsEngine:
     name = "views"
     #: Pure function of (traces, config): safe to memoise.
     cacheable = True
+    #: Anchoring is implemented *inside* the lock-step evaluation
+    #: (``config.anchored`` bulk-matches aligned runs), so the anchored
+    #: meta-engine delegates instead of segmenting sub-traces — the
+    #: windowed secondary-view exploration needs the full webs.
+    anchor_aware = True
 
     def diff(self, left: Trace, right: Trace, *,
              config: ViewDiffConfig | None = None,
@@ -156,9 +173,64 @@ class LcsEngine:
              budget: MemoryBudget | None = None,
              key_table: KeyTable | None = None) -> DiffResult:
         interned = config.interned if config is not None else True
+        anchors = None
+        if config is not None and config.anchored:
+            anchors = AnchorConfig.from_view_config(config)
         return lcs_diff(left, right, algorithm=self.algorithm,
                         counter=counter, budget=budget,
-                        interned=interned, key_table=key_table)
+                        interned=interned, key_table=key_table,
+                        anchors=anchors)
+
+
+class AnchoredEngine:
+    """Patience-anchored segmental meta-engine (the tentpole of
+    :mod:`repro.core.anchors`).
+
+    Wraps any inner engine under the name ``anchored:<inner>``.  For
+    engines that implement anchoring natively (a truthy
+    ``anchor_aware`` attribute — the views engine), the call delegates
+    with ``config.anchored`` forced on.  For everything else the pair
+    is split along its ``=e`` anchor runs and the inner engine runs on
+    each divergent gap — serially, across a thread pool, or chunked to
+    worker processes — with optional gap-granular caching
+    (:class:`~repro.cache.SegmentCache`) so an edited scenario
+    re-diffs only the gaps that changed.
+
+    Results are bit-identical to the inner engine's
+    (:func:`~repro.core.diffs.result_identity`); only the ``=e``
+    compare cost drops.
+    """
+
+    def __init__(self, inner: "str | DiffEngine"):
+        self.inner = get_engine(inner)
+        self.name = ANCHORED_PREFIX + self.inner.name
+        #: Purity is inherited: the meta-engine adds no state of its
+        #: own, so its results may be memoised iff the inner's may.
+        self.cacheable = is_cacheable(self.inner)
+
+    def diff(self, left: Trace, right: Trace, *,
+             config: ViewDiffConfig | None = None,
+             counter: OpCounter | None = None,
+             budget: MemoryBudget | None = None,
+             key_table: KeyTable | None = None,
+             executor=None, cache=None) -> DiffResult:
+        if config is None:
+            config = ViewDiffConfig()
+        if getattr(self.inner, "anchor_aware", False):
+            anchored = dataclasses.replace(config, anchored=True)
+            kwargs = {}
+            if key_table is not None and accepts_key_table(self.inner):
+                kwargs["key_table"] = key_table
+            if executor is not None and accepts_executor(self.inner):
+                kwargs["executor"] = executor
+            return self.inner.diff(left, right, config=anchored,
+                                   counter=counter, budget=budget,
+                                   **kwargs)
+        from repro.exec.diffing import anchored_segment_diff
+        return anchored_segment_diff(left, right, self.inner,
+                                     config=config, counter=counter,
+                                     budget=budget, key_table=key_table,
+                                     executor=executor, cache=cache)
 
 
 _REGISTRY: dict[str, DiffEngine] = {}
@@ -199,6 +271,15 @@ def get_engine(engine: str | DiffEngine) -> DiffEngine:
         raise TypeError(f"not a diff engine: {engine!r}")
     with _REGISTRY_LOCK:
         found = _REGISTRY.get(engine)
+    if found is None and engine.startswith(ANCHORED_PREFIX):
+        # ``anchored:<anything registered>`` resolves dynamically, so
+        # third-party engines get an anchored variant for free (the
+        # built-in combinations are pre-registered).
+        inner_name = engine[len(ANCHORED_PREFIX):]
+        try:
+            return AnchoredEngine(get_engine(inner_name))
+        except KeyError:
+            pass
     if found is None:
         raise KeyError(f"unknown diff engine {engine!r}; available: "
                        f"{', '.join(available_engines())}")
@@ -218,6 +299,10 @@ def _register_builtins() -> None:
     register_engine(ViewsEngine(), replace=True)
     for algorithm in ALGORITHMS:
         register_engine(LcsEngine(algorithm), replace=True)
+    # The anchored meta-engine over every built-in inner.
+    register_engine(AnchoredEngine("views"), replace=True)
+    for algorithm in ALGORITHMS:
+        register_engine(AnchoredEngine(algorithm), replace=True)
 
 
 _register_builtins()

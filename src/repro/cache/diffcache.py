@@ -166,10 +166,26 @@ class DiffCache:
         """The cached result under ``key``, rehydrated over the
         caller's traces; ``None`` on a miss (including corrupt or
         version-skewed disk entries)."""
+        return self.get_via(
+            key, lambda wire: result_from_wire(wire, left, right))
+
+    def get_via(self, key: str, rehydrate) -> DiffResult | None:
+        """The one lookup path, parameterised over rehydration.
+
+        ``rehydrate`` receives the stored *result wire* and returns
+        the rehydrated result, raising ``ValueError`` when the wire
+        does not fit the caller's traces (the segment cache rebases
+        entry ids first, so its notion of "fits" differs from
+        :meth:`get`'s).  A rehydration failure is a counted miss —
+        digest collision or tampered entry, never an error and never a
+        corrupt result — and the entry is dropped from the memory
+        tier.
+        """
         with self._lock:
             wire = self._memory.get(key)
             if wire is not None:
                 self._memory.move_to_end(key)
+        from_memory = wire is not None
         if wire is None:
             wire = self._disk_read(key)
         if wire is None:
@@ -177,16 +193,14 @@ class DiffCache:
                 self._misses += 1
             return None
         try:
-            result = result_from_wire(wire.get("result"), left, right)
+            result = rehydrate(wire.get("result"))
         except ValueError:
-            # Digest collision or tampered entry: a miss, never an
-            # error — and never a corrupt result.
             with self._lock:
                 self._memory.pop(key, None)
                 self._misses += 1
             return None
         with self._lock:
-            if key in self._memory:
+            if from_memory:
                 self._hits_memory += 1
             else:
                 self._hits_disk += 1
@@ -202,12 +216,19 @@ class DiffCache:
         ``counter_totals`` is this diff's own ``(compares, charged)``
         cost when ``result.counter`` is a caller's shared accumulator
         (see :func:`~repro.core.diffs.result_to_wire`)."""
+        self.put_wire(key, result_to_wire(result,
+                                          counter_totals=counter_totals),
+                      engine=result.algorithm)
+
+    def put_wire(self, key: str, result_wire: dict,
+                 engine: str = "") -> None:
+        """Memoise an already-encoded result wire under ``key`` (the
+        wire-level twin of :meth:`put`)."""
         wire = {
             "key": key,
-            "engine": result.algorithm,
+            "engine": engine,
             "created": time.time(),
-            "result": result_to_wire(result,
-                                     counter_totals=counter_totals),
+            "result": result_wire,
         }
         with self._lock:
             self._remember(key, wire)
@@ -365,8 +386,14 @@ def cached_engine_diff(cache: "DiffCache | None", engine, left: Trace,
     credited with the cold run's totals, so batch aggregates (the
     paper's compare-count metric) stay identical between cold and warm
     runs.
+
+    Engines whose ``diff`` accepts a ``cache`` keyword (the anchored
+    segmental engines) are additionally handed the cache handle on the
+    compute path, so a whole-result *miss* can still hit at segment
+    granularity — an edited scenario re-diffs only the gaps that
+    changed.
     """
-    from repro.api.engines import is_cacheable
+    from repro.api.engines import accepts_kwarg, is_cacheable
 
     def compute() -> DiffResult:
         return engine.diff(left, right, config=config, counter=counter,
@@ -374,6 +401,8 @@ def cached_engine_diff(cache: "DiffCache | None", engine, left: Trace,
 
     if cache is None or budget is not None or not is_cacheable(engine):
         return compute()
+    if accepts_kwarg(engine, "cache"):
+        kwargs.setdefault("cache", cache)
     key = cache.key_for(left, right, engine.name, config)
     hit = cache.get(key, left, right)
     if hit is not None:

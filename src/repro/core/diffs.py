@@ -241,6 +241,28 @@ def result_from_wire(wire: dict, left: Trace, right: Trace) -> DiffResult:
         raise ValueError(f"malformed diff-result wire: {error}") from None
 
 
+def result_identity(result: DiffResult) -> tuple:
+    """Everything *semantically* observable about a result — similarity
+    sets, matched and anchor pairs, and difference sequences — as one
+    comparable value, excluding the cost accounting (compare counters,
+    peak cells, timing) and the algorithm label.
+
+    This is what "the anchored engine is bit-identical to its inner
+    engine" means: the two compute the same differences while charging
+    different costs (fewer ``=e`` compares is the anchored path's whole
+    point), so identity is asserted over this tuple rather than
+    :func:`result_signature` (which includes the counters).
+    """
+    return (tuple(sorted(result.similar_left)),
+            tuple(sorted(result.similar_right)),
+            tuple(tuple(pair) for pair in result.match_pairs),
+            tuple(tuple(pair) for pair in result.anchor_pairs),
+            tuple((seq.kind,
+                   tuple(e.eid for e in seq.left_entries),
+                   tuple(e.eid for e in seq.right_entries))
+                  for seq in result.sequences))
+
+
 def result_signature(result: DiffResult) -> tuple:
     """Everything semantically observable about a result, as one
     comparable value (wall-clock excluded) — what the cache tests and

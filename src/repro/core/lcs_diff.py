@@ -22,6 +22,8 @@ from __future__ import annotations
 
 import time
 
+from repro.core.anchors import (AnchorConfig, merge_segment_results,
+                                segment_pair)
 from repro.core.diffs import DiffResult, build_sequences
 from repro.core.keytable import KeyTable
 from repro.core.lcs import (LcsResult, MemoryBudget, OpCounter, lcs_dp,
@@ -37,7 +39,8 @@ def lcs_diff(left: Trace, right: Trace, algorithm: str = "optimized",
              budget: MemoryBudget | None = None,
              dp_cell_limit: int = 4_000_000,
              interned: bool = True,
-             key_table: KeyTable | None = None) -> DiffResult:
+             key_table: KeyTable | None = None,
+             anchors: AnchorConfig | None = None) -> DiffResult:
     """Difference two traces with the LCS-based semantics of Fig. 11.
 
     ``algorithm`` selects the LCS implementation: ``"optimized"`` is the
@@ -52,11 +55,24 @@ def lcs_diff(left: Trace, right: Trace, algorithm: str = "optimized",
     ``interned`` compares dense key-table ids instead of key tuples
     (``key_table`` supplies the pair's shared table; one is derived
     from the traces otherwise).
+
+    ``anchors`` enables anchored segmental evaluation
+    (:mod:`repro.core.anchors`): the pair is split along patience-style
+    ``=e`` anchor runs and this very algorithm runs on each divergent
+    gap independently, the per-gap results merged into one full-trace
+    result.  On mostly-identical pairs this replaces one huge O(n·m)
+    problem with a chain of tiny ones — including under a memory
+    ``budget``, where each gap requests only its own DP table.
     """
     if algorithm not in ALGORITHMS:
         raise ValueError(f"unknown LCS algorithm: {algorithm!r}")
     if counter is None:
         counter = OpCounter()
+    if anchors is not None:
+        return _anchored_lcs_diff(left, right, algorithm, anchors,
+                                  counter=counter, budget=budget,
+                                  dp_cell_limit=dp_cell_limit,
+                                  interned=interned, key_table=key_table)
     started = time.perf_counter()
     if interned:
         table = key_table if key_table is not None \
@@ -98,3 +114,40 @@ def lcs_diff(left: Trace, right: Trace, algorithm: str = "optimized",
         seconds=elapsed,
         peak_cells=budget.peak_cells if budget is not None else 0,
     )
+
+
+def _anchored_lcs_diff(left: Trace, right: Trace, algorithm: str,
+                       anchors: AnchorConfig,
+                       counter: OpCounter,
+                       budget: MemoryBudget | None,
+                       dp_cell_limit: int,
+                       interned: bool,
+                       key_table: KeyTable | None) -> DiffResult:
+    """The anchored segmental path of :func:`lcs_diff` (serial; the
+    executor-parallel and segment-cached variant is
+    :func:`repro.exec.diffing.anchored_segment_diff`)."""
+    started = time.perf_counter()
+    table = None
+    if interned:
+        table = key_table if key_table is not None \
+            else KeyTable.for_pair(left, right)
+    segmentation = segment_pair(left, right, config=anchors,
+                                interned=interned, key_table=table,
+                                counter=counter)
+    gap_results: list[DiffResult | None] = []
+    for gap in segmentation.gaps:
+        if gap.left_len == 0 or gap.right_len == 0:
+            # One-sided gap: pure insertion/deletion, nothing to align.
+            gap_results.append(None)
+            continue
+        gap_results.append(lcs_diff(
+            left[gap.left_lo:gap.left_hi],
+            right[gap.right_lo:gap.right_hi],
+            algorithm=algorithm, counter=counter, budget=budget,
+            dp_cell_limit=dp_cell_limit, interned=interned,
+            key_table=table))
+    return merge_segment_results(
+        left, right, segmentation, gap_results, counter=counter,
+        algorithm=f"anchored-lcs-{algorithm}",
+        seconds=time.perf_counter() - started,
+        peak_cells=budget.peak_cells if budget is not None else 0)

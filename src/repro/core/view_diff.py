@@ -33,6 +33,7 @@ import time
 from bisect import bisect_left
 from dataclasses import dataclass, field
 
+from repro.core.anchors import AnchorConfig, select_anchor_runs
 from repro.core.correlation import ViewCorrelator
 from repro.core.diffs import DiffResult, DifferenceSequence, build_sequences
 from repro.core.keytable import KeyTable
@@ -72,6 +73,20 @@ class ViewDiffConfig:
     #: Interning is a bijection on keys, so the similarity sets are
     #: identical either way; ``False`` restores the tuple path.
     interned: bool = True
+    #: Anchored evaluation (:mod:`repro.core.anchors`): precompute
+    #: patience-style ``=e`` anchor runs per correlated thread pair and
+    #: bulk-match them without per-entry compares whenever the
+    #: lock-step scan reaches a run start exactly aligned.  The scan's
+    #: state trajectory — and therefore sigma, the matched pairs, the
+    #: anchors, and the sequences — is identical to the unanchored
+    #: evaluation; only the compare count drops.
+    anchored: bool = False
+    #: Anchor runs shorter than this are not trusted
+    #: (:attr:`~repro.core.anchors.AnchorConfig.min_run`).
+    anchor_min_run: int = 2
+    #: Occurrence cap for anchor candidate keys
+    #: (:attr:`~repro.core.anchors.AnchorConfig.max_occurrence`).
+    anchor_max_occurrence: int = 1
 
 
 class _ThreadPairDiffer:
@@ -128,6 +143,16 @@ class _ThreadPairDiffer:
                              for p in range(len(left_view.indices))}
         self._rpos_by_eid = {right_view.indices[p]: p
                              for p in range(len(right_view.indices))}
+        # Anchored evaluation: (run start left, run start right) ->
+        # run length, bulk-matched compare-free when the scan lands on
+        # a start exactly aligned (see ViewDiffConfig.anchored).
+        self._anchor_starts: dict[tuple[int, int], int] = {}
+        if config.anchored:
+            runs = select_anchor_runs(
+                self.lkeys, self.rkeys,
+                AnchorConfig.from_view_config(config), counter=counter)
+            self._anchor_starts = {(run.left, run.right): run.length
+                                   for run in runs}
 
     # -- driver --------------------------------------------------------------
 
@@ -138,8 +163,26 @@ class _ThreadPairDiffer:
         lkeys, rkeys = self.lkeys, self.rkeys
         n, m = len(lkeys), len(rkeys)
         match_pairs: list[tuple[int, int]] = []
+        anchor_starts = self._anchor_starts
         i = j = 0
         while i < n and j < m:
+            if anchor_starts:
+                # Anchored fast path: an aligned common run is matched
+                # wholesale, exactly as L consecutive STEP-VIEW-MATCH
+                # steps would — minus their L entry compares.
+                run_length = anchor_starts.get((i, j))
+                if run_length:
+                    indices_l = lv.indices
+                    indices_r = rv.indices
+                    for offset in range(run_length):
+                        left_eid = indices_l[i + offset]
+                        right_eid = indices_r[j + offset]
+                        self.similar_left.add(left_eid)
+                        self.similar_right.add(right_eid)
+                        match_pairs.append((left_eid, right_eid))
+                    i += run_length
+                    j += run_length
+                    continue
             self.counter.bump()
             if lkeys[i] == rkeys[j]:
                 # STEP-VIEW-MATCH

@@ -15,14 +15,16 @@ Two task kinds ride the layer today:
   execution.
 * diff (:mod:`repro.exec.diffing`) — the views-based diff's execution
   phase (independent correlated-thread-pair evaluations) through
-  :func:`executed_view_diff`, bit-identical to the serial path.
+  :func:`executed_view_diff`, bit-identical to the serial path, and
+  the anchored segmental driver :func:`anchored_segment_diff` (gap
+  diffs fanned out as chunks, with segment-granular caching).
 """
 
 from repro.exec.capture import (CAPTURE_LOCK, CaptureOutcome, CaptureTask,
                                 RemoteCaptureError, capture_call,
                                 capture_task_locally, ensure_portable,
                                 resolve_callable, run_capture_tasks)
-from repro.exec.diffing import executed_view_diff
+from repro.exec.diffing import anchored_segment_diff, executed_view_diff
 from repro.exec.executors import (DEFAULT_MAX_WORKERS, Executor,
                                   ProcessExecutor, SerialExecutor,
                                   ThreadExecutor, available_executors,
@@ -32,7 +34,8 @@ from repro.exec.executors import (DEFAULT_MAX_WORKERS, Executor,
 __all__ = [
     "CAPTURE_LOCK", "CaptureOutcome", "CaptureTask", "DEFAULT_MAX_WORKERS",
     "Executor", "ProcessExecutor", "RemoteCaptureError", "SerialExecutor",
-    "ThreadExecutor", "available_executors", "capture_call",
+    "ThreadExecutor", "anchored_segment_diff", "available_executors",
+    "capture_call",
     "capture_task_locally", "chunk_evenly", "ensure_portable",
     "executed_view_diff", "get_executor", "prewarm_thread_pool",
     "resolve_callable", "resolve_executor", "run_capture_tasks",

@@ -141,12 +141,15 @@ def run_scenario(spec: ScenarioSpec,
                  lcs_budget_cells: int = 100_000_000,
                  config: ViewDiffConfig | None = None,
                  lcs_engine: str = "optimized",
+                 views_engine: str = "views",
                  executor: "Executor | str | None" = None,
                  cache: "DiffCache | None" = None) -> ScenarioResult:
     """Everything the paper measures for one case study.
 
     Both semantics are resolved through the :mod:`repro.api.engines`
-    registry: the views side always runs the ``views`` engine, the
+    registry: the views side runs ``views_engine`` (``views`` by
+    default; ``anchored:views`` skips ``=e`` compares over patience
+    anchor runs while producing the identical result), the
     baseline side runs ``lcs_engine`` (any registered LCS variant).
     ``executor`` routes the four captures through the execution layer
     (``"processes"`` captures them concurrently, worker per trace);
@@ -172,14 +175,14 @@ def run_scenario(spec: ScenarioSpec,
     )
 
     # -- views-based differencing + analysis --------------------------------
-    views_engine = get_engine("views")
+    views_backend = get_engine(views_engine)
     views_counter = OpCounter()
     views_started = time.perf_counter()
-    suspected_v = cached_engine_diff(cache, views_engine, old_bad, new_bad,
+    suspected_v = cached_engine_diff(cache, views_backend, old_bad, new_bad,
                                      config=config, counter=views_counter)
-    expected_v = cached_engine_diff(cache, views_engine, old_ok, new_ok,
+    expected_v = cached_engine_diff(cache, views_backend, old_ok, new_ok,
                                     config=config, counter=views_counter)
-    regression_v = cached_engine_diff(cache, views_engine, new_ok, new_bad,
+    regression_v = cached_engine_diff(cache, views_backend, new_ok, new_bad,
                                       config=config, counter=views_counter)
     result.set_sizes = _analyze(spec, suspected_v, expected_v,
                                 regression_v, result.views)

@@ -1,0 +1,751 @@
+"""Anchored segmental diffing (ISSUE 5): anchor selection, the
+segmental drivers, the ``anchored:*`` meta-engines, segment-parallel
+execution, and segment-granular caching.
+
+The identity contract, pinned by the property suites below:
+
+* ``anchored:views`` is bit-identical to ``views`` *by construction*
+  (anchor runs are bulk-matched only when the lock-step scan is exactly
+  at a run start, so the scan's state trajectory never changes) — on
+  any trace pair, any executor, interning on or off.
+* ``anchored:<lcs>`` is bit-identical to its inner engine whenever the
+  inner computes its canonical exact answer — structured near-identical
+  pairs (hypothesis), and the single-threaded workload scenario pairs
+  at sizes where the quadratic core is reached.  On pairs with
+  genuinely ambiguous alignments (Derby's interleaved lock-daemon
+  entries) or where the inner falls back to its approximate differ,
+  the anchored result is *never worse*: at least as many matched
+  entries, at most as many differences.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import (AnchoredEngine, DiffCache, Session, accepts_cache,
+                       accepts_executor, accepts_key_table,
+                       available_engines, get_engine, is_cacheable,
+                       register_engine, unregister_engine)
+from repro.cache.segments import (SegmentCache, segment_digest, segment_key,
+                                  shift_result_wire)
+from repro.core.anchors import (AnchorConfig, AnchorRun, Gap,
+                                anchor_candidates, merge_segment_results,
+                                segment_pair, segment_sequences,
+                                select_anchor_runs)
+from repro.core.diffs import result_identity, result_to_wire
+from repro.core.lcs import LcsMemoryError, MemoryBudget, OpCounter
+from repro.core.lcs_diff import ALGORITHMS, lcs_diff
+from repro.core.traces import Trace
+from repro.core.view_diff import ViewDiffConfig, view_diff
+from repro.exec import (ProcessExecutor, ThreadExecutor,
+                        anchored_segment_diff)
+
+from helpers import myfaces_trace, simple_trace, two_thread_trace
+
+
+def mutate(values, edits):
+    """Apply (position, replacement) edits to a value list."""
+    out = list(values)
+    for position, value in edits:
+        out[position] = value
+    return out
+
+
+# -- anchor selection --------------------------------------------------------
+
+
+class TestAnchorCandidates:
+    def test_unique_common_keys_pair_up(self):
+        pairs = anchor_candidates([1, 2, 3], [3, 1, 2])
+        assert sorted(pairs) == [(0, 1), (1, 2), (2, 0)]
+
+    def test_repeated_keys_excluded_at_max_occurrence_one(self):
+        pairs = anchor_candidates([1, 1, 2], [1, 2, 1])
+        assert pairs == [(2, 1)]
+
+    def test_unequal_counts_excluded(self):
+        assert anchor_candidates([1, 1, 2], [1, 2]) == [(2, 1)]
+
+    def test_histogram_mode_pairs_kth_occurrences(self):
+        pairs = anchor_candidates([7, 8, 7], [7, 9, 7], max_occurrence=2)
+        assert pairs == [(0, 0), (2, 2)]
+
+    def test_no_compares_charged(self):
+        counter = OpCounter()
+        select_anchor_runs(list(range(50)), list(range(50)),
+                           AnchorConfig(), counter=counter)
+        # Candidate discovery and LIS are hash/position work; only run
+        # extension compares keys, and a full-cover run extends nowhere.
+        assert counter.total == 0
+
+
+class TestAnchorRuns:
+    def test_full_cover_single_run(self):
+        runs = select_anchor_runs([1, 2, 3, 4], [1, 2, 3, 4])
+        assert runs == [AnchorRun(0, 0, 4)]
+
+    def test_crossing_anchors_dropped_by_lis(self):
+        left = list(range(10)) + [100, 101]
+        right = [100, 101] + list(range(10))
+        runs = select_anchor_runs(left, right)
+        assert runs == [AnchorRun(0, 2, 10)]
+
+    def test_min_run_drops_short_runs(self):
+        # A lone anchor in crossing context (the patience failure mode).
+        left = [50, 1, 1]
+        right = [1, 1, 50]
+        assert select_anchor_runs(left, right,
+                                  AnchorConfig(min_run=2)) == []
+
+    def test_extension_grows_runs_over_repeated_keys(self):
+        # 7s repeat (not candidates) but sit in an aligned context.
+        left = [1, 7, 7, 2, 9]
+        right = [1, 7, 7, 2, 8]
+        counter = OpCounter()
+        runs = select_anchor_runs(left, right, counter=counter)
+        assert runs == [AnchorRun(0, 0, 4)]
+        assert counter.total > 0  # extension performed real compares
+
+    def test_extension_respects_neighbour_runs(self):
+        runs = select_anchor_runs([1, 2, 9, 3, 4], [1, 2, 8, 3, 4])
+        assert runs == [AnchorRun(0, 0, 2), AnchorRun(3, 3, 2)]
+
+
+class TestSegmentation:
+    def test_gap_between_runs(self):
+        seg = segment_sequences([1, 2, 9, 9, 3, 4], [1, 2, 8, 3, 4])
+        assert seg.runs == [AnchorRun(0, 0, 2), AnchorRun(4, 3, 2)]
+        assert seg.gaps == [Gap(2, 4, 2, 3)]
+
+    def test_leading_and_trailing_gaps(self):
+        seg = segment_sequences([9, 1, 2, 8], [7, 1, 2, 6, 5])
+        assert seg.runs == [AnchorRun(1, 1, 2)]
+        assert seg.gaps == [Gap(0, 1, 0, 1), Gap(3, 4, 3, 5)]
+
+    def test_empty_sequences(self):
+        seg = segment_sequences([], [])
+        assert seg.runs == [] and seg.gaps == []
+
+    def test_one_empty_side_is_one_gap(self):
+        seg = segment_sequences([], [1, 2])
+        assert seg.runs == [] and seg.gaps == [Gap(0, 0, 0, 2)]
+
+    def test_render_mentions_runs_and_gaps(self):
+        text = segment_sequences([1, 2, 9], [1, 2, 8]).render()
+        assert "run(s)" in text and "gaps" in text
+
+    @given(st.lists(st.integers(0, 30), max_size=60),
+           st.lists(st.integers(0, 30), max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_segmentation_invariants(self, left, right):
+        seg = segment_sequences(left, right)
+        at_l = at_r = 0
+        items = [((run.left, run.right), "run", run)
+                 for run in seg.runs]
+        items.extend(((gap.left_lo, gap.right_lo), "gap", gap)
+                     for gap in seg.gaps)
+        items.sort(key=lambda item: item[0])
+        for _pos, kind, item in items:
+            if kind == "run":
+                assert (item.left, item.right) == (at_l, at_r)
+                for offset in range(item.length):
+                    assert left[item.left + offset] == \
+                        right[item.right + offset]
+                at_l += item.length
+                at_r += item.length
+            else:
+                assert (item.left_lo, item.right_lo) == (at_l, at_r)
+                assert item.left_len > 0 or item.right_len > 0
+                at_l, at_r = item.left_hi, item.right_hi
+        # Together, runs and gaps cover both sequences exactly.
+        assert (at_l, at_r) == (len(left), len(right))
+
+
+# -- merge bookkeeping -------------------------------------------------------
+
+
+class TestMergeSegmentResults:
+    def test_gap_result_count_must_match(self):
+        left = simple_trace([1, 2, 3])
+        right = simple_trace([1, 2, 4])
+        seg = segment_pair(left, right)
+        with pytest.raises(ValueError, match="gap"):
+            merge_segment_results(left, right, seg,
+                                  [None] * (len(seg.gaps) + 1),
+                                  counter=OpCounter())
+
+    def test_all_common_merge_matches_everything(self):
+        left = simple_trace([1, 2, 3], name="l")
+        right = simple_trace([1, 2, 3], name="r")
+        seg = segment_pair(left, right)
+        merged = merge_segment_results(left, right, seg, [None] * len(seg.gaps),
+                                       counter=OpCounter())
+        assert merged.num_diffs() == 0
+        assert len(merged.match_pairs) == len(left)
+        assert merged.sequences == []
+
+
+# -- anchored LCS ------------------------------------------------------------
+
+#: Edits over a unique-increasing base: replacements draw from a
+#: disjoint alphabet so the common keys of a pair are exactly the
+#: unedited base values (unique in both, monotone) — the LCS is unique
+#: and the segmental computation must reproduce it bit for bit.
+base_edits = st.lists(
+    st.tuples(st.integers(0, 79), st.integers(0, 1)), max_size=8)
+
+
+class TestAnchoredLcsIdentity:
+    @given(base_edits, base_edits)
+    @settings(max_examples=40, deadline=None)
+    def test_bit_identity_on_unambiguous_pairs(self, edits_l, edits_r):
+        base = list(range(80))
+        left = simple_trace(mutate(base, [(p, 1000 + 2 * i)
+                                          for i, (p, _) in
+                                          enumerate(edits_l)]), name="l")
+        right = simple_trace(mutate(base, [(p, 2000 + 2 * i)
+                                           for i, (p, _) in
+                                           enumerate(edits_r)]), name="r")
+        for algorithm in ALGORITHMS:
+            inner = lcs_diff(left, right, algorithm)
+            anchored = lcs_diff(left, right, algorithm,
+                                anchors=AnchorConfig())
+            assert result_identity(anchored) == result_identity(inner), \
+                algorithm
+
+    @pytest.mark.parametrize("interned", [True, False])
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_interned_and_tuple_paths_agree(self, algorithm, interned):
+        base = list(range(120))
+        left = simple_trace(base, name="l")
+        right = simple_trace(mutate(base, [(30, 900), (31, 901),
+                                           (90, 902)]), name="r")
+        inner = lcs_diff(left, right, algorithm, interned=interned)
+        anchored = lcs_diff(left, right, algorithm, interned=interned,
+                            anchors=AnchorConfig())
+        assert result_identity(anchored) == result_identity(inner)
+        assert anchored.counter.total < inner.counter.total
+
+    def test_compare_reduction_on_near_identical_pair(self):
+        base = list(range(800))
+        left = simple_trace(base, name="l")
+        right = simple_trace(mutate(base, [(100, 9000), (400, 9001),
+                                           (700, 9002)]), name="r")
+        inner = lcs_diff(left, right, "optimized")
+        anchored = lcs_diff(left, right, "optimized",
+                            anchors=AnchorConfig())
+        assert result_identity(anchored) == result_identity(inner)
+        assert inner.counter.total >= 3 * max(anchored.counter.total, 1)
+
+    def test_anchoring_survives_budget_that_kills_inner(self):
+        """Per-gap DP tables: the segmental path stays under a cell
+        budget that makes the whole-pair baseline fail — the paper's
+        memory-exhaustion scenario, solved by decomposition."""
+        base = list(range(3000))
+        right_values = mutate(base, [(1000, 1), (1001, 2), (2000, 3)])
+        left = simple_trace(base, name="l")
+        right = simple_trace(right_values, name="r")
+        budget = MemoryBudget(max_cells=1_000_000)
+        with pytest.raises(LcsMemoryError):
+            lcs_diff(left, right, "optimized", budget=budget)
+        survivor = lcs_diff(left, right, "optimized",
+                            budget=MemoryBudget(max_cells=1_000_000),
+                            anchors=AnchorConfig())
+        assert survivor.num_diffs() > 0
+        assert 0 < survivor.peak_cells < 1_000_000
+
+
+# -- anchored views ----------------------------------------------------------
+
+operation = st.tuples(st.integers(0, 2), st.integers(0, 2),
+                      st.integers(0, 6))
+programs = st.lists(operation, max_size=40)
+
+METHODS = ("Widget.spin", "Widget.poke", "Widget.drop")
+
+
+def build_threaded_trace(program, name=""):
+    from repro.core.traces import TraceBuilder
+    from repro.core.values import prim
+
+    builder = TraceBuilder(name=name)
+    main = builder.main_tid
+    obj = builder.record_init(main, "Widget", (), serialization="widget")
+    tids = {0: main}
+    for thread_at, kind, value in program:
+        tid = tids.get(thread_at)
+        if tid is None:
+            tid = tids[thread_at] = builder.record_fork(main)
+        if kind == 0:
+            builder.record_set(tid, obj, "v", prim(value))
+        elif kind == 1:
+            builder.record_call(tid, obj, METHODS[value % len(METHODS)],
+                                (prim(value),))
+            builder.record_return(tid, prim(value))
+        else:
+            builder.record_get(tid, obj, "v", prim(value))
+    for tid in tids.values():
+        builder.record_end(tid)
+    return builder.build()
+
+
+class TestAnchoredViewsIdentity:
+    """view_diff's anchored mode is identical by construction — pinned
+    over arbitrary random multi-threaded pairs, not just friendly
+    ones."""
+
+    @given(programs, programs)
+    @settings(max_examples=50, deadline=None)
+    def test_bit_identity_on_random_threaded_pairs(self, prog_l, prog_r):
+        left = build_threaded_trace(prog_l, name="left")
+        right = build_threaded_trace(prog_r, name="right")
+        plain = view_diff(left, right)
+        anchored = view_diff(left, right,
+                             config=ViewDiffConfig(anchored=True))
+        assert result_identity(anchored) == result_identity(plain)
+
+    def test_myfaces_pair_identity_and_fewer_compares(self):
+        left = myfaces_trace(min_range=32, name="old")
+        right = myfaces_trace(min_range=1, new_version=True, name="new")
+        plain = view_diff(left, right)
+        anchored = view_diff(left, right,
+                             config=ViewDiffConfig(anchored=True))
+        assert result_identity(anchored) == result_identity(plain)
+        assert anchored.counter.total <= plain.counter.total
+
+    @pytest.mark.parametrize("interned", [True, False])
+    def test_two_thread_identity(self, interned):
+        left = two_thread_trace([1, 2, 3, 4, 5], [7, 8, 9], name="l")
+        right = two_thread_trace([1, 2, 9, 4, 5], [7, 8], name="r")
+        config = ViewDiffConfig(interned=interned)
+        anchored_config = ViewDiffConfig(interned=interned, anchored=True)
+        assert result_identity(view_diff(left, right,
+                                         config=anchored_config)) == \
+            result_identity(view_diff(left, right, config=config))
+
+
+# -- the anchored meta-engines ----------------------------------------------
+
+
+class TestAnchoredEngineRegistry:
+    def test_builtin_combinations_registered(self):
+        names = available_engines()
+        assert "anchored:views" in names
+        for algorithm in ALGORITHMS:
+            assert f"anchored:{algorithm}" in names
+
+    def test_capability_flags(self):
+        engine = get_engine("anchored:views")
+        assert is_cacheable(engine)
+        assert accepts_executor(engine)
+        assert accepts_key_table(engine)
+        assert accepts_cache(engine)
+        # Plain LCS engines know nothing of executors or caches.
+        assert not accepts_executor(get_engine("optimized"))
+        assert not accepts_cache(get_engine("views"))
+
+    def test_dynamic_resolution_of_custom_inner(self):
+        class Constant:
+            name = "anchor-test-constant"
+
+            def diff(self, left, right, *, config=None, counter=None,
+                     budget=None, **kwargs):
+                return get_engine("optimized").diff(
+                    left, right, config=config, counter=counter)
+
+        register_engine(Constant())
+        try:
+            engine = get_engine("anchored:anchor-test-constant")
+            assert isinstance(engine, AnchoredEngine)
+            assert engine.name == "anchored:anchor-test-constant"
+            # Not registered: resolved dynamically each time.
+            assert "anchored:anchor-test-constant" not in \
+                available_engines()
+            # Purity is not assumed for third-party inners.
+            assert not is_cacheable(engine)
+        finally:
+            unregister_engine("anchor-test-constant")
+
+    def test_unknown_inner_still_unknown(self):
+        with pytest.raises(KeyError, match="available"):
+            get_engine("anchored:bogus")
+
+    def test_session_runs_anchored_engine(self):
+        left = simple_trace(list(range(60)), name="l")
+        right = simple_trace(mutate(list(range(60)), [(20, 777)]),
+                             name="r")
+        result = Session(engine="anchored:optimized").diff(left, right)
+        reference = Session(engine="optimized").diff(left, right)
+        assert result_identity(result) == result_identity(reference)
+
+
+# -- segment-parallel execution ----------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def thread_pool():
+    with ThreadExecutor(max_workers=2) as executor:
+        yield executor
+
+
+@pytest.fixture(scope="module")
+def process_pool():
+    with ProcessExecutor(max_workers=2) as executor:
+        yield executor
+
+
+@pytest.fixture(scope="module")
+def gapped_pair():
+    """A near-identical pair with several two-sided (modify) gaps, so
+    gap diffs actually execute."""
+    base = list(range(2000))
+    edits = [(100, 9001), (101, 9002), (700, 9003), (1400, 9004),
+             (1401, 9005), (1900, 9006)]
+    return (simple_trace(base, name="l"),
+            simple_trace(mutate(base, edits), name="r"))
+
+
+class TestSegmentExecution:
+    def test_threads_identical_to_serial(self, gapped_pair, thread_pool):
+        left, right = gapped_pair
+        inner = get_engine("optimized")
+        serial = anchored_segment_diff(left, right, inner)
+        workers: list[str] = []
+        threaded = anchored_segment_diff(left, right, inner,
+                                         executor=thread_pool,
+                                         workers=workers)
+        assert result_identity(threaded) == result_identity(serial)
+        assert workers and all(w.startswith("thread:") for w in workers)
+        assert threaded.counter.total == serial.counter.total
+
+    def test_gap_segments_execute_in_worker_processes(self, gapped_pair,
+                                                      process_pool):
+        left, right = gapped_pair
+        inner = get_engine("optimized")
+        serial = anchored_segment_diff(left, right, inner)
+        workers: list[str] = []
+        processed = anchored_segment_diff(left, right, inner,
+                                          executor=process_pool,
+                                          workers=workers)
+        assert result_identity(processed) == result_identity(serial)
+        parent = f"pid:{os.getpid()}"
+        assert workers
+        assert all(w.startswith("pid:") for w in workers)
+        assert any(w != parent for w in workers)
+        assert processed.counter.total == serial.counter.total
+
+    def test_engine_executor_kwarg_routes_segments(self, gapped_pair,
+                                                   process_pool):
+        left, right = gapped_pair
+        engine = get_engine("anchored:optimized")
+        result = engine.diff(left, right, executor=process_pool)
+        reference = get_engine("optimized").diff(left, right)
+        assert result_identity(result) == result_identity(reference)
+
+    def test_unresolvable_inner_falls_back_to_inline(self, gapped_pair):
+        """An inner engine the worker processes cannot resolve by name
+        (registered after the pool was spawned, or any spawn-start
+        platform) must not fail the diff — the gaps run inline."""
+        left, right = gapped_pair
+
+        class LateRegistered:
+            name = "anchor-test-late"
+
+            def diff(self, inner_left, inner_right, *, config=None,
+                     counter=None, budget=None, **kwargs):
+                return get_engine("optimized").diff(
+                    inner_left, inner_right, config=config,
+                    counter=counter)
+
+        with ProcessExecutor(max_workers=2) as pool:
+            register_engine(LateRegistered())
+            try:
+                workers: list[str] = []
+                result = anchored_segment_diff(
+                    left, right, get_engine("anchor-test-late"),
+                    executor=pool, workers=workers)
+            finally:
+                unregister_engine("anchor-test-late")
+        assert workers and all(w == "inline" for w in workers)
+        reference = get_engine("optimized").diff(left, right)
+        assert result_identity(result) == result_identity(reference)
+
+    def test_budget_calls_stay_serial_and_budgeted(self, gapped_pair,
+                                                   process_pool):
+        left, right = gapped_pair
+        budget = MemoryBudget(max_cells=10_000)
+        result = anchored_segment_diff(left, right,
+                                       get_engine("optimized"),
+                                       budget=budget,
+                                       executor=process_pool)
+        assert budget.peak_cells > 0  # gap tables were really requested
+        assert result.peak_cells == budget.peak_cells
+
+
+# -- segment-granular caching ------------------------------------------------
+
+
+class TestSegmentDigest:
+    def test_position_independent(self):
+        trace = simple_trace(list(range(40)), name="t")
+        assert segment_digest(trace[5:15]) != segment_digest(trace[5:16])
+        # Same content at different offsets digests the same once the
+        # entry ids are rebased (here: identical values re-built at an
+        # offset).
+        shifted = simple_trace([0] * 7 + list(range(40)), name="s")
+        assert segment_digest(trace[8:12]) == segment_digest(
+            shifted[15:19])
+
+    def test_empty_trace_digest(self):
+        assert segment_digest(Trace([])) == segment_digest(Trace([]))
+
+    def test_key_namespaced_from_whole_result_keys(self):
+        left = simple_trace([1, 2, 3], name="l")
+        right = simple_trace([1, 2, 4], name="r")
+        from repro.cache import cache_key
+        assert segment_key(left, right, "optimized", None) != \
+            cache_key(left, right, "optimized", None)
+
+
+class TestShiftResultWire:
+    def test_round_trip(self):
+        left = simple_trace([1, 2, 9], name="l")
+        right = simple_trace([1, 2, 8], name="r")
+        wire = result_to_wire(lcs_diff(left, right))
+        shifted = shift_result_wire(wire, 10, 20)
+        back = shift_result_wire(shifted, -10, -20)
+        assert back == wire
+        assert shifted != wire
+
+    def test_eof_sentinel_never_shifted(self):
+        wire = {"similar_left": [-1, 3], "similar_right": [0],
+                "match_pairs": [[-1, -1]], "anchor_pairs": [],
+                "sequences": []}
+        shifted = shift_result_wire(wire, 5, 5)
+        assert shifted["similar_left"] == [-1, 8]
+        assert shifted["match_pairs"] == [[-1, -1]]
+
+
+class TestSegmentCache:
+    def test_warm_rerun_hits_every_gap(self, gapped_pair, tmp_path):
+        left, right = gapped_pair
+        cache = DiffCache(tmp_path / "cache")
+        inner = get_engine("optimized")
+        cold_workers: list[str] = []
+        cold = anchored_segment_diff(left, right, inner, cache=cache,
+                                     workers=cold_workers)
+        assert cold_workers and "cache" not in cold_workers
+        warm_workers: list[str] = []
+        warm = anchored_segment_diff(left, right, inner, cache=cache,
+                                     workers=warm_workers)
+        assert warm_workers and all(w == "cache" for w in warm_workers)
+        assert result_identity(warm) == result_identity(cold)
+        # Cold totals credited per segment: identical compare counts.
+        assert warm.counter.total == cold.counter.total
+
+    def test_disk_tier_survives_fresh_handle(self, gapped_pair, tmp_path):
+        left, right = gapped_pair
+        inner = get_engine("optimized")
+        cold = anchored_segment_diff(left, right, inner,
+                                     cache=DiffCache(tmp_path / "c"))
+        workers: list[str] = []
+        warm = anchored_segment_diff(left, right, inner,
+                                     cache=DiffCache(tmp_path / "c"),
+                                     workers=workers)
+        assert workers and all(w == "cache" for w in workers)
+        assert result_identity(warm) == result_identity(cold)
+
+    def test_edited_scenario_rediffs_only_changed_gaps(self, tmp_path):
+        """The payoff: an edit early in a scenario shifts every later
+        entry id, yet unchanged gaps still hit (position-relative
+        digests and rebased wires)."""
+        base = list(range(2000))
+        edits = [(100, 9001), (700, 9003), (1400, 9004), (1900, 9006)]
+        left = simple_trace(base, name="l")
+        right = simple_trace(mutate(base, edits), name="r")
+        cache = DiffCache(tmp_path / "cache")
+        inner = get_engine("optimized")
+        anchored_segment_diff(left, right, inner, cache=cache)
+        # Insert three entries at the very front of the right trace:
+        # every original entry's eid shifts by three.
+        edited = simple_trace([55555, 55556, 55557] +
+                              mutate(base, edits), name="r2")
+        workers: list[str] = []
+        rerun = anchored_segment_diff(left, edited, inner, cache=cache,
+                                      workers=workers)
+        hits = [w for w in workers if w == "cache"]
+        misses = [w for w in workers if w != "cache"]
+        assert len(hits) >= 3      # unchanged interior gaps reused
+        assert len(misses) <= 2    # only the edited region recomputed
+        reference = get_engine("optimized").diff(left, edited)
+        assert result_identity(rerun) == result_identity(reference)
+
+    def test_corrupt_segment_entry_is_a_miss(self, gapped_pair, tmp_path):
+        left, right = gapped_pair
+        cache = DiffCache(tmp_path / "cache")
+        inner = get_engine("optimized")
+        cold = anchored_segment_diff(left, right, inner, cache=cache)
+        for entry in (tmp_path / "cache").glob("*.json"):
+            entry.write_text(entry.read_text()[:40])
+        workers: list[str] = []
+        recovered = anchored_segment_diff(left, right, inner,
+                                          cache=DiffCache(tmp_path / "cache"),
+                                          workers=workers)
+        assert workers and all(w != "cache" for w in workers)
+        assert result_identity(recovered) == result_identity(cold)
+
+    def test_segment_adapter_rejects_wrong_pair(self, tmp_path):
+        left = simple_trace([1, 2, 9, 4], name="l")
+        right = simple_trace([1, 2, 8, 4], name="r")
+        cache = DiffCache(tmp_path / "cache")
+        adapter = SegmentCache(cache)
+        result = lcs_diff(left, right)
+        key = adapter.key_for(left, right, "optimized", None)
+        adapter.put(key, result, left, right)
+        assert adapter.get(key, left, right) is not None
+        stranger = simple_trace([5], name="s")
+        assert adapter.get(key, stranger, stranger) is None
+
+    def test_session_cache_flows_to_segments(self, tmp_path):
+        """A whole-result miss (edited trace) still hits at segment
+        granularity through Session's one cache handle."""
+        base = list(range(1500))
+        left = simple_trace(base, name="l")
+        right = simple_trace(mutate(base, [(200, 901), (1200, 902)]),
+                             name="r")
+        session = Session(engine="anchored:optimized",
+                          cache=tmp_path / "cache")
+        session.diff(left, right)
+        edited = simple_trace(
+            mutate(base, [(200, 901), (700, 955), (1200, 902)]),
+            name="r-edited")
+        before = session.cache.stats().hits
+        result = session.diff(left, edited)
+        assert session.cache.stats().hits > before  # segment hits
+        reference = get_engine("optimized").diff(left, edited)
+        assert result_identity(result) == result_identity(reference)
+
+
+# -- degenerate paths (hardening satellite) ---------------------------------
+
+
+class TestDegenerateSegmentation:
+    @pytest.mark.parametrize("engine", ["anchored:views",
+                                        "anchored:optimized"])
+    def test_empty_vs_empty(self, engine):
+        result = get_engine(engine).diff(Trace([], name="a"),
+                                         Trace([], name="b"))
+        assert result.num_diffs() == 0
+        assert result.sequences == []
+
+    @pytest.mark.parametrize("engine", ["anchored:views",
+                                        "anchored:optimized"])
+    def test_empty_vs_full(self, engine):
+        full = simple_trace([1, 2, 3], name="full")
+        result = get_engine(engine).diff(Trace([], name="e"), full)
+        assert result.num_diffs() == len(full)
+        [sequence] = result.sequences
+        assert sequence.kind == "insert"
+
+    @pytest.mark.parametrize("engine", available_engines())
+    def test_all_common_pair(self, engine):
+        left = simple_trace([3, 1, 4, 1, 5], name="l")
+        right = simple_trace([3, 1, 4, 1, 5], name="r")
+        result = get_engine(engine).diff(left, right)
+        assert result.num_diffs() == 0
+        assert len(result.match_pairs) == len(left)
+
+    @pytest.mark.parametrize("engine", available_engines())
+    def test_single_gap_pair(self, engine):
+        left = simple_trace([1, 2, 3, 4, 5, 6], name="l")
+        right = simple_trace([1, 2, 9, 4, 5, 6], name="r")
+        result = get_engine(engine).diff(left, right)
+        assert result.num_diffs() == 2
+        [sequence] = result.sequences
+        assert sequence.kind == "modify"
+
+
+# -- the scenario property matrix -------------------------------------------
+
+
+def _scenario_pairs():
+    """One near-identical suspected pair per workload, captured once.
+
+    minidb (Derby) interleaves its lock-daemon thread, so its pairs
+    carry genuinely ambiguous repeated-key alignments; minixslt and
+    minijs are single-threaded and unambiguous.
+    """
+    from repro.workloads.harness import SCENARIOS, capture_scenario_traces
+    from repro.workloads.minijs import scenario as minijs
+    from repro.workloads.minijs.bug_registry import MINIJS_BUGS
+
+    pairs = {}
+    for name, key in (("minixslt", "Xalan-1725"), ("minidb", "Derby-1633")):
+        old_bad, new_bad, _old_ok, _new_ok = capture_scenario_traces(
+            SCENARIOS[key])
+        pairs[name] = (old_bad, new_bad)
+    old, new = minijs.trace_pair(MINIJS_BUGS.get("MF-STR-COERCE"), 6)
+    pairs["minijs"] = (old, new)
+    return pairs
+
+
+@pytest.fixture(scope="module")
+def scenario_pairs():
+    return _scenario_pairs()
+
+
+#: Slice budget per engine: sizes at which the quadratic engines reach
+#: their exact DP core (identity is only specified where the inner
+#: engine is exact).
+ENGINE_SLICES = {"views": 4000, "optimized": 1500, "fast": 1500,
+                 "dp": 700, "hirschberg": 700}
+
+
+class TestScenarioIdentityMatrix:
+    """The ISSUE's property suite: anchored engine vs inner engine
+    across all inner engines x interned on/off x serial/threads/
+    processes executors x the three workload scenario pairs."""
+
+    @pytest.mark.parametrize("interned", [True, False])
+    @pytest.mark.parametrize("engine", list(ENGINE_SLICES))
+    @pytest.mark.parametrize("workload", ["minixslt", "minijs"])
+    def test_bit_identity_single_threaded_workloads(
+            self, scenario_pairs, workload, engine, interned,
+            thread_pool, process_pool):
+        size = ENGINE_SLICES[engine]
+        left, right = scenario_pairs[workload]
+        left, right = left[:size], right[:size]
+        config = ViewDiffConfig(interned=interned)
+        inner = get_engine(engine).diff(left, right, config=config)
+        anchored_engine = get_engine(f"anchored:{engine}")
+        for executor in (None, thread_pool, process_pool):
+            anchored = anchored_engine.diff(left, right, config=config,
+                                            executor=executor)
+            assert result_identity(anchored) == result_identity(inner), \
+                (workload, engine, interned,
+                 executor.name if executor else "serial")
+
+    @pytest.mark.parametrize("engine", list(ENGINE_SLICES))
+    def test_minidb_anchored_never_worse(self, scenario_pairs, engine,
+                                         process_pool):
+        """Derby's interleaved lock-daemon entries make some LCS ties
+        genuinely ambiguous, so the contract there is: same or better
+        alignment, never worse — and strict bit-identity for views
+        (whose anchored mode cannot change the scan trajectory)."""
+        size = ENGINE_SLICES[engine]
+        left, right = scenario_pairs["minidb"]
+        left, right = left[:size], right[:size]
+        inner = get_engine(engine).diff(left, right)
+        for executor in (None, process_pool):
+            anchored = get_engine(f"anchored:{engine}").diff(
+                left, right, executor=executor)
+            if engine == "views":
+                assert result_identity(anchored) == \
+                    result_identity(inner)
+            assert len(anchored.match_pairs) >= len(inner.match_pairs)
+            assert anchored.num_diffs() <= inner.num_diffs()
+            assert anchored.counter.total <= inner.counter.total

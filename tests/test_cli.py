@@ -493,3 +493,53 @@ class TestCacheCli:
         status = main(["store", "diff", str(populated_store), "ob", "nb"])
         assert status == 1  # recomputed: same differences as cold
         assert "_minCharRange" in capsys.readouterr().out
+
+
+class TestEngines:
+    def test_lists_every_registered_engine(self, capsys):
+        from repro.api.engines import available_engines
+        assert main(["engines"]) == 0
+        out = capsys.readouterr().out
+        for name in available_engines():
+            assert name in out
+
+    def test_shows_capability_flags(self, capsys):
+        main(["engines"])
+        out = capsys.readouterr().out
+        assert "cacheable" in out
+        assert "accepts_executor" in out
+        assert "accepts_key_table" in out
+        assert "accepts_cache" in out
+
+
+class TestAnchoredDiff:
+    def test_anchored_engine_matches_inner(self, trace_files, capsys):
+        old_path, new_path = trace_files
+        assert main(["diff", old_path, new_path,
+                     "--engine", "views"]) == 1
+        plain = capsys.readouterr().out
+        assert main(["diff", old_path, new_path,
+                     "--engine", "anchored:views"]) == 1
+        anchored = capsys.readouterr().out
+        assert "_minCharRange" in anchored
+        # Same differences, same sequence report.
+        assert anchored == plain
+
+    def test_anchor_stats_flag(self, trace_files, capsys):
+        old_path, new_path = trace_files
+        main(["diff", old_path, new_path, "--engine", "anchored:views",
+              "--anchor-stats"])
+        out = capsys.readouterr().out
+        assert "anchors:" in out
+        assert "candidates:" in out
+        assert "gaps:" in out
+
+    def test_anchor_knobs_via_config_flags(self, trace_files, capsys):
+        old_path, new_path = trace_files
+        status = main(["diff", old_path, new_path,
+                       "--engine", "anchored:optimized",
+                       "--config", "anchor_min_run=4",
+                       "--config", "anchor_max_occurrence=2",
+                       "--anchor-stats"])
+        assert status == 1
+        assert "anchors:" in capsys.readouterr().out

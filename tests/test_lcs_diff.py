@@ -91,3 +91,61 @@ class TestLcsDiff:
         budget = MemoryBudget()
         result = lcs_diff(left, right, budget=budget)
         assert result.peak_cells > 0
+
+
+class TestDegeneratePairs:
+    """Hardening for the degenerate shapes segmentation exposes: empty
+    traces, all-common pairs, and single-gap pairs (ISSUE 5)."""
+
+    def test_empty_vs_empty(self):
+        from repro.core.traces import Trace
+        result = lcs_diff(Trace([], name="a"), Trace([], name="b"))
+        assert result.num_diffs() == 0
+        assert result.match_pairs == [] and result.sequences == []
+
+    def test_empty_vs_full_each_way(self):
+        from repro.core.traces import Trace
+        full = simple_trace([1, 2, 3], name="full")
+        for left, right, kind in ((Trace([]), full, "insert"),
+                                  (full, Trace([]), "delete")):
+            result = lcs_diff(left, right)
+            assert result.num_diffs() == len(full)
+            [sequence] = result.sequences
+            assert sequence.kind == kind
+
+    def test_empty_pair_under_budget(self):
+        from repro.core.traces import Trace
+        result = lcs_diff(Trace([]), Trace([]),
+                          budget=MemoryBudget(max_cells=4))
+        assert result.num_diffs() == 0
+
+    @pytest.mark.parametrize("algorithm",
+                             ["optimized", "dp", "hirschberg", "fast"])
+    def test_all_common_pair(self, algorithm):
+        left = simple_trace([1, 1, 2, 2, 3], name="l")
+        right = simple_trace([1, 1, 2, 2, 3], name="r")
+        result = lcs_diff(left, right, algorithm=algorithm)
+        assert result.num_diffs() == 0
+        assert result.match_pairs == [(i, i) for i in range(len(left))]
+
+    @pytest.mark.parametrize("algorithm",
+                             ["optimized", "dp", "hirschberg", "fast"])
+    def test_single_gap_pair(self, algorithm):
+        left = simple_trace([1, 2, 3, 4], name="l")
+        right = simple_trace([1, 9, 3, 4], name="r")
+        result = lcs_diff(left, right, algorithm=algorithm)
+        assert result.num_diffs() == 2
+        [sequence] = result.sequences
+        assert sequence.kind == "modify"
+
+    def test_anchored_empty_and_all_common(self):
+        from repro.core.anchors import AnchorConfig
+        from repro.core.traces import Trace
+        anchors = AnchorConfig()
+        assert lcs_diff(Trace([]), Trace([]),
+                        anchors=anchors).num_diffs() == 0
+        same = simple_trace([5, 6, 7], name="s")
+        same2 = simple_trace([5, 6, 7], name="s2")
+        result = lcs_diff(same, same2, anchors=anchors)
+        assert result.num_diffs() == 0
+        assert len(result.match_pairs) == len(same)

@@ -175,3 +175,44 @@ class TestConfig:
         small = run(400)
         large = run(800)
         assert large < small * 4  # comfortably sub-quadratic
+
+
+class TestDegeneratePairs:
+    """Hardening for the degenerate shapes segmentation exposes: empty
+    traces, all-common pairs, and single-gap pairs (ISSUE 5)."""
+
+    def test_empty_vs_empty(self):
+        from repro.core.traces import Trace
+        result = view_diff(Trace([], name="a"), Trace([], name="b"))
+        assert result.num_diffs() == 0
+        assert result.sequences == []
+
+    def test_empty_vs_full_each_way(self):
+        from repro.core.traces import Trace
+        full = simple_trace([1, 2, 3], name="full")
+        for left, right, kind in ((Trace([]), full, "insert"),
+                                  (full, Trace([]), "delete")):
+            result = view_diff(left, right)
+            assert result.num_diffs() == len(full)
+            [sequence] = result.sequences
+            assert sequence.kind == kind
+
+    @settings(max_examples=30, deadline=None)
+    @given(value_lists)
+    def test_all_common_pair_matches_everything(self, values):
+        left = simple_trace(values, name="l")
+        right = simple_trace(values, name="r")
+        for config in (None, ViewDiffConfig(anchored=True)):
+            result = view_diff(left, right, config=config)
+            assert result.num_diffs() == 0
+            assert len(result.match_pairs) == len(left)
+
+    def test_single_gap_pair_anchored_and_plain(self):
+        left = simple_trace([1, 2, 3, 4, 5], name="l")
+        right = simple_trace([1, 2, 9, 4, 5], name="r")
+        plain = view_diff(left, right)
+        anchored = view_diff(left, right,
+                             config=ViewDiffConfig(anchored=True))
+        assert plain.num_diffs() == anchored.num_diffs() == 2
+        assert [s.kind for s in plain.sequences] == ["modify"]
+        assert [s.kind for s in anchored.sequences] == ["modify"]
