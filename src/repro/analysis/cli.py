@@ -13,10 +13,24 @@ while the program runs, then analysed later.  This CLI covers that side::
         --suspected-new new_bad.jsonl [--expected-old ... --expected-new ...]
         [--regression-left ... --regression-right ...] [--mode intersect]
     python -m repro.analysis.cli store add|list|show|tag|rm DIR ...
-    python -m repro.analysis.cli store diff DIR KEY1 KEY2 [--engine ...]
+    python -m repro.analysis.cli store diff DIR KEY1 [KEY2] \\
+        [--against-baseline TAG] [--engine ...]
+    python -m repro.analysis.cli store migrate DIR
     python -m repro.analysis.cli batch scenarios.json --store DIR \\
         [--jobs 4] [--executor processes]
     python -m repro.analysis.cli cache stats|prune|clear DIR ...
+    python -m repro.analysis.cli index build|stats|compact DIR
+    python -m repro.analysis.cli query DIR [--tag T] [--scenario S] \\
+        [--digest-prefix HEX] [--since WHEN] [--similar KEY] [--json]
+    python -m repro.analysis.cli serve DIR [--host H] [--port P] \\
+        [--workers N] [--executor NAME[:N]]
+
+``index``/``query`` read the store's persistent catalog
+(:mod:`repro.index`, maintained automatically on save/tag/delete;
+``index build`` backfills it for legacy stores), ``serve`` boots the
+long-running JSON-over-HTTP service (:mod:`repro.service`), and
+``store migrate`` converts a flat store to the sharded layout in
+place.
 
 Stored-trace differencing (``store diff``, ``batch``) memoises results
 in a ``diffcache`` directory beside the store (``--no-cache`` bypasses,
@@ -48,7 +62,7 @@ from repro.api.engines import (accepts_cache, accepts_executor,
 from repro.core.anchors import AnchorConfig, segment_pair
 from repro.api.pipeline import StoredScenarioJob, run_pipeline
 from repro.api.session import Session
-from repro.api.store import INDEX_NAME, TraceStore
+from repro.api.store import INDEX_NAME, LAYOUTS, TraceStore
 from repro.cache import DiffCache, cached_engine_diff
 from repro.exec.executors import available_executors, get_executor
 from repro.analysis.report import render_diff_report, render_trace_tree
@@ -238,7 +252,12 @@ def cmd_analyze(args) -> int:
 def cmd_store_add(args) -> int:
     store = TraceStore(args.store)
     record = store.ingest_file(args.trace, key=args.key,
-                               tags=tuple(args.tag or ()))
+                               tags=tuple(args.tag or ()),
+                               dedup=args.dedup,
+                               scenario=args.scenario)
+    if args.dedup and args.key and record.key != args.key:
+        print(f"dedup: identical content already stored as "
+              f"{record.key!r}")
     print(record.brief())
     return 0
 
@@ -298,14 +317,32 @@ def cmd_store_diff(args) -> int:
     compared here).
     """
     store = _open_store(args.store)
-    for key in (args.left, args.right):
+    right = args.right
+    if right is None:
+        if not args.against_baseline:
+            raise SystemExit("store diff needs a second key or "
+                             "--against-baseline TAG")
+        record = store.index.newest_with_tag(args.against_baseline,
+                                             exclude_key=args.left)
+        if record is None:
+            print(f"no indexed trace carries tag "
+                  f"{args.against_baseline!r} in {store.root} "
+                  f"(run `repro index build` on legacy stores)",
+                  file=sys.stderr)
+            return 2
+        right = record.key
+        print(f"baseline {args.against_baseline!r} -> {right}")
+    elif args.against_baseline:
+        raise SystemExit("pass a second key or --against-baseline, "
+                         "not both")
+    for key in (args.left, right):
         if key not in store:
             # Exit 2, not 1: callers (the CI smoke) read 1 as
             # "differences found" — a missing key must stay distinct.
             _missing_key(store, key)
             return 2
     left_record = store.get(args.left)
-    right_record = store.get(args.right)
+    right_record = store.get(right)
     digest_l = left_record.metadata.get("digest")
     digest_r = right_record.metadata.get("digest")
     if digest_l and digest_r:
@@ -314,7 +351,7 @@ def cmd_store_diff(args) -> int:
     session = Session(store=store, engine=_engine_name(args),
                       config=parse_config_flags(args.config),
                       cache=_resolve_cache(args, args.store))
-    result = session.diff(args.left, args.right)
+    result = session.diff(args.left, right)
     print(render_diff_report(result, max_sequences=args.limit))
     return 0 if result.num_diffs() == 0 else 1
 
@@ -325,6 +362,19 @@ def cmd_store_rm(args) -> int:
         return _missing_key(store, args.key)
     store.delete(args.key)
     print(f"removed {args.key}")
+    return 0
+
+
+def cmd_store_migrate(args) -> int:
+    store = _open_store(args.store)
+    if store.sharded:
+        moved = store.migrate_to_sharded()  # idempotent remnant sweep
+        print(f"{store.root} already sharded "
+              f"({moved} remnant(s) adopted)")
+        return 0
+    moved = store.migrate_to_sharded()
+    print(f"migrated {store.root} to the sharded layout "
+          f"({moved} trace(s) moved)")
     return 0
 
 
@@ -359,6 +409,99 @@ def cmd_cache_clear(args) -> int:
     cache = DiffCache(_cache_dir(args.path))
     removed = cache.clear()
     print(f"cleared {removed} entr(ies) from {cache.path}")
+    return 0
+
+
+# -- index / query ----------------------------------------------------------
+
+
+def cmd_index_build(args) -> int:
+    store = _open_store(args.store)
+    count = store.index.rebuild(store)
+    print(f"indexed {count} trace(s) under {store.index.root}")
+    return 0
+
+
+def cmd_index_stats(args) -> int:
+    print(_open_store(args.store).index.stats().render())
+    return 0
+
+
+def cmd_index_compact(args) -> int:
+    store = _open_store(args.store)
+    count = store.index.compact()
+    print(f"compacted catalog: {count} live record(s)")
+    return 0
+
+
+def cmd_query(args) -> int:
+    """Catalog lookups — answered from ``index.d`` alone, no trace
+    file is opened no matter how many traces the store holds."""
+    store = _open_store(args.store)
+    index = store.index
+    if args.diffs:
+        rows = index.diff_stats(digest_prefix=args.digest_prefix,
+                                engine=args.engine, since=args.since,
+                                limit=args.limit)
+        if args.json:
+            print(json.dumps([r.to_json() for r in rows], indent=1))
+        else:
+            for row in rows:
+                cached = " (cached)" if row.cached else ""
+                print(f"{row.left[:12]} vs {row.right[:12]} "
+                      f"[{row.engine}] {row.num_diffs} diff(s), "
+                      f"{row.compares} compare(s), "
+                      f"{row.seconds:.3f}s{cached}")
+            print(f"{len(rows)} diff stat row(s)")
+        return 0
+    if args.similar:
+        try:
+            scored = index.similar(args.similar,
+                                   limit=args.limit or 10)
+        except KeyError:
+            print(f"no indexed trace {args.similar!r} "
+                  f"(run `repro index build`?)", file=sys.stderr)
+            return 1
+        if args.json:
+            print(json.dumps([{"score": score, **record.to_json()}
+                              for score, record in scored], indent=1))
+        else:
+            for score, record in scored:
+                print(f"{score:6.3f}  {record.brief()}")
+            print(f"{len(scored)} similar trace(s)")
+        return 0
+    try:
+        records = index.query(tags=tuple(args.tag or ()) or None,
+                              scenario=args.scenario,
+                              digest_prefix=args.digest_prefix,
+                              key_prefix=args.key_prefix,
+                              since=args.since, limit=args.limit)
+    except ValueError as error:
+        raise SystemExit(str(error))
+    if args.json:
+        print(json.dumps([r.to_json() for r in records], indent=1))
+    else:
+        for record in records:
+            print(record.brief())
+        print(f"{len(records)} matching trace(s)")
+    return 0
+
+
+# -- serve ------------------------------------------------------------------
+
+
+def cmd_serve(args) -> int:
+    from repro.service import ReproService
+    service = ReproService(TraceStore(args.store, layout=args.layout),
+                           host=args.host,
+                           port=args.port, workers=args.workers,
+                           executor=args.executor,
+                           engine=_engine_name(args),
+                           cache=not args.no_cache)
+    try:
+        service.run()
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass
     return 0
 
 
@@ -487,6 +630,13 @@ def build_parser() -> argparse.ArgumentParser:
     store_add.add_argument("--key", help="store key (default: trace name)")
     store_add.add_argument("--tag", action="append",
                            help="tag to attach (repeatable)")
+    store_add.add_argument("--dedup", action="store_true",
+                           help="skip the write when a byte-identical "
+                                "trace is already stored (catalog "
+                                "lookup by content digest)")
+    store_add.add_argument("--scenario",
+                           help="scenario metadata recorded in the "
+                                "catalog (repro query --scenario)")
     store_add.set_defaults(func=cmd_store_add)
 
     store_list = store_cmds.add_parser("list", help="list stored traces")
@@ -518,11 +668,22 @@ def build_parser() -> argparse.ArgumentParser:
         "diff", help="semantic diff of two stored traces (no re-capture)")
     store_diff.add_argument("store")
     store_diff.add_argument("left", help="store key of the left trace")
-    store_diff.add_argument("right", help="store key of the right trace")
+    store_diff.add_argument("right", nargs="?", default=None,
+                            help="store key of the right trace "
+                                 "(omit with --against-baseline)")
+    store_diff.add_argument("--against-baseline", metavar="TAG",
+                            help="diff LEFT against the newest trace "
+                                 "carrying TAG (catalog resolution)")
     _add_engine_options(store_diff)
     _add_cache_options(store_diff)
     store_diff.add_argument("--limit", type=int, default=10)
     store_diff.set_defaults(func=cmd_store_diff)
+
+    store_migrate = store_cmds.add_parser(
+        "migrate", help="convert a flat store to the sharded layout "
+                        "in place (shards.d/<hh>/, per-shard indexes)")
+    store_migrate.add_argument("store")
+    store_migrate.set_defaults(func=cmd_store_migrate)
 
     cache = commands.add_parser(
         "cache", help="manage a persistent diff cache directory")
@@ -551,6 +712,74 @@ def build_parser() -> argparse.ArgumentParser:
     cache_clear.add_argument("path", help="cache directory (a trace "
                                           "store means its diffcache/)")
     cache_clear.set_defaults(func=cmd_cache_clear)
+
+    index = commands.add_parser(
+        "index", help="manage a store's persistent trace catalog")
+    index_cmds = index.add_subparsers(dest="index_command", required=True)
+
+    index_build = index_cmds.add_parser(
+        "build", help="(re)build the catalog from the store's traces "
+                      "(backfill for legacy stores)")
+    index_build.add_argument("store")
+    index_build.set_defaults(func=cmd_index_build)
+
+    index_stats = index_cmds.add_parser(
+        "stats", help="record counts and footprint of the catalog")
+    index_stats.add_argument("store")
+    index_stats.set_defaults(func=cmd_index_stats)
+
+    index_compact = index_cmds.add_parser(
+        "compact", help="fold the catalog's op logs down to one line "
+                        "per live record")
+    index_compact.add_argument("store")
+    index_compact.set_defaults(func=cmd_index_compact)
+
+    query = commands.add_parser(
+        "query", help="query the trace catalog (index-only, no trace "
+                      "file reads)")
+    query.add_argument("store")
+    query.add_argument("--tag", action="append",
+                       help="require this tag (repeatable: all must "
+                            "be carried)")
+    query.add_argument("--scenario", help="exact scenario match")
+    query.add_argument("--digest-prefix", metavar="HEX",
+                       help="content-digest prefix match")
+    query.add_argument("--key-prefix", help="store-key prefix match")
+    query.add_argument("--since", metavar="WHEN",
+                       help="updated at/after WHEN (epoch seconds or "
+                            "ISO-8601)")
+    query.add_argument("--similar", metavar="KEY",
+                       help="rank traces by similarity to KEY "
+                            "(sketch overlap + digest/fingerprint)")
+    query.add_argument("--diffs", action="store_true",
+                       help="list per-diff stat rows instead of traces")
+    query.add_argument("--engine", help="with --diffs: only this engine")
+    query.add_argument("--limit", type=int, default=None)
+    query.add_argument("--json", action="store_true",
+                       help="machine-readable output")
+    query.set_defaults(func=cmd_query)
+
+    serve = commands.add_parser(
+        "serve", help="run the long-lived trace-diff service over a "
+                      "store (JSON over HTTP)")
+    serve.add_argument("store", help="trace store directory (created "
+                                     "if missing)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--layout", choices=LAYOUTS, default="auto",
+                       help="store layout when creating a fresh store "
+                            "(existing stores are auto-detected)")
+    serve.add_argument("--port", type=int, default=8321,
+                       help="TCP port (0: ephemeral, printed on boot)")
+    serve.add_argument("--workers", type=int, default=4,
+                       help="concurrent job workers")
+    serve.add_argument("--executor", default=None, metavar="NAME[:N]",
+                       help="execution backend for job captures/diffs "
+                            f"(one of: {', '.join(available_executors())};"
+                            " default: serial)")
+    _add_engine_options(serve)
+    serve.add_argument("--no-cache", action="store_true",
+                       help="serve without a diff cache")
+    serve.set_defaults(func=cmd_serve)
 
     batch = commands.add_parser(
         "batch",

@@ -9,7 +9,9 @@ Four pieces, designed to grow independently:
   :func:`available_engines` over the :class:`DiffEngine` protocol; the
   views-based semantics and every LCS baseline ship pre-registered.
 * :class:`TraceStore` — persistent JSONL trace storage (capture now,
-  diff later: the paper's offline workflow).
+  diff later: the paper's offline workflow), flat or sharded layout,
+  with a queryable catalog sidecar (:class:`TraceIndex` from
+  :mod:`repro.index`).
 * :class:`ScenarioPipeline` — batch execution of many regression
   scenarios over a worker pool, with per-job op/timing/worker
   aggregation.
@@ -42,6 +44,7 @@ from repro.api.pipeline import (JobOutcome, PipelineResult, ScenarioJob,
 from repro.api.session import (CAPTURE_LOCK, SCENARIO_ROLES, Session,
                                SessionResult)
 from repro.api.store import TraceRecord, TraceStore
+from repro.index import TraceIndex, TraceIndexRecord
 
 __all__ = [
     "AnchoredEngine", "CAPTURE_LOCK", "CacheStats", "CaptureOutcome",
@@ -50,6 +53,7 @@ __all__ = [
     "LcsEngine", "PipelineResult", "SCENARIO_ROLES", "ScenarioJob",
     "ScenarioPipeline", "SegmentCache", "Session", "SessionResult",
     "StoredScenarioJob",
+    "TraceIndex", "TraceIndexRecord",
     "TraceRecord", "TraceStore", "ViewsEngine", "accepts_cache",
     "accepts_executor",
     "accepts_key_table", "accepts_kwarg", "available_engines",

@@ -165,7 +165,10 @@ class Session:
             return cache
         if cache is True:
             if self.store is not None:
-                return DiffCache(self.store.root / "diffcache")
+                # A sharded store gets a sharded cache directory too —
+                # the same millions-of-entries directory pressure.
+                return DiffCache(self.store.root / "diffcache",
+                                 sharded=self.store.sharded or None)
             return DiffCache()
         return DiffCache(cache)
 
@@ -279,7 +282,8 @@ class Session:
 
     def capture(self, func: Callable, *args, name: str = "",
                 store_as: str | None = None,
-                tags: tuple[str, ...] = (), **kwargs) -> CaptureResult:
+                tags: tuple[str, ...] = (), dedup: bool = False,
+                scenario: str | None = None, **kwargs) -> CaptureResult:
         """Trace one run under this session's filter.
 
         The session's executor decides where the capture runs: under
@@ -287,14 +291,17 @@ class Session:
         worker process owning its own weaver (``processes`` — ``func``
         and its arguments must then be picklable).  ``store_as``
         persists the trace to the session store immediately (requires
-        :meth:`with_store`).
+        :meth:`with_store`); ``dedup=True`` skips the write when a
+        byte-identical trace is already stored, ``scenario`` is catalog
+        metadata for ``repro query``.
         """
         task = self._capture_task(func, args, kwargs, name)
         outcome = run_capture_tasks([task], self.executor,
                                     key_table=self._ingest_table())[0]
         if store_as is not None:
             self._store_required().save(outcome.trace, key=store_as,
-                                        tags=tags)
+                                        tags=tags, dedup=dedup,
+                                        scenario=scenario)
         return outcome.capture_result()
 
     def capture_batch(self, tasks: "list[CaptureTask]"
@@ -312,12 +319,14 @@ class Session:
 
     def ingest(self, source: Trace | str | Path,
                store_as: str | None = None,
-               tags: tuple[str, ...] = ()) -> Trace:
+               tags: tuple[str, ...] = (), *, dedup: bool = False,
+               scenario: str | None = None) -> Trace:
         """Bring an existing trace (object or serialised file) into the
         session, optionally persisting it to the store."""
         trace = self.resolve_trace(source)
         if store_as is not None:
-            self._store_required().save(trace, key=store_as, tags=tags)
+            self._store_required().save(trace, key=store_as, tags=tags,
+                                        dedup=dedup, scenario=scenario)
         return trace
 
     def resolve_trace(self, ref: Trace | str | Path) -> Trace:
@@ -364,6 +373,10 @@ class Session:
         *before* any planning (content digests + canonical config);
         ``use_cache=False`` forces a cold computation without touching
         the cache (the CLI's ``--no-cache``).
+
+        A session with a store also appends one row of diff statistics
+        to the store's catalog (``repro query --diffs`` reads them
+        back) — best-effort, never failing the diff itself.
         """
         backend = self.engine if engine is None else get_engine(engine)
         left_trace = self.resolve_trace(left)
@@ -374,9 +387,32 @@ class Session:
         if self.executor.name != "serial" and accepts_executor(backend):
             kwargs["executor"] = self.executor
         cache = self.cache if use_cache else None
-        return cached_engine_diff(cache, backend, left_trace, right_trace,
-                                  config=self.config, counter=counter,
-                                  budget=budget, **kwargs)
+        hits_before = cache.hits if cache is not None else 0
+        started = time.perf_counter()
+        result = cached_engine_diff(cache, backend, left_trace,
+                                    right_trace, config=self.config,
+                                    counter=counter, budget=budget,
+                                    **kwargs)
+        if self.store is not None:
+            self._record_diff_stat(
+                left_trace, right_trace, backend.name, result,
+                seconds=time.perf_counter() - started,
+                cached=(cache is not None and cache.hits > hits_before))
+        return result
+
+    def _record_diff_stat(self, left: Trace, right: Trace, engine: str,
+                          result: DiffResult, *, seconds: float,
+                          cached: bool) -> None:
+        try:
+            self.store.index.record_diff(
+                left.content_digest(), right.content_digest(), engine,
+                num_diffs=result.num_diffs(),
+                sequences=len(result.sequences),
+                compares=(result.counter.compares
+                          if result.counter is not None else 0),
+                seconds=seconds, cached=cached)
+        except OSError:  # pragma: no cover - unwritable index.d
+            pass
 
     def web(self, trace: Trace | str | Path) -> ViewWeb:
         """Build the view web of a trace (for navigation / Table 2)."""
@@ -439,7 +475,8 @@ class Session:
             if store_prefix is not None:
                 key = f"{store_prefix}/{role}"
                 store_keys.append(key)
-                self._store_required().save(outcome.trace, key=key)
+                self._store_required().save(outcome.trace, key=key,
+                                            scenario=name or store_prefix)
 
         suspected = self.diff(traces["old/regressing"],
                               traces["new/regressing"], engine=engine)

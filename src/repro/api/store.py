@@ -24,6 +24,26 @@ traces from wherever they run).  Every file lands via write-to-unique-
 temp + ``os.replace`` (readers never observe a half-written trace or
 index), and index read-modify-writes are serialised through an advisory
 ``flock`` on a sidecar lock file where the platform provides one.
+
+Two directory **layouts** share one API:
+
+* **flat** (the legacy default): trace files and ``store.json`` at the
+  store root — fine up to a few thousand traces, but every save
+  rewrites the whole index.
+* **sharded** (``layout="sharded"``, auto-detected thereafter): files
+  live under ``shards.d/<hh>/`` where ``hh`` is a digest prefix of the
+  *key*, each shard carrying its own ``shard.json`` index and lock —
+  key→file resolution stays O(1) and index read-modify-writes touch
+  one small shard no matter how many million traces the store holds.
+  :meth:`TraceStore.migrate_to_sharded` converts a flat store in
+  place; until then (and through a crashed migration) sharded stores
+  transparently fall back to flat-root files on lookups and adopt
+  them into their shard on the next mutation.
+
+Every save/tag/delete also maintains the store's persistent catalog
+(:class:`repro.index.TraceIndex` under ``index.d/``), which is what
+``save(dedup=True)`` consults to return an existing record instead of
+writing a byte-identical duplicate.
 """
 
 from __future__ import annotations
@@ -52,6 +72,23 @@ INDEX_NAME = "store.json"
 LOCK_NAME = "store.lock"
 INDEX_VERSION = 1
 _SUFFIX = ".jsonl"
+
+#: Sharded-layout names: trace files under ``shards.d/<hh>/`` with a
+#: per-shard index + lock; the sidecar catalog lives in ``index.d``.
+SHARDS_DIR = "shards.d"
+SHARD_INDEX_NAME = "shard.json"
+SHARD_LOCK_NAME = "shard.lock"
+SHARD_WIDTH = 2
+TRACE_INDEX_DIR = "index.d"
+
+LAYOUTS = ("auto", "flat", "sharded")
+
+
+def shard_of(key: str, width: int = SHARD_WIDTH) -> str:
+    """The shard a key lives in: a hex prefix of the key's digest (so
+    resolution needs no index at all, just a hash)."""
+    digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8)
+    return digest.hexdigest()[:width]
 
 #: Per-process uniquifier for temp file names (pid alone is not enough:
 #: one process may write the same target from several threads).
@@ -228,16 +265,76 @@ class TraceRecord:
         return f"{self.key:32} {self.entries:>7} entries{tags}"
 
 
+@dataclass(frozen=True, slots=True)
+class _Shard:
+    """One index+lock+directory unit: the whole store in flat layout,
+    one ``shards.d/<hh>/`` directory in sharded layout."""
+
+    directory: Path
+    index_path: Path
+    lock_path: Path
+
+
 class TraceStore:
     """A directory of serialised traces addressed by key."""
 
-    def __init__(self, root: str | Path, create: bool = True):
+    def __init__(self, root: str | Path, create: bool = True,
+                 layout: str = "auto"):
+        if layout not in LAYOUTS:
+            raise ValueError(f"unknown store layout {layout!r} "
+                             f"(expected one of: {', '.join(LAYOUTS)})")
         self.root = Path(root)
         if create:
             self.root.mkdir(parents=True, exist_ok=True)
         elif not self.root.is_dir():
             raise FileNotFoundError(f"no trace store at {self.root}")
         self._lock = threading.Lock()
+        self._trace_index = None
+        detected = (self.root / SHARDS_DIR).is_dir()
+        if layout == "flat" and detected:
+            raise ValueError(f"{self.root} already uses the sharded "
+                             f"layout; open it with layout='auto'")
+        self.sharded = detected
+        if layout == "sharded" and not detected:
+            # Transparent adoption: a fresh directory just gains
+            # shards.d, a flat legacy store is migrated in place.
+            self.migrate_to_sharded()
+
+    @property
+    def index(self):
+        """The store's persistent catalog
+        (:class:`repro.index.TraceIndex` under ``index.d/``), created
+        lazily on first append."""
+        if self._trace_index is None:
+            from repro.index import TraceIndex
+            self._trace_index = TraceIndex(self.root / TRACE_INDEX_DIR)
+        return self._trace_index
+
+    # -- layout --------------------------------------------------------------
+
+    def _flat_shard(self) -> _Shard:
+        return _Shard(self.root, self.root / INDEX_NAME,
+                      self.root / LOCK_NAME)
+
+    def _shard_for(self, key: str) -> _Shard:
+        if not self.sharded:
+            return self._flat_shard()
+        directory = self.root / SHARDS_DIR / shard_of(key)
+        return _Shard(directory, directory / SHARD_INDEX_NAME,
+                      directory / SHARD_LOCK_NAME)
+
+    def _shards(self) -> list[_Shard]:
+        """Every shard that exists on disk (list/iteration side)."""
+        if not self.sharded:
+            return [self._flat_shard()]
+        base = self.root / SHARDS_DIR
+        shards = []
+        for directory in sorted(p for p in base.iterdir()
+                                if p.is_dir()):
+            shards.append(_Shard(directory,
+                                 directory / SHARD_INDEX_NAME,
+                                 directory / SHARD_LOCK_NAME))
+        return shards
 
     # -- write serialisation -------------------------------------------------
 
@@ -249,14 +346,15 @@ class TraceStore:
             f".{target.name}.{os.getpid()}.{next(_TMP_SEQ)}.tmp")
 
     @contextmanager
-    def _locked(self):
-        """Serialise an index read-modify-write against every other
-        writer: the instance lock covers this process's threads, and
-        :func:`locked_file` on a sidecar file covers other processes
-        (``flock`` where available, the portable lockfile protocol
-        elsewhere)."""
+    def _locked(self, shard: _Shard):
+        """Serialise a shard's index read-modify-write against every
+        other writer: the instance lock covers this process's threads,
+        and :func:`locked_file` on the shard's sidecar file covers
+        other processes (``flock`` where available, the portable
+        lockfile protocol elsewhere)."""
         with self._lock:
-            with locked_file(self.root / LOCK_NAME):
+            shard.directory.mkdir(parents=True, exist_ok=True)
+            with locked_file(shard.lock_path):
                 yield
 
     def _atomic_write(self, target: Path, writer) -> None:
@@ -271,11 +369,8 @@ class TraceStore:
 
     # -- index (tags + key<->file mapping) ---------------------------------
 
-    def _index_path(self) -> Path:
-        return self.root / INDEX_NAME
-
-    def _read_index(self) -> dict:
-        path = self._index_path()
+    def _read_index(self, shard: _Shard) -> dict:
+        path = shard.index_path
         if not path.exists():
             return {"version": INDEX_VERSION, "traces": {}}
         index = json.loads(path.read_text(encoding="utf-8"))
@@ -283,13 +378,13 @@ class TraceStore:
             raise ValueError(f"unsupported store index: {path}")
         return index
 
-    def _write_index(self, index: dict) -> None:
+    def _write_index(self, shard: _Shard, index: dict) -> None:
         text = json.dumps(index, indent=1, sort_keys=True) + "\n"
         self._atomic_write(
-            self._index_path(),
+            shard.index_path,
             lambda tmp: tmp.write_text(text, encoding="utf-8"))
 
-    def _entry_for(self, index: dict, key: str) -> dict:
+    def _entry_for(self, index: dict, key: str, shard: _Shard) -> dict:
         entry = index["traces"].get(key)
         if entry is not None:
             return entry
@@ -299,7 +394,7 @@ class TraceStore:
         file_name = _stem_for(key) + _SUFFIX
         taken = {e["file"] for e in index["traces"].values()}
         if file_name not in taken:
-            on_disk = self.root / file_name
+            on_disk = shard.directory / file_name
             if on_disk.exists() and self._key_of(on_disk) != key:
                 taken.add(file_name)
         if file_name in taken:
@@ -319,95 +414,197 @@ class TraceStore:
                 or path.name[:-len(_SUFFIX)])
 
     def _path_for(self, key: str, index: dict | None = None) -> Path:
+        shard = self._shard_for(key)
         if index is None:
-            index = self._read_index()
+            index = self._read_index(shard)
         entry = index["traces"].get(key)
         if entry is not None:
-            return self.root / entry["file"]
+            return shard.directory / entry["file"]
         # Unindexed key (loose files, e.g. a store copied without its
         # store.json): the stem is only a guess — a colliding key may
         # own that file name, so trust the header's store_key and fall
         # back to scanning for the file that actually carries the key.
+        guess = shard.directory / (_stem_for(key) + _SUFFIX)
+        if guess.exists() and self._key_of(guess) == key:
+            return guess
+        for path in sorted(shard.directory.glob("*" + _SUFFIX)):
+            if self._key_of(path) == key:
+                return path
+        if self.sharded:
+            # A flat remnant (mid-migration store): resolve against the
+            # legacy root layout before giving up.
+            flat = self._flat_path_for(key)
+            if flat is not None:
+                return flat
+        return guess
+
+    def _flat_path_for(self, key: str) -> Path | None:
+        """Flat-layout resolution of ``key`` (the transparent fallback
+        a sharded store uses for not-yet-migrated files)."""
+        flat = self._flat_shard()
+        try:
+            entry = self._read_index(flat)["traces"].get(key)
+        except ValueError:
+            entry = None
+        if entry is not None and (self.root / entry["file"]).exists():
+            return self.root / entry["file"]
         guess = self.root / (_stem_for(key) + _SUFFIX)
         if guess.exists() and self._key_of(guess) == key:
             return guess
         for path in sorted(self.root.glob("*" + _SUFFIX)):
             if self._key_of(path) == key:
                 return path
-        return guess
+        return None
 
     # -- write side ---------------------------------------------------------
 
     def save(self, trace: Trace, key: str | None = None,
-             tags: tuple[str, ...] = ()) -> TraceRecord:
-        """Serialise ``trace`` under ``key`` (default: its name)."""
+             tags: tuple[str, ...] = (), *, dedup: bool = False,
+             scenario: str | None = None) -> TraceRecord:
+        """Serialise ``trace`` under ``key`` (default: its name).
+
+        ``dedup=True`` consults the catalog by content digest first: a
+        byte-identical trace already in the store is returned (its tags
+        merged with ``tags``) instead of a duplicate file being
+        written — the returned record's ``key`` names the existing
+        trace, which may differ from the requested one.  ``scenario``
+        is catalog metadata (``repro query --scenario``).
+        """
         if key is None:
             key = trace.name
         if not key:
             raise ValueError("a store key is required for unnamed traces")
+        digest = trace.content_digest()
+        if dedup:
+            existing = self._dedup_hit(digest)
+            if existing is not None:
+                return self.tag(existing, *tags) if tags \
+                    else self.get(existing)
+        threads = len(trace.thread_ids())
+        sketch = self._sketch(trace)
+        extra = {
+            "store_key": key,
+            # The strong identity (cache key material, what dedup and
+            # the `store diff` hint compare); the cheap fingerprint is
+            # kept for provenance only — it collides across traces
+            # with equal shape but different content.
+            "digest": digest,
+            "fingerprint": trace.fingerprint(),
+            "threads": threads,
+            "sketch": list(sketch),
+        }
+        if scenario:
+            extra["scenario"] = scenario
         # Serialise the (possibly large) trace body *outside* the lock
         # — concurrent writers only serialise on the index RMW and a
         # rename, not on each other's O(trace) JSON dumps.
-        tmp = self._tmp_path(self.root / "trace")
+        shard = self._shard_for(key)
+        shard.directory.mkdir(parents=True, exist_ok=True)
+        tmp = self._tmp_path(shard.directory / "trace")
         try:
-            save_trace(trace, tmp, extra_metadata={
-                "store_key": key,
-                # The strong identity (cache key material, and what the
-                # `store diff` hint compares); the cheap fingerprint is
-                # kept for provenance only — it collides across traces
-                # with equal shape but different content.
-                "digest": trace.content_digest(),
-                "fingerprint": trace.fingerprint(),
-            })
-            with self._locked():
-                index = self._read_index()
-                entry = self._entry_for(index, key)
+            save_trace(trace, tmp, extra_metadata=extra)
+            with self._locked(shard):
+                index = self._read_index(shard)
+                entry = self._entry_for(index, key, shard)
                 entry["tags"] = sorted(set(entry["tags"]) | set(tags))
-                os.replace(tmp, self.root / entry["file"])
-                self._write_index(index)
+                os.replace(tmp, shard.directory / entry["file"])
+                self._write_index(shard, index)
+                now = time.time()
+                self._catalog(lambda catalog: catalog.record_save(
+                    self._catalog_record(
+                        key=key, digest=digest,
+                        fingerprint=extra["fingerprint"],
+                        entries=len(trace), threads=threads,
+                        tags=tuple(entry["tags"]),
+                        scenario=scenario or "", sketch=sketch,
+                        saved_at=now, updated_at=now)))
         finally:
             if tmp.exists():
                 tmp.unlink()
         return self.get(key)
 
+    @staticmethod
+    def _sketch(trace: Trace) -> tuple[str, ...]:
+        from repro.index import trace_sketch
+        return trace_sketch(trace)
+
+    @staticmethod
+    def _catalog_record(**fields):
+        from repro.index import TraceIndexRecord
+        return TraceIndexRecord(**fields)
+
+    def _catalog(self, append) -> None:
+        """Run one catalog append; a store whose ``index.d`` cannot be
+        written (read-only mount, full disk) still stores traces — the
+        catalog just goes stale until the next ``repro index build``."""
+        try:
+            append(self.index)
+        except OSError:  # pragma: no cover - environment-dependent
+            pass
+
+    def _dedup_hit(self, digest: str) -> str | None:
+        """The key of an existing trace with this content digest (and a
+        file still on disk), or None.  Catalog-only: a legacy store
+        needs one ``repro index build`` before dedup can see its
+        pre-existing traces."""
+        for record in self.index.by_digest(digest):
+            if record.key in self:
+                return record.key
+        return None
+
     def ingest_file(self, source: str | Path, key: str | None = None,
-                    tags: tuple[str, ...] = ()) -> TraceRecord:
+                    tags: tuple[str, ...] = (), *, dedup: bool = False,
+                    scenario: str | None = None) -> TraceRecord:
         """Copy an existing trace file into the store (re-serialised,
         so format problems surface at ingest time, not diff time)."""
         source = Path(source)
         trace = load_trace(source)
         return self.save(trace, key=key or trace.name or source.stem,
-                         tags=tags)
+                         tags=tags, dedup=dedup, scenario=scenario)
 
     def tag(self, key: str, *tags: str) -> TraceRecord:
-        with self._locked():
-            index = self._read_index()
+        shard = self._shard_for(key)
+        with self._locked(shard):
+            index = self._read_index(shard)
             if key not in index["traces"]:
-                self._require(key)
-                self._entry_for(index, key)
+                path = self._require(key, index)
+                entry = self._entry_for(index, key, shard)
+                target = shard.directory / entry["file"]
+                if path != target:
+                    # Adopt a loose / flat-remnant file into the shard
+                    # the key resolves to (lazy per-key migration).
+                    os.replace(path, target)
             entry = index["traces"][key]
             entry["tags"] = sorted(set(entry["tags"]) | set(tags))
-            self._write_index(index)
+            self._write_index(shard, index)
+            self._catalog(lambda catalog: catalog.record_tags(
+                key, entry["tags"]))
         return self.get(key)
 
     def untag(self, key: str, *tags: str) -> TraceRecord:
-        with self._locked():
-            index = self._read_index()
+        shard = self._shard_for(key)
+        with self._locked(shard):
+            index = self._read_index(shard)
             entry = index["traces"].get(key)
             if entry is not None:
                 entry["tags"] = sorted(set(entry["tags"]) - set(tags))
-                self._write_index(index)
+                self._write_index(shard, index)
+                self._catalog(lambda catalog: catalog.record_tags(
+                    key, entry["tags"]))
         return self.get(key)
 
     def delete(self, key: str) -> None:
-        with self._locked():
-            index = self._read_index()
+        shard = self._shard_for(key)
+        with self._locked(shard):
+            index = self._read_index(shard)
             entry = index["traces"].pop(key, None)
-            path = (self.root / entry["file"] if entry is not None
-                    else self.root / (_stem_for(key) + _SUFFIX))
+            path = (shard.directory / entry["file"]
+                    if entry is not None
+                    else self._path_for(key, index))
             if path.exists():
                 path.unlink()
-            self._write_index(index)
+            self._write_index(shard, index)
+            self._catalog(lambda catalog: catalog.record_delete(key))
 
     # -- read side ----------------------------------------------------------
 
@@ -427,8 +624,18 @@ class TraceStore:
         _header, table = read_key_table(self._require(key))
         return table
 
-    def _record_for(self, key: str, index: dict) -> TraceRecord:
-        path = self._require(key, index)
+    def _record_for(self, key: str, index: dict,
+                    shard: _Shard | None = None) -> TraceRecord:
+        entry = index["traces"].get(key)
+        if shard is not None and entry is not None:
+            # The caller knows which directory this index describes
+            # (it may be the flat root of a mid-migration store, which
+            # is *not* where ``_shard_for`` would place the key).
+            path = shard.directory / entry["file"]
+            if not path.exists():
+                path = self._require(key)
+        else:
+            path = self._require(key, index)
         header = read_header(path)
         entry = index["traces"].get(key) or {}
         return TraceRecord(
@@ -442,13 +649,14 @@ class TraceStore:
 
     def get(self, key: str) -> TraceRecord:
         """Header + tags for one stored trace (cheap: no entry parse)."""
-        return self._record_for(key, self._read_index())
+        return self._record_for(
+            key, self._read_index(self._shard_for(key)))
 
-    def _keys(self, index: dict) -> list[str]:
+    def _keys(self, shard: _Shard, index: dict) -> list[str]:
         known = dict(index["traces"])
         files_seen = {entry["file"] for entry in known.values()}
         keys = set(known)
-        for path in sorted(self.root.glob("*" + _SUFFIX)):
+        for path in sorted(shard.directory.glob("*" + _SUFFIX)):
             if path.name in files_seen:
                 continue
             # Loose file dropped in by another tool; unreadable ones
@@ -459,19 +667,41 @@ class TraceStore:
                 keys.add(key)
         return sorted(keys)
 
+    def _key_sets(self) -> list[tuple[_Shard, list[str]]]:
+        """Per-shard key lists; a sharded store also lists its flat
+        root (not-yet-migrated remnants) as a trailing pseudo-shard."""
+        sets = [(shard, self._keys(shard, self._read_index(shard)))
+                for shard in self._shards()]
+        if self.sharded:
+            flat = self._flat_shard()
+            try:
+                flat_index = self._read_index(flat)
+            except ValueError:
+                flat_index = {"version": INDEX_VERSION, "traces": {}}
+            sets.append((flat, self._keys(flat, flat_index)))
+        return sets
+
     def keys(self) -> list[str]:
         """Every stored key: indexed ones plus loose ``.jsonl`` files."""
-        return self._keys(self._read_index())
+        keys = set()
+        for _shard, shard_keys in self._key_sets():
+            keys.update(shard_keys)
+        return sorted(keys)
 
     def records(self, tag: str | None = None) -> list[TraceRecord]:
         """List stored traces, optionally only those carrying ``tag``."""
-        index = self._read_index()
-        records = []
-        for key in self._keys(index):
-            try:
-                records.append(self._record_for(key, index))
-            except (KeyError, ValueError, OSError):
-                continue  # deleted or corrupted underneath the listing
+        records, seen = [], set()
+        for shard, shard_keys in self._key_sets():
+            index = self._read_index(shard)
+            for key in shard_keys:
+                if key in seen:
+                    continue
+                seen.add(key)
+                try:
+                    records.append(self._record_for(key, index, shard))
+                except (KeyError, ValueError, OSError):
+                    continue  # deleted or corrupted under the listing
+        records.sort(key=lambda r: r.key)
         if tag is not None:
             records = [r for r in records if tag in r.tags]
         return records
@@ -484,3 +714,68 @@ class TraceStore:
 
     def __repr__(self) -> str:
         return f"TraceStore({str(self.root)!r}, {len(self)} trace(s))"
+
+    # -- layout migration ----------------------------------------------------
+
+    def migrate_to_sharded(self) -> int:
+        """Convert a flat store to the sharded layout in place; the
+        number of trace files moved is returned.
+
+        The whole move runs under the flat root lock, so concurrent
+        writers using the flat layout are held off; readers that raced
+        past the layout probe still resolve — ``_path_for`` falls back
+        to the flat root, and files linger there only if the migration
+        crashes, in which case re-running it (or any per-key mutation,
+        which adopts remnants lazily) finishes the job.  Idempotent:
+        migrating an already-sharded store just sweeps remnants.
+        """
+        flat = self._flat_shard()
+        moved = 0
+        with self._lock:
+            with locked_file(flat.lock_path):
+                try:
+                    flat_index = json.loads(
+                        flat.index_path.read_text(encoding="utf-8"))
+                except (OSError, ValueError):
+                    flat_index = {"traces": {}}
+                if flat_index.get("version", INDEX_VERSION) \
+                        != INDEX_VERSION:
+                    raise ValueError(
+                        f"unsupported store index: {flat.index_path}")
+                entries = dict(flat_index.get("traces", {}))
+                file_to_key = {e["file"]: k for k, e in entries.items()}
+                for path in sorted(self.root.glob("*" + _SUFFIX)):
+                    key = file_to_key.get(path.name) \
+                        or self._key_of(path)
+                    if key is None:
+                        continue  # unreadable junk stays put
+                    if key not in entries:
+                        entries[key] = {"file": path.name, "tags": []}
+                self.sharded = True
+                per_shard: dict[str, dict] = {}
+                for key, entry in sorted(entries.items()):
+                    source = self.root / entry["file"]
+                    if not source.exists():
+                        continue
+                    shard = self._shard_for(key)
+                    shard.directory.mkdir(parents=True, exist_ok=True)
+                    index = per_shard.setdefault(
+                        shard.directory.name,
+                        self._read_index(shard))
+                    target = self._entry_for(index, key, shard)
+                    target["tags"] = sorted(
+                        set(target["tags"]) | set(entry["tags"]))
+                    os.replace(source, shard.directory / target["file"])
+                    moved += 1
+                for name, index in per_shard.items():
+                    directory = self.root / SHARDS_DIR / name
+                    self._write_index(
+                        _Shard(directory,
+                               directory / SHARD_INDEX_NAME,
+                               directory / SHARD_LOCK_NAME), index)
+                # Even an empty migration must leave the marker so the
+                # layout survives reopening.
+                (self.root / SHARDS_DIR).mkdir(exist_ok=True)
+                if flat.index_path.exists():
+                    flat.index_path.unlink()
+        return moved

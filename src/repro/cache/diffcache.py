@@ -140,8 +140,20 @@ class DiffCache:
     """
 
     def __init__(self, path: "str | Path | None" = None, *,
-                 max_memory_entries: int = DEFAULT_MEMORY_ENTRIES):
+                 max_memory_entries: int = DEFAULT_MEMORY_ENTRIES,
+                 sharded: "bool | None" = None):
         self.path = None if path is None else Path(path)
+        # Sharded disk tier: entries live under <path>/<hh>/ (the first
+        # two hex chars of the entry key), matching the sharded trace
+        # store so a million-entry cache never piles one directory
+        # full.  ``None`` auto-detects from the directory on disk;
+        # flat entries remain readable either way (a sharded cache
+        # falls back to the flat path on a miss, so turning sharding on
+        # never invalidates what's already cached).
+        if sharded is None:
+            sharded = self.path is not None and any(
+                self._is_shard_dir(p) for p in self._subdirs())
+        self.sharded = bool(sharded) and self.path is not None
         self.max_memory_entries = max(1, max_memory_entries)
         self._memory: "OrderedDict[str, dict]" = OrderedDict()
         self._lock = threading.Lock()
@@ -153,6 +165,13 @@ class DiffCache:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         where = str(self.path) if self.path else "memory"
         return f"DiffCache({where!r}, {len(self._memory)} hot entr(ies))"
+
+    @property
+    def hits(self) -> int:
+        """Lifetime hit count of this handle (both tiers) — cheap, no
+        disk scan, so callers may delta it around a single lookup."""
+        with self._lock:
+            return self._hits_memory + self._hits_disk
 
     # -- keys ----------------------------------------------------------------
 
@@ -244,19 +263,39 @@ class DiffCache:
 
     # -- disk tier -----------------------------------------------------------
 
+    @staticmethod
+    def _is_shard_dir(path: Path) -> bool:
+        name = path.name
+        return (len(name) == 2 and path.is_dir()
+                and all(c in "0123456789abcdef" for c in name))
+
+    def _subdirs(self) -> list[Path]:
+        if self.path is None or not self.path.is_dir():
+            return []
+        return [p for p in self.path.iterdir() if p.is_dir()]
+
     def _entry_path(self, key: str) -> Path:
+        if self.sharded:
+            return self.path / key[:2] / (key + ENTRY_SUFFIX)
         return self.path / (key + ENTRY_SUFFIX)
 
-    def _disk_read(self, key: str) -> dict | None:
-        if self.path is None:
-            return None
+    def _read_wire(self, path: Path, key: str) -> dict | None:
         try:
-            text = self._entry_path(key).read_text(encoding="utf-8")
-            wire = json.loads(text)
+            wire = json.loads(path.read_text(encoding="utf-8"))
         except (OSError, ValueError):
             return None  # absent, truncated, or garbled: a plain miss
         if not isinstance(wire, dict) or wire.get("key") != key:
             return None
+        return wire
+
+    def _disk_read(self, key: str) -> dict | None:
+        if self.path is None:
+            return None
+        wire = self._read_wire(self._entry_path(key), key)
+        if wire is None and self.sharded:
+            # Entries written before this cache went sharded sit at the
+            # flat root; they stay readable rather than recomputed.
+            wire = self._read_wire(self.path / (key + ENTRY_SUFFIX), key)
         return wire
 
     def _disk_write(self, key: str, wire: dict) -> None:
@@ -266,8 +305,8 @@ class DiffCache:
         if self.path is None:
             return
         try:
-            self.path.mkdir(parents=True, exist_ok=True)
             target = self._entry_path(key)
+            target.parent.mkdir(parents=True, exist_ok=True)
             tmp = target.with_name(
                 f".{target.name}.{os.getpid()}.{next(_TMP_SEQ)}.tmp")
             try:
@@ -283,8 +322,13 @@ class DiffCache:
     def _disk_entries(self) -> list[Path]:
         if self.path is None or not self.path.is_dir():
             return []
-        return sorted(p for p in self.path.glob("*" + ENTRY_SUFFIX)
-                      if not p.name.startswith("."))
+        entries = [p for p in self.path.glob("*" + ENTRY_SUFFIX)
+                   if not p.name.startswith(".")]
+        for shard in self._subdirs():
+            if self._is_shard_dir(shard):
+                entries.extend(p for p in shard.glob("*" + ENTRY_SUFFIX)
+                               if not p.name.startswith("."))
+        return sorted(entries)
 
     # -- maintenance ---------------------------------------------------------
 

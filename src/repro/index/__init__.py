@@ -1,0 +1,22 @@
+"""``repro.index`` — the persistent, queryable trace catalog.
+
+A :class:`TraceIndex` records one line of catalog data per stored
+trace (content digest, provenance fingerprint, tags, scenario, entry
+and thread counts, a min-hash sketch of the trace's unique ``=e``
+keys) plus an append-only log of per-diff statistics, all under
+``<store>/index.d/``.  The :class:`~repro.api.store.TraceStore`
+maintains it on every save/tag/delete, :class:`~repro.api.session.
+Session` appends diff stats as diffs run, and the ``repro index`` /
+``repro query`` CLI plus the :mod:`repro.service` endpoints answer
+lookups from the index alone — no trace file is ever opened to answer
+a query.
+"""
+
+from repro.index.traceindex import (DiffStat, IndexStats, SKETCH_SIZE,
+                                    TraceIndex, TraceIndexRecord,
+                                    sketch_overlap, trace_sketch)
+
+__all__ = [
+    "DiffStat", "IndexStats", "SKETCH_SIZE", "TraceIndex",
+    "TraceIndexRecord", "sketch_overlap", "trace_sketch",
+]

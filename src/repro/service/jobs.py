@@ -1,0 +1,78 @@
+"""Job records of the service's async queue.
+
+A job is one unit of submitted work — a capture (trace upload or a
+server-registered workload run) or a diff.  Submission returns the job
+id immediately; workers move the record through ``queued`` → ``running``
+→ ``done``/``error`` and clients poll ``GET /v1/jobs/<id>``.  Records
+are plain mutable dataclasses guarded by the server's single event
+loop (all state flips happen on loop callbacks, worker results arrive
+via ``run_in_executor`` futures resolved on the loop).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from itertools import count
+
+#: Job lifecycle states, in order.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+ERROR = "error"
+
+STATES = (QUEUED, RUNNING, DONE, ERROR)
+
+_JOB_SEQ = count(1)
+
+
+class JobQueueFull(RuntimeError):
+    """Raised (and mapped to HTTP 503) when the bounded queue is full
+    or the service is draining."""
+
+
+def next_job_id(kind: str) -> str:
+    return f"{kind}-{next(_JOB_SEQ):06d}"
+
+
+@dataclass(slots=True)
+class Job:
+    """One submitted unit of work and its lifecycle record."""
+
+    id: str
+    kind: str                      # "capture" | "diff"
+    params: dict = field(default_factory=dict)
+    state: str = QUEUED
+    result: dict | None = None
+    error: str = ""
+    created: float = field(default_factory=time.time)
+    started: float = 0.0
+    finished: float = 0.0
+
+    @classmethod
+    def create(cls, kind: str, params: dict) -> "Job":
+        return cls(id=next_job_id(kind), kind=kind, params=params)
+
+    @property
+    def pending(self) -> bool:
+        return self.state in (QUEUED, RUNNING)
+
+    def to_json(self, *, summary: bool = False) -> dict:
+        data = {
+            "id": self.id,
+            "kind": self.kind,
+            "state": self.state,
+            "created": self.created,
+        }
+        if self.started:
+            data["started"] = self.started
+        if self.finished:
+            data["finished"] = self.finished
+            data["seconds"] = max(0.0, self.finished - self.started)
+        if self.error:
+            data["error"] = self.error
+        if not summary:
+            data["params"] = dict(self.params)
+            if self.result is not None:
+                data["result"] = self.result
+        return data

@@ -1,0 +1,148 @@
+"""TraceIndex consistency under concurrent writers.
+
+The catalog is an append-only op log behind per-shard advisory locks —
+the same discipline the store's index uses — so many threads and many
+processes appending at once must never lose or corrupt a record, with
+or without ``fcntl``.
+"""
+
+import multiprocessing
+import threading
+
+import pytest
+
+from repro.api.store import TraceStore
+from repro.index import TraceIndex, TraceIndexRecord
+
+from helpers import simple_trace
+
+
+def _catalog_record(key, digest="d", at=1000.0):
+    return TraceIndexRecord(key=key, digest=digest, fingerprint="f",
+                            entries=1, threads=1, saved_at=at,
+                            updated_at=at)
+
+
+def _append_burst(root, writer_id, keys_per_writer):
+    index = TraceIndex(root)
+    for at in range(keys_per_writer):
+        index.record_save(_catalog_record(f"w{writer_id}/t{at}",
+                                          digest=f"d{writer_id}-{at}"))
+
+
+def _store_tag_burst(root, n):
+    TraceStore(root).tag("shared", f"tag-{n}")
+
+
+def _rebuild_until(root, stop):
+    store = TraceStore(root, create=False)
+    while not stop.is_set():
+        store.index.compact()
+
+
+class TestConcurrentAppends:
+    WRITERS = 4
+    KEYS_EACH = 8
+
+    def _verify(self, root):
+        index = TraceIndex(root)
+        expected = {f"w{w}/t{k}" for w in range(self.WRITERS)
+                    for k in range(self.KEYS_EACH)}
+        assert {r.key for r in index.records()} == expected
+        for key in expected:
+            assert index.get(key).digest == f"d{key[1]}-{key[-1]}"
+
+    def test_thread_appenders(self, tmp_path):
+        root = tmp_path / "index.d"
+        threads = [threading.Thread(target=_append_burst,
+                                    args=(root, w, self.KEYS_EACH))
+                   for w in range(self.WRITERS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        self._verify(root)
+
+    def test_process_appenders(self, tmp_path):
+        root = tmp_path / "index.d"
+        context = multiprocessing.get_context(
+            "fork" if "fork" in multiprocessing.get_all_start_methods()
+            else None)
+        workers = [context.Process(target=_append_burst,
+                                   args=(root, w, self.KEYS_EACH))
+                   for w in range(self.WRITERS)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert all(worker.exitcode == 0 for worker in workers)
+        self._verify(root)
+
+    def test_store_taggers_union_survives_in_catalog(self, tmp_path):
+        # Tag RMWs run inside the *store's* locked section, so the
+        # catalog sees every tagger's union exactly like store.json.
+        root = tmp_path / "store"
+        store = TraceStore(root)
+        store.save(simple_trace([1]), key="shared")
+        context = multiprocessing.get_context(
+            "fork" if "fork" in multiprocessing.get_all_start_methods()
+            else None)
+        workers = [context.Process(target=_store_tag_burst,
+                                   args=(root, n)) for n in range(6)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert all(worker.exitcode == 0 for worker in workers)
+        expected = {f"tag-{n}" for n in range(6)}
+        assert set(store.get("shared").tags) == expected
+        assert set(store.index.get("shared").tags) == expected
+
+    def test_appends_race_a_compacting_rebuilder(self, tmp_path):
+        # Writers keep saving while another handle compacts the op
+        # logs: compaction replaces shards under their locks, so no
+        # record may be lost.
+        root = tmp_path / "store"
+        store = TraceStore(root)
+        stop = threading.Event()
+        compactor = threading.Thread(target=_rebuild_until,
+                                     args=(root, stop))
+        compactor.start()
+        try:
+            for n in range(20):
+                store.save(simple_trace([n], name=f"t{n}"), key=f"t{n}")
+        finally:
+            stop.set()
+            compactor.join()
+        assert {r.key for r in store.index.records()} == \
+            {f"t{n}" for n in range(20)}
+        assert store.index.rebuild(store) == 20
+
+
+class TestWithoutFcntl:
+    @pytest.fixture()
+    def no_fcntl(self, monkeypatch):
+        from repro.api import store as store_module
+        monkeypatch.setattr(store_module, "fcntl", None)
+        return store_module
+
+    def test_appends_work_and_release_locks(self, no_fcntl, tmp_path):
+        root = tmp_path / "index.d"
+        index = TraceIndex(root)
+        index.record_save(_catalog_record("a"))
+        index.record_tags("a", ("x",))
+        assert index.get("a").tags == ("x",)
+        assert not list(root.rglob("*.held"))  # no lock litter
+
+    def test_concurrent_thread_appenders(self, no_fcntl, tmp_path):
+        root = tmp_path / "index.d"
+        threads = [threading.Thread(target=_append_burst,
+                                    args=(root, w, 4))
+                   for w in range(3)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        index = TraceIndex(root)
+        assert len(index) == 12
+        assert not list(root.rglob("*.held"))
