@@ -41,6 +41,11 @@ from repro.core.view_diff import ViewDiffConfig, view_diff
 #: Name prefix of the anchored meta-engines (``anchored:<inner>``).
 ANCHORED_PREFIX = "anchored:"
 
+#: Default inner engine for ``anchored:*`` gap segments: the
+#: bit-parallel Myers LCS (hardware-speed on the interned id columns,
+#: pairs and compare counts identical to ``hirschberg``).
+DEFAULT_GAP_INNER = "bitparallel"
+
 
 @runtime_checkable
 class DiffEngine(Protocol):
@@ -173,20 +178,23 @@ class LcsEngine:
              budget: MemoryBudget | None = None,
              key_table: KeyTable | None = None) -> DiffResult:
         interned = config.interned if config is not None else True
+        kernel = config.kernel if config is not None else None
         anchors = None
         if config is not None and config.anchored:
             anchors = AnchorConfig.from_view_config(config)
         return lcs_diff(left, right, algorithm=self.algorithm,
                         counter=counter, budget=budget,
                         interned=interned, key_table=key_table,
-                        anchors=anchors)
+                        anchors=anchors, kernel=kernel)
 
 
 class AnchoredEngine:
     """Patience-anchored segmental meta-engine (the tentpole of
     :mod:`repro.core.anchors`).
 
-    Wraps any inner engine under the name ``anchored:<inner>``.  For
+    Wraps any inner engine under the name ``anchored:<inner>``
+    (:data:`DEFAULT_GAP_INNER` — the bit-parallel LCS — when no inner
+    is named).  For
     engines that implement anchoring natively (a truthy
     ``anchor_aware`` attribute — the views engine), the call delegates
     with ``config.anchored`` forced on.  For everything else the pair
@@ -201,7 +209,9 @@ class AnchoredEngine:
     compare cost drops.
     """
 
-    def __init__(self, inner: "str | DiffEngine"):
+    def __init__(self, inner: "str | DiffEngine | None" = None):
+        if inner is None:
+            inner = DEFAULT_GAP_INNER
         self.inner = get_engine(inner)
         self.name = ANCHORED_PREFIX + self.inner.name
         #: Purity is inherited: the meta-engine adds no state of its

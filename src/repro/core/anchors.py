@@ -46,6 +46,7 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.core.diffs import DiffResult, build_sequences
+from repro.core.kernels import get_backend
 from repro.core.keytable import KeyTable
 from repro.core.lcs import OpCounter
 from repro.core.traces import Trace
@@ -234,9 +235,16 @@ def _coalesce(chain: list[tuple[int, int]]) -> list[AnchorRun]:
 
 
 def _extend(runs: list[AnchorRun], keys_l: Sequence, keys_r: Sequence,
-            counter: OpCounter | None) -> list[AnchorRun]:
+            counter: OpCounter | None, kernel=None) -> list[AnchorRun]:
     """Greedily extend each run outward while neighbours stay equal
-    (real ``=e`` compares — charged), merging runs that meet."""
+    (real ``=e`` compares — charged), merging runs that meet.
+
+    The probe scans run through the kernel backend
+    (:mod:`repro.core.kernels`); the counter is credited with exactly
+    the scalar loops' compares — one per extension step, plus the
+    probe that stopped a scan short of its bound.
+    """
+    backend = get_backend(kernel)
     extended: list[AnchorRun] = []
     for position, run in enumerate(runs):
         left, right, length = run.left, run.right, run.length
@@ -246,26 +254,25 @@ def _extend(runs: list[AnchorRun], keys_l: Sequence, keys_r: Sequence,
             floor_r = prev.right + prev.length
         else:
             floor_l = floor_r = 0
-        while left > floor_l and right > floor_r:
-            if counter is not None:
-                counter.bump()
-            if keys_l[left - 1] != keys_r[right - 1]:
-                break
-            left -= 1
-            right -= 1
-            length += 1
+        limit = min(left - floor_l, right - floor_r)
+        back = backend.common_run_back(keys_l, keys_r, left, right, limit)
+        if counter is not None:
+            counter.bump(back + (1 if back < limit else 0))
+        left -= back
+        right -= back
+        length += back
         if position + 1 < len(runs):
             ceil_l = runs[position + 1].left
             ceil_r = runs[position + 1].right
         else:
             ceil_l = len(keys_l)
             ceil_r = len(keys_r)
-        while left + length < ceil_l and right + length < ceil_r:
-            if counter is not None:
-                counter.bump()
-            if keys_l[left + length] != keys_r[right + length]:
-                break
-            length += 1
+        limit = min(ceil_l - left, ceil_r - right) - length
+        ahead = backend.common_run(keys_l, keys_r, left + length,
+                                   right + length, limit)
+        if counter is not None:
+            counter.bump(ahead + (1 if ahead < limit else 0))
+        length += ahead
         if extended:
             prev = extended[-1]
             if left == prev.left + prev.length \
@@ -279,8 +286,8 @@ def _extend(runs: list[AnchorRun], keys_l: Sequence, keys_r: Sequence,
 
 def _select(keys_l: Sequence, keys_r: Sequence,
             config: AnchorConfig | None,
-            counter: OpCounter | None
-            ) -> tuple[list[AnchorRun], int, int]:
+            counter: OpCounter | None,
+            kernel=None) -> tuple[list[AnchorRun], int, int]:
     """The one selection pipeline both public entry points share:
     ``(surviving runs, candidate count, chained count)``."""
     if config is None:
@@ -288,7 +295,7 @@ def _select(keys_l: Sequence, keys_r: Sequence,
     pairs = anchor_candidates(keys_l, keys_r, config.max_occurrence)
     chain = _increasing_chain(pairs)
     runs = [run for run in _extend(_coalesce(chain), keys_l, keys_r,
-                                   counter)
+                                   counter, kernel=kernel)
             if run.length >= config.min_run]
     return runs, len(pairs), len(chain)
 
@@ -296,18 +303,21 @@ def _select(keys_l: Sequence, keys_r: Sequence,
 def select_anchor_runs(keys_l: Sequence, keys_r: Sequence,
                        config: AnchorConfig | None = None,
                        counter: OpCounter | None = None,
-                       ) -> list[AnchorRun]:
+                       kernel=None) -> list[AnchorRun]:
     """The full selection pipeline (see module docstring); ``keys``
     may be interned id columns or raw ``=e`` key tuples — anything
-    hashable and comparable."""
-    return _select(keys_l, keys_r, config, counter)[0]
+    hashable and comparable.  ``kernel`` selects the compare-scan
+    backend (:mod:`repro.core.kernels`); counts are unchanged."""
+    return _select(keys_l, keys_r, config, counter, kernel=kernel)[0]
 
 
 def segment_sequences(keys_l: Sequence, keys_r: Sequence,
                       config: AnchorConfig | None = None,
-                      counter: OpCounter | None = None) -> Segmentation:
+                      counter: OpCounter | None = None,
+                      kernel=None) -> Segmentation:
     """Segment two key sequences along their selected anchor runs."""
-    runs, candidates, chained = _select(keys_l, keys_r, config, counter)
+    runs, candidates, chained = _select(keys_l, keys_r, config, counter,
+                                        kernel=kernel)
     gaps: list[Gap] = []
     at_l = at_r = 0
     for run in runs:
@@ -326,7 +336,8 @@ def segment_pair(left: Trace, right: Trace,
                  config: AnchorConfig | None = None,
                  interned: bool = True,
                  key_table: KeyTable | None = None,
-                 counter: OpCounter | None = None) -> Segmentation:
+                 counter: OpCounter | None = None,
+                 kernel=None) -> Segmentation:
     """Segment a trace pair on its ``=e`` keys.
 
     With ``interned`` (the default) both traces are expressed as dense
@@ -343,7 +354,7 @@ def segment_pair(left: Trace, right: Trace,
         keys_l = [entry.key() for entry in left.entries]
         keys_r = [entry.key() for entry in right.entries]
     return segment_sequences(keys_l, keys_r, config=config,
-                             counter=counter)
+                             counter=counter, kernel=kernel)
 
 
 # -- merging -----------------------------------------------------------------

@@ -26,12 +26,13 @@ from repro.core.anchors import (AnchorConfig, merge_segment_results,
                                 segment_pair)
 from repro.core.diffs import DiffResult, build_sequences
 from repro.core.keytable import KeyTable
-from repro.core.lcs import (LcsResult, MemoryBudget, OpCounter, lcs_dp,
-                            lcs_fast, lcs_hirschberg, lcs_optimized)
+from repro.core.lcs import (LcsResult, MemoryBudget, OpCounter,
+                            lcs_bitparallel, lcs_dp, lcs_fast,
+                            lcs_hirschberg, lcs_optimized)
 from repro.core.traces import Trace
 
 #: Selectable baseline algorithms.
-ALGORITHMS = ("optimized", "dp", "hirschberg", "fast")
+ALGORITHMS = ("optimized", "dp", "hirschberg", "fast", "bitparallel")
 
 
 def lcs_diff(left: Trace, right: Trace, algorithm: str = "optimized",
@@ -40,13 +41,23 @@ def lcs_diff(left: Trace, right: Trace, algorithm: str = "optimized",
              dp_cell_limit: int = 4_000_000,
              interned: bool = True,
              key_table: KeyTable | None = None,
-             anchors: AnchorConfig | None = None) -> DiffResult:
+             anchors: AnchorConfig | None = None,
+             kernel: str | None = None) -> DiffResult:
     """Difference two traces with the LCS-based semantics of Fig. 11.
 
     ``algorithm`` selects the LCS implementation: ``"optimized"`` is the
     paper's baseline (common-prefix/suffix trimming + quadratic core);
     ``"dp"`` the untrimmed dynamic program; ``"hirschberg"`` the
-    linear-space variant; ``"fast"`` the anchored recursive differ.
+    linear-space variant; ``"fast"`` the anchored recursive differ;
+    ``"bitparallel"`` Hirschberg's alignment over the bit-parallel
+    Myers/Hyyrö row kernel (pairs and compare counts identical to
+    ``"hirschberg"``).
+
+    ``kernel`` selects the compute backend for the inner loops
+    (:mod:`repro.core.kernels`: ``scalar`` / ``stdlib`` / ``numpy``;
+    ``None`` auto-detects).  Backends are bit-identical and
+    compare-count-transparent, so ``sigma``, the sequences and the
+    counter totals do not depend on the choice.
 
     ``budget`` (DP cell cap) models the memory-exhaustion failures the
     paper reports on traces beyond ~100K entries: exceeding it raises
@@ -72,7 +83,8 @@ def lcs_diff(left: Trace, right: Trace, algorithm: str = "optimized",
         return _anchored_lcs_diff(left, right, algorithm, anchors,
                                   counter=counter, budget=budget,
                                   dp_cell_limit=dp_cell_limit,
-                                  interned=interned, key_table=key_table)
+                                  interned=interned, key_table=key_table,
+                                  kernel=kernel)
     started = time.perf_counter()
     if interned:
         table = key_table if key_table is not None \
@@ -86,14 +98,20 @@ def lcs_diff(left: Trace, right: Trace, algorithm: str = "optimized",
     if algorithm == "optimized":
         result: LcsResult = lcs_optimized(keys_l, keys_r, counter=counter,
                                           budget=budget,
-                                          dp_cell_limit=dp_cell_limit)
+                                          dp_cell_limit=dp_cell_limit,
+                                          kernel=kernel)
     elif algorithm == "dp":
-        result = lcs_dp(keys_l, keys_r, counter=counter, budget=budget)
+        result = lcs_dp(keys_l, keys_r, counter=counter, budget=budget,
+                        kernel=kernel)
     elif algorithm == "hirschberg":
-        result = lcs_hirschberg(keys_l, keys_r, counter=counter)
+        result = lcs_hirschberg(keys_l, keys_r, counter=counter,
+                                kernel=kernel)
+    elif algorithm == "bitparallel":
+        result = lcs_bitparallel(keys_l, keys_r, counter=counter,
+                                 kernel=kernel)
     else:
         result = lcs_fast(keys_l, keys_r, counter=counter,
-                          dp_cell_limit=dp_cell_limit)
+                          dp_cell_limit=dp_cell_limit, kernel=kernel)
 
     match_pairs = [(left.entries[i].eid, right.entries[j].eid)
                    for i, j in result.pairs]
@@ -122,7 +140,8 @@ def _anchored_lcs_diff(left: Trace, right: Trace, algorithm: str,
                        budget: MemoryBudget | None,
                        dp_cell_limit: int,
                        interned: bool,
-                       key_table: KeyTable | None) -> DiffResult:
+                       key_table: KeyTable | None,
+                       kernel: str | None = None) -> DiffResult:
     """The anchored segmental path of :func:`lcs_diff` (serial; the
     executor-parallel and segment-cached variant is
     :func:`repro.exec.diffing.anchored_segment_diff`)."""
@@ -133,7 +152,7 @@ def _anchored_lcs_diff(left: Trace, right: Trace, algorithm: str,
             else KeyTable.for_pair(left, right)
     segmentation = segment_pair(left, right, config=anchors,
                                 interned=interned, key_table=table,
-                                counter=counter)
+                                counter=counter, kernel=kernel)
     gap_results: list[DiffResult | None] = []
     for gap in segmentation.gaps:
         if gap.left_len == 0 or gap.right_len == 0:
@@ -145,7 +164,7 @@ def _anchored_lcs_diff(left: Trace, right: Trace, algorithm: str,
             right[gap.right_lo:gap.right_hi],
             algorithm=algorithm, counter=counter, budget=budget,
             dp_cell_limit=dp_cell_limit, interned=interned,
-            key_table=table))
+            key_table=table, kernel=kernel))
     return merge_segment_results(
         left, right, segmentation, gap_results, counter=counter,
         algorithm=f"anchored-lcs-{algorithm}",

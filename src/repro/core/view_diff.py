@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 from repro.core.anchors import AnchorConfig, select_anchor_runs
 from repro.core.correlation import ViewCorrelator
 from repro.core.diffs import DiffResult, DifferenceSequence, build_sequences
+from repro.core.kernels import get_backend
 from repro.core.keytable import KeyTable
 from repro.core.lcs import OpCounter, lcs_dp
 from repro.core.traces import Trace
@@ -87,6 +88,13 @@ class ViewDiffConfig:
     #: Occurrence cap for anchor candidate keys
     #: (:attr:`~repro.core.anchors.AnchorConfig.max_occurrence`).
     anchor_max_occurrence: int = 1
+    #: Kernel backend for the inner compare loops
+    #: (:mod:`repro.core.kernels`): ``"scalar"``, ``"stdlib"``,
+    #: ``"numpy"``, or ``None``/``"auto"`` to auto-detect (the
+    #: ``REPRO_KERNEL`` environment variable overrides auto).  A pure
+    #: performance knob: results and compare counts are bit-identical
+    #: across backends, so it does not participate in cache keys.
+    kernel: str | None = None
 
 
 class _ThreadPairDiffer:
@@ -143,16 +151,28 @@ class _ThreadPairDiffer:
                              for p in range(len(left_view.indices))}
         self._rpos_by_eid = {right_view.indices[p]: p
                              for p in range(len(right_view.indices))}
+        # Kernel backend for the lock-step scans and window LCS fills.
+        self._backend = get_backend(config.kernel)
         # Anchored evaluation: (run start left, run start right) ->
         # run length, bulk-matched compare-free when the scan lands on
         # a start exactly aligned (see ViewDiffConfig.anchored).
         self._anchor_starts: dict[tuple[int, int], int] = {}
+        # Run starts per diagonal (right - left), sorted by left
+        # position: the bulk lock-step scan must stop exactly where
+        # the scalar trajectory would take the anchor fast path.
+        self._diag_starts: dict[int, list[int]] = {}
         if config.anchored:
             runs = select_anchor_runs(
                 self.lkeys, self.rkeys,
-                AnchorConfig.from_view_config(config), counter=counter)
+                AnchorConfig.from_view_config(config), counter=counter,
+                kernel=self._backend)
             self._anchor_starts = {(run.left, run.right): run.length
                                    for run in runs}
+            for run in runs:
+                self._diag_starts.setdefault(
+                    run.right - run.left, []).append(run.left)
+            for starts in self._diag_starts.values():
+                starts.sort()
 
     # -- driver --------------------------------------------------------------
 
@@ -161,38 +181,59 @@ class _ThreadPairDiffer:
         (left eid, right eid)."""
         lv, rv = self.lv, self.rv
         lkeys, rkeys = self.lkeys, self.rkeys
+        indices_l, indices_r = lv.indices, rv.indices
+        similar_left, similar_right = self.similar_left, self.similar_right
         n, m = len(lkeys), len(rkeys)
         match_pairs: list[tuple[int, int]] = []
         anchor_starts = self._anchor_starts
+        diag_starts = self._diag_starts
+        common_run = self._backend.common_run
         i = j = 0
         while i < n and j < m:
             if anchor_starts:
                 # Anchored fast path: an aligned common run is matched
                 # wholesale, exactly as L consecutive STEP-VIEW-MATCH
-                # steps would — minus their L entry compares.
+                # steps would — minus their L entry compares.  The
+                # bookkeeping is bulk slice/zip work, O(1) compare
+                # credit (zero: the run was verified at selection).
                 run_length = anchor_starts.get((i, j))
                 if run_length:
-                    indices_l = lv.indices
-                    indices_r = rv.indices
-                    for offset in range(run_length):
-                        left_eid = indices_l[i + offset]
-                        right_eid = indices_r[j + offset]
-                        self.similar_left.add(left_eid)
-                        self.similar_right.add(right_eid)
-                        match_pairs.append((left_eid, right_eid))
+                    left_eids = indices_l[i:i + run_length]
+                    right_eids = indices_r[j:j + run_length]
+                    similar_left.update(left_eids)
+                    similar_right.update(right_eids)
+                    match_pairs.extend(zip(left_eids, right_eids))
                     i += run_length
                     j += run_length
                     continue
             self.counter.bump()
             if lkeys[i] == rkeys[j]:
-                # STEP-VIEW-MATCH
-                left_eid = lv.indices[i]
-                right_eid = rv.indices[j]
-                self.similar_left.add(left_eid)
-                self.similar_right.add(right_eid)
-                match_pairs.append((left_eid, right_eid))
-                i += 1
-                j += 1
+                # STEP-VIEW-MATCH, bulk-extended: the whole equal run
+                # is consumed through the kernel scan.  The scan may
+                # not cross the next anchor start on this diagonal —
+                # the scalar trajectory would bulk-match there with
+                # zero compares — and is credited one compare per
+                # matched entry, exactly the per-step bumps; the
+                # stopping mismatch (or anchor/bounds check) is
+                # re-examined by the next loop iteration, which bumps
+                # it when (and only when) the scalar loop would.
+                limit = n - i if n - i <= m - j else m - j
+                if diag_starts:
+                    starts = diag_starts.get(j - i)
+                    if starts:
+                        at = bisect_left(starts, i + 1)
+                        if at < len(starts) and starts[at] - i < limit:
+                            limit = starts[at] - i
+                run = 1 + common_run(lkeys, rkeys, i + 1, j + 1,
+                                     limit - 1)
+                self.counter.bump(run - 1)
+                left_eids = indices_l[i:i + run]
+                right_eids = indices_r[j:j + run]
+                similar_left.update(left_eids)
+                similar_right.update(right_eids)
+                match_pairs.extend(zip(left_eids, right_eids))
+                i += run
+                j += run
                 continue
             # STEP-VIEW-NOMATCH
             self._linked_similar_entries(i, j)
@@ -214,7 +255,7 @@ class _ThreadPairDiffer:
                 width_l * width_r > cells:
             return
         lcs = lcs_dp(self.lkeys[i:ni], self.rkeys[j:nj],
-                     counter=self.counter)
+                     counter=self.counter, kernel=self._backend)
         lv, rv = self.lv, self.rv
         for wi, wj in lcs.pairs:
             left_eid = lv.indices[i + wi]
@@ -291,7 +332,8 @@ class _ThreadPairDiffer:
                                             self._window_keys_r)
         if not keys_l or not keys_r:
             return True
-        lcs = lcs_dp(keys_l, keys_r, counter=self.counter)
+        lcs = lcs_dp(keys_l, keys_r, counter=self.counter,
+                     kernel=self._backend)
         entries_l = self.web_l.trace.entries
         entries_r = self.web_r.trace.entries
         for wi, wj in lcs.pairs:

@@ -180,7 +180,7 @@ def run_segment_chunk_worker(payload: tuple) -> list[tuple]:
     return out
 
 
-def anchored_segment_diff(left: Trace, right: Trace, inner, *,
+def anchored_segment_diff(left: Trace, right: Trace, inner=None, *,
                           config: ViewDiffConfig | None = None,
                           counter: OpCounter | None = None,
                           budget: "MemoryBudget | None" = None,
@@ -189,7 +189,9 @@ def anchored_segment_diff(left: Trace, right: Trace, inner, *,
                           cache=None,
                           workers: "list[str] | None" = None
                           ) -> DiffResult:
-    """Anchored segmental diff with ``inner`` run on each gap.
+    """Anchored segmental diff with ``inner`` run on each gap
+    (:data:`~repro.api.engines.DEFAULT_GAP_INNER` — the bit-parallel
+    LCS — when ``inner`` is ``None``).
 
     The driver behind the ``anchored:*`` meta-engines
     (:class:`repro.api.engines.AnchoredEngine`):
@@ -215,6 +217,10 @@ def anchored_segment_diff(left: Trace, right: Trace, inner, *,
     observability for tests and benchmarks.
     """
     started = time.perf_counter()
+    if inner is None:
+        from repro.api.engines import DEFAULT_GAP_INNER, get_engine
+
+        inner = get_engine(DEFAULT_GAP_INNER)
     if config is None:
         config = ViewDiffConfig()
     if counter is None:
@@ -228,7 +234,8 @@ def anchored_segment_diff(left: Trace, right: Trace, inner, *,
             else KeyTable.for_pair(left, right)
     segmentation = segment_pair(
         left, right, config=AnchorConfig.from_view_config(config),
-        interned=config.interned, key_table=table, counter=counter)
+        interned=config.interned, key_table=table, counter=counter,
+        kernel=config.kernel)
 
     # Slice lazily: one-sided gaps (pure insertions/deletions) never
     # need their sub-traces materialised.

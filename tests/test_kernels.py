@@ -1,0 +1,183 @@
+"""The kernels subsystem: backend registry, selection rules, engine
+wiring, cache-key neutrality, and the CLI surface.
+
+Bit-identity of the kernels themselves is property-tested in
+``test_lcs_agreement.py``; this module covers everything around them —
+how a backend is chosen (``REPRO_KERNEL``, ``ViewDiffConfig.kernel``,
+auto-detection, the numpy-absent fallback), how the ``bitparallel``
+algorithm and the ``anchored:*`` default inner are registered, and the
+promise that the ``kernel`` knob never fragments cache keys.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.cli import main
+from repro.analysis.serialize import save_trace
+from repro.api.engines import (DEFAULT_GAP_INNER, AnchoredEngine,
+                               available_engines, get_engine)
+from repro.cache.diffcache import canonical_config
+from repro.core import kernels
+from repro.core.diffs import result_identity
+from repro.core.kernels import (Backend, available_backends,
+                                default_backend_name, get_backend)
+from repro.core.lcs import OpCounter
+from repro.core.view_diff import ViewDiffConfig, view_diff
+
+from helpers import myfaces_trace, simple_trace
+
+
+class TestBackendRegistry:
+    def test_scalar_and_stdlib_always_available(self):
+        names = available_backends()
+        assert "scalar" in names
+        assert "stdlib" in names
+
+    def test_numpy_listed_iff_importable(self):
+        try:
+            import numpy  # noqa: F401
+            importable = True
+        except ImportError:
+            importable = False
+        assert ("numpy" in available_backends()) == importable
+
+    def test_get_backend_resolves_names(self):
+        for name in available_backends():
+            backend = get_backend(name)
+            assert isinstance(backend, Backend)
+            assert backend.name == name
+
+    def test_backend_instances_pass_through(self):
+        backend = get_backend("stdlib")
+        assert get_backend(backend) is backend
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ValueError):
+            get_backend("cuda")
+
+    def test_none_and_auto_select_the_default(self):
+        default = default_backend_name()
+        assert get_backend(None).name == default
+        assert get_backend("auto").name == default
+
+
+class TestDefaultSelection:
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(kernels.KERNEL_ENV, "scalar")
+        assert default_backend_name() == "scalar"
+        assert get_backend(None).name == "scalar"
+
+    def test_env_auto_is_autodetect(self, monkeypatch):
+        monkeypatch.setenv(kernels.KERNEL_ENV, "auto")
+        monkeypatch.delenv(kernels.KERNEL_ENV, raising=False)
+        expected = "numpy" if kernels.NUMPY is not None else "stdlib"
+        assert default_backend_name() == expected
+
+    def test_env_unknown_raises(self, monkeypatch):
+        monkeypatch.setenv(kernels.KERNEL_ENV, "gpu")
+        with pytest.raises(ValueError):
+            default_backend_name()
+
+    def test_numpy_absent_degrades_to_stdlib(self, monkeypatch):
+        # Simulate an interpreter without numpy: requesting "numpy"
+        # must silently fall back (configs stay portable), and the
+        # auto default must become stdlib.
+        monkeypatch.setattr(kernels, "NUMPY", None)
+        assert get_backend("numpy").name == "stdlib"
+        monkeypatch.delenv(kernels.KERNEL_ENV, raising=False)
+        assert default_backend_name() == "stdlib"
+        assert "numpy" not in available_backends()
+        monkeypatch.setenv(kernels.KERNEL_ENV, "numpy")
+        assert default_backend_name() == "stdlib"
+
+
+class TestEngineWiring:
+    def test_bitparallel_algorithm_registered(self):
+        assert "bitparallel" in available_engines()
+        assert "anchored:bitparallel" in available_engines()
+        assert get_engine("bitparallel").name == "bitparallel"
+
+    def test_anchored_default_inner_is_bitparallel(self):
+        assert DEFAULT_GAP_INNER == "bitparallel"
+        assert AnchoredEngine().name == "anchored:bitparallel"
+
+    def test_anchored_segment_diff_default_inner(self):
+        from repro.exec.diffing import anchored_segment_diff
+        left = simple_trace([1, 2, 3, 9, 4, 5, 6], name="old")
+        right = simple_trace([1, 2, 3, 8, 8, 4, 5, 6], name="new")
+        defaulted = anchored_segment_diff(left, right)
+        explicit = anchored_segment_diff(left, right,
+                                         get_engine(DEFAULT_GAP_INNER))
+        assert result_identity(defaulted) == result_identity(explicit)
+
+    def test_bitparallel_engine_matches_hirschberg(self):
+        left = myfaces_trace(min_range=32, name="old")
+        right = myfaces_trace(min_range=1, new_version=True, name="new")
+        results = {}
+        for name in ("bitparallel", "hirschberg"):
+            counter = OpCounter()
+            result = get_engine(name).diff(left, right, counter=counter)
+            results[name] = (result.similar_left, result.similar_right,
+                             len(result.match_pairs), counter.compares,
+                             counter.charged)
+        assert results["bitparallel"] == results["hirschberg"]
+
+
+class TestKernelNeutrality:
+    def test_kernel_not_part_of_cache_key(self):
+        base = canonical_config(ViewDiffConfig())
+        assert canonical_config(ViewDiffConfig(kernel="stdlib")) == base
+        assert canonical_config(ViewDiffConfig(kernel="scalar")) == base
+        assert canonical_config(None) == base
+        assert "kernel" not in json.loads(base)
+
+    def test_view_diff_bit_identical_across_kernels(self):
+        left = myfaces_trace(min_range=32, name="old")
+        right = myfaces_trace(min_range=1, new_version=True, name="new")
+        signatures = set()
+        for name in available_backends():
+            counter = OpCounter()
+            result = view_diff(left, right, counter=counter,
+                               config=ViewDiffConfig(kernel=name))
+            signatures.add((result_identity(result), counter.compares,
+                            counter.charged))
+        assert len(signatures) == 1
+
+
+class TestCli:
+    @pytest.fixture()
+    def trace_files(self, tmp_path):
+        old = myfaces_trace(min_range=32, name="old")
+        new = myfaces_trace(min_range=1, new_version=True, name="new")
+        old_path = tmp_path / "old.jsonl"
+        new_path = tmp_path / "new.jsonl"
+        save_trace(old, old_path)
+        save_trace(new, new_path)
+        return str(old_path), str(new_path)
+
+    def test_engines_lists_kernel_backends(self, capsys):
+        assert main(["engines"]) == 0
+        out = capsys.readouterr().out
+        assert "kernel backends" in out
+        assert f"{default_backend_name()}*" in out
+        for name in available_backends():
+            assert name in out
+
+    def test_diff_accepts_kernel_config(self, trace_files, capsys):
+        old_path, new_path = trace_files
+        status = main(["diff", old_path, new_path,
+                       "--config", "kernel=stdlib"])
+        out = capsys.readouterr().out
+        assert status == 1  # differences found
+        assert "semantic diff" in out
+
+    def test_diff_rejects_unknown_kernel(self, trace_files, capsys):
+        old_path, new_path = trace_files
+        with pytest.raises(SystemExit):
+            main(["diff", old_path, new_path, "--config", "kernel=gpu"])
+
+    def test_kernel_none_means_auto(self):
+        from repro.analysis.cli import parse_config_flags
+        config = parse_config_flags(["kernel=none"])
+        assert config.kernel is None

@@ -8,15 +8,38 @@ bottoms out in DP cores (always true at these sizes and budgets).  The
 sequences are small dense ints — exactly what the interned data layer
 feeds the hot loops — and the edge cases cover trimming overlap and the
 budget/cap failure modes.
+
+Since the kernels subsystem, the suite is also the bit-identity oracle
+for the accelerated backends: every registered ``lcs_diff`` algorithm
+(including ``bitparallel``) must return the same pairs and charge the
+same compare counts under every kernel backend (``scalar``, the
+bit-vector ``stdlib`` backend, and ``numpy`` when importable) — speed
+must never change the paper's reported metrics.
 """
 
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.core.kernels import available_backends
 from repro.core.lcs import (LcsBudgetExceeded, LcsMemoryError, MemoryBudget,
-                            lcs_dp, lcs_fast, lcs_hirschberg, lcs_length,
-                            lcs_optimized, myers_lcs_length, trim_common)
+                            OpCounter, lcs_bitparallel, lcs_dp, lcs_fast,
+                            lcs_hirschberg, lcs_length, lcs_optimized,
+                            myers_lcs_length, trim_common)
+from repro.core.lcs_diff import ALGORITHMS
+
+#: Every registered ``lcs_diff`` algorithm as a key-sequence function.
+ALGO_FUNCS = {
+    "dp": lcs_dp,
+    "hirschberg": lcs_hirschberg,
+    "fast": lcs_fast,
+    "optimized": lcs_optimized,
+    "bitparallel": lcs_bitparallel,
+}
+
+#: Both kernel backends (plus the scalar reference); ``numpy`` only
+#: appears when importable — absent numpy must not fail the suite.
+BACKENDS = available_backends()
 
 # Interned-id sequences: small alphabets force repeats (the interesting
 # LCS structure), larger ones exercise the unique-anchor path.
@@ -43,6 +66,7 @@ class TestAlgorithmAgreement:
         assert len(lcs_hirschberg(a, b).pairs) == reference
         assert len(lcs_fast(a, b).pairs) == reference
         assert len(lcs_optimized(a, b).pairs) == reference
+        assert len(lcs_bitparallel(a, b).pairs) == reference
         assert myers_lcs_length(a, b) == reference
         assert lcs_length(a, b) == reference
 
@@ -52,12 +76,13 @@ class TestAlgorithmAgreement:
         reference = len(lcs_dp(a, b).pairs)
         assert len(lcs_hirschberg(a, b).pairs) == reference
         assert len(lcs_fast(a, b).pairs) == reference
+        assert len(lcs_bitparallel(a, b).pairs) == reference
         assert myers_lcs_length(a, b) == reference
 
     @given(ids, ids)
     @settings(max_examples=60, deadline=None)
     def test_every_result_is_a_common_subsequence(self, a, b):
-        for algorithm in (lcs_dp, lcs_hirschberg, lcs_fast, lcs_optimized):
+        for algorithm in ALGO_FUNCS.values():
             assert _is_subsequence(algorithm(a, b).pairs, a, b), algorithm
 
     @given(ids)
@@ -66,6 +91,7 @@ class TestAlgorithmAgreement:
         assert myers_lcs_length(a, a) == len(a)
         assert len(lcs_fast(a, a).pairs) == len(a)
         assert len(lcs_optimized(a, a).pairs) == len(a)
+        assert len(lcs_bitparallel(a, a).pairs) == len(a)
 
     @given(st.lists(st.integers(0, 3), max_size=12),
            st.integers(1, 6), st.integers(1, 6))
@@ -79,11 +105,84 @@ class TestAlgorithmAgreement:
         assert myers_lcs_length(a, b) == reference
         assert len(lcs_fast(a, b).pairs) == reference
         assert len(lcs_optimized(a, b).pairs) == reference
+        assert len(lcs_bitparallel(a, b).pairs) == reference
+
+
+class TestKernelBackendAgreement:
+    """Bit-identity of the accelerated kernels (the ISSUE's oracle).
+
+    For every registered algorithm and every available backend: the
+    *same* pairs (not just the same length) and the *same* compare
+    accounting as the scalar reference loops — batched kernels credit
+    the :class:`OpCounter` in bulk with exactly the counts the
+    per-cell loops would have recorded.
+    """
+
+    def test_every_registered_algorithm_is_covered(self):
+        assert set(ALGO_FUNCS) == set(ALGORITHMS)
+
+    @pytest.mark.parametrize("algorithm", sorted(ALGO_FUNCS))
+    @given(ids, ids)
+    @settings(max_examples=40, deadline=None)
+    def test_backends_agree_on_pairs_and_counts(self, algorithm, a, b):
+        func = ALGO_FUNCS[algorithm]
+        reference = None
+        for backend in BACKENDS:
+            counter = OpCounter()
+            result = func(a, b, counter=counter, kernel=backend)
+            snapshot = (result.pairs, counter.compares, counter.charged)
+            if reference is None:
+                reference = snapshot
+            else:
+                assert snapshot == reference, backend
+
+    @pytest.mark.parametrize("algorithm", sorted(ALGO_FUNCS))
+    @given(st.lists(st.tuples(st.integers(0, 3), st.integers(0, 2)),
+                    max_size=24),
+           st.lists(st.tuples(st.integers(0, 3), st.integers(0, 2)),
+                    max_size=24))
+    @settings(max_examples=25, deadline=None)
+    def test_backends_agree_on_tuple_keys(self, algorithm, a, b):
+        # ``interned=False`` feeds raw ``=e`` key tuples instead of
+        # dense ids; the numpy backend must fall back bit-identically.
+        func = ALGO_FUNCS[algorithm]
+        reference = None
+        for backend in BACKENDS:
+            counter = OpCounter()
+            result = func(a, b, counter=counter, kernel=backend)
+            snapshot = (result.pairs, counter.compares, counter.charged)
+            if reference is None:
+                reference = snapshot
+            else:
+                assert snapshot == reference, backend
+
+    @given(ids, ids)
+    @settings(max_examples=40, deadline=None)
+    def test_bitparallel_is_exactly_hirschberg(self, a, b):
+        c_bp, c_hi = OpCounter(), OpCounter()
+        bp = lcs_bitparallel(a, b, counter=c_bp)
+        hi = lcs_hirschberg(a, b, counter=c_hi)
+        assert bp.pairs == hi.pairs
+        assert (c_bp.compares, c_bp.charged) == (c_hi.compares,
+                                                 c_hi.charged)
+
+    @given(ids, ids)
+    @settings(max_examples=40, deadline=None)
+    def test_trim_common_counts_identical_across_backends(self, a, b):
+        reference = None
+        for backend in BACKENDS:
+            counter = OpCounter()
+            trimmed = trim_common(a, b, counter=counter, kernel=backend)
+            snapshot = (trimmed, counter.compares, counter.charged)
+            if reference is None:
+                reference = snapshot
+            else:
+                assert snapshot == reference, backend
 
 
 class TestEdgeCases:
     def test_empty_sequences(self):
-        for algorithm in (lcs_dp, lcs_hirschberg, lcs_fast, lcs_optimized):
+        for algorithm in ALGO_FUNCS.values():
             assert algorithm([], []).pairs == []
             assert algorithm([1, 2], []).pairs == []
             assert algorithm([], [1, 2]).pairs == []
