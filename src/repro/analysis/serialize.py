@@ -239,8 +239,20 @@ def dumps_trace(trace: Trace, extra_metadata: dict | None = None,
     return buffer.getvalue()
 
 
+def dumps_trace_bytes(trace: Trace,
+                      extra_metadata: dict | None = None,
+                      version: int = FORMAT_VERSION) -> bytes:
+    """:func:`dumps_trace` as UTF-8 bytes — the payload layout
+    shared-memory trace shipping (:mod:`repro.exec.shm`) writes into a
+    segment; :func:`loads_trace` accepts it back directly."""
+    return dumps_trace(trace, extra_metadata=extra_metadata,
+                       version=version).encode("utf-8")
+
+
 def loads_trace(data: str | bytes) -> Trace:
-    """Inverse of :func:`dumps_trace`."""
+    """Inverse of :func:`dumps_trace` (and, for ``bytes``, of
+    :func:`dumps_trace_bytes` — a segment payload decodes without an
+    intermediate copy by the caller)."""
     if isinstance(data, bytes):
         data = data.decode("utf-8")
     return _read_trace(io.StringIO(data), Path("<wire>"))

@@ -205,8 +205,11 @@ class ScenarioPipeline:
         self.max_workers = max_workers
 
     def close(self) -> None:
-        """Shut down a pool this pipeline built from an executor name
-        spec (instances stay with their creator)."""
+        """Release a pool this pipeline resolved from an executor name
+        spec (instances stay with their creator).  For ``"processes"``
+        specs the release is soft: the warm shared pool stays alive,
+        so back-to-back :func:`run_pipeline` batches never rebuild
+        it."""
         if self._owned_executor is not None:
             self._owned_executor.close()
             self._owned_executor = None

@@ -148,8 +148,11 @@ class Session:
         #: (:mod:`repro.exec`): ``serial`` by default; ``"processes"``
         #: isolates each capture in a worker process with its own
         #: settrace weaver.  A pool built here from a name spec is
-        #: *owned* — :meth:`close` (or the context manager) shuts it
-        #: down; instances stay with their creator.
+        #: *owned* — :meth:`close` (or the context manager) releases
+        #: it; instances stay with their creator.  ``"processes"``
+        #: specs resolve to the process-wide *warm* pool, whose
+        #: release is soft — repeat sessions and back-to-back diffs
+        #: reuse the same live workers.
         self.executor, self._owns_executor = resolve_executor(executor)
 
     @staticmethod

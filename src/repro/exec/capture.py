@@ -40,7 +40,9 @@ from repro.capture.filters import TraceFilter
 from repro.capture.tracer import CaptureResult, trace_call
 from repro.core.keytable import KeyTable
 from repro.core.traces import Trace
-from repro.exec.executors import Executor, resolve_executor
+from repro.exec.executors import Executor, lease_chunks, resolve_executor
+from repro.exec.shm import (adopt_segment_bytes, parent_registry,
+                            ship_untracked, shm_available)
 
 #: Process-wide capture serialisation for *in-process* execution (one
 #: ``sys.settrace`` weaver per interpreter; re-entrant so a nested
@@ -152,14 +154,18 @@ def run_capture_worker(task: CaptureTask) -> dict:
     strings, the worker pid, and the capture's wall-clock seconds.  No
     capture lock is taken — this process owns its weaver outright.
     """
+    from repro.exec.workerstate import worker_state
+
+    state = worker_state()
     func = resolve_callable(task.func)
     started = time.perf_counter()
     captured = trace_call(func, *task.args, name=task.name,
                           filter=task.filter,
                           record_fields=task.record_fields,
-                          key_table=KeyTable(),
+                          key_table=state.ingest_table(),
                           **task.kwargs)
     seconds = time.perf_counter() - started
+    state.captures += 1
     error = None
     if captured.error is not None:
         error = (type(captured.error).__name__, str(captured.error))
@@ -170,6 +176,76 @@ def run_capture_worker(task: CaptureTask) -> dict:
         "seconds": seconds,
         "pid": os.getpid(),
     }
+
+
+def run_capture_lease(payload: dict) -> dict:
+    """Evaluate one *lease* — a chunk of capture tasks — in a worker.
+
+    One round trip covers the whole chunk, and every captured trace is
+    shipped home through a single shared-memory segment (v2 wire texts
+    concatenated; each outcome carries its ``(off, len)`` frame) when
+    ``payload["ship"]`` allows and the platform cooperates, falling
+    back to inline text otherwise.  The segment is created *untracked*
+    under the parent's prefix: the parent adopts and unlinks it on
+    receipt, and sweeps it if this worker dies first.
+
+    The worker's pid-local caches make repeat content cheap: traces
+    intern into the worker's warm key table, encoded wire text is
+    memoised by content digest, and the decoded trace is remembered so
+    a later diff lease naming the same digest never re-ships it.
+    """
+    from repro.exec.workerstate import worker_state
+
+    state = worker_state()
+    ship = bool(payload.get("ship", True))
+    outcomes: list[dict] = []
+    texts: list[str] = []
+    for task in payload["tasks"]:
+        func = resolve_callable(task.func)
+        started = time.perf_counter()
+        captured = trace_call(func, *task.args, name=task.name,
+                              filter=task.filter,
+                              record_fields=task.record_fields,
+                              key_table=state.ingest_table(),
+                              **task.kwargs)
+        seconds = time.perf_counter() - started
+        state.captures += 1
+        try:
+            digest = captured.trace.content_digest()
+        except Exception:  # noqa: BLE001 - digests are an optimisation
+            digest = ""
+        text = state.cached_wire(digest) if digest else None
+        if text is None:
+            text = dumps_trace(captured.trace)
+            if digest:
+                state.remember_wire(digest, text)
+        if digest:
+            # A later diff lease naming this digest will find the
+            # decoded trace already resident — the capture was the
+            # trace's one and only boundary crossing for this worker.
+            state.remember_trace(digest, captured.trace)
+        error = None
+        if captured.error is not None:
+            error = (type(captured.error).__name__, str(captured.error))
+        outcomes.append({"trace": text, "result":
+                         _picklable_or_none(captured.result),
+                         "error": error, "seconds": seconds,
+                         "pid": os.getpid(), "digest": digest})
+        texts.append(text)
+    segment = None
+    if ship:
+        parts = [text.encode("utf-8") for text in texts]
+        shipped = ship_untracked(b"".join(parts), payload["prefix"])
+        if shipped is not None:
+            segment = shipped
+            offset = 0
+            for outcome, blob in zip(outcomes, parts):
+                outcome["trace"] = {"off": offset, "len": len(blob)}
+                offset += len(blob)
+        # else: shared memory refused — outcomes keep their inline
+        # text; identical results, just wire cost.
+    return {"outcomes": outcomes, "segment": segment,
+            "counters": state.counters()}
 
 
 def _decode_outcome(task: CaptureTask, wire: dict,
@@ -241,12 +317,48 @@ def run_capture_tasks(tasks: Sequence[CaptureTask],
                 lambda task: capture_task_locally(task, key_table), tasks)
         for task in tasks:
             ensure_portable(task)
-        wires = executor.map(run_capture_worker, tasks)
-        return [_decode_outcome(task, wire, key_table)
-                for task, wire in zip(tasks, wires)]
+        return _run_capture_leases(tasks, executor, key_table)
     finally:
         if owned:
             executor.close()
+
+
+def _run_capture_leases(tasks: Sequence[CaptureTask], executor: Executor,
+                        key_table: KeyTable | None) -> list[CaptureOutcome]:
+    """Dispatch capture tasks to a process executor as leases (one
+    round trip per chunk, traces home through shared memory).
+
+    The parent adopts — and immediately unlinks — each lease's segment
+    before decoding, so segments live only for the map's duration; any
+    exception (a broken pool, an interrupt) triggers a prefix sweep
+    that collects segments whose producer died mid-ship.
+    """
+    registry = parent_registry()
+    registry.sweep()   # collect leftovers from any earlier crashed batch
+    workers = getattr(executor, "max_workers", None) or 1
+    chunks = lease_chunks(list(enumerate(tasks)), workers)
+    ship = shm_available()
+    payloads = [{"tasks": [task for _, task in chunk],
+                 "prefix": registry.prefix, "ship": ship}
+                for chunk in chunks]
+    outcomes: "list[CaptureOutcome | None]" = [None] * len(tasks)
+    try:
+        for chunk, lease in zip(chunks, executor.map(run_capture_lease,
+                                                     payloads)):
+            blob = b""
+            if lease["segment"] is not None:
+                name, size = lease["segment"]
+                blob = adopt_segment_bytes(name, size, registry=registry)
+            for (index, task), wire in zip(chunk, lease["outcomes"]):
+                frame = wire["trace"]
+                if isinstance(frame, dict):
+                    wire["trace"] = blob[frame["off"]:
+                                         frame["off"] + frame["len"]]
+                outcomes[index] = _decode_outcome(task, wire, key_table)
+    except BaseException:
+        registry.sweep()
+        raise
+    return outcomes
 
 
 def capture_call(func: "Callable | str", *args,

@@ -9,10 +9,13 @@ routes the execution phase through an :class:`~repro.exec.executors.Executor`:
 * serial — the plain :func:`~repro.core.view_diff.view_diff` path;
 * threads — pair evaluations fan out across the pool, sharing the
   in-memory webs and window-key caches;
-* processes — both traces are shipped once per worker chunk as
-  serialisation-v2 text; each worker rebuilds the (deterministic) plan
-  locally, evaluates its contiguous chunk of thread pairs, and sends
-  the pair marks back.  The parent merges all marks in plan order.
+* processes — both traces are shipped once per *distinct trace* as a
+  digest-keyed shared-memory segment of serialisation-v2 wire bytes
+  (inline text when shared memory is unavailable); each worker
+  rebuilds the (deterministic) plan locally — memoising decoded traces
+  per pid, so a warm worker re-reads nothing — evaluates its
+  contiguous chunk of thread pairs, and sends the pair marks back.
+  The parent merges all marks in plan order.
 
 Every route merges through :meth:`ViewDiffPlan.merge`, so the result is
 bit-identical to the serial evaluation — similarity sets, match and
@@ -28,7 +31,7 @@ import threading
 import time
 from collections import OrderedDict
 
-from repro.analysis.serialize import dumps_trace, loads_trace
+from repro.analysis.serialize import dumps_trace
 from repro.core.anchors import AnchorConfig, merge_segment_results, segment_pair
 from repro.core.diffs import DiffResult, result_from_wire, result_to_wire
 from repro.core.keytable import KeyTable
@@ -37,6 +40,8 @@ from repro.core.traces import Trace
 from repro.core.view_diff import (PairMarks, ViewDiffConfig, ViewDiffPlan,
                                   view_diff)
 from repro.exec.executors import Executor, chunk_evenly, resolve_executor
+from repro.exec.shm import TraceShippingError, parent_registry, shm_available
+from repro.exec.workerstate import resolve_trace_handle, worker_state
 
 
 #: Content-digest-keyed memo of trace wire texts: a batch re-diffing
@@ -68,17 +73,53 @@ def _trace_wire(trace: Trace) -> str:
     return text
 
 
+def _ship_trace(trace: Trace, shipped: list[str], *,
+                inline: bool = False) -> dict:
+    """Build a ship *handle* for ``trace``.
+
+    The preferred handle names a shared-memory segment in the parent's
+    registry — digest-keyed, so every diff of the same trace in flight
+    shares one segment, and refcounted, with each name appended to
+    ``shipped`` for release once the batch lands.  Falls back to (or is
+    forced onto, via ``inline=True``) a handle carrying the wire text
+    itself.  Workers resolve either kind through
+    :func:`~repro.exec.workerstate.resolve_trace_handle`, memoised per
+    pid by the digest — a warm worker re-reads nothing.
+    """
+    digest = trace.content_digest()
+    text = _trace_wire(trace)
+    if not inline and shm_available():
+        blob = text.encode("utf-8")
+        name = parent_registry().create(blob, digest=digest)
+        if name is not None:
+            shipped.append(name)
+            return {"kind": "shm", "name": name, "len": len(blob),
+                    "digest": digest}
+    return {"kind": "inline", "text": text, "digest": digest}
+
+
+def _release_shipped(shipped: list[str]) -> None:
+    registry = parent_registry()
+    for name in shipped:
+        registry.release(name)
+    shipped.clear()
+
+
 def run_diff_chunk_worker(payload: tuple) -> list[PairMarks]:
     """Evaluate one chunk of correlated thread pairs in a worker.
 
-    ``payload`` is ``(left_text, right_text, config, pairs)`` — both
-    traces as v2 wire text (key tables included, so the worker interns
-    nothing at ingest).  The worker's plan is rebuilt locally; planning
+    ``payload`` is ``(left_handle, right_handle, config, pairs)`` —
+    both traces as ship handles (shared-memory segment or inline v2
+    wire text; key tables ride inside, so the worker interns nothing at
+    ingest).  The worker's plan is rebuilt locally; planning
     (correlation, interning) is deterministic, so its pair marks are
     exactly the ones the parent's plan would have produced.
     """
-    left_text, right_text, config, pairs = payload
-    plan = ViewDiffPlan(loads_trace(left_text), loads_trace(right_text),
+    left_handle, right_handle, config, pairs = payload
+    state = worker_state()
+    state.diff_jobs += len(pairs)
+    plan = ViewDiffPlan(resolve_trace_handle(left_handle),
+                        resolve_trace_handle(right_handle),
                         config=config)
     return [plan.run_pair(pair) for pair in pairs]
 
@@ -113,13 +154,27 @@ def executed_view_diff(left: Trace, right: Trace, *,
             return plan.merge(marks, counter=counter, started=started)
         chunks = chunk_evenly(plan.pairs,
                               getattr(executor, "max_workers", 1))
-        left_text = _trace_wire(left)
-        right_text = _trace_wire(right)
-        payloads = [(left_text, right_text, plan.config, chunk)
-                    for chunk in chunks]
-        marks = [mark for chunk_marks in
-                 executor.map(run_diff_chunk_worker, payloads)
-                 for mark in chunk_marks]
+        shipped: list[str] = []
+        try:
+            handles = (_ship_trace(left, shipped),
+                       _ship_trace(right, shipped))
+            payloads = [(handles[0], handles[1], plan.config, chunk)
+                        for chunk in chunks]
+            try:
+                chunk_marks = executor.map(run_diff_chunk_worker, payloads)
+            except TraceShippingError:
+                # A segment vanished under a worker (hostile /dev/shm
+                # cleaner, racing sweep).  Re-ship inline — identical
+                # marks, wire cost.
+                handles = (_ship_trace(left, shipped, inline=True),
+                           _ship_trace(right, shipped, inline=True))
+                payloads = [(handles[0], handles[1], plan.config, chunk)
+                            for chunk in chunks]
+                chunk_marks = executor.map(run_diff_chunk_worker, payloads)
+        finally:
+            _release_shipped(shipped)
+        marks = [mark for marks_chunk in chunk_marks
+                 for mark in marks_chunk]
         return plan.merge(marks, counter=counter, started=started)
     finally:
         if owned:
@@ -149,10 +204,11 @@ def _inner_gap_diff(engine, left: Trace, right: Trace, *,
 def run_segment_chunk_worker(payload: tuple) -> list[tuple]:
     """Diff one chunk of gap segments in a worker process.
 
-    ``payload`` is ``(left_text, right_text, engine_name, config,
-    jobs)`` — the *full* traces as v2 wire text (shipped once per
-    chunk, memoised by content digest on the parent) plus the gap
-    bounds to slice locally.  The inner engine is resolved by registry
+    ``payload`` is ``(left_handle, right_handle, engine_name, config,
+    jobs)`` — the *full* traces as ship handles (one shared-memory
+    segment per distinct trace, or inline v2 wire text) plus the gap
+    bounds to slice locally; a warm worker that already holds a
+    trace's digest decodes nothing.  The inner engine is resolved by registry
     name; built-ins are always available in workers.  Each job returns
     ``(gap index, result wire, worker tag)`` — slices preserve entry
     ids, so the wire is directly meaningful to the parent's own gap
@@ -160,9 +216,11 @@ def run_segment_chunk_worker(payload: tuple) -> list[tuple]:
     """
     from repro.api.engines import get_engine
 
-    left_text, right_text, engine_name, config, jobs = payload
-    left = loads_trace(left_text)
-    right = loads_trace(right_text)
+    left_handle, right_handle, engine_name, config, jobs = payload
+    state = worker_state()
+    state.diff_jobs += len(jobs)
+    left = resolve_trace_handle(left_handle)
+    right = resolve_trace_handle(right_handle)
     engine = get_engine(engine_name)
     worker = f"pid:{os.getpid()}"
     out: list[tuple] = []
@@ -205,7 +263,8 @@ def anchored_segment_diff(left: Trace, right: Trace, inner=None, *,
        with the gap's cold totals;
     4. run the remaining gaps through the inner engine — inline,
        across a thread pool, or chunked to worker processes with both
-       traces shipped once per chunk as serialisation-v2 text;
+       traces shipped once each as digest-keyed shared-memory
+       segments (inline wire text when shared memory is unavailable);
     5. merge everything into one full-trace result
        (:func:`~repro.core.anchors.merge_segment_results`).
 
@@ -317,30 +376,45 @@ def anchored_segment_diff(left: Trace, right: Trace, inner=None, *,
         else:
             chunks = chunk_evenly(pending,
                                   getattr(executor, "max_workers", 1))
-            left_text = _trace_wire(left)
-            right_text = _trace_wire(right)
             keys = dict(pending)
-            payloads = []
+            job_chunks = []
             for chunk in chunks:
                 jobs = []
                 for index, _key in chunk:
                     gap = segmentation.gaps[index]
                     jobs.append((index, gap.left_lo, gap.left_hi,
                                  gap.right_lo, gap.right_hi))
-                payloads.append((left_text, right_text, inner.name,
-                                 inner_config, jobs))
+                job_chunks.append(jobs)
+            shipped: list[str] = []
             try:
-                chunk_results = executor.map(run_segment_chunk_worker,
-                                             payloads)
-            except KeyError:
-                # The worker could not resolve the inner engine by
-                # name (an engine registered only in this process, on
-                # a spawn-start platform where workers don't inherit
-                # the registry).  The gaps are still perfectly
-                # diffable here — fall back to inline execution
-                # rather than failing the diff.
-                chunk_results = None
-                run_inline(pending)
+                handles = (_ship_trace(left, shipped),
+                           _ship_trace(right, shipped))
+                payloads = [(handles[0], handles[1], inner.name,
+                             inner_config, jobs) for jobs in job_chunks]
+                try:
+                    chunk_results = executor.map(run_segment_chunk_worker,
+                                                 payloads)
+                except TraceShippingError:
+                    # A segment vanished under a worker — re-ship
+                    # inline; identical gap results, wire cost.
+                    handles = (_ship_trace(left, shipped, inline=True),
+                               _ship_trace(right, shipped, inline=True))
+                    payloads = [(handles[0], handles[1], inner.name,
+                                 inner_config, jobs)
+                                for jobs in job_chunks]
+                    chunk_results = executor.map(run_segment_chunk_worker,
+                                                 payloads)
+                except KeyError:
+                    # The worker could not resolve the inner engine by
+                    # name (an engine registered only in this process,
+                    # on a spawn-start platform where workers don't
+                    # inherit the registry).  The gaps are still
+                    # perfectly diffable here — fall back to inline
+                    # execution rather than failing the diff.
+                    chunk_results = None
+                    run_inline(pending)
+            finally:
+                _release_shipped(shipped)
             if chunk_results is not None:
                 for chunk_out in chunk_results:
                     for index, wire, worker in chunk_out:

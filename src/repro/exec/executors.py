@@ -25,10 +25,12 @@ a lazily-forked process could inherit a mid-capture interpreter.
 
 from __future__ import annotations
 
+import atexit
 import os
 import threading
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterable, Protocol, Sequence, runtime_checkable
 
 #: Upper bound on pool size when none is requested.
@@ -36,6 +38,10 @@ DEFAULT_MAX_WORKERS = 8
 
 #: The registry names, in documentation order.
 EXECUTOR_NAMES = ("serial", "threads", "processes")
+
+#: How many stealable singleton leases a batch reserves per pool (see
+#: :func:`lease_chunks`).
+LEASE_TAIL_PER_WORKER = 1
 
 
 @runtime_checkable
@@ -146,21 +152,37 @@ class ProcessExecutor:
     ``fork`` start method where available, so workers are cheap and
     inherit imported modules), which keeps later ``map`` calls free of
     mid-capture forking.
+
+    A pool built with ``shared=True`` is *warm*: it belongs to the
+    process-wide registry (:func:`shared_process_executor`), survives
+    :meth:`close` — which only records the release — and is actually
+    shut down by :func:`shutdown_warm_pools` (``atexit``-registered).
+    Sessions, pipelines, and the one-shot ``run_capture_tasks`` /
+    diff drivers all lease the same warm pool for a given worker
+    count, so spin-up is paid once per process, not once per call.
     """
 
     name = "processes"
     in_process = False
 
-    def __init__(self, max_workers: int | None = None):
+    def __init__(self, max_workers: int | None = None, *,
+                 shared: bool = False):
         import multiprocessing
 
         self.max_workers = max(1, max_workers if max_workers is not None
                                else DEFAULT_MAX_WORKERS)
+        self.shared = shared
+        self.broken = False
+        #: Dispatch statistics (``stats()``): every ``map`` is one
+        #: batch; each mapped item is one task lease.
+        self.batches = 0
+        self.tasks_leased = 0
         context = None
         if "fork" in multiprocessing.get_all_start_methods():
             context = multiprocessing.get_context("fork")
         self._pool = ProcessPoolExecutor(max_workers=self.max_workers,
                                          mp_context=context)
+        _note_open_pool(self)
         # One submit per worker forces the pool to spawn all of them
         # now; sleep-staggered rounds make every worker take (and
         # report) a prewarm task, doubling as a liveness check.
@@ -174,10 +196,43 @@ class ProcessExecutor:
         self.worker_pids = tuple(sorted(pids))
 
     def map(self, fn: Callable, items: Iterable) -> list:
-        return list(self._pool.map(fn, items))
+        items = list(items)
+        self.batches += 1
+        self.tasks_leased += len(items)
+        try:
+            return list(self._pool.map(fn, items))
+        except BrokenProcessPool:
+            # A worker died mid-batch.  Mark the pool unusable (the
+            # warm registry rebuilds on next lease), shut it down, and
+            # collect any shared-memory orphans the dead worker left.
+            self.broken = True
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            from repro.exec.shm import parent_registry
+            parent_registry().sweep()
+            raise
 
     def close(self) -> None:
+        """Release the pool: a real shutdown for privately built
+        pools, a no-op for warm shared ones (the registry owns those —
+        see :func:`shutdown_warm_pools`)."""
+        if not self.shared:
+            self.shutdown()
+
+    def shutdown(self) -> None:
+        """Actually stop the workers (regardless of ``shared``) and
+        release any shared-memory segments this process tracks when no
+        other process pool remains open."""
         self._pool.shutdown(wait=True)
+        _forget_open_pool(self)
+
+    def stats(self) -> dict:
+        """Pool observability for benches and ``/v1/stats``."""
+        return {"pool_size": self.max_workers,
+                "worker_pids": list(self.worker_pids),
+                "shared": self.shared,
+                "broken": self.broken,
+                "batches": self.batches,
+                "tasks_leased": self.tasks_leased}
 
     def __enter__(self) -> "ProcessExecutor":
         return self
@@ -186,7 +241,90 @@ class ProcessExecutor:
         self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"ProcessExecutor(max_workers={self.max_workers})"
+        return (f"ProcessExecutor(max_workers={self.max_workers}"
+                f"{', shared' if self.shared else ''})")
+
+
+# -- the warm pool registry ---------------------------------------------------
+
+#: Live process pools of this process: the shm segment registry is
+#: drained when the last one shuts down (workers that could attach a
+#: segment no longer exist).
+_OPEN_POOLS: "set[int]" = set()
+#: Warm shared pools by worker count.
+_WARM_POOLS: dict[int, ProcessExecutor] = {}
+_pools_lock = threading.Lock()
+
+
+def _note_open_pool(pool: ProcessExecutor) -> None:
+    with _pools_lock:
+        _OPEN_POOLS.add(id(pool))
+
+
+def _forget_open_pool(pool: ProcessExecutor) -> None:
+    with _pools_lock:
+        _OPEN_POOLS.discard(id(pool))
+        last = not _OPEN_POOLS
+    if last:
+        from repro.exec.shm import parent_registry
+        parent_registry().release_all()
+
+
+def shared_process_executor(max_workers: int | None = None
+                            ) -> ProcessExecutor:
+    """The process-wide *warm* pool for ``max_workers`` workers.
+
+    Built once, prewarmed once, reused by every session / pipeline /
+    one-shot helper that asks for ``"processes"`` with the same worker
+    count; its ``close()`` is a no-op, so short-lived drivers can hold
+    it without tearing it down for everyone else.  A pool broken by a
+    worker crash is replaced on the next lease.
+    """
+    workers = max(1, max_workers if max_workers is not None
+                  else DEFAULT_MAX_WORKERS)
+    with _pools_lock:
+        pool = _WARM_POOLS.get(workers)
+    if pool is not None and not pool.broken:
+        return pool
+    fresh = ProcessExecutor(max_workers=workers, shared=True)
+    with _pools_lock:
+        raced = _WARM_POOLS.get(workers)
+        if raced is not None and not raced.broken and raced is not fresh:
+            stale, keep = fresh, raced
+        else:
+            stale, keep = _WARM_POOLS.get(workers), fresh
+            _WARM_POOLS[workers] = fresh
+    if stale is not None and stale is not keep:
+        stale.shutdown()
+    return keep
+
+
+def shutdown_warm_pools() -> None:
+    """Shut down every warm shared pool (tests, interpreter exit)."""
+    with _pools_lock:
+        pools = list(_WARM_POOLS.values())
+        _WARM_POOLS.clear()
+    for pool in pools:
+        pool.shutdown()
+
+
+atexit.register(shutdown_warm_pools)
+
+
+def lease_chunks(items: Sequence, workers: int) -> list[list]:
+    """Split a task batch into worker *leases*: ``workers`` contiguous
+    near-even chunks covering most of the batch, then a tail of
+    singleton leases idle workers steal — one round trip per lease
+    instead of one per task, without a long straggler pinning the
+    batch to its worker.  Deterministic (result reassembly relies on
+    lease order)."""
+    items = list(items)
+    workers = max(1, workers)
+    if len(items) <= workers:
+        return [[item] for item in items]
+    tail_len = min(workers * LEASE_TAIL_PER_WORKER, max(len(items) // 4, 1))
+    head, tail = items[:len(items) - tail_len], items[len(items) - tail_len:]
+    return chunk_evenly(head, workers) + [[item] for item in tail]
 
 
 _FACTORIES: dict[str, type] = {
@@ -235,17 +373,37 @@ def get_executor(spec: "str | Executor | None",
 
 
 def resolve_executor(spec: "str | Executor | None",
-                     max_workers: int | None = None
-                     ) -> tuple[Executor, bool]:
+                     max_workers: int | None = None, *,
+                     reuse: bool = True) -> tuple[Executor, bool]:
     """:func:`get_executor` plus an *ownership* flag.
 
-    ``owned`` is True when this call constructed the executor from a
-    spec (name string or ``None``) — the caller is then responsible for
+    ``owned`` is True when this call resolved the executor from a spec
+    (name string or ``None``) — the caller is then responsible for
     closing it once the batch is done, so one-shot drivers never strand
     worker pools.  Instances pass through unowned (the caller who built
     the pool keeps its lifecycle).
+
+    With ``reuse`` (the default), a ``"processes"`` name spec resolves
+    to the process-wide **warm pool** for that worker count
+    (:func:`shared_process_executor`): still "owned" — callers close it
+    as before — but close is a soft release, so repeat calls (a
+    session's diffs, back-to-back ``run_pipeline`` batches, the
+    service's jobs) never rebuild a pool.  ``reuse=False`` restores a
+    private, really-torn-down pool.
     """
     owned = not isinstance(spec, Executor)
+    if owned and reuse and isinstance(spec, str) \
+            and spec.partition(":")[0] == "processes":
+        name, sep, suffix = spec.partition(":")
+        workers = max_workers
+        if sep:
+            try:
+                suffix_workers = int(suffix)
+            except ValueError:
+                raise ValueError(f"bad executor worker count in {spec!r}")
+            if workers is None:
+                workers = suffix_workers
+        return shared_process_executor(workers), True
     return get_executor(spec, max_workers=max_workers), owned
 
 

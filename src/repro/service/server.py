@@ -411,7 +411,7 @@ class ReproService:
         stats: dict = {
             "jobs": states,
             "queued": self._queue.qsize() if self._queue else 0,
-            "workers": self.workers,
+            "workers": self._worker_stats(),
             "uptime": time.time() - self.started_at,
         }
         if cache is not None:
@@ -425,6 +425,30 @@ class ReproService:
                           "diff_rows": index.diff_rows,
                           "bytes": index.bytes}
         return stats
+
+    def _worker_stats(self) -> dict:
+        """The ``workers`` detail row: service loop workers plus — when
+        the session rides a warm process pool — the execution
+        substrate's pool and shared-memory shipping counters."""
+        from repro.exec.shm import shm_stats
+
+        row: dict = {"count": self.workers}
+        executor = self.session.executor
+        name = getattr(executor, "name", None)
+        if name is not None:
+            row["executor"] = name
+        pool_stats = getattr(executor, "stats", None)
+        if callable(pool_stats):
+            pool = pool_stats()
+            row["pool_size"] = pool["pool_size"]
+            row["pool_shared"] = pool["shared"]
+            row["batches"] = pool["batches"]
+            row["tasks_leased"] = pool["tasks_leased"]
+        shm = shm_stats()
+        row["shm_segments_live"] = shm["segments_live"]
+        row["shm_bytes_shipped"] = shm["bytes_shipped"]
+        row["shm_bytes_received"] = shm["bytes_received"]
+        return row
 
     def _query(self, query: dict) -> dict:
         limit = None

@@ -1,0 +1,269 @@
+"""Shared-memory trace shipping and warm-pool lifecycle tests.
+
+The guarantees under test: segments are unlinked on normal release, on
+worker crash, and on interrupt (no ``/dev/shm`` leaks — asserted
+through the segment registry *and* the filesystem); the inline
+fallback is result-identical; warm pools are shared, soft-closed, and
+rebuilt after a crash.
+"""
+
+import os
+
+import pytest
+
+import repro.exec.shm as shm
+from repro.capture.filters import TraceFilter
+from repro.exec import (CaptureTask, ProcessExecutor, SegmentRegistry,
+                        TraceShippingError, lease_chunks, parent_registry,
+                        run_capture_tasks, shared_process_executor,
+                        shutdown_warm_pools)
+from repro.exec.executors import resolve_executor
+from repro.exec.shm import adopt_segment_bytes, ship_untracked
+
+FILTER = TraceFilter(include_modules=("test_exec_shm",))
+
+pytestmark = pytest.mark.skipif(not shm.shm_available(),
+                                reason="no shared memory on this host")
+
+
+def small_workload(n):
+    total = 0
+    for i in range(n):
+        total += i * i
+    return total
+
+
+def crash_hard(n):
+    os._exit(13)  # simulates a segfaulting worker — no cleanup runs
+
+
+def ship_then_crash(prefix):
+    ship_untracked(b"orphaned payload", prefix)
+    os._exit(13)
+
+
+def _task(n=20, func=small_workload, name="w"):
+    return CaptureTask(func=func, args=(n,), name=name, filter=FILTER)
+
+
+def _prefix_files(prefix):
+    return sorted(p.name for p in shm.SHM_DIR.glob(f"{prefix}_*"))
+
+
+@pytest.fixture(scope="module")
+def warm_pool():
+    pool = shared_process_executor(2)
+    yield pool
+    shutdown_warm_pools()
+
+
+class TestSegmentRegistry:
+    def test_create_release_unlinks(self):
+        registry = SegmentRegistry(prefix=f"reprotest{os.getpid():x}a")
+        name = registry.create(b"hello segment")
+        assert name is not None
+        assert name in registry.tracked()
+        assert _prefix_files(registry.prefix) == [name]
+        registry.release(name)
+        assert registry.tracked() == ()
+        assert _prefix_files(registry.prefix) == []
+
+    def test_digest_keyed_reuse_refcounts(self):
+        registry = SegmentRegistry(prefix=f"reprotest{os.getpid():x}b")
+        first = registry.create(b"payload", digest="d1")
+        second = registry.create(b"payload", digest="d1")
+        assert first == second
+        assert registry.stats()["segments_created"] == 1
+        registry.release(first)  # one ref down: still alive
+        assert first in registry.tracked()
+        registry.release(first)  # last ref: unlinked
+        assert registry.tracked() == ()
+        assert _prefix_files(registry.prefix) == []
+
+    def test_release_all(self):
+        registry = SegmentRegistry(prefix=f"reprotest{os.getpid():x}c")
+        names = [registry.create(f"p{i}".encode()) for i in range(3)]
+        assert all(names)
+        registry.release_all()
+        assert registry.tracked() == ()
+        assert _prefix_files(registry.prefix) == []
+
+    def test_sweep_collects_orphans_not_live_segments(self):
+        registry = SegmentRegistry(prefix=f"reprotest{os.getpid():x}d")
+        live = registry.create(b"live")
+        orphan = shm.SHM_DIR / f"{registry.prefix}_orphan"
+        orphan.write_bytes(b"left behind by a dead worker")
+        assert registry.sweep() == 1
+        assert not orphan.exists()
+        assert _prefix_files(registry.prefix) == [live]
+        registry.release_all()
+
+    def test_adopt_round_trip_and_unlink(self):
+        registry = SegmentRegistry(prefix=f"reprotest{os.getpid():x}e")
+        shipped = ship_untracked(b"wire bytes", registry.prefix)
+        assert shipped is not None
+        name, size = shipped
+        payload = adopt_segment_bytes(name, size, registry=registry)
+        assert payload == b"wire bytes"
+        assert registry.stats()["bytes_received"] == size
+        assert _prefix_files(registry.prefix) == []  # adopt unlinked it
+
+    def test_trace_round_trips_through_a_segment(self):
+        from repro.analysis.serialize import dumps_trace_bytes, loads_trace
+        from repro.core.traces import TraceBuilder
+        from repro.core.values import prim
+
+        builder = TraceBuilder(name="shipped")
+        obj = builder.record_init(builder.main_tid, "Widget", (),
+                                  serialization="w")
+        builder.record_set(builder.main_tid, obj, "v", prim(7))
+        builder.record_end(builder.main_tid)
+        trace = builder.build()
+
+        registry = SegmentRegistry(prefix=f"reprotest{os.getpid():x}g")
+        payload = dumps_trace_bytes(trace)
+        name = registry.create(payload, digest=trace.content_digest())
+        shipped = loads_trace(
+            adopt_segment_bytes(name, len(payload), unlink=False))
+        assert [e.key() for e in shipped.entries] == \
+            [e.key() for e in trace.entries]
+        registry.release_all()
+
+    def test_adopt_missing_segment_raises(self):
+        with pytest.raises(TraceShippingError, match="cannot attach"):
+            adopt_segment_bytes("reprotest_no_such_segment", 8)
+
+    def test_stats_shape(self):
+        registry = SegmentRegistry(prefix=f"reprotest{os.getpid():x}f")
+        stats = registry.stats()
+        assert stats == {"segments_live": 0, "segments_created": 0,
+                         "bytes_shipped": 0, "bytes_received": 0,
+                         "sweeps": 0}
+
+
+class TestCaptureShipping:
+    def test_lease_batch_identity_with_serial(self, warm_pool):
+        tasks = [_task(n=10 + i, name=f"w{i}") for i in range(7)]
+        serial = run_capture_tasks(tasks, "serial")
+        remote = run_capture_tasks(tasks, warm_pool)
+        assert [o.name for o in remote] == [o.name for o in serial]
+        assert [o.result for o in remote] == [o.result for o in serial]
+        for a, b in zip(remote, serial):
+            assert [e.key() for e in a.trace.entries] == \
+                [e.key() for e in b.trace.entries]
+
+    def test_no_segments_survive_a_batch(self, warm_pool):
+        run_capture_tasks([_task(name=f"w{i}") for i in range(5)],
+                          warm_pool)
+        registry = parent_registry()
+        assert registry.tracked() == ()
+        assert _prefix_files(registry.prefix) == []
+
+    def test_inline_fallback_identity(self, warm_pool, monkeypatch):
+        monkeypatch.setattr(shm, "FORCE_INLINE", True)
+        assert not shm.shm_available()
+        tasks = [_task(n=9, name="inline")]
+        inline = run_capture_tasks(tasks, warm_pool)[0]
+        monkeypatch.setattr(shm, "FORCE_INLINE", False)
+        shipped = run_capture_tasks(tasks, warm_pool)[0]
+        assert inline.result == shipped.result
+        assert [e.key() for e in inline.trace.entries] == \
+            [e.key() for e in shipped.trace.entries]
+
+    def test_worker_crash_sweeps_orphans(self):
+        with ProcessExecutor(max_workers=1) as pool:
+            prefix = parent_registry().prefix
+            from concurrent.futures.process import BrokenProcessPool
+            with pytest.raises(BrokenProcessPool):
+                pool.map(ship_then_crash, [prefix])
+            assert pool.broken
+        assert _prefix_files(parent_registry().prefix) == []
+
+    def test_capture_crash_propagates_and_sweeps(self):
+        with ProcessExecutor(max_workers=1) as pool:
+            from concurrent.futures.process import BrokenProcessPool
+            with pytest.raises(BrokenProcessPool):
+                run_capture_tasks([_task(func=crash_hard)], pool)
+        registry = parent_registry()
+        assert registry.tracked() == ()
+        assert _prefix_files(registry.prefix) == []
+
+    def test_interrupt_sweeps_orphans(self):
+        # The orphan appears *during* the batch (a worker mid-ship when
+        # the user hits ^C) — the exception path must collect it.
+        orphan = shm.SHM_DIR / f"{parent_registry().prefix}_interrupted"
+
+        class InterruptingExecutor:
+            name = "processes"
+            in_process = False
+            max_workers = 2
+
+            def map(self, fn, items):
+                orphan.write_bytes(b"mid-ship when the user hit ^C")
+                raise KeyboardInterrupt
+
+            def close(self):
+                pass
+
+        with pytest.raises(KeyboardInterrupt):
+            run_capture_tasks([_task()], InterruptingExecutor())
+        assert not orphan.exists()
+
+
+class TestWarmPools:
+    def test_same_pool_returned(self, warm_pool):
+        assert shared_process_executor(2) is warm_pool
+
+    def test_close_is_soft(self, warm_pool):
+        warm_pool.close()
+        assert warm_pool.map(small_workload, [5]) == [30]
+
+    def test_resolve_executor_routes_specs_to_warm_pool(self, warm_pool):
+        executor, owned = resolve_executor("processes:2")
+        assert executor is warm_pool
+        assert owned
+        executor.close()  # soft — the pool stays alive for everyone
+        assert executor.map(small_workload, [3]) == [5]
+
+    def test_resolve_executor_private_pool_on_reuse_false(self):
+        executor, owned = resolve_executor("processes:1", reuse=False)
+        try:
+            assert owned
+            assert not executor.shared
+        finally:
+            executor.close()
+
+    def test_broken_pool_rebuilt_on_next_lease(self, warm_pool):
+        warm_pool.broken = True
+        fresh = None
+        try:
+            fresh = shared_process_executor(2)
+            assert fresh is not warm_pool
+            assert fresh.map(small_workload, [4]) == [14]
+        finally:
+            warm_pool.broken = False
+            if fresh is not None and fresh is not warm_pool:
+                fresh.shutdown()
+
+    def test_stats_shape(self, warm_pool):
+        stats = shared_process_executor(2).stats()
+        assert stats["pool_size"] == 2
+        assert stats["shared"]
+        assert stats["batches"] >= 1
+        assert stats["tasks_leased"] >= 1
+
+
+class TestLeaseChunks:
+    def test_small_batches_are_singletons(self):
+        assert lease_chunks([1, 2], 4) == [[1], [2]]
+
+    def test_head_chunks_plus_stealable_tail(self):
+        leases = lease_chunks(list(range(10)), 2)
+        assert [item for lease in leases for item in lease] == \
+            list(range(10))
+        assert len(leases) == 4  # 2 head chunks + 2 singleton tails
+        assert all(len(lease) == 1 for lease in leases[-2:])
+
+    def test_deterministic(self):
+        assert lease_chunks(list(range(23)), 3) == \
+            lease_chunks(list(range(23)), 3)

@@ -40,7 +40,9 @@ class TestEndpoints:
         health = client.health()
         assert health["ok"] and not health["draining"]
         stats = client.stats()
-        assert stats["workers"] == 2
+        assert stats["workers"]["count"] == 2
+        assert stats["workers"]["executor"] == "serial"
+        assert "shm_bytes_shipped" in stats["workers"]
         assert "index" in stats and "cache" in stats
 
     def test_capture_upload_roundtrip(self, service):
