@@ -1,0 +1,117 @@
+"""Static analysis layer: prediction accuracy, lint determinism, cost.
+
+The accuracy claim of :mod:`repro.static`: for every bundled
+``repro.lang`` scenario pair the static change-impact prediction is
+cross-validated against the dynamic ImpactReport (both program versions
+interpreted end to end, traces diffed, impacted methods read back) —
+**recall >= 0.9 is asserted** per scenario; precision is recorded.  The
+static side is also timed against the dynamic side it approximates (it
+never runs the program, so it should be well under the interpret+diff
+cost).
+
+Two more sections exercise determinism and scale:
+
+* the shared-state race lint runs twice from freshly parsed programs
+  and the rendered reports are asserted **byte-identical** (the CI
+  baseline gate depends on this), and
+* whole-program CFG + call-graph + transitive-effect construction is
+  timed over every bundled program version.
+
+One JSON document lands in ``results/static.json`` (uploaded by the CI
+``static-smoke`` job; ``check_budgets.py`` reads the recall/precision
+keys back).  Environment knobs:
+
+* ``BENCH_STATIC_THRESHOLD`` — prediction score cutoff (default 0.25).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from conftest import write_result
+
+from repro.lang.parser import parse_program
+from repro.static import (SCENARIOS, build_call_graph, build_program_cfgs,
+                          race_report, transitive_effects,
+                          validate_scenario)
+from repro.static.races import render_report
+from repro.static.scenarios import all_programs
+
+THRESHOLD = float(os.environ.get("BENCH_STATIC_THRESHOLD", "0.25"))
+
+ASSERT_RECALL = 0.9
+
+
+def test_static_impact_accuracy_and_lint_determinism():
+    document: dict = {
+        "bench": "static",
+        "threshold": THRESHOLD,
+        "scenarios": [],
+    }
+
+    # -- prediction accuracy vs the interpreted ground truth -------------
+    recalls, precisions = [], []
+    for name in sorted(SCENARIOS):
+        validation = validate_scenario(name, threshold=THRESHOLD)
+        recalls.append(validation.recall)
+        precisions.append(validation.precision)
+        row = validation.to_json()
+        row["speedup"] = round(
+            validation.dynamic_seconds
+            / max(validation.static_seconds, 1e-9), 1)
+        document["scenarios"].append(row)
+
+    document["min_recall"] = min(recalls)
+    document["mean_precision"] = round(
+        sum(precisions) / len(precisions), 4)
+
+    # -- race lint: byte-stable across two cold runs ---------------------
+    started = time.perf_counter()
+    first = render_report(race_report(all_programs()))
+    lint_seconds = time.perf_counter() - started
+    fresh = {f"{name}@{version}": parse_program(
+                 scenario.old_source if version == "old"
+                 else scenario.new_source)
+             for name, scenario in SCENARIOS.items()
+             for version in ("old", "new")}
+    second = render_report(race_report(fresh))
+    assert first == second, "race report is not byte-stable"
+    findings = sum(len(v) for v in json.loads(first).values())
+    document["races"] = {
+        "findings": findings,
+        "byte_stable": True,
+        "seconds": round(lint_seconds, 4),
+    }
+
+    # -- whole-program graph construction cost ---------------------------
+    programs = all_programs()
+    started = time.perf_counter()
+    cfg_blocks = sum(len(cfg.blocks)
+                     for program in programs.values()
+                     for cfg in build_program_cfgs(program).values())
+    cfg_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    edge_count = sum(len(build_call_graph(program).edges)
+                     for program in programs.values())
+    graph_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    effect_nodes = sum(len(transitive_effects(program))
+                       for program in programs.values())
+    effects_seconds = time.perf_counter() - started
+    document["graphs"] = {
+        "programs": len(programs),
+        "cfg_blocks": cfg_blocks,
+        "call_edges": edge_count,
+        "effect_nodes": effect_nodes,
+        "cfg_seconds": round(cfg_seconds, 4),
+        "callgraph_seconds": round(graph_seconds, 4),
+        "effects_seconds": round(effects_seconds, 4),
+    }
+
+    write_result("static.json",
+                 json.dumps(document, indent=1, sort_keys=True))
+
+    for row in document["scenarios"]:
+        assert row["recall"] >= ASSERT_RECALL, (row["scenario"], document)

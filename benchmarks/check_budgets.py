@@ -69,12 +69,28 @@ def _service(document: dict) -> dict[str, float]:
     return out
 
 
+def _static(document: dict) -> dict[str, float]:
+    """Prediction accuracy per scenario (recall/precision are already
+    in [0, 1]; a drop past tolerance means the predictor got worse)."""
+    out = {}
+    for row in document.get("scenarios", ()):
+        name = row.get("scenario")
+        if not name:
+            continue
+        if "recall" in row:
+            out[f"recall:{name}"] = row["recall"]
+        if "precision" in row:
+            out[f"precision:{name}"] = row["precision"]
+    return out
+
+
 #: results file -> key-ratio extractor (higher is better).
 BUDGETS = {
     "kernels.json": _kernels,
     "anchors.json": _anchors,
     "executors.json": _executors,
     "service.json": _service,
+    "static.json": _static,
 }
 
 

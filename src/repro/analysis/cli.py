@@ -89,6 +89,9 @@ def _coerce_config_value(key: str, raw: str):
         except ValueError as exc:
             raise SystemExit(str(exc))
         return raw
+    if key == "anchor_method_hints":
+        return tuple(sorted({part.strip() for part in raw.split(",")
+                             if part.strip()}))
     if key == "view_types":
         types = []
         for part in raw.split(","):
@@ -820,6 +823,9 @@ def build_parser() -> argparse.ArgumentParser:
     _add_engine_options(batch)
     _add_cache_options(batch)
     batch.set_defaults(func=cmd_batch)
+
+    from repro.static.cli import register as register_static
+    register_static(commands)
     return parser
 
 

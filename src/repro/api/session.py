@@ -37,7 +37,10 @@ import dataclasses
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.static.validate import StaticValidation
 
 from repro.api.engines import (DiffEngine, accepts_executor,
                                accepts_key_table, get_engine)
@@ -85,6 +88,10 @@ class SessionResult:
     #: Distinct workers the captures ran on (``pid:N`` under a process
     #: executor, ``thread:NAME`` in-process), in first-use order.
     workers: tuple[str, ...] = ()
+    #: Static change-impact prediction cross-validated against the
+    #: dynamic ImpactReport (:mod:`repro.static`), when the scenario
+    #: was run with ``static_impact=...``.
+    static_impact: "StaticValidation | None" = None
 
     def diffs(self) -> list[DiffResult]:
         """The diffs actually computed (A, and B/C when present)."""
@@ -111,6 +118,8 @@ class SessionResult:
             lines.append(
                 f"regression diff: {self.regression.num_diffs()} "
                 f"differences in {len(self.regression.sequences)} sequences")
+        if self.static_impact is not None:
+            lines.append(f"static impact: {self.static_impact.render()}")
         return "\n".join(lines)
 
 
@@ -437,7 +446,10 @@ class Session:
                      name: str = "",
                      engine: str | DiffEngine | None = None,
                      mode: str | None = None,
-                     store_prefix: str | None = None) -> SessionResult:
+                     store_prefix: str | None = None,
+                     static_impact: "bool | str" = False,
+                     old_program=None,
+                     new_program=None) -> SessionResult:
         """Capture the four-trace recipe and analyse it.
 
         Traces collected (Sec. 4.2): old and new versions on the
@@ -455,9 +467,29 @@ class Session:
         executor — under a process executor the four roles are captured
         truly concurrently, each in a worker owning its own weaver.
 
+        ``static_impact`` folds in the :mod:`repro.static` layer: pass
+        a bundled ``repro.lang`` scenario name (``static_impact=
+        "minidb"``) or ``True`` with ``old_program``/``new_program``
+        Program ASTs.  The prediction is cross-validated against the
+        dynamic ImpactReport (``result.static_impact``) and, under an
+        anchored config, its predicted-impacted method names are fed
+        to the differ as ``anchor_method_hints`` — anchors then prefer
+        predicted-stable regions (results are unchanged: hints only
+        bar candidacy).
+
         Version callables receive the input as their single argument.
         """
         started = time.perf_counter()
+        validation = self._static_validation(static_impact, old_program,
+                                             new_program, name)
+        restore_config = None
+        if validation is not None and validation.prediction is not None \
+                and self.config.anchored:
+            hints = validation.prediction.method_hints()
+            if hints:
+                restore_config = self.config
+                self.config = dataclasses.replace(
+                    self.config, anchor_method_hints=hints)
         traces: dict[str, Trace] = {}
         store_keys: list[str] = []
         workers: list[str] = []
@@ -481,15 +513,20 @@ class Session:
                 self._store_required().save(outcome.trace, key=key,
                                             scenario=name or store_prefix)
 
-        suspected = self.diff(traces["old/regressing"],
-                              traces["new/regressing"], engine=engine)
-        expected = None
-        regression = None
-        if correct_input is not None:
-            expected = self.diff(traces["old/correct"],
-                                 traces["new/correct"], engine=engine)
-            regression = self.diff(traces["new/correct"],
-                                   traces["new/regressing"], engine=engine)
+        try:
+            suspected = self.diff(traces["old/regressing"],
+                                  traces["new/regressing"], engine=engine)
+            expected = None
+            regression = None
+            if correct_input is not None:
+                expected = self.diff(traces["old/correct"],
+                                     traces["new/correct"], engine=engine)
+                regression = self.diff(traces["new/correct"],
+                                       traces["new/regressing"],
+                                       engine=engine)
+        finally:
+            if restore_config is not None:
+                self.config = restore_config
 
         report = self.analyze(suspected, expected=expected,
                               regression=regression, mode=mode)
@@ -505,7 +542,32 @@ class Session:
             scenario=name,
             store_keys=tuple(store_keys),
             workers=tuple(workers),
+            static_impact=validation,
         )
+
+    @staticmethod
+    def _static_validation(static_impact: "bool | str", old_program,
+                           new_program, name: str):
+        """Resolve the ``static_impact`` knob of :meth:`run_scenario`
+        into a cross-validated prediction (or ``None``)."""
+        if not static_impact:
+            return None
+        from repro.static.scenarios import get_scenario
+        from repro.static.validate import cross_validate
+        if isinstance(static_impact, str):
+            scenario = get_scenario(static_impact)
+            old_program = scenario.old_program()
+            new_program = scenario.new_program()
+            label = static_impact
+        elif old_program is None or new_program is None:
+            raise ValueError(
+                "static_impact=True needs old_program/new_program "
+                "(repro.lang Program ASTs); pass a bundled scenario "
+                "name instead to use its versions "
+                "(static_impact='minidb')")
+        else:
+            label = name or "<programs>"
+        return cross_validate(label, old_program, new_program)
 
     def run_stored_scenario(self, suspected: tuple[str, str],
                             expected: tuple[str, str] | None = None,

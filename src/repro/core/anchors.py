@@ -65,6 +65,14 @@ class AnchorConfig:
     #: (unique-unique); larger values admit histogram-style
     #: low-frequency keys.
     max_occurrence: int = 1
+    #: Method names predicted unstable (e.g. by
+    #: :func:`repro.static.impact.predict_impact`): entries of these
+    #: methods are excluded from anchor *candidacy*, biasing anchor
+    #: selection toward predicted-stable regions.  Extension may still
+    #: grow a run into a hinted region — those entries are verified
+    #: ``=e``-equal, so results are unchanged; only where anchors land
+    #: (and hence the compare counts) shifts.
+    exclude_methods: tuple[str, ...] = ()
 
     @classmethod
     def from_view_config(cls, config) -> "AnchorConfig":
@@ -72,7 +80,9 @@ class AnchorConfig:
         :class:`~repro.core.view_diff.ViewDiffConfig` (duck-typed to
         avoid the import cycle — ``view_diff`` imports this module)."""
         return cls(min_run=config.anchor_min_run,
-                   max_occurrence=config.anchor_max_occurrence)
+                   max_occurrence=config.anchor_max_occurrence,
+                   exclude_methods=tuple(
+                       getattr(config, "anchor_method_hints", ()) or ()))
 
 
 @dataclass(slots=True, frozen=True)
@@ -287,12 +297,25 @@ def _extend(runs: list[AnchorRun], keys_l: Sequence, keys_r: Sequence,
 def _select(keys_l: Sequence, keys_r: Sequence,
             config: AnchorConfig | None,
             counter: OpCounter | None,
-            kernel=None) -> tuple[list[AnchorRun], int, int]:
+            kernel=None,
+            exclude_left: "set[int] | None" = None,
+            exclude_right: "set[int] | None" = None
+            ) -> tuple[list[AnchorRun], int, int]:
     """The one selection pipeline both public entry points share:
-    ``(surviving runs, candidate count, chained count)``."""
+    ``(surviving runs, candidate count, chained count)``.
+
+    ``exclude_left``/``exclude_right`` are position sets barred from
+    anchor candidacy (the method-hint bias; see
+    :attr:`AnchorConfig.exclude_methods`)."""
     if config is None:
         config = AnchorConfig()
     pairs = anchor_candidates(keys_l, keys_r, config.max_occurrence)
+    if exclude_left or exclude_right:
+        exclude_left = exclude_left or set()
+        exclude_right = exclude_right or set()
+        pairs = [(left, right) for left, right in pairs
+                 if left not in exclude_left
+                 and right not in exclude_right]
     chain = _increasing_chain(pairs)
     runs = [run for run in _extend(_coalesce(chain), keys_l, keys_r,
                                    counter, kernel=kernel)
@@ -303,21 +326,31 @@ def _select(keys_l: Sequence, keys_r: Sequence,
 def select_anchor_runs(keys_l: Sequence, keys_r: Sequence,
                        config: AnchorConfig | None = None,
                        counter: OpCounter | None = None,
-                       kernel=None) -> list[AnchorRun]:
+                       kernel=None,
+                       exclude_left: "set[int] | None" = None,
+                       exclude_right: "set[int] | None" = None
+                       ) -> list[AnchorRun]:
     """The full selection pipeline (see module docstring); ``keys``
     may be interned id columns or raw ``=e`` key tuples — anything
     hashable and comparable.  ``kernel`` selects the compare-scan
     backend (:mod:`repro.core.kernels`); counts are unchanged."""
-    return _select(keys_l, keys_r, config, counter, kernel=kernel)[0]
+    return _select(keys_l, keys_r, config, counter, kernel=kernel,
+                   exclude_left=exclude_left,
+                   exclude_right=exclude_right)[0]
 
 
 def segment_sequences(keys_l: Sequence, keys_r: Sequence,
                       config: AnchorConfig | None = None,
                       counter: OpCounter | None = None,
-                      kernel=None) -> Segmentation:
+                      kernel=None,
+                      exclude_left: "set[int] | None" = None,
+                      exclude_right: "set[int] | None" = None
+                      ) -> Segmentation:
     """Segment two key sequences along their selected anchor runs."""
     runs, candidates, chained = _select(keys_l, keys_r, config, counter,
-                                        kernel=kernel)
+                                        kernel=kernel,
+                                        exclude_left=exclude_left,
+                                        exclude_right=exclude_right)
     gaps: list[Gap] = []
     at_l = at_r = 0
     for run in runs:
@@ -353,8 +386,17 @@ def segment_pair(left: Trace, right: Trace,
     else:
         keys_l = [entry.key() for entry in left.entries]
         keys_r = [entry.key() for entry in right.entries]
+    exclude_l = exclude_r = None
+    if config is not None and config.exclude_methods:
+        hinted = set(config.exclude_methods)
+        exclude_l = {pos for pos, entry in enumerate(left.entries)
+                     if entry.method in hinted}
+        exclude_r = {pos for pos, entry in enumerate(right.entries)
+                     if entry.method in hinted}
     return segment_sequences(keys_l, keys_r, config=config,
-                             counter=counter, kernel=kernel)
+                             counter=counter, kernel=kernel,
+                             exclude_left=exclude_l,
+                             exclude_right=exclude_r)
 
 
 # -- merging -----------------------------------------------------------------

@@ -88,6 +88,14 @@ class ViewDiffConfig:
     #: Occurrence cap for anchor candidate keys
     #: (:attr:`~repro.core.anchors.AnchorConfig.max_occurrence`).
     anchor_max_occurrence: int = 1
+    #: Method names predicted unstable (typically
+    #: ``PredictedImpact.method_hints()`` from
+    #: :mod:`repro.static.impact`): with ``anchored``, entries of these
+    #: methods are barred from anchor candidacy so anchors land in
+    #: predicted-stable regions.  Results are identical either way
+    #: (anchored evaluation is trajectory-preserving); only anchor
+    #: placement and compare counts shift.
+    anchor_method_hints: tuple[str, ...] = ()
     #: Kernel backend for the inner compare loops
     #: (:mod:`repro.core.kernels`): ``"scalar"``, ``"stdlib"``,
     #: ``"numpy"``, or ``None``/``"auto"`` to auto-detect (the
@@ -162,10 +170,22 @@ class _ThreadPairDiffer:
         # the scalar trajectory would take the anchor fast path.
         self._diag_starts: dict[int, list[int]] = {}
         if config.anchored:
+            exclude_l = exclude_r = None
+            if config.anchor_method_hints:
+                hinted = set(config.anchor_method_hints)
+                entries_l = web_l.trace.entries
+                entries_r = web_r.trace.entries
+                exclude_l = {pos for pos, eid
+                             in enumerate(left_view.indices)
+                             if entries_l[eid].method in hinted}
+                exclude_r = {pos for pos, eid
+                             in enumerate(right_view.indices)
+                             if entries_r[eid].method in hinted}
             runs = select_anchor_runs(
                 self.lkeys, self.rkeys,
                 AnchorConfig.from_view_config(config), counter=counter,
-                kernel=self._backend)
+                kernel=self._backend, exclude_left=exclude_l,
+                exclude_right=exclude_r)
             self._anchor_starts = {(run.left, run.right): run.length
                                    for run in runs}
             for run in runs:

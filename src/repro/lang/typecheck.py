@@ -353,6 +353,26 @@ class TypeChecker:
         return method.return_type
 
 
-def check_program(program: Program) -> None:
-    """Raise :class:`TypeCheckError` unless the program is well typed."""
+def check_program(program: Program, strict: bool = False) -> None:
+    """Raise :class:`TypeCheckError` unless the program is well typed.
+
+    With ``strict``, additionally run the CFG-based definite-assignment
+    pass (:mod:`repro.static.dataflow`).  The plain checker models
+    ``If``/``While``/``Spawn`` bodies with a throwaway copy of the local
+    environment, but the interpreter's locals are *function-scoped*
+    (block declarations leak out), so it accepts programs that crash at
+    runtime — e.g. a branch-local ``var x = "s"`` silently retyping an
+    enclosing ``Int x``.  Strict mode rejects those: type-changing
+    redeclarations, possibly-unassigned uses, and assignments to
+    possibly-undeclared locals all raise.
+    """
     TypeChecker(program).check()
+    if strict:
+        # Imported lazily: repro.static sits above repro.lang.
+        from repro.static.dataflow import check_definite_assignment
+
+        issues = check_definite_assignment(program)
+        if issues:
+            raise TypeCheckError(
+                "strict mode: "
+                + "; ".join(issue.message() for issue in issues))

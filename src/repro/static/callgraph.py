@@ -1,0 +1,207 @@
+"""Class-hierarchy-aware interprocedural call graph.
+
+Nodes are executable bodies (``<main>``, ``C.m`` methods keyed by the
+*declaring* class, ``<node>.spawn[k]`` thread bodies) plus ``C.<init>``
+constructor pseudo-nodes for the implicit FJ constructors.  Edges carry
+a kind — ``call`` (virtual dispatch), ``new`` (allocation), ``spawn``
+(thread fork).
+
+Dispatch is resolved RTA-style: a monotone fixpoint grows the
+*instantiated* class set from allocation sites in reachable code, and a
+``t.m(...)`` site with static receiver type ``T`` (seeded by the
+typechecker) targets ``mbody(m, C)`` for every instantiated ``C <: T``.
+When the cone is empty (a never-instantiated static type) the static
+type itself is used, so partial programs still produce a useful graph.
+Bodies unreachable from ``<main>`` keep their nodes and edges (resolved
+against the final instantiated set) but are marked unreachable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lang.ast import Program
+from repro.lang.typecheck import OBJECT
+from repro.static.cfg import MAIN
+from repro.static.sites import NodeSites, collect_sites
+
+#: Suffix of constructor pseudo-nodes.
+INIT = "<init>"
+
+
+def init_node_name(class_name: str) -> str:
+    return f"{class_name}.{INIT}"
+
+
+@dataclass(frozen=True, slots=True)
+class CallEdge:
+    caller: str
+    callee: str
+    kind: str  # call | new | spawn
+
+
+@dataclass(slots=True)
+class CallGraphNode:
+    name: str
+    kind: str  # main | method | spawn | constructor
+    class_name: str | None = None
+    reachable: bool = False
+
+
+@dataclass
+class CallGraph:
+    nodes: dict[str, CallGraphNode]
+    edges: tuple[CallEdge, ...]
+    instantiated: frozenset[str]
+    sites: dict[str, NodeSites] = field(default_factory=dict)
+
+    def __post_init__(self):
+        self._out: dict[str, list[CallEdge]] = {}
+        self._in: dict[str, list[CallEdge]] = {}
+        for edge in self.edges:
+            self._out.setdefault(edge.caller, []).append(edge)
+            self._in.setdefault(edge.callee, []).append(edge)
+
+    def callees_of(self, name: str,
+                   kinds: tuple[str, ...] | None = None) -> set[str]:
+        return {e.callee for e in self._out.get(name, ())
+                if kinds is None or e.kind in kinds}
+
+    def callers_of(self, name: str,
+                   kinds: tuple[str, ...] | None = None) -> set[str]:
+        return {e.caller for e in self._in.get(name, ())
+                if kinds is None or e.kind in kinds}
+
+    def spawn_nodes(self) -> list[str]:
+        return sorted(n.name for n in self.nodes.values()
+                      if n.kind == "spawn")
+
+    def to_json(self) -> dict:
+        return {
+            "nodes": [
+                {"name": node.name, "kind": node.kind,
+                 "class": node.class_name, "reachable": node.reachable}
+                for _, node in sorted(self.nodes.items())],
+            "edges": [
+                {"caller": e.caller, "callee": e.callee, "kind": e.kind}
+                for e in self.edges],
+            "instantiated": sorted(self.instantiated),
+        }
+
+    def render(self) -> str:
+        lines = [f"call graph: {len(self.nodes)} nodes, "
+                 f"{len(self.edges)} edges, "
+                 f"instantiated={{{', '.join(sorted(self.instantiated))}}}"]
+        for name in sorted(self.nodes):
+            node = self.nodes[name]
+            mark = "" if node.reachable else "  [unreachable]"
+            lines.append(f"  {name}{mark}")
+            for edge in sorted(self._out.get(name, ()),
+                               key=lambda e: (e.kind, e.callee)):
+                lines.append(f"    -[{edge.kind}]-> {edge.callee}")
+        return "\n".join(lines)
+
+
+def _subclass_cone(program: Program) -> dict[str, set[str]]:
+    """``cone[T]`` = classes that are subtypes of ``T`` (incl. ``T``)."""
+    cone: dict[str, set[str]] = {OBJECT: set(program.classes)}
+    for name in program.classes:
+        cone.setdefault(name, set()).add(name)
+        current = program.classes[name].superclass
+        while current in program.classes:
+            cone.setdefault(current, set()).add(name)
+            current = program.classes[current].superclass
+    return cone
+
+
+def build_call_graph(program: Program,
+                     sites: dict[str, NodeSites] | None = None) -> CallGraph:
+    """RTA fixpoint over receiver types seeded by the typechecker."""
+    sites = collect_sites(program) if sites is None else sites
+    cone = _subclass_cone(program)
+
+    nodes: dict[str, CallGraphNode] = {}
+    for name, record in sites.items():
+        if name == MAIN:
+            kind = "main"
+        elif ".spawn[" in name:
+            kind = "spawn"
+        else:
+            kind = "method"
+        nodes[name] = CallGraphNode(name=name, kind=kind,
+                                    class_name=record.owner_class)
+    for class_name in program.classes:
+        nodes[init_node_name(class_name)] = CallGraphNode(
+            name=init_node_name(class_name), kind="constructor",
+            class_name=class_name)
+
+    edges: set[CallEdge] = set()
+
+    def resolve(site_type: str, method: str,
+                instantiated: set[str]) -> set[str]:
+        candidates = cone.get(site_type, set()) & instantiated
+        if not candidates and site_type in program.classes:
+            candidates = {site_type}
+        targets = set()
+        for candidate in candidates:
+            try:
+                _, owner = program.mbody(method, candidate)
+            except KeyError:
+                continue  # tolerant-typing fallback hit a non-method
+            targets.add(f"{owner}.{method}")
+        return targets
+
+    def process(name: str, instantiated: set[str]) -> set[str]:
+        """Edges out of ``name`` under the current instantiated set."""
+        record = sites[name]
+        out: set[CallEdge] = set()
+        targets: set[str] = set()
+        for class_name in record.news:
+            if class_name in program.classes:
+                out.add(CallEdge(name, init_node_name(class_name), "new"))
+        for child in record.spawns:
+            out.add(CallEdge(name, child, "spawn"))
+            targets.add(child)
+        for call in record.calls:
+            for target in resolve(call.receiver_type, call.method,
+                                  instantiated):
+                if target in nodes:
+                    out.add(CallEdge(name, target, "call"))
+                    targets.add(target)
+        edges.update(out)
+        return targets
+
+    # Monotone fixpoint: reachable set and instantiated set only grow,
+    # and growing `instantiated` can add dispatch targets, so reachable
+    # nodes are re-processed until both sets are stable.
+    reachable: set[str] = {MAIN}
+    instantiated: set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for name in sorted(reachable):
+            for class_name in sites[name].news:
+                if class_name in program.classes \
+                        and class_name not in instantiated:
+                    instantiated.add(class_name)
+                    changed = True
+            for target in process(name, instantiated):
+                if target in sites and target not in reachable:
+                    reachable.add(target)
+                    changed = True
+
+    for name in reachable:
+        nodes[name].reachable = True
+    for edge in edges:
+        if edge.kind == "new" and edge.caller in reachable:
+            nodes[edge.callee].reachable = True
+
+    # Unreachable bodies still get edges, against the final set.
+    for name in sorted(sites):
+        if name not in reachable:
+            process(name, instantiated)
+
+    ordered = tuple(sorted(edges,
+                           key=lambda e: (e.caller, e.kind, e.callee)))
+    return CallGraph(nodes=nodes, edges=ordered,
+                     instantiated=frozenset(instantiated), sites=sites)

@@ -1,0 +1,357 @@
+"""Per-method control-flow graphs over :mod:`repro.lang` ASTs.
+
+A :class:`CFG` is built for one executable body (``<main>``, a method
+body, or a spawned thread body).  Basic blocks hold *statement* terms:
+``If``/``While`` act as block terminators (the ``If`` lives in its
+condition block, the ``While`` in its loop header), ``Return`` edges to
+the synthetic exit block, and statement-position ``Block``/``Seq``
+wrappers are transparent.  ``Spawn`` statements stay in the enclosing
+block; each spawn *body* gets its own CFG named
+``<parent>.spawn[<k>]`` (pre-order index within the parent body), so
+every statement term of a program is owned by exactly one basic block of
+exactly one CFG — the invariant the property suite checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lang.ast import (Block, FieldAssign, FieldRead, If, Lit,
+                            LocalAssign, MethodCall, New, Program, Return,
+                            Seq, Spawn, Term, This, Var, VarDecl, While)
+
+#: Node name of the main thread's body (matches ``TraceBuilder.ROOT_METHOD``).
+MAIN = "<main>"
+
+
+def spawn_node_name(parent: str, index: int) -> str:
+    """Name of the ``index``-th spawn body inside node ``parent``."""
+    return f"{parent}.spawn[{index}]"
+
+
+# -- term traversal ---------------------------------------------------------
+
+def child_terms(term: Term) -> tuple[Term, ...]:
+    """Direct sub-terms of ``term`` in evaluation order."""
+    if isinstance(term, (Lit, Var, This)):
+        return ()
+    if isinstance(term, FieldRead):
+        return (term.obj,)
+    if isinstance(term, FieldAssign):
+        return (term.obj, term.value)
+    if isinstance(term, MethodCall):
+        return (term.obj, *term.args)
+    if isinstance(term, New):
+        return tuple(term.args)
+    if isinstance(term, Spawn):
+        return (term.body,)
+    if isinstance(term, (Seq, Block)):
+        return tuple(term.terms)
+    if isinstance(term, (VarDecl, LocalAssign, Return)):
+        return (term.value,)
+    if isinstance(term, If):
+        children = [term.condition, term.then_block]
+        if term.else_block is not None:
+            children.append(term.else_block)
+        return tuple(children)
+    if isinstance(term, While):
+        return (term.condition, term.body)
+    raise TypeError(f"unknown term {type(term).__name__}")
+
+
+def iter_terms(term: Term, *, into_spawns: bool = False):
+    """Pre-order walk of ``term`` and its sub-terms.
+
+    Spawn *bodies* are skipped unless ``into_spawns`` — they belong to
+    the spawned thread's own CFG.
+    """
+    stack = [term]
+    while stack:
+        current = stack.pop()
+        yield current
+        if isinstance(current, Spawn) and not into_spawns:
+            continue
+        stack.extend(reversed(child_terms(current)))
+
+
+def iter_spawns(body: Block) -> list[Spawn]:
+    """``Spawn`` terms of one body in pre-order (nested spawns excluded —
+    they index relative to their enclosing spawn node)."""
+    spawns = []
+    for term in body.terms:
+        spawns.extend(t for t in iter_terms(term) if isinstance(t, Spawn))
+    return spawns
+
+
+def statement_terms(body: Block) -> list[Term]:
+    """The statement terms a CFG over ``body`` owns, in evaluation order.
+
+    Statement-position ``Block``/``Seq`` wrappers are transparent;
+    ``If``/``While`` contribute themselves plus their branch statements;
+    spawn bodies are *not* entered.
+    """
+    out: list[Term] = []
+
+    def walk(terms) -> None:
+        for term in terms:
+            if isinstance(term, (Block, Seq)):
+                walk(term.terms)
+            elif isinstance(term, If):
+                out.append(term)
+                walk(term.then_block.terms)
+                if term.else_block is not None:
+                    walk(term.else_block.terms)
+            elif isinstance(term, While):
+                out.append(term)
+                walk(term.body.terms)
+            else:
+                out.append(term)
+
+    walk(body.terms)
+    return out
+
+
+# -- graphs -----------------------------------------------------------------
+
+@dataclass(slots=True)
+class BasicBlock:
+    """A maximal straight-line run of statement terms."""
+
+    bid: int
+    kind: str = "body"  # entry | exit | body | loop | join | dead
+    stmts: list[Term] = field(default_factory=list)
+    succs: list[int] = field(default_factory=list)
+
+
+@dataclass(slots=True)
+class CFG:
+    """Control-flow graph of one executable body."""
+
+    name: str
+    blocks: dict[int, BasicBlock]
+    entry: int
+    exit: int
+
+    def block_ids(self) -> list[int]:
+        return sorted(self.blocks)
+
+    def predecessors(self) -> dict[int, list[int]]:
+        preds: dict[int, list[int]] = {bid: [] for bid in self.blocks}
+        for block in self.blocks.values():
+            for succ in block.succs:
+                preds[succ].append(block.bid)
+        return preds
+
+    def reachable(self) -> set[int]:
+        seen = {self.entry}
+        stack = [self.entry]
+        while stack:
+            for succ in self.blocks[stack.pop()].succs:
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append(succ)
+        return seen
+
+    def dominators(self) -> dict[int, set[int]]:
+        """Iterative dominator sets over the reachable subgraph."""
+        reachable = self.reachable()
+        preds = self.predecessors()
+        doms = {bid: set(reachable) for bid in reachable}
+        doms[self.entry] = {self.entry}
+        changed = True
+        while changed:
+            changed = False
+            for bid in sorted(reachable):
+                if bid == self.entry:
+                    continue
+                pred_doms = [doms[p] for p in preds[bid] if p in reachable]
+                new = set.intersection(*pred_doms) if pred_doms else set()
+                new.add(bid)
+                if new != doms[bid]:
+                    doms[bid] = new
+                    changed = True
+        return doms
+
+    def back_edges(self) -> list[tuple[int, int]]:
+        """Edges ``u -> v`` where ``v`` dominates ``u`` (loop back edges)."""
+        doms = self.dominators()
+        return [(block.bid, succ)
+                for block in self.blocks.values() if block.bid in doms
+                for succ in block.succs
+                if succ in doms.get(block.bid, ())]
+
+    def owned_terms(self) -> list[Term]:
+        """All statement terms the graph owns (each in exactly one block)."""
+        return [t for bid in self.block_ids()
+                for t in self.blocks[bid].stmts]
+
+    def to_json(self) -> dict:
+        return {
+            "name": self.name,
+            "entry": self.entry,
+            "exit": self.exit,
+            "blocks": [
+                {"id": bid, "kind": block.kind,
+                 "stmts": [term_summary(t) for t in block.stmts],
+                 "succs": list(block.succs)}
+                for bid, block in sorted(self.blocks.items())],
+        }
+
+    def render(self) -> str:
+        lines = [f"cfg {self.name}  entry=B{self.entry} exit=B{self.exit}"]
+        for bid in self.block_ids():
+            block = self.blocks[bid]
+            succs = ", ".join(f"B{s}" for s in block.succs) or "-"
+            lines.append(f"  B{bid}[{block.kind}] -> {succs}")
+            for stmt in block.stmts:
+                lines.append(f"    {term_summary(stmt)}")
+        return "\n".join(lines)
+
+
+class _Builder:
+    def __init__(self, name: str):
+        self.name = name
+        self.blocks: dict[int, BasicBlock] = {}
+        self._next = 0
+
+    def new_block(self, kind: str = "body") -> int:
+        bid = self._next
+        self._next += 1
+        self.blocks[bid] = BasicBlock(bid=bid, kind=kind)
+        return bid
+
+    def edge(self, src: int, dst: int) -> None:
+        self.blocks[src].succs.append(dst)
+
+    def build(self, body: Block) -> CFG:
+        entry = self.new_block("entry")
+        exit_ = self.new_block("exit")
+        self._exit = exit_
+        last = self.lower(body.terms, entry)
+        if last is not None:
+            self.edge(last, exit_)
+        return CFG(name=self.name, blocks=self.blocks,
+                   entry=entry, exit=exit_)
+
+    def lower(self, terms, current: int | None) -> int | None:
+        """Append ``terms`` to the flow starting at block ``current``.
+
+        Returns the open block at the end, or ``None`` when every path
+        returned (statements after a ``Return`` land in a ``dead``
+        block so they still appear in exactly one block).
+        """
+        for term in terms:
+            if current is None:
+                current = self.new_block("dead")
+            if isinstance(term, (Block, Seq)):
+                current = self.lower(term.terms, current)
+            elif isinstance(term, If):
+                current = self.lower_if(term, current)
+            elif isinstance(term, While):
+                current = self.lower_while(term, current)
+            elif isinstance(term, Return):
+                self.blocks[current].stmts.append(term)
+                self.edge(current, self._exit)
+                current = None
+            else:
+                self.blocks[current].stmts.append(term)
+        return current
+
+    def lower_if(self, term: If, current: int) -> int | None:
+        self.blocks[current].stmts.append(term)
+        then_block = self.new_block()
+        self.edge(current, then_block)
+        then_end = self.lower(term.then_block.terms, then_block)
+        if term.else_block is None:
+            else_end: int | None = current  # fall through the condition
+        else:
+            else_block = self.new_block()
+            self.edge(current, else_block)
+            else_end = self.lower(term.else_block.terms, else_block)
+        ends = [end for end in (then_end, else_end) if end is not None]
+        if not ends:
+            return None
+        join = self.new_block("join")
+        for end in ends:
+            self.edge(end, join)
+        return join
+
+    def lower_while(self, term: While, current: int) -> int:
+        header = self.new_block("loop")
+        self.edge(current, header)
+        self.blocks[header].stmts.append(term)
+        body_block = self.new_block()
+        self.edge(header, body_block)
+        body_end = self.lower(term.body.terms, body_block)
+        if body_end is not None:
+            self.edge(body_end, header)  # back edge
+        after = self.new_block()
+        self.edge(header, after)
+        return after
+
+
+def build_cfg(body: Block, name: str) -> CFG:
+    """Build the CFG of one executable body."""
+    return _Builder(name).build(body)
+
+
+def build_program_cfgs(program: Program) -> dict[str, CFG]:
+    """CFGs for ``<main>``, every declared method, and every spawn body
+    (recursively), keyed by node name."""
+    cfgs: dict[str, CFG] = {}
+
+    def add(name: str, body: Block) -> None:
+        cfgs[name] = build_cfg(body, name)
+        for index, spawn in enumerate(iter_spawns(body)):
+            add(spawn_node_name(name, index), spawn.body)
+
+    add(MAIN, program.main)
+    for class_name in sorted(program.classes):
+        for method in program.classes[class_name].methods:
+            add(f"{class_name}.{method.name}", method.body)
+    return cfgs
+
+
+# -- rendering --------------------------------------------------------------
+
+def term_summary(term: Term, limit: int = 60) -> str:
+    """Short source-ish rendering of a term for CLI / JSON output."""
+    text = _fmt(term)
+    return text if len(text) <= limit else text[:limit - 3] + "..."
+
+
+def _fmt(term: Term) -> str:
+    if isinstance(term, Lit):
+        return repr(term.value) if isinstance(term.value, str) \
+            else str(term.value).lower() if isinstance(term.value, bool) \
+            else "null" if term.value is None else str(term.value)
+    if isinstance(term, Var):
+        return term.name
+    if isinstance(term, This):
+        return "this"
+    if isinstance(term, FieldRead):
+        return f"{_fmt(term.obj)}.{term.field}"
+    if isinstance(term, FieldAssign):
+        return f"{_fmt(term.obj)}.{term.field} = {_fmt(term.value)}"
+    if isinstance(term, MethodCall):
+        args = ", ".join(_fmt(a) for a in term.args)
+        return f"{_fmt(term.obj)}.{term.method}({args})"
+    if isinstance(term, New):
+        args = ", ".join(_fmt(a) for a in term.args)
+        return f"new {term.class_name}({args})"
+    if isinstance(term, Spawn):
+        return f"thread {{ {len(term.body.terms)} stmts }}"
+    if isinstance(term, (Seq, Block)):
+        return "; ".join(_fmt(t) for t in term.terms)
+    if isinstance(term, VarDecl):
+        return f"var {term.name} = {_fmt(term.value)}"
+    if isinstance(term, LocalAssign):
+        return f"{term.name} = {_fmt(term.value)}"
+    if isinstance(term, If):
+        suffix = " else {...}" if term.else_block is not None else ""
+        return f"if ({_fmt(term.condition)}) {{...}}{suffix}"
+    if isinstance(term, While):
+        return f"while ({_fmt(term.condition)}) {{...}}"
+    if isinstance(term, Return):
+        return f"return {_fmt(term.value)}"
+    return type(term).__name__

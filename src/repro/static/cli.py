@@ -1,0 +1,228 @@
+"""``repro static ...`` — the static-analysis subcommands.
+
+Program sources are either paths to ``repro.lang`` source files or
+bundled scenario references ``<scenario>@<old|new>`` (e.g.
+``minidb@old``); ``repro static impact`` additionally accepts
+``--scenario NAME`` to analyse a bundled old/new pair directly.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from repro.lang.ast import Program
+from repro.lang.parser import parse_program
+from repro.static.callgraph import build_call_graph
+from repro.static.cfg import build_program_cfgs
+from repro.static.effects import direct_effects, transitive_effects
+from repro.static.impact import DEFAULT_THRESHOLD, predict_impact
+from repro.static.races import (find_races, new_findings, race_report,
+                                render_report)
+from repro.static.scenarios import SCENARIOS, all_programs, get_scenario
+from repro.static.validate import cross_validate
+
+#: Default baseline suppressions file for the race lint.
+DEFAULT_BASELINE = Path("results") / "static_races.json"
+
+
+def load_program(source: str) -> tuple[str, Program]:
+    """Resolve a CLI source: ``<scenario>@<version>`` or a file path."""
+    if "@" in source and not Path(source).exists():
+        name, _, version = source.partition("@")
+        if name in SCENARIOS and version in ("old", "new"):
+            scenario = get_scenario(name)
+            program = scenario.old_program() if version == "old" \
+                else scenario.new_program()
+            return source, program
+    path = Path(source)
+    if not path.exists():
+        raise SystemExit(f"error: no such source: {source} (expected a "
+                         f"file or <scenario>@<old|new>)")
+    return path.name, parse_program(path.read_text())
+
+
+def _emit(args, payload: dict, text: str) -> None:
+    if getattr(args, "json", False):
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(text)
+
+
+def cmd_static_cfg(args) -> int:
+    label, program = load_program(args.source)
+    cfgs = build_program_cfgs(program)
+    if args.node is not None:
+        if args.node not in cfgs:
+            known = ", ".join(sorted(cfgs))
+            print(f"error: no node {args.node!r} (known: {known})",
+                  file=sys.stderr)
+            return 2
+        cfgs = {args.node: cfgs[args.node]}
+    payload = {"program": label,
+               "cfgs": [cfgs[name].to_json() for name in sorted(cfgs)]}
+    _emit(args, payload,
+          "\n".join(cfgs[name].render() for name in sorted(cfgs)))
+    return 0
+
+
+def cmd_static_callgraph(args) -> int:
+    label, program = load_program(args.source)
+    graph = build_call_graph(program)
+    payload = {"program": label, **graph.to_json()}
+    _emit(args, payload, graph.render())
+    return 0
+
+
+def cmd_static_effects(args) -> int:
+    label, program = load_program(args.source)
+    graph = build_call_graph(program)
+    effects = transitive_effects(program, graph) if args.transitive \
+        else direct_effects(program, graph)
+    payload = {"program": label,
+               "transitive": bool(args.transitive),
+               "effects": [effects[name].to_json()
+                           for name in sorted(effects)]}
+    lines = []
+    for name in sorted(effects):
+        summary = effects[name]
+        reads = ", ".join(sorted(f"{c}.{f}"
+                                 for c, f in summary.fields_read)) or "-"
+        writes = ", ".join(sorted(
+            f"{c}.{f}" for c, f in summary.fields_written)) or "-"
+        lines.append(f"{name}\n    reads:  {reads}\n    writes: {writes}")
+    _emit(args, payload, "\n".join(lines))
+    return 0
+
+
+def cmd_static_races(args) -> int:
+    if args.sources:
+        programs = dict(load_program(source) for source in args.sources)
+    else:
+        programs = all_programs()
+    report = race_report(programs)
+    total = sum(len(findings) for findings in report.values())
+
+    fresh: list[tuple[str, dict]] = []
+    if args.baseline is not None:
+        baseline_path = Path(args.baseline)
+        baseline = json.loads(baseline_path.read_text()) \
+            if baseline_path.exists() else {}
+        fresh = new_findings(report, baseline)
+
+    if args.write_baseline is not None:
+        out = Path(args.write_baseline)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(render_report(report))
+
+    payload = {"programs": report, "total": total,
+               "new": [{"program": label, **finding}
+                       for label, finding in fresh]}
+    lines = [f"race lint: {total} finding(s) across "
+             f"{len(report)} program(s)"]
+    for label in sorted(report):
+        for finding in report[label]:
+            lines.append(f"  {label}: {finding['field']} "
+                         f"writers={finding['writers']} "
+                         f"readers={finding['readers']}")
+    if args.baseline is not None:
+        lines.append(f"  new vs baseline: {len(fresh)}")
+        for label, finding in fresh:
+            lines.append(f"    NEW {label}: {finding['field']}")
+    _emit(args, payload, "\n".join(lines))
+    return 1 if fresh else 0
+
+
+def cmd_static_impact(args) -> int:
+    if args.scenario is not None:
+        scenario = get_scenario(args.scenario)
+        label = args.scenario
+        old, new = scenario.old_program(), scenario.new_program()
+    else:
+        if args.old is None or args.new is None:
+            print("error: impact needs OLD NEW sources or --scenario",
+                  file=sys.stderr)
+            return 2
+        old_label, old = load_program(args.old)
+        new_label, new = load_program(args.new)
+        label = f"{old_label} -> {new_label}"
+
+    prediction = predict_impact(old, new, threshold=args.threshold)
+    payload = {"program": label, **prediction.to_json()}
+    lines = [f"impact {label}: {len(prediction.changes)} seed "
+             f"change(s), {len(prediction.predicted())} predicted node(s)"]
+    for change in prediction.changes:
+        lines.append(f"  seed: {change.name} [{change.kind}]")
+    for name, score in prediction.ranked():
+        lines.append(f"  {score:5.2f}  {name}")
+
+    if args.validate:
+        validation = cross_validate(label, old, new,
+                                    threshold=args.threshold)
+        payload["validation"] = validation.to_json()
+        lines.append(validation.render())
+        if validation.false_negatives:
+            lines.append("  missed: "
+                         + ", ".join(validation.false_negatives))
+    _emit(args, payload, "\n".join(lines))
+    return 0
+
+
+def register(commands) -> None:
+    """Attach the ``static`` subcommand tree to the main CLI."""
+    static = commands.add_parser(
+        "static", help="static analysis over repro.lang programs "
+                       "(CFG, call graph, effects, races, impact)")
+    subs = static.add_subparsers(dest="static_command", required=True)
+
+    cfg = subs.add_parser("cfg", help="per-body control-flow graphs")
+    cfg.add_argument("source", help="lang source file or "
+                                    "<scenario>@<old|new>")
+    cfg.add_argument("--node", help="only this node (e.g. <main>, C.m)")
+    cfg.add_argument("--json", action="store_true")
+    cfg.set_defaults(func=cmd_static_cfg)
+
+    graph = subs.add_parser("callgraph",
+                            help="interprocedural call graph (RTA)")
+    graph.add_argument("source")
+    graph.add_argument("--json", action="store_true")
+    graph.set_defaults(func=cmd_static_callgraph)
+
+    effects = subs.add_parser("effects",
+                              help="field/local read-write summaries")
+    effects.add_argument("source")
+    effects.add_argument("--transitive", action="store_true",
+                         help="close over call/new edges")
+    effects.add_argument("--json", action="store_true")
+    effects.set_defaults(func=cmd_static_effects)
+
+    races = subs.add_parser(
+        "races", help="shared-state race lint over thread roots")
+    races.add_argument("sources", nargs="*",
+                       help="sources to lint (default: all bundled "
+                            "scenario programs)")
+    races.add_argument("--baseline", nargs="?", const=str(DEFAULT_BASELINE),
+                       default=None,
+                       help="suppressions file; exit 1 on findings not "
+                            "in it (default path: results/"
+                            "static_races.json)")
+    races.add_argument("--write-baseline", metavar="PATH",
+                       help="write the canonical report to PATH")
+    races.add_argument("--json", action="store_true")
+    races.set_defaults(func=cmd_static_races)
+
+    impact = subs.add_parser(
+        "impact", help="static change-impact prediction old -> new")
+    impact.add_argument("old", nargs="?",
+                        help="old version source (or use --scenario)")
+    impact.add_argument("new", nargs="?", help="new version source")
+    impact.add_argument("--scenario", choices=sorted(SCENARIOS),
+                        help="bundled old/new pair")
+    impact.add_argument("--threshold", type=float,
+                        default=DEFAULT_THRESHOLD)
+    impact.add_argument("--validate", action="store_true",
+                        help="cross-validate against the dynamic "
+                             "ImpactReport (interprets both versions)")
+    impact.add_argument("--json", action="store_true")
+    impact.set_defaults(func=cmd_static_impact)

@@ -1,0 +1,219 @@
+"""Forward dataflow over the CFG: definite assignment and scope-leak
+linting for ``check_program(strict=True)``.
+
+The interpreter's locals are *function-scoped* (an ``If``/``While`` body
+runs in the enclosing environment, so declarations leak out), while the
+plain typechecker models branch bodies with a throwaway copy of the
+environment.  The gap admits programs the checker accepts but that crash
+at runtime — a branch-local ``var x = ...`` with a type that conflicts
+with an enclosing ``x`` silently retypes the enclosing local::
+
+    thread { var x = 1; if (true) { var x = "s"; } var y = x.add(1); }
+
+This pass closes the gap with a forward analysis over each body's CFG:
+
+* ``must``-assigned locals (set intersection at joins) — a use or an
+  assignment of a local outside the set is reported;
+* ``may``-types per local (set union at joins) — a redeclaration that
+  changes a local's type is reported, since at runtime the declaration
+  overwrites the function-scoped slot.
+
+Spawn bodies are analysed from a snapshot of the state at the spawn
+site, matching the interpreter's copy-on-fork environments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lang.ast import (Block, FieldAssign, FieldRead, If, Lit,
+                            LocalAssign, MethodCall, New, Program, Return,
+                            Seq, Spawn, This, Var, VarDecl, While)
+from repro.lang.typecheck import OBJECT
+from repro.static.cfg import MAIN, build_cfg, spawn_node_name
+from repro.static.sites import _Typer
+
+
+@dataclass(frozen=True, slots=True)
+class StaticIssue:
+    node: str
+    kind: str  # use-unassigned | assign-unassigned | redeclare-conflict
+    name: str
+    detail: str
+
+    def message(self) -> str:
+        return f"{self.node}: {self.kind}: {self.detail}"
+
+    def to_json(self) -> dict:
+        return {"node": self.node, "kind": self.kind, "name": self.name,
+                "detail": self.detail}
+
+
+class _State:
+    __slots__ = ("must", "types")
+
+    def __init__(self, must=(), types=None):
+        self.must: set[str] = set(must)
+        self.types: dict[str, set[str]] = \
+            {k: set(v) for k, v in (types or {}).items()}
+
+    def copy(self) -> "_State":
+        return _State(self.must, self.types)
+
+    def merge(self, other: "_State") -> "_State":
+        merged = _State(self.must & other.must)
+        for source in (self.types, other.types):
+            for name, types in source.items():
+                merged.types.setdefault(name, set()).update(types)
+        return merged
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, _State) and self.must == other.must \
+            and self.types == other.types
+
+    def typer_env(self) -> dict[str, str]:
+        return {name: next(iter(types)) if len(types) == 1 else OBJECT
+                for name, types in self.types.items()}
+
+
+class _Analysis:
+    def __init__(self, program: Program):
+        self.program = program
+        self.typer = _Typer(program)
+        self.issues: list[StaticIssue] = []
+        self._emitted: set[tuple[str, str, str]] = set()
+        self._spawn_counts: dict[str, int] = {}
+
+    def run(self) -> list[StaticIssue]:
+        self.analyze(MAIN, self.program.main, _State(), receiver=None)
+        for class_name in sorted(self.program.classes):
+            decl = self.program.classes[class_name]
+            for method in decl.methods:
+                init = _State(
+                    must=[p.name for p in method.params],
+                    types={p.name: {p.type_name} for p in method.params})
+                self.analyze(f"{class_name}.{method.name}", method.body,
+                             init, receiver=class_name)
+        self.issues.sort(key=lambda i: (i.node, i.kind, i.name, i.detail))
+        return self.issues
+
+    # -- per-body fixpoint --------------------------------------------------
+
+    def analyze(self, name: str, body: Block, init: _State,
+                receiver: str | None) -> None:
+        cfg = build_cfg(body, name)
+        in_states: dict[int, _State] = {cfg.entry: init}
+        worklist = [cfg.entry]
+        while worklist:
+            bid = worklist.pop()
+            out = self.transfer(cfg.blocks[bid].stmts,
+                                in_states[bid].copy(), name, receiver,
+                                emit=False)
+            for succ in cfg.blocks[bid].succs:
+                merged = out if succ not in in_states \
+                    else in_states[succ].merge(out)
+                if succ not in in_states or merged != in_states[succ]:
+                    in_states[succ] = merged
+                    worklist.append(succ)
+        # Replay once at the stable states to emit issues (and descend
+        # into spawn bodies with the state live at each spawn site).
+        for bid in sorted(in_states):
+            self.transfer(cfg.blocks[bid].stmts, in_states[bid].copy(),
+                          name, receiver, emit=True)
+
+    def transfer(self, stmts, state: _State, node: str,
+                 receiver: str | None, emit: bool) -> _State:
+        for stmt in stmts:
+            if isinstance(stmt, (If, While)):
+                self.eval_term(stmt.condition, state, node, receiver, emit)
+            else:
+                self.eval_term(stmt, state, node, receiver, emit)
+        return state
+
+    # -- abstract evaluation ------------------------------------------------
+
+    def eval_term(self, term, state: _State, node: str,
+                  receiver: str | None, emit: bool) -> None:
+        if isinstance(term, (Lit, This)):
+            return
+        if isinstance(term, Var):
+            if term.name not in state.must:
+                self.emit(emit, node, "use-unassigned", term.name,
+                          f"local {term.name} may be unassigned here")
+            return
+        if isinstance(term, Spawn):
+            if emit:
+                index = self._spawn_counts.setdefault(node, 0)
+                self._spawn_counts[node] = index + 1
+                self.analyze(spawn_node_name(node, index), term.body,
+                             state.copy(), receiver)
+            return
+        if isinstance(term, FieldRead):
+            self.eval_term(term.obj, state, node, receiver, emit)
+            return
+        if isinstance(term, FieldAssign):
+            self.eval_term(term.obj, state, node, receiver, emit)
+            self.eval_term(term.value, state, node, receiver, emit)
+            return
+        if isinstance(term, MethodCall):
+            self.eval_term(term.obj, state, node, receiver, emit)
+            for arg in term.args:
+                self.eval_term(arg, state, node, receiver, emit)
+            return
+        if isinstance(term, New):
+            for arg in term.args:
+                self.eval_term(arg, state, node, receiver, emit)
+            return
+        if isinstance(term, (Seq, Block)):
+            for sub in term.terms:
+                self.eval_term(sub, state, node, receiver, emit)
+            return
+        if isinstance(term, VarDecl):
+            self.eval_term(term.value, state, node, receiver, emit)
+            declared = self.typer.type_of(term.value, state.typer_env(),
+                                          receiver)
+            existing = state.types.get(term.name, set())
+            conflicts = sorted(t for t in existing
+                               if t != declared and OBJECT not in
+                               (t, declared))
+            if conflicts:
+                self.emit(emit, node, "redeclare-conflict", term.name,
+                          f"redeclaration of {term.name} changes its "
+                          f"type from {'/'.join(conflicts)} to "
+                          f"{declared}; locals are function-scoped at "
+                          f"runtime, so the enclosing {term.name} is "
+                          f"overwritten")
+            state.must.add(term.name)
+            state.types.setdefault(term.name, set()).add(declared)
+            return
+        if isinstance(term, LocalAssign):
+            self.eval_term(term.value, state, node, receiver, emit)
+            if term.name not in state.must:
+                self.emit(emit, node, "assign-unassigned", term.name,
+                          f"assignment to {term.name}, which may be "
+                          f"undeclared here")
+            state.must.add(term.name)
+            return
+        if isinstance(term, Return):
+            self.eval_term(term.value, state, node, receiver, emit)
+            return
+        if isinstance(term, (If, While)):
+            # Statement-like term in expression position (AST-built):
+            # approximate without branching.
+            self.eval_term(term.condition, state, node, receiver, emit)
+            return
+
+    def emit(self, enabled: bool, node: str, kind: str, name: str,
+             detail: str) -> None:
+        if not enabled:
+            return
+        key = (node, kind, name)
+        if key not in self._emitted:
+            self._emitted.add(key)
+            self.issues.append(StaticIssue(node=node, kind=kind,
+                                           name=name, detail=detail))
+
+
+def check_definite_assignment(program: Program) -> list[StaticIssue]:
+    """All definite-assignment / scope-leak issues, in canonical order."""
+    return _Analysis(program).run()

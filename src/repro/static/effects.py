@@ -1,0 +1,101 @@
+"""Read/write effect summaries per call-graph node.
+
+A *direct* summary lists the fields a body reads/writes (keyed by the
+declaring class), its local-variable uses, and the entry points it
+spawns.  Constructor pseudo-nodes write every field of their class (the
+implicit FJ constructor).  *Transitive* summaries close the field sets
+over ``call`` and ``new`` edges — but not ``spawn`` edges: what a forked
+thread does is attributed to that thread's own root (the race lint
+depends on this split).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lang.ast import Program
+from repro.static.callgraph import CallGraph, build_call_graph
+from repro.static.sites import declaring_class
+
+FieldKey = tuple[str, str]  # (declaring class, field name)
+
+
+@dataclass(frozen=True, slots=True)
+class EffectSummary:
+    node: str
+    fields_read: frozenset[FieldKey]
+    fields_written: frozenset[FieldKey]
+    locals_read: frozenset[str]
+    locals_written: frozenset[str]
+    spawns: tuple[str, ...]
+
+    def to_json(self) -> dict:
+        return {
+            "node": self.node,
+            "fields_read": sorted(f"{c}.{f}" for c, f in self.fields_read),
+            "fields_written": sorted(f"{c}.{f}"
+                                     for c, f in self.fields_written),
+            "locals_read": sorted(self.locals_read),
+            "locals_written": sorted(self.locals_written),
+            "spawns": list(self.spawns),
+        }
+
+
+def direct_effects(program: Program,
+                   graph: CallGraph | None = None) -> dict[str, EffectSummary]:
+    """One summary per call-graph node, from its own body only."""
+    graph = build_call_graph(program) if graph is None else graph
+    out: dict[str, EffectSummary] = {}
+    for name, record in graph.sites.items():
+        out[name] = EffectSummary(
+            node=name,
+            fields_read=frozenset(record.field_reads),
+            fields_written=frozenset(record.field_writes),
+            locals_read=frozenset(record.locals_read),
+            locals_written=frozenset(record.locals_written),
+            spawns=tuple(record.spawns))
+    for node in graph.nodes.values():
+        if node.kind != "constructor":
+            continue
+        writes = frozenset(
+            (declaring_class(program, node.class_name, f.name), f.name)
+            for f in program.fields_of(node.class_name))
+        out[node.name] = EffectSummary(
+            node=node.name, fields_read=frozenset(),
+            fields_written=writes, locals_read=frozenset(),
+            locals_written=frozenset(), spawns=())
+    return out
+
+
+def transitive_effects(program: Program,
+                       graph: CallGraph | None = None,
+                       direct: dict[str, EffectSummary] | None = None,
+                       ) -> dict[str, EffectSummary]:
+    """Field effects closed over ``call``/``new`` edges (not ``spawn``)."""
+    graph = build_call_graph(program) if graph is None else graph
+    direct = direct_effects(program, graph) if direct is None else direct
+    reads = {name: set(s.fields_read) for name, s in direct.items()}
+    writes = {name: set(s.fields_written) for name, s in direct.items()}
+    changed = True
+    while changed:
+        changed = False
+        for name in direct:
+            for callee in graph.callees_of(name, kinds=("call", "new")):
+                if callee not in direct:
+                    continue
+                if not reads[name] >= reads[callee]:
+                    reads[name] |= reads[callee]
+                    changed = True
+                if not writes[name] >= writes[callee]:
+                    writes[name] |= writes[callee]
+                    changed = True
+    return {
+        name: EffectSummary(
+            node=name,
+            fields_read=frozenset(reads[name]),
+            fields_written=frozenset(writes[name]),
+            locals_read=direct[name].locals_read,
+            locals_written=direct[name].locals_written,
+            spawns=direct[name].spawns)
+        for name in direct
+    }

@@ -1,0 +1,116 @@
+"""Shared-state race lint.
+
+Thread roots are ``<main>`` plus every spawn node.  Under the language's
+semantics a spawned thread is live concurrently with its spawner's
+continuation and with every other thread, so all distinct roots are
+treated as concurrently live (conservative, like the trace views'
+treatment of Derby-style ambiguity).  A finding is a field reached from
+two or more roots (closing each root's effects over ``call`` edges;
+spawn edges start a *different* root, and constructor initialisation
+writes are ordered before any publication, so ``new`` edges don't
+contribute writes) where at least one access is a write.
+
+Findings are emitted in a canonical order with canonical JSON so two
+runs over the same program are byte-identical — CI diffs them against a
+committed baseline (``results/static_races.json``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.lang.ast import Program
+from repro.static.callgraph import CallGraph, build_call_graph
+from repro.static.cfg import MAIN
+from repro.static.effects import EffectSummary, direct_effects
+
+
+@dataclass(frozen=True, slots=True)
+class RaceFinding:
+    class_name: str
+    field: str
+    writers: tuple[str, ...]  # roots with a write access
+    readers: tuple[str, ...]  # roots with read-only access
+
+    @property
+    def key(self) -> str:
+        return f"{self.class_name}.{self.field}"
+
+    def to_json(self) -> dict:
+        return {"field": self.key, "writers": list(self.writers),
+                "readers": list(self.readers)}
+
+
+def thread_roots(graph: CallGraph) -> list[str]:
+    roots = [MAIN] if MAIN in graph.nodes else []
+    roots.extend(graph.spawn_nodes())
+    return roots
+
+
+def _root_effects(root: str, graph: CallGraph,
+                  direct: dict[str, EffectSummary]) -> tuple[set, set]:
+    """(reads, writes) reachable from ``root`` over ``call`` edges."""
+    reads: set = set()
+    writes: set = set()
+    seen = {root}
+    stack = [root]
+    while stack:
+        name = stack.pop()
+        summary = direct.get(name)
+        if summary is not None:
+            reads |= summary.fields_read
+            writes |= summary.fields_written
+        for callee in graph.callees_of(name, kinds=("call",)):
+            if callee not in seen:
+                seen.add(callee)
+                stack.append(callee)
+    return reads, writes
+
+
+def find_races(program: Program,
+               graph: CallGraph | None = None) -> list[RaceFinding]:
+    """Deterministically-ordered race findings for one program."""
+    graph = build_call_graph(program) if graph is None else graph
+    direct = direct_effects(program, graph)
+    per_root = {root: _root_effects(root, graph, direct)
+                for root in thread_roots(graph)}
+    accesses: dict[tuple[str, str], tuple[set[str], set[str]]] = {}
+    for root, (reads, writes) in per_root.items():
+        for key in writes:
+            accesses.setdefault(key, (set(), set()))[0].add(root)
+        for key in reads - writes:
+            accesses.setdefault(key, (set(), set()))[1].add(root)
+    findings = []
+    for (class_name, field_name), (writers, readers) in accesses.items():
+        if not writers or len(writers | readers) < 2:
+            continue
+        findings.append(RaceFinding(
+            class_name=class_name, field=field_name,
+            writers=tuple(sorted(writers)),
+            readers=tuple(sorted(readers))))
+    findings.sort(key=lambda f: (f.class_name, f.field))
+    return findings
+
+
+def race_report(programs: dict[str, Program]) -> dict:
+    """Canonical multi-program report, keyed by program label."""
+    return {label: [f.to_json() for f in find_races(program)]
+            for label, program in sorted(programs.items())}
+
+
+def render_report(report: dict) -> str:
+    """Canonical (byte-stable) JSON text of a report."""
+    return json.dumps(report, indent=2, sort_keys=True) + "\n"
+
+
+def new_findings(report: dict, baseline: dict) -> list[tuple[str, dict]]:
+    """Findings in ``report`` absent from ``baseline`` (the CI gate)."""
+    out = []
+    for label, findings in sorted(report.items()):
+        known = {json.dumps(f, sort_keys=True)
+                 for f in baseline.get(label, [])}
+        for finding in findings:
+            if json.dumps(finding, sort_keys=True) not in known:
+                out.append((label, finding))
+    return out

@@ -1,0 +1,296 @@
+"""Bundled ``repro.lang`` regression scenarios.
+
+Five old/new program pairs mirroring the Python evaluation workloads
+(minidb / minijs / minixslt / myfaces / invariants): each "new" version
+carries one seeded behavioural change, so the static impact prediction
+can be cross-validated against the dynamic :class:`ImpactReport` of the
+interpreted traces, and the race lint has concurrent subjects (minidb
+and myfaces spawn worker threads against shared state on purpose —
+their findings are the committed baseline in
+``results/static_races.json``).
+
+All ten programs pass ``check_program(strict=True)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.lang.ast import Program
+from repro.lang.parser import parse_program
+
+
+@dataclass(frozen=True, slots=True)
+class LangScenario:
+    name: str
+    description: str
+    old_source: str
+    new_source: str
+    change: str  # human-readable summary of the seeded change
+
+    def old_program(self) -> Program:
+        return _parse(self.name, "old")
+
+    def new_program(self) -> Program:
+        return _parse(self.name, "new")
+
+    def programs(self) -> dict[str, Program]:
+        """Both versions keyed ``<name>@old`` / ``<name>@new``."""
+        return {f"{self.name}@old": self.old_program(),
+                f"{self.name}@new": self.new_program()}
+
+
+@lru_cache(maxsize=None)
+def _parse(name: str, version: str) -> Program:
+    scenario = SCENARIOS[name]
+    source = scenario.old_source if version == "old" \
+        else scenario.new_source
+    return parse_program(source)
+
+
+_MINIDB_OLD = """
+class Table {
+  Int rows;
+  Int version;
+  Int insert(Int n) {
+    this.rows = this.rows.add(n);
+    this.version = this.version.add(1);
+    return this.rows;
+  }
+  Int size() {
+    return this.rows;
+  }
+}
+class Db {
+  Table table;
+  Int insertMany(Int count) {
+    var i = 0;
+    while (i.lt(count)) {
+      this.table.insert(1);
+      i = i.add(1);
+    }
+    return this.table.size();
+  }
+  Int report() {
+    return this.table.size();
+  }
+}
+thread {
+  var db = new Db(new Table(0, 0));
+  spawn {
+    db.insertMany(3);
+  }
+  var total = db.insertMany(4);
+  db.report();
+}
+"""
+
+_MINIDB_NEW = _MINIDB_OLD.replace(
+    "this.rows = this.rows.add(n);",
+    "this.rows = this.rows.add(n).add(1);")
+
+_MINIJS_OLD = """
+class Node {
+  Int tag;
+  Int eval() {
+    return 0;
+  }
+}
+class Num extends Node {
+  Int value;
+  Int eval() {
+    return this.value;
+  }
+}
+class Neg extends Node {
+  Node inner;
+  Int eval() {
+    return this.inner.eval().neg();
+  }
+}
+class Engine {
+  Int run(Node node) {
+    return node.eval();
+  }
+}
+thread {
+  var engine = new Engine();
+  var a = engine.run(new Num(0, 7));
+  var b = engine.run(new Neg(1, new Num(0, 5)));
+  a.add(b);
+}
+"""
+
+_MINIJS_NEW = _MINIJS_OLD.replace(
+    "class Num extends Node {\n  Int value;\n  Int eval() {\n"
+    "    return this.value;\n  }\n}",
+    "class Num extends Node {\n  Int value;\n  Int eval() {\n"
+    "    return this.value.add(this.tag);\n  }\n}")
+
+_MINIXSLT_OLD = """
+class Doc {
+  Int size;
+  Str payload;
+}
+class Rule {
+  Int threshold;
+  Bool matches(Doc doc) {
+    return doc.size.ge(this.threshold);
+  }
+}
+class Engine {
+  Rule rule;
+  Str apply(Doc doc) {
+    if (this.rule.matches(doc)) {
+      return doc.payload.concat("!");
+    }
+    return doc.payload;
+  }
+}
+thread {
+  var engine = new Engine(new Rule(3));
+  var small = new Doc(2, "sm");
+  var edge = new Doc(3, "ed");
+  var big = new Doc(5, "big");
+  var out1 = engine.apply(small);
+  var out2 = engine.apply(edge);
+  var out3 = engine.apply(big);
+  out1.concat(out2).concat(out3);
+}
+"""
+
+_MINIXSLT_NEW = _MINIXSLT_OLD.replace(
+    "return doc.size.ge(this.threshold);",
+    "return doc.size.gt(this.threshold);")
+
+_MYFACES_OLD = """
+class Component {
+  Int id;
+  Str render() {
+    return "c".concat(this.id.toStr());
+  }
+}
+class Form extends Component {
+  Str action;
+  Str render() {
+    return "f:".concat(this.action);
+  }
+}
+class Page {
+  Component header;
+  Form form;
+  Int hits;
+  Str renderAll() {
+    this.hits = this.hits.add(1);
+    return this.header.render().concat(this.form.render());
+  }
+}
+thread {
+  var page = new Page(new Component(1), new Form(2, "save"), 0);
+  spawn {
+    page.renderAll();
+  }
+  page.renderAll();
+  page.hits;
+}
+"""
+
+_MYFACES_NEW = _MYFACES_OLD.replace(
+    'return "f:".concat(this.action);',
+    'return "form:".concat(this.action);')
+
+_INVARIANTS_OLD = """
+class Stats {
+  Int low;
+  Int high;
+  Int count;
+  Unit observe(Int sample) {
+    if (sample.lt(this.low)) {
+      this.low = sample;
+    }
+    if (sample.gt(this.high)) {
+      this.high = sample;
+    }
+    this.count = this.count.add(1);
+    return unit;
+  }
+  Bool holds(Int sample) {
+    return sample.ge(this.low).and_(sample.le(this.high));
+  }
+}
+class Detector {
+  Stats stats;
+  Int train(Int a, Int b, Int c) {
+    this.stats.observe(a);
+    this.stats.observe(b);
+    this.stats.observe(c);
+    return this.stats.count;
+  }
+  Bool checkInv(Int probe) {
+    return this.stats.holds(probe);
+  }
+}
+thread {
+  var detector = new Detector(new Stats(100, 0, 0));
+  detector.train(5, 50, 20);
+  detector.checkInv(20);
+  detector.checkInv(75);
+}
+"""
+
+_INVARIANTS_NEW = _INVARIANTS_OLD.replace(
+    "this.count = this.count.add(1);",
+    "this.count = this.count.add(2);")
+
+
+SCENARIOS: dict[str, LangScenario] = {
+    scenario.name: scenario for scenario in (
+        LangScenario(
+            name="minidb",
+            description="table store with a concurrent bulk-insert "
+                        "worker; shared row/version counters",
+            old_source=_MINIDB_OLD, new_source=_MINIDB_NEW,
+            change="Table.insert over-counts rows by one per insert"),
+        LangScenario(
+            name="minijs",
+            description="expression interpreter with dispatch through "
+                        "a Node hierarchy",
+            old_source=_MINIJS_OLD, new_source=_MINIJS_NEW,
+            change="Num.eval adds the node tag into the value"),
+        LangScenario(
+            name="minixslt",
+            description="rule-matching document transform",
+            old_source=_MINIXSLT_OLD, new_source=_MINIXSLT_NEW,
+            change="Rule.matches boundary flips from >= to >"),
+        LangScenario(
+            name="myfaces",
+            description="component-tree rendering with an overriding "
+                        "subclass and a concurrent render worker",
+            old_source=_MYFACES_OLD, new_source=_MYFACES_NEW,
+            change="Form.render changes its markup prefix"),
+        LangScenario(
+            name="invariants",
+            description="range-invariant detector over observed samples",
+            old_source=_INVARIANTS_OLD, new_source=_INVARIANTS_NEW,
+            change="Stats.observe double-counts observations"),
+    )
+}
+
+
+def get_scenario(name: str) -> LangScenario:
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(sorted(SCENARIOS))
+        raise KeyError(f"unknown lang scenario {name!r} "
+                       f"(known: {known})") from None
+
+
+def all_programs() -> dict[str, Program]:
+    """Every bundled program keyed ``<scenario>@<version>`` — the race
+    lint's subject set."""
+    out: dict[str, Program] = {}
+    for name in sorted(SCENARIOS):
+        out.update(SCENARIOS[name].programs())
+    return out

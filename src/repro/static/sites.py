@@ -1,0 +1,202 @@
+"""Per-node site collection: the shared walker behind the call graph and
+the effect analysis.
+
+Each executable body (``<main>``, methods, spawn bodies) becomes a
+:class:`NodeSites` record listing its allocation sites, call sites with
+*static receiver types* (seeded from the typechecker, tolerant of
+untypeable sub-terms), spawned entry points, field reads/writes keyed by
+the declaring class, and local-variable uses.  Scoping follows the
+interpreter (locals are function-scoped: ``If``/``While`` bodies share
+the enclosing environment), not the checker's stricter block model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lang.ast import (Block, FieldAssign, FieldRead, If, Lit,
+                            LocalAssign, MethodCall, New, Program, Return,
+                            Seq, Spawn, Term, This, Var, VarDecl, While)
+from repro.lang.typecheck import (OBJECT, PRIMITIVES, TypeCheckError,
+                                  TypeChecker)
+from repro.static.cfg import MAIN, spawn_node_name
+
+#: Static type recorded when an expression cannot be typed.
+UNKNOWN = OBJECT
+
+
+@dataclass(frozen=True, slots=True)
+class CallSite:
+    """A ``t.m(...)`` site with the receiver's static type."""
+
+    receiver_type: str
+    method: str
+
+
+@dataclass(slots=True)
+class NodeSites:
+    """Everything one executable body does, syntactically."""
+
+    name: str
+    owner_class: str | None = None  # receiver class for method bodies
+    news: list[str] = field(default_factory=list)
+    calls: list[CallSite] = field(default_factory=list)
+    builtin_calls: list[tuple[str, str]] = field(default_factory=list)
+    spawns: list[str] = field(default_factory=list)
+    field_reads: list[tuple[str, str]] = field(default_factory=list)
+    field_writes: list[tuple[str, str]] = field(default_factory=list)
+    locals_read: set[str] = field(default_factory=set)
+    locals_written: set[str] = field(default_factory=set)
+
+
+class _Typer:
+    """Best-effort expression typing: falls back to ``Object`` instead of
+    raising, so partially-typed programs still analyse."""
+
+    def __init__(self, program: Program):
+        self.checker = TypeChecker(program)
+
+    def type_of(self, term: Term, env: dict[str, str],
+                receiver: str | None) -> str:
+        try:
+            return self.checker.type_of(term, env, receiver)
+        except TypeCheckError:
+            return UNKNOWN
+
+
+def declaring_class(program: Program, class_name: str,
+                    field_name: str) -> str:
+    """The class on the superclass chain of ``class_name`` that declares
+    ``field_name`` (falls back to the static type when unknown)."""
+    current = class_name
+    while current in program.classes:
+        decl = program.classes[current]
+        if any(f.name == field_name for f in decl.fields):
+            return current
+        current = decl.superclass
+    return class_name
+
+
+class _Collector:
+    def __init__(self, program: Program):
+        self.program = program
+        self.typer = _Typer(program)
+        self.nodes: dict[str, NodeSites] = {}
+
+    def collect(self) -> dict[str, NodeSites]:
+        self.walk_body(MAIN, self.program.main, {}, receiver=None)
+        for class_name in sorted(self.program.classes):
+            decl = self.program.classes[class_name]
+            for method in decl.methods:
+                env = {p.name: p.type_name for p in method.params}
+                self.walk_body(f"{class_name}.{method.name}", method.body,
+                               env, receiver=class_name)
+        return self.nodes
+
+    def walk_body(self, name: str, body: Block, env: dict[str, str],
+                  receiver: str | None) -> None:
+        node = NodeSites(name=name, owner_class=receiver)
+        self.nodes[name] = node
+        pending: list[tuple[str, Block, dict[str, str]]] = []
+
+        def spawn_hook(spawn: Spawn, snapshot: dict[str, str]) -> None:
+            child = spawn_node_name(name, len(node.spawns))
+            node.spawns.append(child)
+            pending.append((child, spawn.body, dict(snapshot)))
+
+        self._walk_block(body.terms, env, receiver, node, spawn_hook)
+        # Spawn bodies are their own nodes; they start from a copy of the
+        # locals live at the spawn site (the interpreter's snapshot).
+        for child, child_body, child_env in pending:
+            self.walk_body(child, child_body, child_env, receiver)
+
+    # -- statements ---------------------------------------------------------
+
+    def _walk_block(self, terms, env, receiver, node, spawn_hook) -> None:
+        for term in terms:
+            self._walk_stmt(term, env, receiver, node, spawn_hook)
+
+    def _walk_stmt(self, term, env, receiver, node, spawn_hook) -> None:
+        if isinstance(term, VarDecl):
+            self._walk_expr(term.value, env, receiver, node, spawn_hook)
+            env[term.name] = self.typer.type_of(term.value, env, receiver)
+            node.locals_written.add(term.name)
+        elif isinstance(term, LocalAssign):
+            self._walk_expr(term.value, env, receiver, node, spawn_hook)
+            node.locals_written.add(term.name)
+        elif isinstance(term, Return):
+            self._walk_expr(term.value, env, receiver, node, spawn_hook)
+        elif isinstance(term, If):
+            self._walk_expr(term.condition, env, receiver, node,
+                            spawn_hook)
+            self._walk_block(term.then_block.terms, env, receiver, node,
+                             spawn_hook)
+            if term.else_block is not None:
+                self._walk_block(term.else_block.terms, env, receiver,
+                                 node, spawn_hook)
+        elif isinstance(term, While):
+            self._walk_expr(term.condition, env, receiver, node,
+                            spawn_hook)
+            self._walk_block(term.body.terms, env, receiver, node,
+                             spawn_hook)
+        elif isinstance(term, (Block, Seq)):
+            self._walk_block(term.terms, env, receiver, node, spawn_hook)
+        else:
+            self._walk_expr(term, env, receiver, node, spawn_hook)
+
+    # -- expressions --------------------------------------------------------
+
+    def _walk_expr(self, term, env, receiver, node, spawn_hook) -> None:
+        if isinstance(term, (Lit, This)):
+            return
+        if isinstance(term, Var):
+            node.locals_read.add(term.name)
+            return
+        if isinstance(term, Spawn):
+            spawn_hook(term, env)
+            return
+        if isinstance(term, FieldRead):
+            self._walk_expr(term.obj, env, receiver, node, spawn_hook)
+            node.field_reads.append(
+                self._field_key(term.obj, term.field, env, receiver))
+            return
+        if isinstance(term, FieldAssign):
+            self._walk_expr(term.obj, env, receiver, node, spawn_hook)
+            self._walk_expr(term.value, env, receiver, node, spawn_hook)
+            node.field_writes.append(
+                self._field_key(term.obj, term.field, env, receiver))
+            return
+        if isinstance(term, MethodCall):
+            self._walk_expr(term.obj, env, receiver, node, spawn_hook)
+            for arg in term.args:
+                self._walk_expr(arg, env, receiver, node, spawn_hook)
+            obj_type = self.typer.type_of(term.obj, env, receiver)
+            if obj_type in PRIMITIVES:
+                node.builtin_calls.append((obj_type, term.method))
+            else:
+                node.calls.append(CallSite(obj_type, term.method))
+            return
+        if isinstance(term, New):
+            for arg in term.args:
+                self._walk_expr(arg, env, receiver, node, spawn_hook)
+            node.news.append(term.class_name)
+            return
+        if isinstance(term, (Seq, Block)):
+            self._walk_block(term.terms, env, receiver, node, spawn_hook)
+            return
+        if isinstance(term, (VarDecl, LocalAssign, Return, If, While)):
+            # Statement-like terms in expression position (AST-built).
+            self._walk_stmt(term, env, receiver, node, spawn_hook)
+            return
+
+    def _field_key(self, obj, field_name, env, receiver) -> tuple[str, str]:
+        obj_type = self.typer.type_of(obj, env, receiver)
+        if obj_type in self.program.classes:
+            return declaring_class(self.program, obj_type, field_name), \
+                field_name
+        return obj_type, field_name
+
+
+def collect_sites(program: Program) -> dict[str, NodeSites]:
+    """Site records for every executable body of ``program``."""
+    return _Collector(program).collect()

@@ -1,0 +1,129 @@
+"""Cross-validation of static impact prediction against dynamic reality.
+
+For a bundled :class:`LangScenario` the dynamic ground truth is computed
+by interpreting both program versions (deterministic FIFO scheduler),
+diffing the traces with the views engine, and reading the dynamic
+:class:`ImpactReport`; the static side is :func:`predict_impact` over
+the two ASTs.  Both sides are normalised to the method names trace
+entries carry (spawn bodies and ``<main>`` fold to the root method,
+constructor pseudo-nodes drop out, built-in primitive methods are
+excluded), then precision/recall fall out of the set comparison.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.analysis.impact import impact_of
+from repro.core import view_diff
+from repro.lang.ast import Program
+from repro.lang.interp import run_program
+from repro.static.cfg import MAIN
+from repro.static.impact import (DEFAULT_THRESHOLD, PredictedImpact,
+                                 dynamic_method_name, method_nodes,
+                                 predict_impact)
+from repro.static.scenarios import LangScenario, get_scenario
+
+
+@dataclass(slots=True)
+class StaticValidation:
+    """One scenario's prediction vs. the interpreted ground truth."""
+
+    scenario: str
+    predicted: tuple[str, ...]
+    dynamic: tuple[str, ...]
+    true_positives: tuple[str, ...]
+    false_positives: tuple[str, ...]
+    false_negatives: tuple[str, ...]
+    precision: float
+    recall: float
+    static_seconds: float
+    dynamic_seconds: float
+    prediction: PredictedImpact | None = None
+
+    def to_json(self) -> dict:
+        return {
+            "scenario": self.scenario,
+            "predicted": list(self.predicted),
+            "dynamic": list(self.dynamic),
+            "true_positives": list(self.true_positives),
+            "false_positives": list(self.false_positives),
+            "false_negatives": list(self.false_negatives),
+            "precision": round(self.precision, 4),
+            "recall": round(self.recall, 4),
+            "static_seconds": round(self.static_seconds, 6),
+            "dynamic_seconds": round(self.dynamic_seconds, 6),
+        }
+
+    def render(self) -> str:
+        return (f"{self.scenario}: precision={self.precision:.2f} "
+                f"recall={self.recall:.2f} "
+                f"predicted={len(self.predicted)} "
+                f"dynamic={len(self.dynamic)} "
+                f"static={self.static_seconds * 1e3:.1f}ms "
+                f"dynamic={self.dynamic_seconds * 1e3:.1f}ms")
+
+
+def user_method_names(old: Program, new: Program) -> set[str]:
+    """Trace-method names defined by either program version."""
+    names = {MAIN}
+    names.update(method_nodes(old))
+    names.update(method_nodes(new))
+    return names
+
+
+def dynamic_impacted_methods(old: Program, new: Program, *,
+                             max_steps: int = 200_000) -> set[str]:
+    """Methods the dynamic ImpactReport flags, interpreted end to end
+    (restricted to user-defined methods plus the root)."""
+    left = run_program(old, name="old", max_steps=max_steps)
+    right = run_program(new, name="new", max_steps=max_steps)
+    report = impact_of(view_diff(left, right))
+    return set(report.methods) & user_method_names(old, new)
+
+
+def cross_validate(name: str, old: Program, new: Program, *,
+                   threshold: float = DEFAULT_THRESHOLD,
+                   max_steps: int = 200_000) -> StaticValidation:
+    """Predict impact statically, measure it dynamically, compare."""
+    started = time.perf_counter()
+    prediction = predict_impact(old, new, threshold=threshold)
+    static_names = set()
+    for node in prediction.predicted():
+        dynamic = dynamic_method_name(node)
+        if dynamic is not None:
+            static_names.add(dynamic)
+    static_names &= user_method_names(old, new)
+    static_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    dynamic_names = dynamic_impacted_methods(old, new,
+                                             max_steps=max_steps)
+    dynamic_seconds = time.perf_counter() - started
+
+    tp = static_names & dynamic_names
+    fp = static_names - dynamic_names
+    fn = dynamic_names - static_names
+    precision = len(tp) / len(static_names) if static_names else 1.0
+    recall = len(tp) / len(dynamic_names) if dynamic_names else 1.0
+    return StaticValidation(
+        scenario=name,
+        predicted=tuple(sorted(static_names)),
+        dynamic=tuple(sorted(dynamic_names)),
+        true_positives=tuple(sorted(tp)),
+        false_positives=tuple(sorted(fp)),
+        false_negatives=tuple(sorted(fn)),
+        precision=precision, recall=recall,
+        static_seconds=static_seconds,
+        dynamic_seconds=dynamic_seconds,
+        prediction=prediction)
+
+
+def validate_scenario(name: str, *,
+                      threshold: float = DEFAULT_THRESHOLD
+                      ) -> StaticValidation:
+    """Cross-validate one bundled scenario by name."""
+    scenario: LangScenario = get_scenario(name)
+    return cross_validate(name, scenario.old_program(),
+                          scenario.new_program(), threshold=threshold)

@@ -47,6 +47,9 @@ class ScenarioSpec:
     is_cause_entry: Callable
     cause_marks: int = 1
     mode: str = MODE_INTERSECT
+    #: Bundled :mod:`repro.static.scenarios` pair modelling this case
+    #: study in ``repro.lang`` (for static change-impact columns).
+    lang_scenario: str | None = None
 
 
 @dataclass(slots=True)
@@ -77,6 +80,11 @@ class ScenarioResult:
     speedup: float | None = None
     view_counts: dict[str, int] = field(default_factory=dict)
     set_sizes: dict[str, int] = field(default_factory=dict)
+    #: Static impact prediction vs dynamic ground truth for the
+    #: scenario's ``lang_scenario`` model (``StaticValidation.to_json``
+    #: dict: precision/recall + predicted/dynamic method sets), present
+    #: when ``run_scenario(..., static_impact=True)``.
+    static_impact: dict | None = None
 
 
 def workload_loc(package: str) -> int:
@@ -143,7 +151,8 @@ def run_scenario(spec: ScenarioSpec,
                  lcs_engine: str = "optimized",
                  views_engine: str = "views",
                  executor: "Executor | str | None" = None,
-                 cache: "DiffCache | None" = None) -> ScenarioResult:
+                 cache: "DiffCache | None" = None,
+                 static_impact: bool = False) -> ScenarioResult:
     """Everything the paper measures for one case study.
 
     Both semantics are resolved through the :mod:`repro.api.engines`
@@ -160,7 +169,10 @@ def run_scenario(spec: ScenarioSpec,
     then measures cache lookups, not differencing.  The LCS baseline
     is never cached — it always runs under a memory budget, and a
     budget bypasses the cache so the paper's out-of-memory failure and
-    peak-cell numbers are re-measured every run.
+    peak-cell numbers are re-measured every run.  ``static_impact``
+    additionally cross-validates the static change-impact prediction of
+    the scenario's ``lang_scenario`` model against its interpreted
+    ground truth (``result.static_impact``).
     """
     started = time.perf_counter()
     old_bad, new_bad, old_ok, new_ok = capture_scenario_traces(
@@ -223,12 +235,19 @@ def run_scenario(spec: ScenarioSpec,
         result.lcs.failed = (f"out of memory failure at "
                              f"{failure.needed_cells * 4} bytes")
         result.lcs.memory_bytes = failure.needed_cells * 4
+
+    # -- static change-impact prediction (repro.static) ----------------------
+    if static_impact and spec.lang_scenario is not None:
+        from repro.static.validate import validate_scenario
+        result.static_impact = \
+            validate_scenario(spec.lang_scenario).to_json()
     return result
 
 
 SCENARIOS: dict[str, ScenarioSpec] = {
     "Daikon": ScenarioSpec(
         name="Daikon",
+        lang_scenario="invariants",
         package="invariants",
         filter_modules=("repro.workloads.invariants",),
         run_old=daikon.run_old_version,
@@ -240,6 +259,7 @@ SCENARIOS: dict[str, ScenarioSpec] = {
     ),
     "Xalan-1725": ScenarioSpec(
         name="Xalan-1725",
+        lang_scenario="minixslt",
         package="minixslt",
         filter_modules=("repro.workloads.minixslt",),
         run_old=xalan.run_1725_old,
@@ -250,6 +270,7 @@ SCENARIOS: dict[str, ScenarioSpec] = {
     ),
     "Xalan-1802": ScenarioSpec(
         name="Xalan-1802",
+        lang_scenario="minixslt",
         package="minixslt",
         filter_modules=("repro.workloads.minixslt",),
         run_old=xalan.run_1802_old,
@@ -260,6 +281,7 @@ SCENARIOS: dict[str, ScenarioSpec] = {
     ),
     "Derby-1633": ScenarioSpec(
         name="Derby-1633",
+        lang_scenario="minidb",
         package="minidb",
         filter_modules=("repro.workloads.minidb",),
         run_old=derby.run_old_version,

@@ -228,3 +228,46 @@ class TestDynamicAgreement:
         check(source)
         trace = run_source(source)
         assert len(trace) > 0
+
+
+class TestStrictMode:
+    """``check_program(strict=True)`` closes the branch-scoping gap:
+    the plain checker types each branch against a *copy* of the
+    environment, so a nested ``var`` redeclaration that changes a
+    local's type slips through and crashes at runtime."""
+
+    SHADOW_TYPE_LEAK = """
+        thread {
+            var x = 1;
+            if (true) { var x = 'oops'; }
+            var y = x.add(1);
+        }
+    """
+
+    def test_plain_accepts_the_leak(self):
+        # Regression pin: the interpreter's function-scoped locals let
+        # the branch's Str leak out, so this program fails dynamically
+        # even though the plain checker accepts it.
+        check(self.SHADOW_TYPE_LEAK)
+        from repro.lang import run_source
+        with pytest.raises(Exception, match="Str"):
+            run_source(self.SHADOW_TYPE_LEAK)
+
+    def test_strict_rejects_the_leak(self):
+        with pytest.raises(TypeCheckError, match="redeclare-conflict"):
+            check_program(parse_program(self.SHADOW_TYPE_LEAK),
+                          strict=True)
+
+    def test_strict_accepts_same_type_redeclaration(self):
+        check_program(parse_program("""
+            thread {
+                var x = 1;
+                if (true) { var x = 2; }
+                var y = x.add(1);
+            }
+        """), strict=True)
+
+    def test_strict_accepts_all_bundled_scenarios(self):
+        from repro.static.scenarios import all_programs
+        for label, program in all_programs().items():
+            check_program(program, strict=True)

@@ -1,0 +1,229 @@
+"""Tests for the static-analysis graphs: CFGs, the RTA call graph,
+effect summaries, and the definite-assignment dataflow."""
+
+from collections import Counter
+
+from repro.lang.parser import parse_program
+from repro.static import (build_call_graph, build_program_cfgs,
+                          check_definite_assignment, direct_effects,
+                          statement_terms, transitive_effects)
+from repro.static.callgraph import init_node_name
+from repro.static.cfg import MAIN, build_cfg, spawn_node_name
+
+
+BRANCHY = """
+    thread {
+        var x = 1;
+        if (x.lt(2)) {
+            var y = x.add(1);
+        } else {
+            var y = x.add(2);
+            y.toStr();
+        }
+        while (x.lt(5)) {
+            x = x.add(1);
+        }
+        x.toStr();
+    }
+"""
+
+
+class TestCfgStructure:
+    def cfg(self, source=BRANCHY):
+        program = parse_program(source)
+        return program, build_cfg(program.main, MAIN)
+
+    def test_every_statement_in_exactly_one_block(self):
+        program, cfg = self.cfg()
+        owned = Counter(id(t) for t in cfg.owned_terms())
+        expected = Counter(id(t) for t in statement_terms(program.main))
+        assert owned == expected
+        assert max(owned.values()) == 1
+
+    def test_entry_dominates_all_reachable_blocks(self):
+        _, cfg = self.cfg()
+        doms = cfg.dominators()
+        for bid in cfg.reachable():
+            assert cfg.entry in doms[bid]
+
+    def test_while_produces_back_edge(self):
+        _, cfg = self.cfg()
+        back = cfg.back_edges()
+        assert len(back) == 1
+        (src, dst), = back
+        assert cfg.blocks[dst].kind == "loop"
+        assert dst in cfg.dominators()[src]
+
+    def test_if_branches_rejoin(self):
+        _, cfg = self.cfg()
+        kinds = {b.kind for b in cfg.blocks.values()}
+        assert {"entry", "exit", "body", "loop", "join"} <= kinds
+
+    def test_dead_code_after_return_is_unreachable(self):
+        program = parse_program("""
+            class A {
+                Int m() { return 1; this.m(); return 2; }
+            }
+            thread { new A().m(); }
+        """)
+        cfg = build_program_cfgs(program)["A.m"]
+        dead = [b for b in cfg.blocks.values() if b.kind == "dead"]
+        assert dead
+        reachable = cfg.reachable()
+        assert all(b.bid not in reachable for b in dead)
+        # The dead statements are still owned by exactly one block.
+        owned = Counter(id(t) for t in cfg.owned_terms())
+        body = program.classes["A"].methods[0].body
+        assert owned == Counter(id(t) for t in statement_terms(body))
+
+    def test_spawn_bodies_get_their_own_cfgs(self):
+        program = parse_program("""
+            thread {
+                var x = 1;
+                spawn { x.toStr(); }
+                spawn { spawn { x.add(1); } }
+            }
+        """)
+        cfgs = build_program_cfgs(program)
+        first = spawn_node_name(MAIN, 0)
+        second = spawn_node_name(MAIN, 1)
+        nested = spawn_node_name(second, 0)
+        assert {MAIN, first, second, nested} <= set(cfgs)
+        # Spawn statements stay in the parent graph; their bodies don't.
+        assert len(cfgs[first].owned_terms()) == 1
+        assert len(cfgs[nested].owned_terms()) == 1
+
+    def test_to_json_schema(self):
+        _, cfg = self.cfg()
+        payload = cfg.to_json()
+        assert set(payload) == {"name", "entry", "exit", "blocks"}
+        for block in payload["blocks"]:
+            assert set(block) == {"id", "kind", "stmts", "succs"}
+            assert all(isinstance(s, str) for s in block["stmts"])
+
+
+HIERARCHY = """
+    class Shape { Int tag; Int area() { return 0; } }
+    class Circle extends Shape { Int r;
+        Int area() { return this.r.mul(this.r); } }
+    class Square extends Shape { Int s;
+        Int area() { return this.s.mul(this.s); } }
+    class Painter {
+        Int paint(Shape s) { return s.area(); }
+        Int unused() { return this.paint(new Circle(0, 2)); }
+    }
+    thread {
+        var p = new Painter();
+        p.paint(new Circle(0, 3));
+    }
+"""
+
+
+class TestCallGraph:
+    def test_rta_dispatch_narrows_to_instantiated(self):
+        graph = build_call_graph(parse_program(HIERARCHY))
+        targets = graph.callees_of("Painter.paint", kinds=("call",))
+        # Only Circle is instantiated from a reachable node: the static
+        # Shape.area target and Square.area drop out.
+        assert targets == {"Circle.area"}
+
+    def test_unreachable_methods_marked(self):
+        graph = build_call_graph(parse_program(HIERARCHY))
+        assert not graph.nodes["Painter.unused"].reachable
+        assert graph.nodes["Painter.paint"].reachable
+        assert graph.nodes[MAIN].reachable
+
+    def test_constructor_and_spawn_nodes(self):
+        program = parse_program("""
+            class Counter { Int n; Int bump() {
+                this.n = this.n.add(1); return this.n; } }
+            thread {
+                var c = new Counter(0);
+                spawn { c.bump(); }
+                c.bump();
+            }
+        """)
+        graph = build_call_graph(program)
+        spawn = spawn_node_name(MAIN, 0)
+        assert graph.spawn_nodes() == [spawn]
+        assert graph.callees_of(MAIN, kinds=("spawn",)) == {spawn}
+        assert init_node_name("Counter") in graph.nodes
+        assert graph.callees_of(MAIN, kinds=("new",)) == \
+            {init_node_name("Counter")}
+
+    def test_to_json_schema(self):
+        payload = build_call_graph(parse_program(HIERARCHY)).to_json()
+        assert set(payload) == {"nodes", "edges", "instantiated"}
+        assert {"name", "kind", "class", "reachable"} == \
+            set(payload["nodes"][0])
+        assert {"caller", "callee", "kind"} == set(payload["edges"][0])
+
+
+class TestEffects:
+    PROGRAM = """
+        class Base { Int shared; }
+        class Leaf extends Base {
+            Int touch() { this.shared = this.shared.add(1);
+                          return this.shared; }
+        }
+        class Driver {
+            Int go(Leaf l) { return l.touch(); }
+        }
+        thread { new Driver().go(new Leaf(0)); }
+    """
+
+    def test_fields_attributed_to_declaring_class(self):
+        program = parse_program(self.PROGRAM)
+        effects = direct_effects(program)
+        touch = effects["Leaf.touch"]
+        assert ("Base", "shared") in touch.fields_written
+        assert ("Base", "shared") in touch.fields_read
+        assert ("Leaf", "shared") not in touch.fields_written
+
+    def test_transitive_closes_over_calls(self):
+        program = parse_program(self.PROGRAM)
+        direct = direct_effects(program)
+        assert not direct["Driver.go"].fields_written
+        transitive = transitive_effects(program)
+        assert ("Base", "shared") in transitive["Driver.go"].fields_written
+        assert ("Base", "shared") in transitive[MAIN].fields_written
+
+    def test_constructor_writes_all_fields(self):
+        program = parse_program(self.PROGRAM)
+        effects = direct_effects(program)
+        init = effects[init_node_name("Leaf")]
+        assert ("Base", "shared") in init.fields_written
+
+
+class TestDefiniteAssignment:
+    def test_clean_program_has_no_issues(self):
+        assert check_definite_assignment(parse_program(BRANCHY)) == []
+
+    def test_conflicting_redeclaration_flagged(self):
+        issues = check_definite_assignment(parse_program("""
+            thread {
+                var x = 1;
+                if (true) { var x = 'oops'; }
+                var y = x.add(1);
+            }
+        """))
+        assert any(i.kind == "redeclare-conflict" and i.name == "x"
+                   for i in issues)
+
+    def test_issue_message_and_json(self):
+        issues = check_definite_assignment(parse_program("""
+            thread { var x = 1; if (true) { var x = 'oops'; } }
+        """))
+        assert issues
+        issue = issues[0]
+        assert issue.name in issue.message()
+        assert set(issue.to_json()) == {"node", "kind", "name", "detail"}
+
+    def test_spawn_bodies_analyzed(self):
+        issues = check_definite_assignment(parse_program("""
+            thread {
+                var x = 1;
+                spawn { var x = 'oops'; x.concat('!'); }
+            }
+        """))
+        assert any(i.node == spawn_node_name(MAIN, 0) for i in issues)

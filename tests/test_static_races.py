@@ -1,0 +1,118 @@
+"""Tests for the shared-state race lint: findings, determinism, and
+the baseline-suppression workflow over the bundled scenario programs."""
+
+import json
+from pathlib import Path
+
+from repro.lang.parser import parse_program
+from repro.static import SCENARIOS, find_races, race_report
+from repro.static.races import new_findings, render_report
+from repro.static.scenarios import all_programs
+
+BASELINE = Path(__file__).parent.parent / "results" / "static_races.json"
+
+RACY = """
+    class Counter { Int n;
+        Int bump() { this.n = this.n.add(1); return this.n; } }
+    thread {
+        var c = new Counter(0);
+        spawn { c.bump(); }
+        c.bump();
+    }
+"""
+
+
+class TestFindRaces:
+    def test_concurrent_writes_flagged(self):
+        findings = find_races(parse_program(RACY))
+        assert [f.key for f in findings] == ["Counter.n"]
+        finding, = findings
+        assert finding.writers == ("<main>", "<main>.spawn[0]")
+
+    def test_single_root_is_quiet(self):
+        findings = find_races(parse_program("""
+            class Counter { Int n;
+                Int bump() { this.n = this.n.add(1); return this.n; } }
+            thread { var c = new Counter(0); c.bump(); c.bump(); }
+        """))
+        assert findings == []
+
+    def test_constructor_writes_do_not_race(self):
+        # The spawn only *reads*; the main-thread write happens in the
+        # constructor, which is ordered before the spawn exists.
+        findings = find_races(parse_program("""
+            class Box { Int v; Int get() { return this.v; } }
+            thread {
+                var b = new Box(7);
+                spawn { b.get(); }
+                b.get();
+            }
+        """))
+        assert findings == []
+
+    def test_read_write_race_flagged(self):
+        findings = find_races(parse_program("""
+            class Box { Int v;
+                Int get() { return this.v; }
+                Int set(Int x) { this.v = x; return x; } }
+            thread {
+                var b = new Box(0);
+                spawn { b.set(1); }
+                b.get();
+            }
+        """))
+        assert [f.key for f in findings] == ["Box.v"]
+        finding, = findings
+        assert "<main>.spawn[0]" in finding.writers
+        assert "<main>" in finding.readers
+
+    def test_to_json_schema(self):
+        finding, = find_races(parse_program(RACY))
+        assert set(finding.to_json()) == {"field", "writers", "readers"}
+
+
+class TestScenarioReport:
+    def test_expected_bundled_findings(self):
+        report = race_report(all_programs())
+        keyed = {label: [f["field"] for f in findings]
+                 for label, findings in report.items() if findings}
+        assert keyed == {
+            "minidb@old": ["Table.rows", "Table.version"],
+            "minidb@new": ["Table.rows", "Table.version"],
+            "myfaces@old": ["Page.hits"],
+            "myfaces@new": ["Page.hits"],
+        }
+
+    def test_report_is_byte_stable(self):
+        # Re-parse everything from scratch for the second run: the
+        # rendered report must be byte-identical.
+        first = render_report(race_report(all_programs()))
+        fresh = {}
+        for name, scenario in SCENARIOS.items():
+            fresh[f"{name}@old"] = parse_program(scenario.old_source)
+            fresh[f"{name}@new"] = parse_program(scenario.new_source)
+        second = render_report(race_report(fresh))
+        assert first == second
+
+    def test_committed_baseline_matches(self):
+        # The checked-in suppressions file must cover current findings
+        # exactly; a new finding here means CI would (rightly) fail.
+        assert BASELINE.exists(), "run: repro static races --write-baseline"
+        baseline = json.loads(BASELINE.read_text())
+        report = race_report(all_programs())
+        assert new_findings(report, baseline) == []
+        assert render_report(report) == BASELINE.read_text()
+
+    def test_new_findings_detected_against_baseline(self):
+        report = race_report(all_programs())
+        baseline = json.loads(render_report(report))
+        # Strip one known finding from the baseline: it must resurface.
+        removed = baseline["minidb@new"].pop(0)
+        fresh = new_findings(report, baseline)
+        assert (("minidb@new", removed)) in fresh
+        # Labels absent from the baseline count as all-new.
+        extra = {"extra@old": parse_program(RACY)}
+        report_extra = race_report({**all_programs(), **extra})
+        fresh_extra = new_findings(report_extra,
+                                   json.loads(render_report(report)))
+        assert [label for label, _ in fresh_extra] == ["extra@old"]
