@@ -10,9 +10,9 @@ ratios, and compares them against the committed baseline (by default
 ``git show HEAD:results/<name>``), failing when a fresh ratio drops
 more than ``--tolerance`` (default 25%) below its baseline.
 
-In CI the ``executors`` and ``kernels`` budgets are *blocking* — their
-key ratios compare two modes measured within the same run on the same
-machine, so runner noise cancels out.  The remaining benches stay
+In CI the ``executors``, ``kernels`` and ``serialize`` budgets are
+*blocking* — their key ratios compare two modes measured within the
+same run on the same machine, so runner noise cancels out.  The remaining benches stay
 non-blocking (``continue-on-error``): a red check there is a prompt to
 look, not a gate.  Locally::
 
@@ -69,6 +69,16 @@ def _service(document: dict) -> dict[str, float]:
     return out
 
 
+def _serialize(document: dict) -> dict[str, float]:
+    """Wire-format ratios: v3 decode speedups over v2 (lazy/eager) and
+    the bytes-on-wire shrink — all within-run, so they gate."""
+    out = {f"speedup:{mode}": value
+           for mode, value in document.get("speedups", {}).items()}
+    if "bytes_ratio" in document:
+        out["bytes_ratio"] = document["bytes_ratio"]
+    return out
+
+
 def _static(document: dict) -> dict[str, float]:
     """Prediction accuracy per scenario (recall/precision are already
     in [0, 1]; a drop past tolerance means the predictor got worse)."""
@@ -89,6 +99,7 @@ BUDGETS = {
     "kernels.json": _kernels,
     "anchors.json": _anchors,
     "executors.json": _executors,
+    "serialize.json": _serialize,
     "service.json": _service,
     "static.json": _static,
 }

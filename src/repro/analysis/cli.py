@@ -53,6 +53,7 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -66,7 +67,8 @@ from repro.api.store import INDEX_NAME, LAYOUTS, TraceStore
 from repro.cache import DiffCache, cached_engine_diff
 from repro.exec.executors import available_executors, get_executor
 from repro.analysis.report import render_diff_report, render_trace_tree
-from repro.analysis.serialize import load_trace
+from repro.analysis.serialize import (SUPPORTED_VERSIONS, WIRE_FORMAT_ENV,
+                                      load_trace)
 from repro.core.regression import (MODE_INTERSECT, MODE_SUBTRACT,
                                    analyze_regression)
 from repro.core.view_diff import ViewDiffConfig
@@ -147,6 +149,24 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--config", action="append", metavar="KEY=VALUE",
                         help="view-diff knob, e.g. --config window=8 "
                              "--config relaxed=false (repeatable)")
+
+
+def _add_format_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--format", type=int, dest="format",
+                        choices=SUPPORTED_VERSIONS, default=None,
+                        metavar="N",
+                        help="wire format version for traces this "
+                             "command writes or ships (default: "
+                             f"${WIRE_FORMAT_ENV} or binary v3)")
+
+
+def _apply_format(args) -> None:
+    """Publish ``--format`` as :data:`WIRE_FORMAT_ENV` so every write
+    path — this process *and* spawned workers, which inherit the
+    environment — uses the requested version."""
+    version = getattr(args, "format", None)
+    if version is not None:
+        os.environ[WIRE_FORMAT_ENV] = str(version)
 
 
 def _add_cache_options(parser: argparse.ArgumentParser) -> None:
@@ -232,6 +252,7 @@ def cmd_engines(args) -> int:
 
 
 def cmd_diff(args) -> int:
+    _apply_format(args)
     left = load_trace(args.left)
     right = load_trace(args.right)
     config = parse_config_flags(args.config)
@@ -271,6 +292,7 @@ def cmd_analyze(args) -> int:
 
 
 def cmd_store_add(args) -> int:
+    _apply_format(args)
     store = TraceStore(args.store)
     record = store.ingest_file(args.trace, key=args.key,
                                tags=tuple(args.tag or ()),
@@ -388,6 +410,13 @@ def cmd_store_rm(args) -> int:
 
 def cmd_store_migrate(args) -> int:
     store = _open_store(args.store)
+    if args.to_format is not None:
+        summary = store.migrate_format(args.to_format)
+        print(f"format v{summary['version']}: "
+              f"{summary['migrated']} rewritten, "
+              f"{summary['skipped']} already current, "
+              f"{summary['failed']} failed in {store.root}")
+        return 0 if summary["failed"] == 0 else 1
     if store.sharded:
         moved = store.migrate_to_sharded()  # idempotent remnant sweep
         print(f"{store.root} already sharded "
@@ -396,6 +425,17 @@ def cmd_store_migrate(args) -> int:
     moved = store.migrate_to_sharded()
     print(f"migrated {store.root} to the sharded layout "
           f"({moved} trace(s) moved)")
+    return 0
+
+
+def cmd_store_stats(args) -> int:
+    stats = _open_store(args.store).format_stats()
+    for version, bucket in stats["formats"].items():
+        label = f"v{version}" if version != "0" else "unstamped"
+        print(f"  {label:10} {bucket['traces']:>6} trace(s)  "
+              f"{bucket['bytes']:>12} byte(s)")
+    print(f"{stats['traces']} trace(s), {stats['bytes']} byte(s) "
+          f"on disk in {args.store}")
     return 0
 
 
@@ -558,6 +598,7 @@ def _jobs_from_spec(spec: dict) -> list[StoredScenarioJob]:
 
 
 def cmd_batch(args) -> int:
+    _apply_format(args)  # before get_executor: workers inherit the env
     try:
         with open(args.spec, encoding="utf-8") as handle:
             spec = json.load(handle)
@@ -620,6 +661,7 @@ def build_parser() -> argparse.ArgumentParser:
     diff.add_argument("right")
     _add_engine_options(diff)
     _add_cache_options(diff)
+    _add_format_option(diff)
     diff.add_argument("--anchor-stats", action="store_true",
                       help="print the pair's =e anchor segmentation "
                            "(runs, gaps, candidate counts)")
@@ -658,6 +700,7 @@ def build_parser() -> argparse.ArgumentParser:
     store_add.add_argument("--scenario",
                            help="scenario metadata recorded in the "
                                 "catalog (repro query --scenario)")
+    _add_format_option(store_add)
     store_add.set_defaults(func=cmd_store_add)
 
     store_list = store_cmds.add_parser("list", help="list stored traces")
@@ -702,9 +745,22 @@ def build_parser() -> argparse.ArgumentParser:
 
     store_migrate = store_cmds.add_parser(
         "migrate", help="convert a flat store to the sharded layout "
-                        "in place (shards.d/<hh>/, per-shard indexes)")
+                        "in place (shards.d/<hh>/, per-shard indexes), "
+                        "or rewrite trace files with --to-format")
     store_migrate.add_argument("store")
+    store_migrate.add_argument("--to-format", type=int, dest="to_format",
+                               choices=SUPPORTED_VERSIONS, default=None,
+                               metavar="N",
+                               help="rewrite every stored trace in wire "
+                                    "format N (keys, tags and digests "
+                                    "are preserved) instead of changing "
+                                    "the directory layout")
     store_migrate.set_defaults(func=cmd_store_migrate)
+
+    store_stats = store_cmds.add_parser(
+        "stats", help="per-format trace counts and on-disk bytes")
+    store_stats.add_argument("store")
+    store_stats.set_defaults(func=cmd_store_stats)
 
     cache = commands.add_parser(
         "cache", help="manage a persistent diff cache directory")
@@ -822,6 +878,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "default: serial)")
     _add_engine_options(batch)
     _add_cache_options(batch)
+    _add_format_option(batch)
     batch.set_defaults(func=cmd_batch)
 
     from repro.static.cli import register as register_static

@@ -64,7 +64,8 @@ except ImportError:  # pragma: no cover - non-POSIX platforms
     fcntl = None
 
 from repro.analysis.serialize import (load_trace, read_header,
-                                      read_key_table, save_trace)
+                                      read_key_table, save_trace,
+                                      wire_format)
 from repro.core.keytable import KeyTable
 from repro.core.traces import Trace
 
@@ -259,6 +260,9 @@ class TraceRecord:
     entries: int
     tags: tuple[str, ...] = ()
     metadata: dict = field(default_factory=dict)
+    #: Serialisation format version of the file on disk (1/2 text,
+    #: 3 binary; 0 when the header predates format stamping).
+    format: int = 0
 
     def brief(self) -> str:
         tags = f" [{', '.join(self.tags)}]" if self.tags else ""
@@ -620,7 +624,8 @@ class TraceStore:
 
     def load_key_table(self, key: str) -> KeyTable:
         """Just the interned ``=e`` key table of a stored trace — no
-        entry materialisation for v2 files (v1 files are streamed)."""
+        entry materialisation for v2/v3 files (v1 files are
+        streamed)."""
         _header, table = read_key_table(self._require(key))
         return table
 
@@ -645,6 +650,7 @@ class TraceStore:
             entries=header.get("entries", -1),
             tags=tuple(entry.get("tags", ())),
             metadata=header.get("metadata") or {},
+            format=header.get("format", 0),
         )
 
     def get(self, key: str) -> TraceRecord:
@@ -779,3 +785,61 @@ class TraceStore:
                 if flat.index_path.exists():
                     flat.index_path.unlink()
         return moved
+
+    # -- format migration ----------------------------------------------------
+
+    def migrate_format(self, version: int | None = None) -> dict:
+        """Rewrite every stored trace in serialisation ``version``
+        (default: the session wire format — binary v3 unless
+        overridden).  Keys, tags, paths and content digests are all
+        preserved; only the file bytes change.  Files already in the
+        target format are left untouched.  Returns a summary dict:
+        ``{"version", "migrated", "skipped", "failed"}``.
+        """
+        version = wire_format(version)
+        migrated, skipped, failed = 0, 0, 0
+        for record in self.records():
+            if record.format == version:
+                skipped += 1
+                continue
+            shard = self._shard_for(record.key)
+            try:
+                trace = load_trace(record.path)
+                tmp = self._tmp_path(record.path)
+                try:
+                    # Header metadata (store key, digest, provenance)
+                    # rides on trace.metadata, so a bare re-save keeps
+                    # it verbatim.
+                    save_trace(trace, tmp, version=version)
+                    with self._locked(shard):
+                        os.replace(tmp, record.path)
+                finally:
+                    if tmp.exists():
+                        tmp.unlink()
+            except (OSError, ValueError, KeyError):
+                failed += 1  # unreadable file: left as-is, reported
+                continue
+            migrated += 1
+        return {"version": version, "migrated": migrated,
+                "skipped": skipped, "failed": failed}
+
+    def format_stats(self) -> dict:
+        """Per-format census of the store: trace counts and on-disk
+        bytes keyed by serialisation version, plus totals — what
+        ``repro store stats`` prints."""
+        formats: dict[int, dict] = {}
+        total_traces, total_bytes = 0, 0
+        for record in self.records():
+            try:
+                size = record.path.stat().st_size
+            except OSError:
+                continue  # deleted under the listing
+            bucket = formats.setdefault(
+                record.format, {"traces": 0, "bytes": 0})
+            bucket["traces"] += 1
+            bucket["bytes"] += size
+            total_traces += 1
+            total_bytes += size
+        return {"formats": {str(v): formats[v]
+                            for v in sorted(formats)},
+                "traces": total_traces, "bytes": total_bytes}

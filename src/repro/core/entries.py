@@ -28,6 +28,18 @@ class TraceEntry:
     active: ValueRep | None
     event: Event
 
+    def __repr__(self) -> str:
+        # Byte-identical to the generated dataclass repr.  The trace
+        # content digest hashes one repr per entry, which makes this
+        # the hottest repr in the system — hand-written, it skips the
+        # generated version's recursion guard and format machinery (a
+        # several-fold difference that shows up directly in capture
+        # shipping cost).  Any field change must update this string
+        # *and* accepts that stored digests change with it.
+        return (f"TraceEntry(eid={self.eid!r}, tid={self.tid!r}, "
+                f"method={self.method!r}, active={self.active!r}, "
+                f"event={self.event!r})")
+
     def key(self) -> tuple:
         """Event-equality (``=e``) key; delegates to the event.
 

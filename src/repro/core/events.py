@@ -39,6 +39,13 @@ class StackFrame:
         callee = None if self.callee is None else self.callee.key()
         return (self.method, caller, callee)
 
+    def __repr__(self) -> str:
+        # Hand-written, byte-identical to the generated dataclass repr:
+        # the trace content digest hashes entry reprs, so the format is
+        # part of digest stability (see TraceEntry.__repr__).
+        return (f"StackFrame(method={self.method!r}, "
+                f"caller={self.caller!r}, callee={self.callee!r})")
+
 
 class Event:
     """Base class for all trace events."""
@@ -67,6 +74,10 @@ class FieldGet(Event):
 
     kind = "get"
 
+    def __repr__(self) -> str:
+        return (f"FieldGet(obj={self.obj!r}, field={self.field!r}, "
+                f"value={self.value!r})")
+
     def key(self) -> tuple:
         return ("get", self.obj.key(), self.field, self.value.key())
 
@@ -87,6 +98,10 @@ class FieldSet(Event):
 
     kind = "set"
 
+    def __repr__(self) -> str:
+        return (f"FieldSet(obj={self.obj!r}, field={self.field!r}, "
+                f"value={self.value!r})")
+
     def key(self) -> tuple:
         return ("set", self.obj.key(), self.field, self.value.key())
 
@@ -106,6 +121,10 @@ class Call(Event):
     args: tuple[ValueRep, ...]
 
     kind = "call"
+
+    def __repr__(self) -> str:
+        return (f"Call(obj={self.obj!r}, method={self.method!r}, "
+                f"args={self.args!r})")
 
     def key(self) -> tuple:
         return ("call", self.obj.key(), self.method,
@@ -129,6 +148,10 @@ class Return(Event):
 
     kind = "return"
 
+    def __repr__(self) -> str:
+        return (f"Return(obj={self.obj!r}, method={self.method!r}, "
+                f"value={self.value!r})")
+
     def key(self) -> tuple:
         return ("return", self.obj.key(), self.method, self.value.key())
 
@@ -149,6 +172,10 @@ class Init(Event):
     obj: ValueRep
 
     kind = "init"
+
+    def __repr__(self) -> str:
+        return (f"Init(class_name={self.class_name!r}, "
+                f"args={self.args!r}, obj={self.obj!r})")
 
     def key(self) -> tuple:
         return ("init", self.class_name,
@@ -178,6 +205,10 @@ class Fork(Event):
 
     kind = "fork"
 
+    def __repr__(self) -> str:
+        return (f"Fork(child_tid={self.child_tid!r}, "
+                f"ancestry={self.ancestry!r})")
+
     def key(self) -> tuple:
         return ("fork", tuple(tuple(f.key() for f in stack)
                               for stack in self.ancestry))
@@ -197,6 +228,9 @@ class End(Event):
     ancestry: tuple[tuple[StackFrame, ...], ...]
 
     kind = "end"
+
+    def __repr__(self) -> str:
+        return f"End(tid={self.tid!r}, ancestry={self.ancestry!r})"
 
     def key(self) -> tuple:
         return ("end", tuple(tuple(f.key() for f in stack)

@@ -25,6 +25,77 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.keytable import KeyTable
 
 
+class LazyEntrySequence:
+    """A list-like sequence of :class:`TraceEntry` built on demand.
+
+    The serialisation-v3 decoder hands :class:`Trace` one of these
+    instead of a materialised list: ``decode(position)`` constructs the
+    entry at an absolute backing position, and every constructed entry
+    is memoised in a cache shared by all slices of the sequence, so an
+    entry is decoded at most once per loaded trace no matter how the
+    trace is sliced.  ``tids`` optionally carries the backing thread-id
+    column (any int sequence) so :meth:`Trace.thread_ids` never has to
+    materialise entries at all; ``owner`` pins whatever object keeps
+    the backing buffer alive (e.g. a mapped shared-memory segment).
+
+    The core layer defines only the container contract; decoders live
+    with their formats (:mod:`repro.analysis.serialize`).
+    """
+
+    __slots__ = ("_decode", "_positions", "_cache", "_tids", "owner")
+
+    def __init__(self, decode, length: int | None = None, *,
+                 tids=None, owner=None, _positions: range | None = None,
+                 _cache: "list | None" = None):
+        self._decode = decode
+        if _positions is None:
+            _positions = range(length or 0)
+        self._positions = _positions
+        self._cache = [None] * len(_positions) if _cache is None else _cache
+        self._tids = tids
+        self.owner = owner
+
+    def __len__(self) -> int:
+        return len(self._positions)
+
+    def _entry_at(self, position: int) -> TraceEntry:
+        entry = self._cache[position]
+        if entry is None:
+            entry = self._cache[position] = self._decode(position)
+        return entry
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return LazyEntrySequence(self._decode, tids=self._tids,
+                                     owner=self.owner,
+                                     _positions=self._positions[index],
+                                     _cache=self._cache)
+        return self._entry_at(self._positions[index])
+
+    def __iter__(self) -> Iterator[TraceEntry]:
+        for position in self._positions:
+            yield self._entry_at(position)
+
+    def __eq__(self, other):
+        if isinstance(other, (list, tuple, LazyEntrySequence)):
+            return len(self) == len(other) and all(
+                a == b for a, b in zip(self, other))
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return (f"LazyEntrySequence({len(self)} entr(ies), "
+                f"{sum(1 for p in self._positions if self._cache[p] is not None)} "
+                f"materialised)")
+
+    def iter_tids(self):
+        """The thread-id column in sequence order, without building a
+        single entry — ``None`` when the decoder supplied no column."""
+        if self._tids is None:
+            return None
+        column = self._tids
+        return (column[position] for position in self._positions)
+
+
 class Trace:
     """An immutable-by-convention sequence of trace entries.
 
@@ -42,7 +113,7 @@ class Trace:
     uninterned traces — every consumer falls back to key tuples.
     """
 
-    __slots__ = ("name", "entries", "metadata", "key_table", "key_ids",
+    __slots__ = ("name", "entries", "metadata", "_key_table", "key_ids",
                  "_thread_ids", "_fingerprint", "_content_digest")
 
     def __init__(self, entries: Iterable[TraceEntry] = (), name: str = "",
@@ -50,13 +121,38 @@ class Trace:
                  key_table: "KeyTable | None" = None,
                  key_ids: "array | None" = None):
         self.name = name
-        self.entries: list[TraceEntry] = list(entries)
+        # Lazy sequences stay lazy (copying into a list would defeat
+        # the on-demand decode); anything else is snapshotted so the
+        # trace owns its entries.
+        if isinstance(entries, LazyEntrySequence):
+            self.entries = entries
+        else:
+            self.entries = list(entries)
         self.metadata: dict = metadata or {}
-        self.key_table = key_table
+        self._key_table = key_table
         self.key_ids = key_ids
         self._thread_ids: list[int] | None = None
         self._fingerprint: str | None = None
         self._content_digest: str | None = None
+
+    @property
+    def key_table(self) -> "KeyTable | None":
+        """The trace's interned ``=e`` table (or None).
+
+        Lazy decoders pass a zero-argument *thunk* instead of a table;
+        the first access materialises it and caches the result, so a
+        v3-loaded trace whose table is never consulted never parses
+        its key section at all.
+        """
+        table = self._key_table
+        if callable(table):
+            table = table()
+            self._key_table = table
+        return table
+
+    @key_table.setter
+    def key_table(self, table: "KeyTable | None") -> None:
+        self._key_table = table
 
     def __len__(self) -> int:
         return len(self.entries)
@@ -92,10 +188,14 @@ class Trace:
         """Distinct thread identifiers, in order of first appearance
         (computed once; traces are immutable by convention)."""
         if self._thread_ids is None:
+            tids = self.entries.iter_tids() \
+                if isinstance(self.entries, LazyEntrySequence) else None
+            if tids is None:
+                tids = (entry.tid for entry in self.entries)
             seen: dict[int, None] = {}
-            for entry in self.entries:
-                if entry.tid not in seen:
-                    seen[entry.tid] = None
+            for tid in tids:
+                if tid not in seen:
+                    seen[tid] = None
             self._thread_ids = list(seen)
         return list(self._thread_ids)
 

@@ -73,6 +73,17 @@ class ValueRep:
         """Location-free comparison key used by event equality ``=e``."""
         return (self.class_name, self.serialization)
 
+    def __repr__(self) -> str:
+        # Byte-identical to the generated dataclass repr (the trace
+        # content digest hashes these strings, so the format is part of
+        # digest stability) — hand-written because repr is on the
+        # digest hot path and the generated one is several times
+        # slower.
+        return (f"ValueRep(class_name={self.class_name!r}, "
+                f"serialization={self.serialization!r}, "
+                f"location={self.location!r}, "
+                f"creation_seq={self.creation_seq!r})")
+
     @property
     def is_primitive(self) -> bool:
         return self.location is None and self.creation_seq is None

@@ -14,8 +14,9 @@ declaratively (callable + arguments + pointcut filter), and
 * **process executors** dispatch tasks to worker processes.  Each
   worker owns its own weaver (no lock needed: pool workers evaluate one
   task at a time), captures locally, and ships the finished trace back
-  as serialisation-v2 text — key table included — so the parent decodes
-  interned traces without recomputing a single ``=e`` key.  The
+  as wire bytes (binary v3 by default) — key table included — so the
+  parent decodes interned traces lazily, without recomputing a single
+  ``=e`` key or materialising an entry it never looks at.  The
   parent then re-homes each carried key column into the session's
   ingest table (one intern per *distinct* key), preserving the session
   invariant that all its traces share one id space.
@@ -35,13 +36,14 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
-from repro.analysis.serialize import dumps_trace, loads_trace
+from repro.analysis.serialize import dumps_trace_bytes, loads_trace
 from repro.capture.filters import TraceFilter
 from repro.capture.tracer import CaptureResult, trace_call
 from repro.core.keytable import KeyTable
 from repro.core.traces import Trace
 from repro.exec.executors import Executor, lease_chunks, resolve_executor
-from repro.exec.shm import (adopt_segment_bytes, parent_registry,
+from repro.exec import shm
+from repro.exec.shm import (adopt_segment_view, parent_registry,
                             ship_untracked, shm_available)
 
 #: Process-wide capture serialisation for *in-process* execution (one
@@ -149,10 +151,11 @@ def _picklable_or_none(value):
 def run_capture_worker(task: CaptureTask) -> dict:
     """Evaluate one capture task inside a worker process.
 
-    Returns a wire dict: the trace as serialisation-v2 text (its
-    file-local key table included), the error as (type, message)
-    strings, the worker pid, and the capture's wall-clock seconds.  No
-    capture lock is taken — this process owns its weaver outright.
+    Returns a wire dict: the trace as wire bytes (binary v3 by
+    default, file-local key table included), the error as (type,
+    message) strings, the worker pid, and the capture's wall-clock
+    seconds.  No capture lock is taken — this process owns its weaver
+    outright.
     """
     from repro.exec.workerstate import worker_state
 
@@ -170,7 +173,7 @@ def run_capture_worker(task: CaptureTask) -> dict:
     if captured.error is not None:
         error = (type(captured.error).__name__, str(captured.error))
     return {
-        "trace": dumps_trace(captured.trace),
+        "trace": dumps_trace_bytes(captured.trace),
         "result": _picklable_or_none(captured.result),
         "error": error,
         "seconds": seconds,
@@ -182,24 +185,25 @@ def run_capture_lease(payload: dict) -> dict:
     """Evaluate one *lease* — a chunk of capture tasks — in a worker.
 
     One round trip covers the whole chunk, and every captured trace is
-    shipped home through a single shared-memory segment (v2 wire texts
+    shipped home through a single shared-memory segment (wire payloads
     concatenated; each outcome carries its ``(off, len)`` frame) when
     ``payload["ship"]`` allows and the platform cooperates, falling
-    back to inline text otherwise.  The segment is created *untracked*
+    back to inline bytes otherwise.  The segment is created *untracked*
     under the parent's prefix: the parent adopts and unlinks it on
     receipt, and sweeps it if this worker dies first.
 
     The worker's pid-local caches make repeat content cheap: traces
-    intern into the worker's warm key table, encoded wire text is
-    memoised by content digest, and the decoded trace is remembered so
-    a later diff lease naming the same digest never re-ships it.
+    intern into the worker's warm key table, encoded wire bytes are
+    memoised by content digest (produced exactly once — never
+    re-encoded per send), and the decoded trace is remembered so a
+    later diff lease naming the same digest never re-ships it.
     """
     from repro.exec.workerstate import worker_state
 
     state = worker_state()
     ship = bool(payload.get("ship", True))
     outcomes: list[dict] = []
-    texts: list[str] = []
+    parts: list[bytes] = []
     for task in payload["tasks"]:
         func = resolve_callable(task.func)
         started = time.perf_counter()
@@ -214,11 +218,11 @@ def run_capture_lease(payload: dict) -> dict:
             digest = captured.trace.content_digest()
         except Exception:  # noqa: BLE001 - digests are an optimisation
             digest = ""
-        text = state.cached_wire(digest) if digest else None
-        if text is None:
-            text = dumps_trace(captured.trace)
+        blob = state.cached_wire(digest) if digest else None
+        if blob is None:
+            blob = dumps_trace_bytes(captured.trace)
             if digest:
-                state.remember_wire(digest, text)
+                state.remember_wire(digest, blob)
         if digest:
             # A later diff lease naming this digest will find the
             # decoded trace already resident — the capture was the
@@ -227,15 +231,15 @@ def run_capture_lease(payload: dict) -> dict:
         error = None
         if captured.error is not None:
             error = (type(captured.error).__name__, str(captured.error))
-        outcomes.append({"trace": text, "result":
+        outcomes.append({"trace": blob, "result":
                          _picklable_or_none(captured.result),
                          "error": error, "seconds": seconds,
                          "pid": os.getpid(), "digest": digest})
-        texts.append(text)
+        parts.append(blob)
     segment = None
-    if ship:
-        parts = [text.encode("utf-8") for text in texts]
-        shipped = ship_untracked(b"".join(parts), payload["prefix"])
+    combined = b"".join(parts)
+    if ship and len(combined) >= shm.SHIP_MIN_BYTES:
+        shipped = ship_untracked(combined, payload["prefix"])
         if shipped is not None:
             segment = shipped
             offset = 0
@@ -243,17 +247,20 @@ def run_capture_lease(payload: dict) -> dict:
                 outcome["trace"] = {"off": offset, "len": len(blob)}
                 offset += len(blob)
         # else: shared memory refused — outcomes keep their inline
-        # text; identical results, just wire cost.
+        # bytes; identical results, just wire cost.
     return {"outcomes": outcomes, "segment": segment,
             "counters": state.counters()}
 
 
 def _decode_outcome(task: CaptureTask, wire: dict,
-                    key_table: KeyTable | None) -> CaptureOutcome:
+                    key_table: KeyTable | None,
+                    keepalive=None) -> CaptureOutcome:
     """Wire dict -> outcome, re-homing the trace's carried key column
     into ``key_table`` so every trace of a session shares one id
-    space."""
-    trace = loads_trace(wire["trace"])
+    space.  Binary v3 payloads decode lazily — a zero-copy view over
+    the lease's mapped segment, pinned by ``keepalive``; only the key
+    column is touched here."""
+    trace = loads_trace(wire["trace"], keepalive=keepalive)
     if key_table is not None and trace.key_table is not None \
             and trace.key_ids is not None:
         trace.key_ids = key_table.translate(trace.key_table.keys(),
@@ -328,10 +335,12 @@ def _run_capture_leases(tasks: Sequence[CaptureTask], executor: Executor,
     """Dispatch capture tasks to a process executor as leases (one
     round trip per chunk, traces home through shared memory).
 
-    The parent adopts — and immediately unlinks — each lease's segment
-    before decoding, so segments live only for the map's duration; any
-    exception (a broken pool, an interrupt) triggers a prefix sweep
-    that collects segments whose producer died mid-ship.
+    The parent adopts — and immediately unlink-names — each lease's
+    segment as a **zero-copy view**: v3 traces decode lazily straight
+    off the mapping (no copy of the payload is ever made), and the
+    mapping itself lives exactly as long as the decoded traces that
+    reference it.  Any exception (a broken pool, an interrupt) triggers
+    a prefix sweep that collects segments whose producer died mid-ship.
     """
     registry = parent_registry()
     registry.sweep()   # collect leftovers from any earlier crashed batch
@@ -346,15 +355,18 @@ def _run_capture_leases(tasks: Sequence[CaptureTask], executor: Executor,
         for chunk, lease in zip(chunks, executor.map(run_capture_lease,
                                                      payloads)):
             blob = b""
+            keepalive = None
             if lease["segment"] is not None:
                 name, size = lease["segment"]
-                blob = adopt_segment_bytes(name, size, registry=registry)
+                blob, keepalive = adopt_segment_view(name, size,
+                                                     registry=registry)
             for (index, task), wire in zip(chunk, lease["outcomes"]):
                 frame = wire["trace"]
                 if isinstance(frame, dict):
                     wire["trace"] = blob[frame["off"]:
                                          frame["off"] + frame["len"]]
-                outcomes[index] = _decode_outcome(task, wire, key_table)
+                outcomes[index] = _decode_outcome(task, wire, key_table,
+                                                  keepalive=keepalive)
     except BaseException:
         registry.sweep()
         raise

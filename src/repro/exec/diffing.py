@@ -10,12 +10,13 @@ routes the execution phase through an :class:`~repro.exec.executors.Executor`:
 * threads — pair evaluations fan out across the pool, sharing the
   in-memory webs and window-key caches;
 * processes — both traces are shipped once per *distinct trace* as a
-  digest-keyed shared-memory segment of serialisation-v2 wire bytes
-  (inline text when shared memory is unavailable); each worker
-  rebuilds the (deterministic) plan locally — memoising decoded traces
-  per pid, so a warm worker re-reads nothing — evaluates its
-  contiguous chunk of thread pairs, and sends the pair marks back.
-  The parent merges all marks in plan order.
+  digest-keyed shared-memory segment of wire bytes (binary v3 by
+  default; inline bytes when shared memory is unavailable); each
+  worker rebuilds the (deterministic) plan locally — decoding lazily
+  and zero-copy off the mapped segment, memoised per pid, so a warm
+  worker re-reads nothing — evaluates its contiguous chunk of thread
+  pairs, and sends the pair marks back.  The parent merges all marks
+  in plan order.
 
 Every route merges through :meth:`ViewDiffPlan.merge`, so the result is
 bit-identical to the serial evaluation — similarity sets, match and
@@ -31,7 +32,7 @@ import threading
 import time
 from collections import OrderedDict
 
-from repro.analysis.serialize import dumps_trace
+from repro.analysis.serialize import dumps_trace_bytes
 from repro.core.anchors import AnchorConfig, merge_segment_results, segment_pair
 from repro.core.diffs import DiffResult, result_from_wire, result_to_wire
 from repro.core.keytable import KeyTable
@@ -44,33 +45,35 @@ from repro.exec.shm import TraceShippingError, parent_registry, shm_available
 from repro.exec.workerstate import resolve_trace_handle, worker_state
 
 
-#: Content-digest-keyed memo of trace wire texts: a batch re-diffing
+#: Content-digest-keyed memo of trace wire *bytes*: a batch re-diffing
 #: the same traces (the pipeline's jobs, warm cache-miss re-runs) ships
-#: each trace's serialisation without re-encoding it every diff.  Tiny
-#: and process-local — the capacity bounds memory, the digest key makes
-#: it safe to share across every executor-driven diff of the process
-#: (equal content, equal plan marks; trace names/metadata never reach
-#: the marks the workers send back).
+#: each trace's serialisation without re-encoding it every diff — the
+#: bytes are produced exactly once and reused verbatim for segment
+#: writes and inline handles alike.  Tiny and process-local — the
+#: capacity bounds memory, the digest key makes it safe to share
+#: across every executor-driven diff of the process (equal content,
+#: equal plan marks; trace names/metadata never reach the marks the
+#: workers send back).
 _WIRE_MEMO_CAPACITY = 8
-_wire_memo: "OrderedDict[str, str]" = OrderedDict()
+_wire_memo: "OrderedDict[str, bytes]" = OrderedDict()
 _wire_memo_lock = threading.Lock()
 
 
-def _trace_wire(trace: Trace) -> str:
-    """``dumps_trace`` memoised by :meth:`Trace.content_digest`."""
+def _trace_wire(trace: Trace) -> bytes:
+    """``dumps_trace_bytes`` memoised by :meth:`Trace.content_digest`."""
     digest = trace.content_digest()
     with _wire_memo_lock:
-        text = _wire_memo.get(digest)
-        if text is not None:
+        blob = _wire_memo.get(digest)
+        if blob is not None:
             _wire_memo.move_to_end(digest)
-            return text
-    text = dumps_trace(trace)
+            return blob
+    blob = dumps_trace_bytes(trace)
     with _wire_memo_lock:
-        _wire_memo[digest] = text
+        _wire_memo[digest] = blob
         _wire_memo.move_to_end(digest)
         while len(_wire_memo) > _WIRE_MEMO_CAPACITY:
             _wire_memo.popitem(last=False)
-    return text
+    return blob
 
 
 def _ship_trace(trace: Trace, shipped: list[str], *,
@@ -81,21 +84,20 @@ def _ship_trace(trace: Trace, shipped: list[str], *,
     registry — digest-keyed, so every diff of the same trace in flight
     shares one segment, and refcounted, with each name appended to
     ``shipped`` for release once the batch lands.  Falls back to (or is
-    forced onto, via ``inline=True``) a handle carrying the wire text
-    itself.  Workers resolve either kind through
+    forced onto, via ``inline=True``) a handle carrying the wire bytes
+    themselves.  Workers resolve either kind through
     :func:`~repro.exec.workerstate.resolve_trace_handle`, memoised per
     pid by the digest — a warm worker re-reads nothing.
     """
     digest = trace.content_digest()
-    text = _trace_wire(trace)
+    blob = _trace_wire(trace)
     if not inline and shm_available():
-        blob = text.encode("utf-8")
         name = parent_registry().create(blob, digest=digest)
         if name is not None:
             shipped.append(name)
             return {"kind": "shm", "name": name, "len": len(blob),
                     "digest": digest}
-    return {"kind": "inline", "text": text, "digest": digest}
+    return {"kind": "inline", "data": blob, "digest": digest}
 
 
 def _release_shipped(shipped: list[str]) -> None:
@@ -109,8 +111,8 @@ def run_diff_chunk_worker(payload: tuple) -> list[PairMarks]:
     """Evaluate one chunk of correlated thread pairs in a worker.
 
     ``payload`` is ``(left_handle, right_handle, config, pairs)`` —
-    both traces as ship handles (shared-memory segment or inline v2
-    wire text; key tables ride inside, so the worker interns nothing at
+    both traces as ship handles (shared-memory segment or inline wire
+    bytes; key tables ride inside, so the worker interns nothing at
     ingest).  The worker's plan is rebuilt locally; planning
     (correlation, interning) is deterministic, so its pair marks are
     exactly the ones the parent's plan would have produced.
@@ -206,7 +208,7 @@ def run_segment_chunk_worker(payload: tuple) -> list[tuple]:
 
     ``payload`` is ``(left_handle, right_handle, engine_name, config,
     jobs)`` — the *full* traces as ship handles (one shared-memory
-    segment per distinct trace, or inline v2 wire text) plus the gap
+    segment per distinct trace, or inline wire bytes) plus the gap
     bounds to slice locally; a warm worker that already holds a
     trace's digest decodes nothing.  The inner engine is resolved by registry
     name; built-ins are always available in workers.  Each job returns

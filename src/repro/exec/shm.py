@@ -41,7 +41,7 @@ from pathlib import Path
 
 __all__ = [
     "SegmentRegistry", "TraceShippingError", "adopt_segment_bytes",
-    "parent_registry", "shm_available", "shm_stats",
+    "adopt_segment_view", "parent_registry", "shm_available", "shm_stats",
 ]
 
 #: Where POSIX shared memory surfaces as files (the sweep path).  On
@@ -52,6 +52,14 @@ SHM_DIR = Path("/dev/shm")
 #: Force the inline fallback everywhere (tests, and an escape hatch for
 #: platforms where shared memory exists but misbehaves).
 FORCE_INLINE = False
+
+#: Below this combined payload size a lease ships its traces inline
+#: through the result pipe instead of a shared-memory segment.  A
+#: segment costs two syscall round-trips (create+unlink) plus an mmap
+#: on each side; for payloads this small the pipe copy is cheaper, and
+#: binary v3 still decodes lazily over the pickled bytes.  Tune via
+#: ``REPRO_SHM_SHIP_MIN`` (bytes; 0 ships everything).
+SHIP_MIN_BYTES = int(os.environ.get("REPRO_SHM_SHIP_MIN", str(64 * 1024)))
 
 _shm_probe_lock = threading.Lock()
 _shm_probe: "bool | None" = None
@@ -304,6 +312,94 @@ def adopt_segment_bytes(name: str, length: int, *,
         with registry._lock:
             registry.bytes_received += len(payload)
     return payload
+
+
+class _SegmentKeepalive:
+    """Pins a mapped segment for the lifetime of zero-copy views.
+
+    :func:`adopt_segment_view` hands decoders raw ``memoryview``s over
+    the mapping; POSIX keeps an *unlinked* segment's memory alive while
+    any mapping exists, so unlink can happen eagerly and the map is
+    freed by refcount when the last view (and this keepalive) goes.
+    ``close()`` is deliberately tolerant: while derived views are still
+    alive the ``BufferError`` from ``SharedMemory.close`` is expected —
+    the mmap is released when those views die.
+    """
+
+    __slots__ = ("_segment",)
+
+    def __init__(self, segment):
+        self._segment = segment
+
+    def close(self) -> None:
+        segment, self._segment = self._segment, None
+        if segment is None:
+            return
+        try:
+            segment.close()
+            return
+        except OSError:  # pragma: no cover - platform close variance
+            return
+        except BufferError:
+            pass
+        # Views outlive us.  Hand the mapping's lifetime to them: every
+        # exported view holds a reference to the mmap object, which
+        # unmaps on its own dealloc when the last view dies.  Drop the
+        # segment's references so its finalizer does not retry the
+        # close (an unraisable BufferError), and close the fd here so
+        # it never leaks.
+        try:
+            if segment._buf is not None:
+                segment._buf.release()
+        except (AttributeError, BufferError):  # pragma: no cover
+            pass
+        segment._buf = None
+        segment._mmap = None
+        fd = getattr(segment, "_fd", -1)
+        if isinstance(fd, int) and fd >= 0:
+            try:
+                os.close(fd)
+            except OSError:  # pragma: no cover - already closed
+                pass
+            segment._fd = -1
+
+    def __del__(self):  # pragma: no cover - GC timing
+        self.close()
+
+
+def adopt_segment_view(name: str, length: int, *,
+                       registry: "SegmentRegistry | None" = None,
+                       unlink: bool = True,
+                       ) -> "tuple[memoryview, _SegmentKeepalive]":
+    """Attach a segment and expose its payload **without copying**:
+    returns ``(view, keepalive)`` where ``view`` is a ``memoryview`` of
+    the first ``length`` bytes of the mapping and ``keepalive`` pins
+    the mapping (pass it to ``loads_trace(view, keepalive=...)`` so the
+    decoded trace owns it).  The segment name is unlinked immediately
+    by default — the memory itself lives until the last view dies.
+    Raises :class:`TraceShippingError` when the segment is gone."""
+    module = _shared_memory_module()
+    if module is None:
+        raise TraceShippingError(f"shared memory unavailable; cannot "
+                                 f"attach segment {name!r}")
+    try:
+        segment = module.SharedMemory(name=name)
+    except (OSError, ValueError) as exc:
+        raise TraceShippingError(
+            f"cannot attach shared-memory segment {name!r}: {exc}"
+        ) from None
+    _untrack(name)
+    if unlink:
+        _retrack(name)
+        try:
+            segment.unlink()
+        except (OSError, FileNotFoundError):  # pragma: no cover - raced
+            _untrack(name)
+    view = memoryview(segment.buf)[:length]
+    if registry is not None:
+        with registry._lock:
+            registry.bytes_received += length
+    return view, _SegmentKeepalive(segment)
 
 
 _ship_counter_lock = threading.Lock()

@@ -13,9 +13,10 @@ having.  Each worker process owns exactly one :class:`WorkerState`
   already decoded a digest never attaches (let alone re-parses) the
   segment again — a trace crosses the process boundary *at most once
   per worker*;
-* ``wire_cache`` — the mirror memo for wire *text* a worker itself
+* ``wire_cache`` — the mirror memo for wire *bytes* a worker itself
   produced (capture leases re-shipping an identical trace skip the
-  re-encode);
+  re-encode; bytes are produced exactly once, never re-encoded from
+  text per send);
 * counters — captures and diff jobs run, cache hits, shared-memory
   bytes read — which ride back to the parent in lease results and feed
   the executor's ``stats()`` (and from there the service's
@@ -33,10 +34,11 @@ import os
 from collections import OrderedDict
 
 from repro.core.keytable import KeyTable
-from repro.exec.shm import TraceShippingError, adopt_segment_bytes
+from repro.exec.shm import (TraceShippingError, adopt_segment_bytes,
+                            adopt_segment_view)
 
-__all__ = ["WorkerState", "resolve_trace_handle", "resolve_wire_text",
-           "worker_state"]
+__all__ = ["WorkerState", "resolve_trace_handle", "resolve_wire_payload",
+           "resolve_wire_text", "worker_state"]
 
 #: Decoded traces kept per worker (digests evict LRU past this).
 TRACE_CACHE_CAPACITY = 16
@@ -53,7 +55,7 @@ class WorkerState:
         self.pid = os.getpid()
         self.key_table = KeyTable()
         self.trace_cache: "OrderedDict[str, object]" = OrderedDict()
-        self.wire_cache: "OrderedDict[str, str]" = OrderedDict()
+        self.wire_cache: "OrderedDict[str, bytes]" = OrderedDict()
         self.captures = 0
         self.diff_jobs = 0
         self.cache_hits = 0
@@ -82,17 +84,17 @@ class WorkerState:
         while len(self.trace_cache) > TRACE_CACHE_CAPACITY:
             self.trace_cache.popitem(last=False)
 
-    def remember_wire(self, digest: str, text: str) -> None:
-        self.wire_cache[digest] = text
+    def remember_wire(self, digest: str, payload: bytes) -> None:
+        self.wire_cache[digest] = payload
         self.wire_cache.move_to_end(digest)
         while len(self.wire_cache) > TRACE_CACHE_CAPACITY:
             self.wire_cache.popitem(last=False)
 
-    def cached_wire(self, digest: str) -> "str | None":
-        text = self.wire_cache.get(digest)
-        if text is not None:
+    def cached_wire(self, digest: str) -> "bytes | None":
+        payload = self.wire_cache.get(digest)
+        if payload is not None:
             self.wire_cache.move_to_end(digest)
-        return text
+        return payload
 
     def counters(self) -> dict:
         return {"pid": self.pid, "captures": self.captures,
@@ -113,19 +115,50 @@ def worker_state() -> WorkerState:
     return _state
 
 
-def resolve_wire_text(handle: dict, state: "WorkerState | None" = None
-                      ) -> str:
-    """A ship handle -> the v2 wire text it names.
+def _inline_payload(handle: dict) -> "bytes | str":
+    """The inline handle's payload — ``data`` bytes (current wire) or
+    legacy ``text`` (older parents mid-rolling-restart)."""
+    data = handle.get("data")
+    if data is not None:
+        return data
+    return handle["text"]
 
-    ``inline`` handles carry the text; ``shm`` handles are attached
-    read-only (the producer's registry owns the unlink) and decoded
-    straight off the mapped buffer.  Raises
+
+def resolve_wire_payload(handle: dict, state: "WorkerState | None" = None
+                         ) -> "tuple[bytes | str | memoryview, object]":
+    """A ship handle -> ``(wire payload, keepalive)``.
+
+    ``inline`` handles carry the payload itself (``keepalive`` None);
+    ``shm`` handles are attached read-only (the producer's registry
+    owns the unlink) and returned as a **zero-copy** ``memoryview``
+    over the mapped buffer, pinned by the keepalive — pass both to
+    ``loads_trace`` and a binary v3 trace decodes in place, never
+    copying the segment.  Raises
     :class:`~repro.exec.shm.TraceShippingError` when a segment has
     vanished — callers fall back to inline re-ships.
     """
     kind = handle.get("kind", "inline")
     if kind == "inline":
-        return handle["text"]
+        return _inline_payload(handle), None
+    if kind != "shm":
+        raise TraceShippingError(f"unknown ship handle kind {kind!r}")
+    view, keepalive = adopt_segment_view(handle["name"], handle["len"],
+                                         unlink=False)
+    if state is not None:
+        state.shm_bytes_in += len(view)
+    return view, keepalive
+
+
+def resolve_wire_text(handle: dict, state: "WorkerState | None" = None
+                      ) -> str:
+    """A ship handle -> wire *text* (v1/v2 payloads only; the binary v3
+    wire has no text form — use :func:`resolve_wire_payload`)."""
+    kind = handle.get("kind", "inline")
+    if kind == "inline":
+        payload = _inline_payload(handle)
+        if isinstance(payload, str):
+            return payload
+        return bytes(payload).decode("utf-8")
     if kind != "shm":
         raise TraceShippingError(f"unknown ship handle kind {kind!r}")
     payload = adopt_segment_bytes(handle["name"], handle["len"],
@@ -138,7 +171,9 @@ def resolve_wire_text(handle: dict, state: "WorkerState | None" = None
 def resolve_trace_handle(handle: dict):
     """A ship handle -> a decoded :class:`~repro.core.traces.Trace`,
     memoised per worker by content digest (the at-most-once-per-worker
-    guarantee)."""
+    guarantee).  Shared-memory v3 payloads decode lazily straight off
+    the mapped segment; the memo then pins the mapping for the warm
+    worker's cache lifetime."""
     from repro.analysis.serialize import loads_trace
 
     state = worker_state()
@@ -147,7 +182,8 @@ def resolve_trace_handle(handle: dict):
         trace = state.cached_trace(digest)
         if trace is not None:
             return trace
-    trace = loads_trace(resolve_wire_text(handle, state))
+    payload, keepalive = resolve_wire_payload(handle, state)
+    trace = loads_trace(payload, keepalive=keepalive)
     if digest:
         state.remember_trace(digest, trace)
     return trace

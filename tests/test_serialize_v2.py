@@ -5,7 +5,7 @@ import json
 
 import pytest
 
-from repro.analysis.serialize import (FORMAT_VERSION, iter_entries,
+from repro.analysis.serialize import (TEXT_FORMAT_VERSION, iter_entries,
                                       load_trace, read_header,
                                       read_key_table, save_entries,
                                       save_trace)
@@ -30,9 +30,9 @@ class TestFormatV2:
     def test_default_writes_v2_with_key_table(self, tmp_path):
         trace = myfaces_trace(name="t")
         path = tmp_path / "t.jsonl"
-        save_trace(trace, path)
+        save_trace(trace, path, version=2)
         header = read_header(path)
-        assert header["format"] == FORMAT_VERSION == 2
+        assert header["format"] == TEXT_FORMAT_VERSION == 2
         assert header["keys"] > 0
         loaded = load_trace(path)
         entries_match(trace, loaded)
@@ -51,7 +51,7 @@ class TestFormatV2:
         from_v1 = load_trace(v1)
         assert from_v1.key_table is None  # v1 carries no table
         entries_match(trace, from_v1)
-        save_trace(from_v1, v2)
+        save_trace(from_v1, v2, version=2)
         from_v2 = load_trace(v2)
         entries_match(trace, from_v2)
         # =e keys survive the v1 -> v2 migration exactly.
@@ -72,7 +72,7 @@ class TestFormatV2:
     def test_duplicate_key_table_line_rejected(self, tmp_path):
         trace = myfaces_trace(name="t")
         path = tmp_path / "t.jsonl"
-        save_trace(trace, path)
+        save_trace(trace, path, version=2)
         lines = path.read_text(encoding="utf-8").splitlines()
         lines[2] = lines[1]  # duplicate one key line: ids would shift
         path.write_text("\n".join(lines) + "\n", encoding="utf-8")
@@ -82,7 +82,7 @@ class TestFormatV2:
     def test_out_of_range_kid_rejected(self, tmp_path):
         trace = myfaces_trace(name="t")
         path = tmp_path / "t.jsonl"
-        save_trace(trace, path)
+        save_trace(trace, path, version=2)
         header = read_header(path)
         lines = path.read_text(encoding="utf-8").splitlines()
         row = json.loads(lines[-1])
@@ -103,7 +103,7 @@ class TestFormatV2:
         v1 = tmp_path / "v1.jsonl"
         v2 = tmp_path / "v2.jsonl"
         save_trace(trace, v1, version=1)
-        save_trace(trace, v2)
+        save_trace(trace, v2, version=2)
         expected = {entry.key() for entry in trace.entries}
         for path in (v1, v2):
             _header, table = read_key_table(path)
@@ -112,7 +112,7 @@ class TestFormatV2:
     def test_iter_entries_skips_key_table(self, tmp_path):
         trace = myfaces_trace(name="t")
         path = tmp_path / "t.jsonl"
-        save_trace(trace, path)
+        save_trace(trace, path, version=2)
         streamed = list(iter_entries(path))
         assert len(streamed) == len(trace)
         for entry_a, entry_b in zip(trace.entries, streamed):
@@ -143,7 +143,7 @@ class TestFormatV2:
         builder.record_end(tid)
         trace = builder.build()
         path = tmp_path / "t.jsonl"
-        save_trace(trace, path)
+        save_trace(trace, path, version=2)
         header = read_header(path)
         assert header["keys"] == len(set(trace.key_ids))  # compact
         loaded = load_trace(path)

@@ -1,0 +1,226 @@
+"""Binary v3 wire format: property tests over generated traces.
+
+Hypothesis drives the same trace "programs" as ``test_properties``
+through the v3 encode/decode pair and asserts the invariants the rest
+of the system leans on: round-trips preserve entries and the content
+digest, re-encoding is byte-stable, all three formats agree on the
+digest, lazy decode equals eager decode entry-for-entry, and corrupt
+frames fail loudly.  Plain tests cover the store-facing surface
+(mixed-format stores, ``migrate_format``/``format_stats``) and the
+``REPRO_WIRE_FORMAT`` override.
+"""
+
+import hashlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.serialize import (FORMAT_VERSION, SUPPORTED_VERSIONS,
+                                      WIRE_FORMAT_ENV, dumps_trace_bytes,
+                                      load_trace, loads_trace, read_header,
+                                      read_key_table, save_trace, wire_format)
+from repro.api.store import TraceStore
+from repro.core.entries import entries_equal
+from repro.core.view_diff import view_diff
+
+from test_properties import build_trace, programs
+
+# Programs that always yield at least one real event (the empty trace
+# is covered explicitly below).
+nonempty_programs = st.tuples(
+    st.just(("new",)), st.just(("call", 0, 0, 1))).map(list)
+any_programs = st.one_of(programs, nonempty_programs)
+
+
+def entries_match(a, b):
+    assert len(a) == len(b)
+    for entry_a, entry_b in zip(a.entries, b.entries):
+        assert entry_a.eid == entry_b.eid
+        assert entry_a.tid == entry_b.tid
+        assert entry_a.method == entry_b.method
+        assert entries_equal(entry_a, entry_b)
+
+
+class TestV3RoundTrip:
+    @given(any_programs)
+    @settings(max_examples=60, deadline=None)
+    def test_wire_round_trip_preserves_entries_and_digest(self, program):
+        trace = build_trace(program, "t")
+        blob = dumps_trace_bytes(trace, version=3)
+        loaded = loads_trace(blob)
+        entries_match(trace, loaded)
+        assert loaded.content_digest() == trace.content_digest()
+
+    @given(any_programs)
+    @settings(max_examples=40, deadline=None)
+    def test_reencode_is_byte_stable(self, program):
+        # decode(encode(t)) re-encodes to the *same bytes* — the wire
+        # memo keyed on content digest depends on this.
+        trace = build_trace(program, "t")
+        blob = dumps_trace_bytes(trace, version=3)
+        assert dumps_trace_bytes(loads_trace(blob), version=3) == blob
+
+    @given(program=any_programs)
+    @settings(max_examples=30, deadline=None)
+    def test_all_formats_agree_on_digest(self, program, tmp_path_factory):
+        trace = build_trace(program, "t")
+        digests = set()
+        base = tmp_path_factory.mktemp("fmt")
+        for version in SUPPORTED_VERSIONS:
+            path = base / f"v{version}.trace"
+            save_trace(trace, path, version=version)
+            reborn = load_trace(path)
+            entries_match(trace, reborn)
+            digests.add(reborn.content_digest())
+        assert digests == {trace.content_digest()}
+
+    @given(any_programs, st.integers(0, 7))
+    @settings(max_examples=40, deadline=None)
+    def test_lazy_equals_eager_under_random_access(self, program, seed):
+        trace = build_trace(program, "t")
+        lazy = loads_trace(dumps_trace_bytes(trace, version=3))
+        if len(trace):
+            # Touch entries out of order first: materialisation order
+            # must not affect what comes back.
+            position = seed % len(trace)
+            assert lazy.entries[position].eid == position
+            assert entries_equal(lazy.entries[position],
+                                 trace.entries[position])
+        entries_match(trace, lazy)
+
+    @given(any_programs)
+    @settings(max_examples=30, deadline=None)
+    def test_digest_formula_is_the_documented_one(self, program):
+        # The digest hashes one repr per entry; the hand-written
+        # __repr__s must keep producing exactly these strings or every
+        # stored digest silently changes.
+        trace = build_trace(program, "t")
+        digest = hashlib.blake2b(digest_size=16)
+        digest.update(b"trace-content-v1;")
+        digest.update(len(trace.entries).to_bytes(8, "little"))
+        for entry in trace.entries:
+            digest.update(repr(entry).encode("utf-8", "replace"))
+            digest.update(b";")
+        assert trace.content_digest() == digest.hexdigest()
+
+    def test_empty_trace_round_trips(self):
+        trace = build_trace([], "empty")
+        loaded = loads_trace(dumps_trace_bytes(trace, version=3))
+        entries_match(trace, loaded)
+
+    @given(any_programs, any_programs)
+    @settings(max_examples=25, deadline=None)
+    def test_diff_identical_across_wire(self, left_ops, right_ops):
+        left, right = build_trace(left_ops, "L"), build_trace(right_ops, "R")
+        direct = view_diff(left, right)
+        wired = view_diff(loads_trace(dumps_trace_bytes(left, version=3)),
+                          loads_trace(dumps_trace_bytes(right, version=3)))
+        assert wired.similar_left == direct.similar_left
+        assert wired.similar_right == direct.similar_right
+        assert wired.num_diffs() == direct.num_diffs()
+
+
+class TestV3Files:
+    def test_read_header_and_key_table(self, tmp_path):
+        trace = build_trace([("new",), ("call", 0, 0, 1), ("set", 0, 1, 2)],
+                            "t")
+        path = tmp_path / "t.trace"
+        save_trace(trace, path, extra_metadata={"tag": "x"}, version=3)
+        header = read_header(path)
+        assert header["format"] == 3
+        assert header["name"] == "t"
+        assert header["entries"] == len(trace)
+        assert header["metadata"]["tag"] == "x"
+        meta, table = read_key_table(path)
+        assert meta["format"] == 3
+        assert len(table) == header["keys"] > 0
+        loaded = load_trace(path)
+        for entry, kid in zip(loaded.entries, loaded.key_ids):
+            assert table.key_of(kid) == entry.key()
+
+    def test_truncated_file_raises(self, tmp_path):
+        trace = build_trace([("new",), ("call", 0, 0, 1)], "t")
+        path = tmp_path / "t.trace"
+        save_trace(trace, path, version=3)
+        blob = path.read_bytes()
+        for cut in (2, 6, len(blob) - 1):
+            clipped = tmp_path / f"cut{cut}.trace"
+            clipped.write_bytes(blob[:cut])
+            with pytest.raises(ValueError):
+                load_trace(clipped)
+
+    def test_corrupt_section_table_raises(self, tmp_path):
+        trace = build_trace([("new",), ("call", 0, 0, 1)], "t")
+        blob = bytearray(dumps_trace_bytes(trace, version=3))
+        # Flip a byte inside the header JSON: either the JSON parse or
+        # the section-bounds validation must reject it.
+        blob[12] ^= 0xFF
+        with pytest.raises(ValueError):
+            loads_trace(bytes(blob))
+
+    def test_wrong_magic_falls_back_to_text_parse_error(self, tmp_path):
+        trace = build_trace([("new",)], "t")
+        blob = bytearray(dumps_trace_bytes(trace, version=3))
+        blob[:4] = b"XXXX"
+        with pytest.raises(ValueError):
+            loads_trace(bytes(blob))
+
+
+class TestWireFormatSelection:
+    def test_env_override(self, monkeypatch):
+        monkeypatch.delenv(WIRE_FORMAT_ENV, raising=False)
+        assert wire_format() == FORMAT_VERSION == 3
+        monkeypatch.setenv(WIRE_FORMAT_ENV, "2")
+        assert wire_format() == 2
+        assert wire_format(1) == 1  # explicit beats the environment
+        trace = build_trace([("new",), ("call", 0, 0, 1)], "t")
+        blob = dumps_trace_bytes(trace)
+        assert not blob.startswith(b"RPV3")  # env picked the text wire
+        entries_match(trace, loads_trace(blob))
+
+    def test_invalid_versions_rejected(self, monkeypatch):
+        with pytest.raises(ValueError, match="version 9"):
+            wire_format(9)
+        monkeypatch.setenv(WIRE_FORMAT_ENV, "banana")
+        with pytest.raises(ValueError, match=WIRE_FORMAT_ENV):
+            wire_format()
+
+
+class TestStoreFormats:
+    def test_mixed_format_store_diffs(self, tmp_path, monkeypatch):
+        store = TraceStore(tmp_path / "store")
+        old = build_trace([("new",), ("call", 0, 0, 1)], "old")
+        new = build_trace([("new",), ("call", 0, 0, 2)], "new")
+        monkeypatch.setenv(WIRE_FORMAT_ENV, "2")
+        store.save(old)
+        monkeypatch.delenv(WIRE_FORMAT_ENV)
+        store.save(new)
+        formats = {r.key: r.format for r in store.records()}
+        assert formats == {"old": 2, "new": 3}
+        result = view_diff(store.load("old"), store.load("new"))
+        assert result.num_diffs() == view_diff(old, new).num_diffs()
+
+    def test_migrate_format_and_stats(self, tmp_path, monkeypatch):
+        store = TraceStore(tmp_path / "store")
+        monkeypatch.setenv(WIRE_FORMAT_ENV, "2")
+        for index in range(3):
+            store.save(build_trace([("new",), ("call", 0, 0, index)],
+                                   f"t{index}"))
+        monkeypatch.delenv(WIRE_FORMAT_ENV)
+        before = {r.key: store.load(r.key).content_digest()
+                  for r in store.records()}
+        stats = store.format_stats()
+        assert stats["formats"]["2"]["traces"] == 3
+        outcome = store.migrate_format(3)
+        assert outcome == {"version": 3, "migrated": 3, "skipped": 0,
+                           "failed": 0}
+        stats = store.format_stats()
+        assert list(stats["formats"]) == ["3"]
+        assert stats["traces"] == 3
+        # Digests (and therefore identity) survive the rewrite.
+        after = {r.key: store.load(r.key).content_digest()
+                 for r in store.records()}
+        assert after == before
+        # A second migration is a no-op.
+        assert store.migrate_format(3)["skipped"] == 3
